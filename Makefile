@@ -1,0 +1,29 @@
+# Developer convenience targets.
+
+.PHONY: install test bench bench-quick examples clean
+
+install:
+	pip install -e '.[test]'
+
+test:
+	pytest tests/
+
+# Full fidelity: 100 random sub-sampling partitions (the paper's protocol).
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Quick pass: same shapes, ~10x faster.
+bench-quick:
+	REPRO_REPETITIONS=10 pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/phase_analysis.py
+	python examples/interference_scheduler.py
+	python examples/energy_modeling.py
+	python examples/portability.py
+	python examples/uncertainty_and_governor.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,41 @@
+"""Shared helper for the Figures 1–4 benches."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import ExperimentContext, figure_series
+from repro.reporting.figures import render_series
+
+#: Paper shape targets per (machine, metric): the final neural/F testing
+#: error must undercut the linear/F testing error, and sit near the paper's
+#: headline (~2% MPE, ~1% NRMSE), with slack for the simulated substrate.
+NEURAL_F_CEILING = {"mpe": 3.0, "nrmse": 3.0}
+
+
+def run_figure(
+    benchmark,
+    emit,
+    ctx: ExperimentContext,
+    *,
+    name: str,
+    machine_key: str,
+    metric: str,
+    title: str,
+) -> None:
+    """Time the 12-model evaluation (first call) and emit the figure data."""
+    labels, series = benchmark.pedantic(
+        lambda: figure_series(ctx, machine_key, metric), rounds=1, iterations=1
+    )
+    emit(
+        name,
+        render_series(
+            labels,
+            series,
+            title=f"{title} (mean over {ctx.repetitions} random 70/30 partitions)",
+            unit="%",
+        ),
+    )
+    nn_test = series["neural test"]
+    lin_test = series["linear test"]
+    assert nn_test[-1] < lin_test[-1], "neural/F must beat linear/F"
+    assert nn_test[-1] < NEURAL_F_CEILING[metric], "neural/F near paper headline"
+    assert nn_test[-1] < nn_test[0], "features must help the neural model"

@@ -1,0 +1,80 @@
+"""Ablation — class-level co-runner information (Section IV-B1).
+
+The paper argues a developer knowing only each co-runner's memory
+intensity *class* can "still be able to use the model ... with average
+values for that application's class".  This bench quantifies the cost of
+that degraded mode: predict every probe co-location twice — once from the
+co-runners' exact baseline profiles, once knowing only their classes —
+and compare MPE against the simulator's ground truth.
+"""
+
+import numpy as np
+
+from repro.core.classinfo import ClassProfiles, predict_time_from_classes
+from repro.core.feature_sets import FeatureSet
+from repro.core.methodology import ModelKind, PerformancePredictor
+from repro.core.metrics import mpe
+from repro.reporting.tables import render_table
+from repro.workloads.classes import classify_intensity
+from repro.workloads.suite import get_application
+
+PROBES = [
+    ("canneal", "cg", 3),
+    ("canneal", "sp", 5),
+    ("sp", "cg", 2),
+    ("fluidanimate", "cg", 4),
+    ("fluidanimate", "ep", 5),
+    ("ep", "cg", 3),
+    ("lu", "sp", 4),
+    ("streamcluster", "fluidanimate", 2),
+]
+
+
+def test_ablation_class_information(benchmark, ctx, emit):
+    engine = ctx.engine("e5649")
+    baselines = ctx.baselines("e5649")
+    fmax = engine.processor.pstates.fastest
+    predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.F, seed=3)
+    predictor.fit(list(ctx.dataset("e5649")))
+    class_profiles = ClassProfiles.from_profiles(
+        [baselines.get(n, fmax.frequency_ghz) for n in baselines.app_names()]
+    )
+
+    def run_probe():
+        actuals, exact, by_class = [], [], []
+        for target_name, co_name, count in PROBES:
+            target = baselines.get(target_name, fmax.frequency_ghz)
+            co = baselines.get(co_name, fmax.frequency_ghz)
+            run = engine.run(
+                get_application(target_name),
+                [get_application(co_name)] * count,
+                pstate=fmax,
+            )
+            actuals.append(run.target.execution_time_s)
+            exact.append(predictor.predict_time(target, [co] * count))
+            cls = classify_intensity(co.memory_intensity)
+            by_class.append(
+                predict_time_from_classes(
+                    predictor, class_profiles, target, [cls] * count
+                )
+            )
+        return np.array(actuals), np.array(exact), np.array(by_class)
+
+    actuals, exact, by_class = benchmark.pedantic(run_probe, rounds=1, iterations=1)
+    exact_mpe = mpe(exact, actuals)
+    class_mpe = mpe(by_class, actuals)
+    emit(
+        "ablation_classinfo",
+        render_table(
+            ["co-runner information", "probe MPE (%)"],
+            [
+                ["exact baseline profiles", exact_mpe],
+                ["memory intensity class only", class_mpe],
+            ],
+            title="Ablation: exact vs class-only co-runner information, neural/F, E5649",
+        ),
+    )
+    # Class-only mode degrades but stays usable — the paper's "good
+    # enough predictions" claim.
+    assert exact_mpe < class_mpe
+    assert class_mpe < 15.0

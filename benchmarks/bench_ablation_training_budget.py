@@ -1,0 +1,62 @@
+"""Ablation — model accuracy vs training budget (learning curve).
+
+Section IV-B3 motivates the uniform grid as an attempt "to sample the set
+of all possible co-locations ... in a uniform way that minimizes the
+amount of training data".  This bench measures how the neural/F model's
+held-out accuracy degrades as the training set is subsampled, locating the
+budget below which the paper's accuracy claim would no longer hold.
+"""
+
+import numpy as np
+
+from repro.core.feature_sets import FeatureSet
+from repro.core.features import feature_matrix
+from repro.core.methodology import ModelKind, make_model
+from repro.core.metrics import mpe
+from repro.reporting.tables import render_table
+
+FRACTIONS = (0.05, 0.1, 0.25, 0.5, 1.0)
+
+
+def test_ablation_training_budget(benchmark, ctx, emit):
+    observations = list(ctx.dataset("e5649"))
+    X, y = feature_matrix(observations, FeatureSet.F.features)
+    n = X.shape[0]
+    rng = np.random.default_rng(31)
+    # One fixed held-out probe set (20%) shared by all budgets.
+    perm = rng.permutation(n)
+    probe_idx, pool_idx = perm[: n // 5], perm[n // 5:]
+
+    def sweep():
+        rows = []
+        for fraction in FRACTIONS:
+            k = max(int(len(pool_idx) * fraction), 20)
+            errors = []
+            for rep in range(3):
+                sub = rng.choice(pool_idx, size=k, replace=False)
+                model = make_model(
+                    ModelKind.NEURAL,
+                    FeatureSet.F,
+                    rng=np.random.default_rng([rep, k]),
+                )
+                model.fit(X[sub], y[sub])
+                errors.append(mpe(model.predict(X[probe_idx]), y[probe_idx]))
+            rows.append([k, float(np.mean(errors))])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_training_budget",
+        render_table(
+            ["training runs", "probe MPE (%)"],
+            rows,
+            title="Ablation: neural/F accuracy vs training budget, E5649",
+        ),
+    )
+    errors = [r[1] for r in rows]
+    # More data never makes things dramatically worse...
+    assert errors[-1] <= errors[0] * 1.2
+    # ...and the full budget reaches the paper's regime while the
+    # smallest budget does not get there.
+    assert errors[-1] < 3.0
+    assert errors[0] > errors[-1]

@@ -1,0 +1,51 @@
+"""Microbenchmarks — the substrate's hot paths.
+
+Not a paper artifact; guards the property the harness depends on: one
+analytic co-location solve must stay in the low-millisecond range so the
+full Table V sweep (thousands of runs) completes in seconds.
+"""
+
+from repro.workloads.suite import get_application
+
+
+def test_engine_solo_solve(benchmark, ctx):
+    engine = ctx.engine("e5649")
+    app = get_application("canneal")
+    run = benchmark(lambda: engine.baseline(app))
+    assert run.target.execution_time_s > 0
+
+
+def test_engine_full_colocation_solve(benchmark, ctx):
+    engine = ctx.engine("e5-2697v2")
+    canneal = get_application("canneal")
+    cg = get_application("cg")
+    run = benchmark(lambda: engine.run(canneal, [cg] * 11))
+    assert len(run.runs) == 12
+
+
+def test_model_fit_linear(benchmark, ctx):
+    from repro.core.feature_sets import FeatureSet
+    from repro.core.features import feature_matrix
+    from repro.core.linear import LinearModel
+
+    X, y = feature_matrix(list(ctx.dataset("e5649")), FeatureSet.F.features)
+    model = benchmark(lambda: LinearModel().fit(X, y))
+    assert model.is_fitted
+
+
+def test_model_fit_neural(benchmark, ctx):
+    import numpy as np
+
+    from repro.core.feature_sets import FeatureSet
+    from repro.core.features import feature_matrix
+    from repro.core.neural import NeuralNetworkModel
+
+    X, y = feature_matrix(list(ctx.dataset("e5649")), FeatureSet.F.features)
+    model = benchmark.pedantic(
+        lambda: NeuralNetworkModel(hidden_units=20, n_restarts=1).fit(
+            X, y, rng=np.random.default_rng(0)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert model.is_fitted

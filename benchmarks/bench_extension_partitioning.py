@@ -1,0 +1,69 @@
+"""Extension — what would LLC way-partitioning buy?
+
+With a trained interference model in hand, the natural next question for
+a resource manager is whether *isolation* (Intel-CAT-style way
+partitioning) beats the shared free-for-all the paper measures.  This
+bench runs the Table VI scenario (canneal + N cg on the 12-core Xeon)
+under three regimes — shared LLC, equal partition, and a
+victim-protecting partition — and reports the victim's and the
+aggregate's outcomes.
+"""
+
+import numpy as np
+
+from repro.cache.partition import equal_partition, protect_target_partition
+from repro.reporting.tables import render_table
+from repro.workloads.suite import get_application
+
+
+def test_extension_way_partitioning(benchmark, ctx, emit):
+    engine = ctx.engine("e5-2697v2")
+    geo = engine.processor.llc
+    canneal = get_application("canneal")
+    cg = get_application("cg")
+    base = engine.baseline(canneal).target.execution_time_s
+
+    def sweep():
+        rows = []
+        for n in (2, 5, 8, 11):
+            shared = engine.run(canneal, [cg] * n)
+            equal = engine.run(
+                canneal, [cg] * n,
+                fixed_occupancies=equal_partition(n + 1, geo).occupancies_bytes(),
+            )
+            protect = engine.run(
+                canneal, [cg] * n,
+                fixed_occupancies=protect_target_partition(
+                    n, geo, target_fraction=0.4
+                ).occupancies_bytes(),
+            )
+            rows.append(
+                [
+                    n,
+                    shared.target.execution_time_s / base,
+                    equal.target.execution_time_s / base,
+                    protect.target.execution_time_s / base,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "extension_partitioning",
+        render_table(
+            [
+                "num cg",
+                "victim slowdown, shared LLC",
+                "victim slowdown, equal partition",
+                "victim slowdown, 40% protected",
+            ],
+            rows,
+            title="Extension: way-partitioning vs shared LLC (canneal + N x cg, E5-2697v2)",
+        ),
+    )
+    slowdowns = np.array(rows, dtype=float)
+    # Protection must beat sharing for the victim at high pressure, and
+    # its benefit must grow with co-runner count.
+    assert np.all(slowdowns[2:, 3] < slowdowns[2:, 1])
+    gains = slowdowns[:, 1] - slowdowns[:, 3]
+    assert gains[-1] > gains[0]

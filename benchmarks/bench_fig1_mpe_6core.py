@@ -1,0 +1,15 @@
+"""Figure 1 — MPE vs feature set, linear + neural, 6-core Xeon E5649."""
+
+from _figures import run_figure
+
+
+def test_fig1_mpe_6core(benchmark, ctx, emit):
+    run_figure(
+        benchmark,
+        emit,
+        ctx,
+        name="fig1_mpe_6core",
+        machine_key="e5649",
+        metric="mpe",
+        title="Figure 1: MPE, Xeon E5649 (6-core)",
+    )

@@ -1,0 +1,15 @@
+"""Figure 2 — MPE vs feature set, linear + neural, 12-core Xeon E5-2697v2."""
+
+from _figures import run_figure
+
+
+def test_fig2_mpe_12core(benchmark, ctx, emit):
+    run_figure(
+        benchmark,
+        emit,
+        ctx,
+        name="fig2_mpe_12core",
+        machine_key="e5-2697v2",
+        metric="mpe",
+        title="Figure 2: MPE, Xeon E5-2697v2 (12-core)",
+    )

@@ -1,0 +1,15 @@
+"""Figure 3 — NRMSE vs feature set, linear + neural, 6-core Xeon E5649."""
+
+from _figures import run_figure
+
+
+def test_fig3_nrmse_6core(benchmark, ctx, emit):
+    run_figure(
+        benchmark,
+        emit,
+        ctx,
+        name="fig3_nrmse_6core",
+        machine_key="e5649",
+        metric="nrmse",
+        title="Figure 3: NRMSE, Xeon E5649 (6-core)",
+    )

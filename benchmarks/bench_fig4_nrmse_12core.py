@@ -1,0 +1,15 @@
+"""Figure 4 — NRMSE vs feature set, linear + neural, 12-core Xeon E5-2697v2."""
+
+from _figures import run_figure
+
+
+def test_fig4_nrmse_12core(benchmark, ctx, emit):
+    run_figure(
+        benchmark,
+        emit,
+        ctx,
+        name="fig4_nrmse_12core",
+        machine_key="e5-2697v2",
+        metric="nrmse",
+        title="Figure 4: NRMSE, Xeon E5-2697v2 (12-core)",
+    )

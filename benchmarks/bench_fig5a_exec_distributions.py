@@ -1,0 +1,27 @@
+"""Figure 5(a) — per-application execution time distributions, 6-core."""
+
+import numpy as np
+
+from repro.harness.experiments import figure5a_distributions
+from repro.reporting.figures import render_distributions, summarize
+
+
+def test_fig5a_exec_distributions(benchmark, ctx, emit):
+    ctx.dataset("e5649")  # warm the collection cache outside the timed region
+    dists = benchmark.pedantic(
+        lambda: figure5a_distributions(ctx), rounds=1, iterations=1
+    )
+    summaries = [summarize(name, values) for name, values in dists.items()]
+    emit(
+        "fig5a_exec_distributions",
+        render_distributions(
+            summaries,
+            title="Figure 5(a): Execution Time Distributions, Xeon E5649",
+            unit="s",
+        ),
+    )
+    assert len(dists) == 11
+    pooled = np.concatenate(list(dists.values()))
+    # The paper's spread: from ~150 s up past 1000 s across co-locations.
+    assert pooled.min() > 100.0
+    assert pooled.max() / pooled.min() > 2.0

@@ -1,0 +1,28 @@
+"""Figure 5(b) — per-application percent error of the neural/F model."""
+
+import numpy as np
+
+from repro.harness.experiments import figure5b_errors
+from repro.reporting.figures import render_distributions, summarize
+
+
+def test_fig5b_error_distributions(benchmark, ctx, emit):
+    ctx.dataset("e5649")
+    errors = benchmark.pedantic(
+        lambda: figure5b_errors(ctx, repetitions=10), rounds=1, iterations=1
+    )
+    summaries = [summarize(name, values) for name, values in errors.items()]
+    emit(
+        "fig5b_error_distributions",
+        render_distributions(
+            summaries,
+            title="Figure 5(b): Neural/F Percent Error Distributions, Xeon E5649",
+            unit="%",
+        ),
+    )
+    pooled = np.concatenate(list(errors.values()))
+    # Paper: errors centered at zero, majority within +/-2%, nearly all
+    # within +/-5%.
+    assert abs(float(np.median(pooled))) < 1.0
+    within_5 = float(np.mean(np.abs(pooled) <= 5.0))
+    assert within_5 > 0.90

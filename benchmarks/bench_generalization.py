@@ -1,0 +1,99 @@
+"""Generalization — beyond the training co-location space.
+
+Section IV-B3: the training data is "designed to be able to both predict
+between the training data's gaps in the sample space, and extend beyond
+the set of four co-location applications ... and be able to make
+predictions about applications that it has not seen previously."
+
+Three probes of increasing distance from the training distribution, all
+on the neural/F model trained on the standard homogeneous grid:
+
+1. *gap counts* — homogeneous co-locations at counts the grid skipped,
+2. *unseen co-apps* — suite applications never used as co-runners,
+3. *heterogeneous mixes* — mixed co-runner sets (training was homogeneous),
+4. *generated apps* — synthetic applications outside the suite entirely.
+"""
+
+import numpy as np
+
+from repro.core.feature_sets import FeatureSet
+from repro.core.features import feature_row
+from repro.core.methodology import ModelKind, PerformancePredictor
+from repro.core.metrics import mpe
+from repro.counters.hpcrun import hpcrun_flat
+from repro.reporting.tables import render_table
+from repro.workloads.classes import MemoryIntensityClass
+from repro.workloads.generator import generate_application
+from repro.workloads.suite import get_application
+
+
+def _predict_and_measure(engine, predictor, baselines, fmax, cases):
+    """cases: list of (target_name, [co_names])."""
+    preds, actuals = [], []
+    for target_name, co_names in cases:
+        target_base = baselines.get(target_name, fmax.frequency_ghz)
+        co_bases = [baselines.get(n, fmax.frequency_ghz) for n in co_names]
+        preds.append(predictor.predict_time(target_base, co_bases))
+        run = engine.run(
+            get_application(target_name),
+            [get_application(n) for n in co_names],
+            pstate=fmax,
+        )
+        actuals.append(run.target.execution_time_s)
+    return mpe(np.array(preds), np.array(actuals))
+
+
+def test_generalization_probes(benchmark, ctx, emit):
+    engine = ctx.engine("e5649")
+    baselines = ctx.baselines("e5649")
+    fmax = engine.processor.pstates.fastest
+    predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.F, seed=11)
+    predictor.fit(list(ctx.dataset("e5649")))
+
+    def run_probes():
+        rows = []
+        # 1. In-distribution sanity: grid points (training-style cases).
+        grid = [("canneal", ["cg"] * 3), ("sp", ["fluidanimate"] * 5),
+                ("ep", ["sp"] * 1), ("lu", ["ep"] * 4)]
+        rows.append(["grid points (sanity)", _predict_and_measure(
+            engine, predictor, baselines, fmax, grid)])
+        # 2. Unseen co-apps: canneal/mg/lu never co-ran in training.
+        unseen = [("sp", ["canneal"] * 3), ("fluidanimate", ["mg"] * 2),
+                  ("ep", ["canneal"] * 4), ("cg", ["lu"] * 5)]
+        rows.append(["unseen co-applications", _predict_and_measure(
+            engine, predictor, baselines, fmax, unseen)])
+        # 3. Heterogeneous mixes (training was homogeneous).
+        mixes = [("canneal", ["cg", "sp", "ep"]),
+                 ("sp", ["cg", "cg", "fluidanimate", "ep"]),
+                 ("fluidanimate", ["cg", "canneal"]),
+                 ("ep", ["cg", "sp", "sp", "fluidanimate", "ep"])]
+        rows.append(["heterogeneous mixes", _predict_and_measure(
+            engine, predictor, baselines, fmax, mixes)])
+        # 4. Generated applications outside the suite (as targets).
+        rng = np.random.default_rng(42)
+        preds, actuals = [], []
+        for cls in (MemoryIntensityClass.CLASS_I, MemoryIntensityClass.CLASS_III):
+            synth = generate_application(cls, rng)
+            synth_base = hpcrun_flat(engine, synth, pstate=fmax)
+            cg_base = baselines.get("cg", fmax.frequency_ghz)
+            preds.append(predictor.predict_time(synth_base, [cg_base] * 3))
+            run = engine.run(synth, [get_application("cg")] * 3, pstate=fmax)
+            actuals.append(run.target.execution_time_s)
+        rows.append(["generated (out-of-suite) targets",
+                     mpe(np.array(preds), np.array(actuals))])
+        return rows
+
+    rows = benchmark.pedantic(run_probes, rounds=1, iterations=1)
+    emit(
+        "generalization",
+        render_table(
+            ["probe (distance from training distribution)", "MPE (%)"],
+            rows,
+            title="Generalization: neural/F trained on the homogeneous grid, E5649",
+        ),
+    )
+    by_name = {r[0]: r[1] for r in rows}
+    assert by_name["grid points (sanity)"] < 5.0
+    assert by_name["unseen co-applications"] < 10.0
+    assert by_name["heterogeneous mixes"] < 10.0
+    assert by_name["generated (out-of-suite) targets"] < 15.0

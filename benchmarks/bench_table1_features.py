@@ -1,0 +1,17 @@
+"""Table I — model features and the aspect of execution each measures."""
+
+from repro.harness.experiments import table1_rows
+from repro.reporting.tables import render_table
+
+
+def test_table1_features(benchmark, emit):
+    rows = benchmark(table1_rows)
+    emit(
+        "table1_features",
+        render_table(
+            ["Feature name", "aspect of execution measured"],
+            rows,
+            title="Table I: Model Features",
+        ),
+    )
+    assert len(rows) == 8

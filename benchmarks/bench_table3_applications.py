@@ -1,0 +1,37 @@
+"""Table III — the 11 applications, baseline memory intensity, classes.
+
+The benchmark times a fresh baseline-profiling pass over the whole suite on
+the reference machine (what a user pays to onboard a new machine); the
+emitted table is the paper's Table III regenerated from those profiles.
+"""
+
+from repro.harness.baselines import collect_baselines
+from repro.harness.experiments import table3_rows
+from repro.sim import SimulationEngine
+from repro.machine import XEON_E5649
+from repro.workloads import all_applications
+
+
+def test_table3_applications(benchmark, ctx, emit):
+    benchmark.pedantic(
+        lambda: collect_baselines(SimulationEngine(XEON_E5649), all_applications()),
+        rounds=3,
+        iterations=1,
+    )
+    rows = table3_rows(ctx)
+    emit(
+        "table3_applications",
+        render_rows(rows),
+    )
+    classes = [r[2] for r in rows]
+    assert classes == sorted(classes, key=["I", "II", "III", "IV"].index)
+
+
+def render_rows(rows):
+    from repro.reporting.tables import render_table
+
+    return render_table(
+        ["Application", "baseline memory intensity", "Class"],
+        rows,
+        title="Table III: Benchmark Applications (P=PARSEC, N=NAS)",
+    )

@@ -1,0 +1,17 @@
+"""Table V — per-machine P-state frequencies and co-location counts."""
+
+from repro.harness.experiments import table5_rows
+from repro.reporting.tables import render_table
+
+
+def test_table5_training_setup(benchmark, emit):
+    rows = benchmark(table5_rows)
+    emit(
+        "table5_training_setup",
+        render_table(
+            ["Intel processor", "P-state frequencies (GHz)", "num. of co-locations"],
+            rows,
+            title="Table V: Training Data Setup",
+        ),
+    )
+    assert len(rows) == 2

@@ -1,0 +1,80 @@
+"""Quickstart: predict co-location slowdown on a simulated Xeon.
+
+The end-to-end tour of the library in five steps:
+
+1. pick a machine (the paper's 6-core Xeon E5649),
+2. watch memory interference degrade a real workload,
+3. collect baseline profiles and Table V training data,
+4. train the paper's best model (neural network, feature set F), and
+5. predict the execution time of placements the model never saw.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import FeatureSet, ModelKind, PerformancePredictor
+from repro.harness import collect_baselines, collect_training_data
+from repro.machine import XEON_E5649
+from repro.sim import SimulationEngine
+from repro.workloads import all_applications, get_application
+
+
+def main() -> None:
+    # -- 1. A machine and its simulator ---------------------------------
+    engine = SimulationEngine(XEON_E5649)
+    print(f"Machine: {engine.processor.name} "
+          f"({engine.processor.num_cores} cores, "
+          f"{engine.processor.llc.size_mb:.0f} MB shared L3)\n")
+
+    # -- 2. Memory interference, observed --------------------------------
+    canneal = get_application("canneal")  # memory-intensive (Class I)
+    cg = get_application("cg")            # the most aggressive co-runner
+    baseline = engine.baseline(canneal).target.execution_time_s
+    print(f"canneal alone:            {baseline:7.1f} s")
+    for n in (1, 3, 5):
+        run = engine.run(canneal, [cg] * n)
+        t = run.target.execution_time_s
+        print(f"canneal + {n}x cg:          {t:7.1f} s  "
+              f"({t / baseline:.2f}x baseline)")
+    print()
+
+    # -- 3. Baselines + training data (the Table V loop nest) -----------
+    print("Collecting baselines (11 apps x 6 P-states) and training data...")
+    baselines = collect_baselines(engine, all_applications())
+    dataset = collect_training_data(
+        engine, baselines=baselines, rng=np.random.default_rng(0)
+    )
+    print(f"  {len(dataset)} co-location observations collected\n")
+
+    # -- 4. Train the paper's best model --------------------------------
+    predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.F, seed=0)
+    predictor.fit(list(dataset))
+    print("Trained: neural network, feature set F "
+          "(all eight Table I features)\n")
+
+    # -- 5. Predict unseen placements ------------------------------------
+    # Counts 2 and 4 are not in the 6-core training grid; 'canneal' was
+    # never used as a co-runner.  The model only sees baseline profiles.
+    fmax = engine.processor.pstates.fastest
+    cases = [
+        ("sp", "cg", 2),
+        ("fluidanimate", "cg", 4),
+        ("ep", "canneal", 3),
+        ("streamcluster", "canneal", 5),
+    ]
+    print(f"{'placement':34s} {'predicted':>10s} {'actual':>10s} {'error':>7s}")
+    for target_name, co_name, count in cases:
+        target_base = baselines.get(target_name, fmax.frequency_ghz)
+        co_base = baselines.get(co_name, fmax.frequency_ghz)
+        predicted = predictor.predict_time(target_base, [co_base] * count)
+        actual = engine.run(
+            get_application(target_name), [get_application(co_name)] * count
+        ).target.execution_time_s
+        err = 100.0 * abs(predicted - actual) / actual
+        label = f"{target_name} + {count}x {co_name}"
+        print(f"{label:34s} {predicted:9.1f}s {actual:9.1f}s {err:6.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""repro — co-location aware application performance modeling.
+
+A full reproduction of Dauwe et al., "A Methodology for Co-Location Aware
+Application Performance Modeling in Multicore Computing" (2015), including
+the simulated testbed (multicore machines, synthetic PARSEC/NAS workloads,
+shared-cache and DRAM contention, PAPI-style counters) and the modeling
+methodology itself (feature sets A–F, linear and SCG-trained neural models,
+MPE/NRMSE evaluation under repeated random sub-sampling).
+
+Quick start::
+
+    from repro.machine import XEON_E5649
+    from repro.sim import SimulationEngine
+    from repro.harness import collect_training_data
+    from repro.core import PerformancePredictor, ModelKind, FeatureSet
+
+    engine = SimulationEngine(XEON_E5649)
+    data = collect_training_data(engine)
+    predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.F)
+    predictor.fit(list(data))
+
+See ``examples/quickstart.py`` for the full tour.
+"""
+
+from . import (
+    cache,
+    core,
+    counters,
+    energy,
+    harness,
+    machine,
+    memsys,
+    reporting,
+    sched,
+    sim,
+    workloads,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "cache",
+    "core",
+    "counters",
+    "energy",
+    "harness",
+    "machine",
+    "memsys",
+    "reporting",
+    "sched",
+    "sim",
+    "workloads",
+]

@@ -1,0 +1,32 @@
+"""Last-level cache substrate: reuse profiles, LRU simulation, sharing.
+
+Two complementary models live here:
+
+* :mod:`repro.cache.setassoc` — a faithful trace-driven set-associative LRU
+  cache (slow, ground truth), and
+* :mod:`repro.cache.sharing` — the analytic occupancy-equilibrium model of
+  a shared cache (fast, used by the bulk data-collection engine).
+
+Both consume :class:`repro.cache.reuse.ReuseProfile` locality descriptions.
+"""
+
+from .reuse import MissRatioCurve, ProfileTable, ReuseComponent, ReuseProfile
+from .replacement import CacheSet, ReplacementPolicy, make_set
+from .setassoc import CacheStats, SetAssociativeCache, measure_miss_ratio_curve
+from .sharing import CacheCompetitor, SharingSolution, solve_shared_cache
+
+__all__ = [
+    "CacheCompetitor",
+    "CacheSet",
+    "CacheStats",
+    "MissRatioCurve",
+    "ProfileTable",
+    "ReplacementPolicy",
+    "ReuseComponent",
+    "ReuseProfile",
+    "SetAssociativeCache",
+    "SharingSolution",
+    "make_set",
+    "measure_miss_ratio_curve",
+    "solve_shared_cache",
+]

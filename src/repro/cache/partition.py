@@ -1,0 +1,143 @@
+"""Way-partitioning of the shared last-level cache.
+
+Modern server parts expose way-granular LLC partitioning (Intel CAT and
+kin): the resource manager pins each co-located application to a subset of
+the cache's ways, trading the free-for-all occupancy competition for
+isolation.  The engine supports this through the ``fixed_occupancies``
+argument; this module provides the way-granular allocation type and the
+standard allocation policies, enabling the "what would partitioning buy?"
+extension experiment (``benchmarks/bench_extension_partitioning.py``) on
+top of the reproduction.
+
+Partitioning removes cache contention but not DRAM contention — the engine
+keeps bandwidth shared, which matches real CAT deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.processor import CacheGeometry
+from ..workloads.app import ApplicationSpec
+
+__all__ = [
+    "WayPartition",
+    "equal_partition",
+    "footprint_proportional_partition",
+    "protect_target_partition",
+]
+
+
+@dataclass(frozen=True)
+class WayPartition:
+    """An assignment of LLC ways to co-located applications.
+
+    ``ways[i]`` ways are pinned to application ``i`` (target first, then
+    co-runners, matching the engine's application ordering).  Unassigned
+    ways are left unused — real controllers often reserve ways for the
+    OS/uncore, so the sum may be less than the associativity but never
+    more.
+    """
+
+    geometry: CacheGeometry
+    ways: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ways:
+            raise ValueError("a partition needs at least one application")
+        if any(w < 1 for w in self.ways):
+            raise ValueError(
+                "every application needs at least one way (zero ways would "
+                "mean no LLC at all, which the hierarchy cannot express)"
+            )
+        if sum(self.ways) > self.geometry.associativity:
+            raise ValueError(
+                f"{sum(self.ways)} ways assigned but the cache has "
+                f"{self.geometry.associativity}"
+            )
+
+    @property
+    def bytes_per_way(self) -> float:
+        """Capacity of one way across all sets."""
+        return self.geometry.size_bytes / self.geometry.associativity
+
+    def occupancies_bytes(self) -> np.ndarray:
+        """Per-application pinned capacity, engine-ready."""
+        return np.array([w * self.bytes_per_way for w in self.ways])
+
+
+def equal_partition(num_apps: int, geometry: CacheGeometry) -> WayPartition:
+    """Split the ways as evenly as possible (leftovers to the target)."""
+    if num_apps < 1:
+        raise ValueError("need at least one application")
+    if num_apps > geometry.associativity:
+        raise ValueError(
+            f"{num_apps} applications cannot each get a way of a "
+            f"{geometry.associativity}-way cache"
+        )
+    base = geometry.associativity // num_apps
+    leftover = geometry.associativity - base * num_apps
+    ways = [base] * num_apps
+    ways[0] += leftover
+    return WayPartition(geometry=geometry, ways=tuple(ways))
+
+
+def footprint_proportional_partition(
+    apps: list[ApplicationSpec],
+    geometry: CacheGeometry,
+) -> WayPartition:
+    """Allocate ways proportional to each application's occupancy demand.
+
+    Demands are the settled footprints capped at the cache size; every
+    application keeps at least one way.
+    """
+    if not apps:
+        raise ValueError("need at least one application")
+    if len(apps) > geometry.associativity:
+        raise ValueError("more applications than ways")
+    demands = np.array(
+        [min(a.footprint_bytes, float(geometry.size_bytes)) for a in apps]
+    )
+    shares = demands / demands.sum()
+    spare = geometry.associativity - len(apps)
+    extra = np.floor(shares * spare).astype(int)
+    # Distribute rounding leftovers to the largest fractional shares.
+    remainder = spare - int(extra.sum())
+    if remainder > 0:
+        frac = shares * spare - extra
+        for idx in np.argsort(frac)[::-1][:remainder]:
+            extra[idx] += 1
+    return WayPartition(geometry=geometry, ways=tuple(1 + extra))
+
+
+def protect_target_partition(
+    num_co_runners: int,
+    geometry: CacheGeometry,
+    *,
+    target_fraction: float = 0.5,
+) -> WayPartition:
+    """Reserve a fraction of the ways for the target; split the rest.
+
+    The classic victim-protection policy: the latency-critical target gets
+    ``target_fraction`` of the cache regardless of co-runner pressure.
+    """
+    if not 0.0 < target_fraction < 1.0:
+        raise ValueError("target fraction must be in (0, 1)")
+    if num_co_runners < 0:
+        raise ValueError("co-runner count must be non-negative")
+    assoc = geometry.associativity
+    target_ways = max(int(round(assoc * target_fraction)), 1)
+    if num_co_runners == 0:
+        return WayPartition(geometry=geometry, ways=(min(target_ways, assoc),))
+    remaining = assoc - target_ways
+    if remaining < num_co_runners:
+        raise ValueError(
+            f"{num_co_runners} co-runners cannot share the "
+            f"{remaining} unprotected ways"
+        )
+    base = remaining // num_co_runners
+    leftover = remaining - base * num_co_runners
+    co_ways = [base + (1 if i < leftover else 0) for i in range(num_co_runners)]
+    return WayPartition(geometry=geometry, ways=(target_ways, *co_ways))

@@ -1,0 +1,243 @@
+"""Replacement policies for the set-associative cache simulator.
+
+The analytic models assume true LRU (stack-distance theory is an LRU
+construction), but real LLCs use cheaper approximations.  This module
+implements the common ones so the sensitivity of the contention physics to
+the replacement policy can be *measured* (see
+``benchmarks/bench_ablation_replacement.py``) instead of assumed:
+
+* **LRU** — true least-recently-used (the reference),
+* **FIFO** — eviction by insertion order; hits do not promote,
+* **RANDOM** — uniform random victim,
+* **PLRU** — tree pseudo-LRU, the classic hardware approximation
+  (requires power-of-two associativity).
+
+Each policy is a per-set strategy object managing victim selection;
+the cache shell (:class:`repro.cache.setassoc.SetAssociativeCache`) stays
+policy-agnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ReplacementPolicy", "make_set", "CacheSet"]
+
+
+class ReplacementPolicy(enum.Enum):
+    """Victim-selection policies."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    RANDOM = "random"
+    PLRU = "plru"
+
+
+class CacheSet:
+    """Interface of one cache set.
+
+    Keys are opaque hashables (the shell uses ``(owner, line)`` tuples).
+    """
+
+    def __init__(self, associativity: int) -> None:
+        if associativity < 1:
+            raise ValueError("associativity must be positive")
+        self.associativity = associativity
+
+    def lookup(self, key) -> bool:  # pragma: no cover - interface
+        """Access ``key``: return hit/miss and update policy state.
+
+        On a miss the key is inserted, evicting a victim when full.
+        """
+        raise NotImplementedError
+
+    def evicted_last(self):  # pragma: no cover - interface
+        """Key evicted by the most recent lookup, or None."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def keys(self):  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class _OrderedSet(CacheSet):
+    """Shared machinery for LRU and FIFO (an ordered dict of keys)."""
+
+    promote_on_hit: bool
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        self._entries: OrderedDict = OrderedDict()
+        self._evicted = None
+
+    def lookup(self, key) -> bool:
+        self._evicted = None
+        if key in self._entries:
+            if self.promote_on_hit:
+                self._entries.move_to_end(key)
+            return True
+        if len(self._entries) >= self.associativity:
+            self._evicted, _ = self._entries.popitem(last=False)
+        self._entries[key] = True
+        return False
+
+    def evicted_last(self):
+        return self._evicted
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self):
+        return list(self._entries)
+
+
+class _LRUSet(_OrderedSet):
+    promote_on_hit = True
+
+
+class _FIFOSet(_OrderedSet):
+    promote_on_hit = False
+
+
+class _RandomSet(CacheSet):
+    """Uniform random victim selection."""
+
+    def __init__(self, associativity: int, rng: np.random.Generator) -> None:
+        super().__init__(associativity)
+        self._slots: list = []
+        self._index: dict = {}
+        self._rng = rng
+        self._evicted = None
+
+    def lookup(self, key) -> bool:
+        self._evicted = None
+        if key in self._index:
+            return True
+        if len(self._slots) >= self.associativity:
+            victim_slot = int(self._rng.integers(self.associativity))
+            victim = self._slots[victim_slot]
+            del self._index[victim]
+            self._evicted = victim
+            self._slots[victim_slot] = key
+            self._index[key] = victim_slot
+        else:
+            self._index[key] = len(self._slots)
+            self._slots.append(key)
+        return False
+
+    def evicted_last(self):
+        return self._evicted
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def keys(self):
+        return list(self._slots)
+
+
+class _PLRUSet(CacheSet):
+    """Tree pseudo-LRU over a power-of-two number of ways.
+
+    A binary tree of ``associativity - 1`` direction bits sits above the
+    ways.  On every access the bits along the accessed way's path are
+    pointed *away* from it; the victim is found by following the bits from
+    the root.  This is the textbook hardware PLRU.
+    """
+
+    def __init__(self, associativity: int) -> None:
+        super().__init__(associativity)
+        if associativity & (associativity - 1):
+            raise ValueError("PLRU requires power-of-two associativity")
+        self._bits = [0] * max(associativity - 1, 1)
+        self._slots: list = [None] * associativity
+        self._index: dict = {}
+        self._evicted = None
+
+    def _touch(self, way: int) -> None:
+        """Point the path bits away from ``way``."""
+        node = 0
+        lo, hi = 0, self.associativity
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                self._bits[node] = 1  # next victim search goes right
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._bits[node] = 0  # next victim search goes left
+                node = 2 * node + 2
+                lo = mid
+        # Leaf reached; nothing more to set.
+
+    def _victim_way(self) -> int:
+        """Follow the bits from the root to the pseudo-LRU way."""
+        node = 0
+        lo, hi = 0, self.associativity
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._bits[node] == 0:
+                node = 2 * node + 1
+                hi = mid
+            else:
+                node = 2 * node + 2
+                lo = mid
+        return lo
+
+    def lookup(self, key) -> bool:
+        self._evicted = None
+        way = self._index.get(key)
+        if way is not None:
+            self._touch(way)
+            return True
+        # Fill an empty way first.
+        for w in range(self.associativity):
+            if self._slots[w] is None:
+                self._slots[w] = key
+                self._index[key] = w
+                self._touch(w)
+                return False
+        way = self._victim_way()
+        victim = self._slots[way]
+        del self._index[victim]
+        self._evicted = victim
+        self._slots[way] = key
+        self._index[key] = way
+        self._touch(way)
+        return False
+
+    def evicted_last(self):
+        return self._evicted
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self):
+        return [k for k in self._slots if k is not None]
+
+
+def make_set(
+    policy: ReplacementPolicy,
+    associativity: int,
+    rng: np.random.Generator | None = None,
+) -> CacheSet:
+    """Instantiate one cache set for a policy.
+
+    ``rng`` is required for :attr:`ReplacementPolicy.RANDOM` and ignored
+    otherwise.
+    """
+    if policy is ReplacementPolicy.LRU:
+        return _LRUSet(associativity)
+    if policy is ReplacementPolicy.FIFO:
+        return _FIFOSet(associativity)
+    if policy is ReplacementPolicy.PLRU:
+        return _PLRUSet(associativity)
+    if policy is ReplacementPolicy.RANDOM:
+        if rng is None:
+            raise ValueError("RANDOM replacement needs an rng")
+        return _RandomSet(associativity, rng)
+    raise ValueError(f"unknown policy {policy!r}")  # pragma: no cover

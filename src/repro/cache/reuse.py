@@ -1,0 +1,313 @@
+"""Reuse-distance profiles and miss-ratio curves.
+
+Every synthetic application in :mod:`repro.workloads` carries a
+:class:`ReuseProfile` describing its temporal locality: a mixture of
+working-set components, each a plateau in the classic miss-ratio-versus-
+capacity curve.  From the profile we derive
+
+* a :class:`MissRatioCurve` — miss ratio as a function of allocated LLC
+  capacity, used by the analytic shared-cache model
+  (:mod:`repro.cache.sharing`), and
+* a stack-distance distribution — used by the synthetic trace generator
+  (:mod:`repro.workloads.tracegen`) to emit address streams whose behaviour
+  in a real (simulated) LRU cache matches the profile.
+
+The mixture component shape is a Hill function ``1 / (1 + (c / ws)**p)``:
+close to 1 when the allocated capacity ``c`` is far below the component's
+working-set size ``ws`` and decaying towards 0 once the working set fits,
+with sharpness ``p``.  A compulsory (cold) miss floor is never avoidable
+regardless of capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReuseComponent", "ReuseProfile", "MissRatioCurve", "ProfileTable"]
+
+
+@dataclass(frozen=True)
+class ReuseComponent:
+    """One working-set plateau of a reuse profile.
+
+    Attributes
+    ----------
+    working_set_bytes:
+        Capacity at which this component's accesses start hitting.
+    weight:
+        Fraction of all LLC accesses that belong to this component.
+        Weights across a profile's components sum to 1.
+    sharpness:
+        Hill exponent; larger values give a sharper knee at the working-set
+        size.  Typical hardware-measured MRCs have knees with ``p`` in 2–6.
+    """
+
+    working_set_bytes: float
+    weight: float
+    sharpness: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.working_set_bytes <= 0.0:
+            raise ValueError("working set size must be positive")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError("component weight must be in (0, 1]")
+        if self.sharpness <= 0.0:
+            raise ValueError("sharpness must be positive")
+
+    def miss_fraction(self, capacity_bytes: np.ndarray | float) -> np.ndarray | float:
+        """Fraction of this component's accesses that miss at ``capacity``."""
+        c = np.asarray(capacity_bytes, dtype=float)
+        with np.errstate(over="ignore"):
+            out = 1.0 / (1.0 + (c / self.working_set_bytes) ** self.sharpness)
+        return out if out.ndim else float(out)
+
+    def settled_capacity(self, epsilon: float = 0.05) -> float:
+        """Capacity at which this component's miss fraction falls to ``epsilon``.
+
+        The Hill knee sits *at* the working-set size (miss fraction 1/2
+        there); an application keeps benefiting from extra capacity until a
+        few multiples of the working set.  The settled capacity is where
+        the benefit is exhausted to within ``epsilon`` — the natural notion
+        of occupancy *demand* for the sharing model.
+        """
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        return self.working_set_bytes * ((1.0 - epsilon) / epsilon) ** (
+            1.0 / self.sharpness
+        )
+
+
+@dataclass(frozen=True)
+class ReuseProfile:
+    """Temporal-locality description of one application.
+
+    ``compulsory`` is the floor miss ratio (cold misses and streaming data
+    that is never reused); the remaining ``1 - compulsory`` of accesses is
+    split across the mixture ``components``.
+    """
+
+    components: tuple[ReuseComponent, ...]
+    compulsory: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("a reuse profile needs at least one component")
+        if not 0.0 <= self.compulsory < 1.0:
+            raise ValueError("compulsory miss ratio must be in [0, 1)")
+        total = sum(c.weight for c in self.components)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"component weights must sum to 1, got {total}")
+
+    @classmethod
+    def single(
+        cls,
+        working_set_bytes: float,
+        *,
+        compulsory: float = 0.0,
+        sharpness: float = 3.0,
+    ) -> "ReuseProfile":
+        """Profile with one working-set plateau."""
+        return cls(
+            components=(ReuseComponent(working_set_bytes, 1.0, sharpness),),
+            compulsory=compulsory,
+        )
+
+    @classmethod
+    def mixture(
+        cls,
+        parts: list[tuple[float, float]] | list[tuple[float, float, float]],
+        *,
+        compulsory: float = 0.0,
+    ) -> "ReuseProfile":
+        """Profile from ``(working_set_bytes, weight[, sharpness])`` tuples.
+
+        Weights are normalized so callers can pass relative values.
+        """
+        if not parts:
+            raise ValueError("mixture needs at least one part")
+        total = sum(p[1] for p in parts)
+        if total <= 0.0:
+            raise ValueError("mixture weights must be positive")
+        comps = tuple(
+            ReuseComponent(
+                working_set_bytes=p[0],
+                weight=p[1] / total,
+                sharpness=p[2] if len(p) > 2 else 3.0,
+            )
+            for p in parts
+        )
+        return cls(components=comps, compulsory=compulsory)
+
+    @property
+    def footprint_bytes(self) -> float:
+        """Occupancy demand: capacity beyond which extra cache barely helps.
+
+        Defined as the largest component's settled capacity (miss fraction
+        below 5%); this is what the sharing model uses as the most cache an
+        application will hold, and what the trace generator uses to bound
+        its LRU stack.
+        """
+        return max(c.settled_capacity() for c in self.components)
+
+    @property
+    def max_working_set_bytes(self) -> float:
+        """Largest raw working-set size in the profile (the knee position)."""
+        return max(c.working_set_bytes for c in self.components)
+
+    def miss_ratio(self, capacity_bytes: np.ndarray | float) -> np.ndarray | float:
+        """Miss ratio when the application owns ``capacity_bytes`` of LLC.
+
+        Vectorized over capacity.  Monotonically non-increasing in capacity
+        and bounded to ``[compulsory, 1]``.
+        """
+        c = np.maximum(np.asarray(capacity_bytes, dtype=float), 0.0)
+        mix = np.zeros_like(c, dtype=float)
+        for comp in self.components:
+            mix = mix + comp.weight * comp.miss_fraction(c)
+        out = self.compulsory + (1.0 - self.compulsory) * mix
+        return out if out.ndim else float(out)
+
+    def curve(
+        self,
+        max_capacity_bytes: float,
+        *,
+        points: int = 256,
+    ) -> "MissRatioCurve":
+        """Tabulate this profile as a :class:`MissRatioCurve`."""
+        caps = np.linspace(0.0, float(max_capacity_bytes), points)
+        return MissRatioCurve(capacities=caps, miss_ratios=np.asarray(self.miss_ratio(caps)))
+
+    def stack_distance_distribution(
+        self,
+        line_bytes: int,
+        *,
+        max_distance_lines: int | None = None,
+        points: int = 512,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Discretized stack-distance distribution implied by the profile.
+
+        For an LRU cache of ``d`` lines, the miss ratio equals the
+        probability that an access's stack distance exceeds ``d``.  Hence
+        the stack-distance CDF is ``F(d) = 1 - miss_ratio(d * line_bytes)``;
+        this method differentiates it over a geometric grid of distances.
+
+        Returns
+        -------
+        (distances, probabilities):
+            ``distances`` are stack distances in *lines* (int64, ascending,
+            last entry is a sentinel for "infinite" distance, i.e. a
+            compulsory miss); ``probabilities`` sums to 1.
+        """
+        if line_bytes <= 0:
+            raise ValueError("line size must be positive")
+        if max_distance_lines is None:
+            max_distance_lines = int(4.0 * self.footprint_bytes / line_bytes) + 1
+        if max_distance_lines < 1:
+            raise ValueError("max distance must be at least one line")
+        # Geometric grid: stack distances span orders of magnitude.
+        grid = np.unique(
+            np.round(np.geomspace(1.0, float(max_distance_lines), points)).astype(np.int64)
+        )
+        cdf = 1.0 - np.asarray(self.miss_ratio(grid.astype(float) * line_bytes))
+        cdf = np.maximum.accumulate(np.clip(cdf, 0.0, 1.0))
+        pmf = np.diff(np.concatenate(([0.0], cdf)))
+        # Residual mass above the grid = compulsory / capacity-exceeding
+        # accesses; park it on an "infinite" sentinel distance.
+        residual = max(1.0 - cdf[-1], 0.0)
+        distances = np.concatenate((grid, [np.iinfo(np.int64).max]))
+        probabilities = np.concatenate((pmf, [residual]))
+        total = probabilities.sum()
+        if total <= 0.0:
+            raise ValueError("degenerate stack-distance distribution")
+        return distances, probabilities / total
+
+
+class ProfileTable:
+    """Batched miss-ratio evaluation over several profiles at once.
+
+    The analytic execution engine evaluates every co-runner's miss ratio on
+    each fixed-point iteration; doing that through per-profile Python calls
+    dominates runtime.  ``ProfileTable`` packs the mixture parameters of
+    *n* profiles into padded ``(n, k)`` arrays so one iteration is a handful
+    of vectorized numpy operations.
+
+    Padding components carry zero weight, so they contribute nothing.
+    """
+
+    def __init__(self, profiles: list[ReuseProfile] | tuple[ReuseProfile, ...]) -> None:
+        if not profiles:
+            raise ValueError("profile table needs at least one profile")
+        self.profiles = tuple(profiles)
+        n = len(profiles)
+        k = max(len(p.components) for p in profiles)
+        self.working_sets = np.ones((n, k))
+        self.weights = np.zeros((n, k))
+        self.sharpness = np.ones((n, k))
+        self.compulsory = np.empty(n)
+        self.footprints = np.empty(n)
+        for i, p in enumerate(profiles):
+            self.compulsory[i] = p.compulsory
+            self.footprints[i] = p.footprint_bytes
+            for j, comp in enumerate(p.components):
+                self.working_sets[i, j] = comp.working_set_bytes
+                self.weights[i, j] = comp.weight
+                self.sharpness[i, j] = comp.sharpness
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def miss_ratio(self, occupancies_bytes: np.ndarray) -> np.ndarray:
+        """Per-profile miss ratio at per-profile occupancy (length-n each).
+
+        Equivalent to ``[p.miss_ratio(o) for p, o in zip(profiles, occ)]``
+        but in one shot (verified against the scalar path in the tests).
+        """
+        occ = np.asarray(occupancies_bytes, dtype=float)
+        if occ.shape != (len(self.profiles),):
+            raise ValueError(
+                f"expected {len(self.profiles)} occupancies, got shape {occ.shape}"
+            )
+        ratio = np.maximum(occ, 0.0)[:, None] / self.working_sets
+        with np.errstate(over="ignore"):
+            mix = (self.weights / (1.0 + ratio**self.sharpness)).sum(axis=1)
+        return self.compulsory + (1.0 - self.compulsory) * mix
+
+
+@dataclass(frozen=True)
+class MissRatioCurve:
+    """Tabulated miss ratio as a function of allocated capacity.
+
+    The canonical producer is :meth:`ReuseProfile.curve`, but curves can
+    also be measured from the trace-driven simulator
+    (:func:`repro.cache.setassoc.measure_miss_ratio_curve`) — the agreement
+    of the two is a core invariant tested in ``tests/cache``.
+    """
+
+    capacities: np.ndarray
+    miss_ratios: np.ndarray
+
+    def __post_init__(self) -> None:
+        caps = np.asarray(self.capacities, dtype=float)
+        mrs = np.asarray(self.miss_ratios, dtype=float)
+        if caps.ndim != 1 or mrs.ndim != 1 or caps.size != mrs.size:
+            raise ValueError("capacities and miss ratios must be equal-length 1-D")
+        if caps.size < 2:
+            raise ValueError("a curve needs at least two points")
+        if np.any(np.diff(caps) <= 0.0):
+            raise ValueError("capacities must be strictly increasing")
+        if np.any(mrs < -1e-9) or np.any(mrs > 1.0 + 1e-9):
+            raise ValueError("miss ratios must be within [0, 1]")
+        object.__setattr__(self, "capacities", caps)
+        object.__setattr__(self, "miss_ratios", np.clip(mrs, 0.0, 1.0))
+
+    def __call__(self, capacity_bytes: np.ndarray | float) -> np.ndarray | float:
+        """Interpolated miss ratio at the given capacity (clamped at ends)."""
+        c = np.asarray(capacity_bytes, dtype=float)
+        out = np.interp(c, self.capacities, self.miss_ratios)
+        return out if out.ndim else float(out)
+
+    def is_monotone_nonincreasing(self, *, tol: float = 1e-9) -> bool:
+        """Whether the tabulated curve never increases with capacity."""
+        return bool(np.all(np.diff(self.miss_ratios) <= tol))

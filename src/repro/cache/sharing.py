@@ -1,0 +1,194 @@
+"""Analytic shared last-level cache occupancy model.
+
+When several applications share an LRU cache, each one's resident capacity
+is determined by the competition of their *insertion* streams: an
+application inserts a new line on every miss, so in steady state occupancy
+gravitates towards being proportional to each co-runner's miss (insertion)
+rate.  Because an application's miss rate itself depends on the capacity it
+holds (through its miss-ratio curve), the occupancies are the fixed point of
+
+    c_i  =  C * r_i / sum_j r_j,      r_i = rate_i * m_i(c_i)
+
+with two physical refinements:
+
+* an application never occupies more than its footprint (it cannot insert
+  lines it does not touch) — freed capacity is redistributed to the
+  still-competing applications, and
+* a small floor on the insertion pressure keeps nearly-cache-resident
+  applications from collapsing to zero occupancy (they still stream cold
+  misses through the cache).
+
+This is the standard rate-proportional occupancy approximation for shared
+LRU caches; its predictions are validated against the trace-driven
+simulator (:mod:`repro.cache.setassoc`) in the test suite.  The sharp,
+*nonlinear* growth of a target application's miss ratio as co-runner
+footprints approach the cache capacity is the first of the two contention
+mechanisms that make the paper's linear models plateau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .reuse import ReuseProfile
+
+__all__ = ["CacheCompetitor", "SharingSolution", "solve_shared_cache", "waterfill"]
+
+
+@dataclass(frozen=True)
+class CacheCompetitor:
+    """One application competing for the shared cache.
+
+    Attributes
+    ----------
+    profile:
+        Reuse profile (gives the miss-ratio curve and footprint).
+    access_rate:
+        LLC accesses per second issued by the application.  Only relative
+        magnitudes matter for the occupancy split.
+    """
+
+    profile: ReuseProfile
+    access_rate: float
+
+    def __post_init__(self) -> None:
+        if self.access_rate < 0.0:
+            raise ValueError("access rate must be non-negative")
+
+
+@dataclass(frozen=True)
+class SharingSolution:
+    """Result of the shared-cache fixed point.
+
+    Attributes
+    ----------
+    occupancies_bytes:
+        Steady-state resident capacity per competitor (sums to at most the
+        cache capacity; strictly less when everything fits).
+    miss_ratios:
+        Miss ratio per competitor at its occupancy.
+    iterations:
+        Fixed-point iterations performed.
+    converged:
+        Whether the iteration met the tolerance before the cap.
+    """
+
+    occupancies_bytes: np.ndarray
+    miss_ratios: np.ndarray
+    iterations: int
+    converged: bool
+
+
+def waterfill(pressure: np.ndarray, demand: np.ndarray, capacity: float) -> np.ndarray:
+    """Split ``capacity`` proportionally to ``pressure``, capped by ``demand``.
+
+    Classic waterfilling: applications whose proportional share exceeds
+    their demand are clipped and the slack re-split among the rest.
+    Terminates in at most ``len(pressure)`` rounds.
+    """
+    n = pressure.size
+    alloc = np.zeros(n)
+    active = np.ones(n, dtype=bool)
+    remaining = float(capacity)
+    for _ in range(n):
+        if remaining <= 0.0 or not active.any():
+            break
+        p = pressure[active]
+        total = p.sum()
+        if total <= 0.0:
+            # No pressure left: split the remainder evenly among actives.
+            share = np.full(p.shape, remaining / p.size)
+        else:
+            share = remaining * p / total
+        idx = np.flatnonzero(active)
+        proposed = alloc[idx] + share
+        over = proposed >= demand[idx]
+        if not over.any():
+            alloc[idx] = proposed
+            remaining = 0.0
+            break
+        # Satisfy the clipped apps fully, retire them, re-split the slack.
+        clipped = idx[over]
+        remaining -= (demand[clipped] - alloc[clipped]).sum()
+        alloc[clipped] = demand[clipped]
+        active[clipped] = False
+        # The un-clipped apps are reconsidered next round from scratch so
+        # that proportionality is preserved among survivors.
+    return alloc
+
+
+def solve_shared_cache(
+    competitors: list[CacheCompetitor],
+    capacity_bytes: float,
+    *,
+    max_iterations: int = 200,
+    tolerance_bytes: float = 1024.0,
+    damping: float = 0.5,
+    pressure_floor: float = 0.002,
+) -> SharingSolution:
+    """Solve the occupancy fixed point for one set of co-located apps.
+
+    Parameters
+    ----------
+    competitors:
+        The applications sharing the cache (target plus co-runners).
+    capacity_bytes:
+        Shared LLC capacity.
+    max_iterations, tolerance_bytes, damping:
+        Fixed-point controls.  ``damping`` is the weight on the new iterate.
+    pressure_floor:
+        Minimum insertion pressure per unit access rate — models the cold
+        misses that keep even fully-resident applications circulating lines.
+
+    Notes
+    -----
+    With a single competitor the solution is simply
+    ``min(footprint, capacity)``, which reduces the model to the solo
+    miss-ratio curve — the baseline case of the paper.
+    """
+    if capacity_bytes <= 0.0:
+        raise ValueError("capacity must be positive")
+    if not competitors:
+        raise ValueError("need at least one competitor")
+    if not 0.0 < damping <= 1.0:
+        raise ValueError("damping must be in (0, 1]")
+
+    n = len(competitors)
+    rates = np.array([c.access_rate for c in competitors], dtype=float)
+    demand = np.array(
+        [min(c.profile.footprint_bytes, capacity_bytes) for c in competitors]
+    )
+
+    if demand.sum() <= capacity_bytes:
+        # Everything fits: no competition, occupancy == footprint.
+        occ = demand.copy()
+        miss = np.array(
+            [c.profile.miss_ratio(o) for c, o in zip(competitors, occ)]
+        )
+        return SharingSolution(occ, miss, iterations=0, converged=True)
+
+    # Start from a demand-proportional split.
+    occ = waterfill(demand.copy(), demand, capacity_bytes)
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        miss = np.array(
+            [c.profile.miss_ratio(o) for c, o in zip(competitors, occ)]
+        )
+        pressure = rates * np.maximum(miss, pressure_floor)
+        if pressure.sum() <= 0.0:
+            # No one inserts (all rates zero): keep the current split.
+            converged = True
+            break
+        target = waterfill(pressure, demand, capacity_bytes)
+        new_occ = (1.0 - damping) * occ + damping * target
+        if np.max(np.abs(new_occ - occ)) <= tolerance_bytes:
+            occ = new_occ
+            converged = True
+            break
+        occ = new_occ
+
+    miss = np.array([c.profile.miss_ratio(o) for c, o in zip(competitors, occ)])
+    return SharingSolution(occ, miss, iterations=iterations, converged=converged)

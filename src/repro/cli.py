@@ -1,0 +1,431 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the full workflow without writing any Python:
+
+* ``machines`` / ``apps`` — inspect the simulated testbed,
+* ``baseline`` — solo execution times of one app at every P-state,
+* ``collect`` — run the Table V loop nest and write a CSV dataset,
+* ``train`` — fit a model on a dataset and save it as JSON,
+* ``evaluate`` — the 12-model accuracy grid for a dataset,
+* ``predict`` — predict a placement's time from a saved model,
+* ``table`` / ``figure`` — regenerate a paper table or figure,
+* ``report`` — collate benchmark artifacts into one reproduction report.
+
+Every command prints plain text and exits nonzero on user error, so the
+CLI composes with shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _get_machine(key: str):
+    from .machine.processor import get_processor
+
+    try:
+        return get_processor(key)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+
+
+def _get_apps(names: list[str]):
+    from .workloads.suite import get_application
+
+    try:
+        return [get_application(n) for n in names]
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}") from None
+
+
+# ------------------------------------------------------------- commands
+
+
+def _cmd_machines(_args) -> int:
+    from .machine.processor import PROCESSOR_CATALOG
+    from .reporting.tables import render_table
+
+    rows = [
+        [
+            key,
+            proc.name,
+            proc.num_cores,
+            f"{proc.llc.size_mb:.0f}MB",
+            ", ".join(f"{f:.2f}" for f in proc.pstates.frequencies_ghz),
+        ]
+        for key, proc in PROCESSOR_CATALOG.items()
+    ]
+    print(
+        render_table(
+            ["key", "processor", "cores", "L3", "P-states (GHz)"],
+            rows,
+            title="Machine catalog",
+        )
+    )
+    return 0
+
+
+def _cmd_apps(args) -> int:
+    from .reporting.tables import render_table
+    from .workloads.suite import all_applications, intended_class
+
+    machine = _get_machine(args.machine)
+    cap = machine.llc.size_bytes
+    rows = [
+        [
+            app.name,
+            app.suite,
+            app.solo_memory_intensity(cap),
+            intended_class(app.name).roman,
+        ]
+        for app in all_applications()
+    ]
+    print(
+        render_table(
+            ["application", "suite", f"memory intensity @ {machine.name}", "class"],
+            rows,
+            title="Benchmark suite (Table III)",
+        )
+    )
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from .reporting.tables import render_table
+    from .sim.engine import SimulationEngine
+
+    machine = _get_machine(args.machine)
+    (app,) = _get_apps([args.app])
+    engine = SimulationEngine(machine)
+    rows = []
+    for pstate in machine.pstates:
+        run = engine.baseline(app, pstate=pstate)
+        rows.append(
+            [
+                pstate.frequency_ghz,
+                run.target.execution_time_s,
+                run.target.memory_intensity,
+                run.target.miss_ratio,
+            ]
+        )
+    print(
+        render_table(
+            ["frequency (GHz)", "baseline time (s)", "memory intensity", "LLC miss ratio"],
+            rows,
+            title=f"Baselines: {app.name} on {machine.name}",
+        )
+    )
+    return 0
+
+
+def _cmd_collect(args) -> int:
+    from .harness.collection import collect_training_data
+    from .sim.engine import SimulationEngine
+
+    machine = _get_machine(args.machine)
+    engine = SimulationEngine(machine)
+    kwargs = {}
+    if args.targets:
+        kwargs["targets"] = _get_apps(args.targets.split(","))
+    if args.co_apps:
+        kwargs["co_apps"] = _get_apps(args.co_apps.split(","))
+    if args.counts:
+        try:
+            kwargs["counts"] = tuple(int(c) for c in args.counts.split(","))
+        except ValueError:
+            raise SystemExit(f"error: invalid counts {args.counts!r}") from None
+    try:
+        dataset = collect_training_data(
+            engine, rng=np.random.default_rng(args.seed), **kwargs
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    dataset.to_csv(args.output)
+    from .harness.manifest import manifest_path_for, write_manifest
+
+    write_manifest(dataset, args.output, seed=args.seed)
+    print(
+        f"wrote {len(dataset)} observations to {args.output} "
+        f"(manifest: {manifest_path_for(args.output)})"
+    )
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from .core.feature_sets import FeatureSet
+    from .core.methodology import ModelKind, PerformancePredictor
+    from .core.persistence import save_predictor
+    from .harness.datasets import ObservationDataset
+
+    try:
+        dataset = ObservationDataset.from_csv(args.data)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read dataset: {exc}") from None
+    try:
+        kind = ModelKind(args.model)
+        feature_set = FeatureSet(args.features.upper())
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    predictor = PerformancePredictor(kind, feature_set, seed=args.seed)
+    predictor.fit(list(dataset))
+    save_predictor(predictor, args.output)
+    print(
+        f"trained {kind.value}/{feature_set.value} on {len(dataset)} "
+        f"observations from {dataset.processor_name}; saved to {args.output}"
+    )
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from .core.methodology import evaluate_models
+    from .harness.datasets import ObservationDataset
+    from .reporting.tables import render_table
+
+    try:
+        dataset = ObservationDataset.from_csv(args.data)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read dataset: {exc}") from None
+    evaluations = evaluate_models(
+        list(dataset), repetitions=args.repetitions, seed=args.seed
+    )
+    rows = [
+        [
+            e.kind.value,
+            e.feature_set.value,
+            e.result.mean_train_mpe,
+            e.result.mean_test_mpe,
+            e.result.mean_train_nrmse,
+            e.result.mean_test_nrmse,
+        ]
+        for e in evaluations
+    ]
+    print(
+        render_table(
+            ["technique", "set", "train MPE", "test MPE", "train NRMSE", "test NRMSE"],
+            rows,
+            title=(
+                f"Model accuracy on {dataset.processor_name} "
+                f"({args.repetitions} partitions, errors in %)"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from .core.persistence import PersistenceError, load_predictor
+    from .harness.baselines import collect_baselines
+    from .sim.engine import SimulationEngine
+
+    try:
+        predictor = load_predictor(args.model)
+    except (OSError, PersistenceError) as exc:
+        raise SystemExit(f"error: cannot load model: {exc}") from None
+    machine = _get_machine(args.machine)
+    engine = SimulationEngine(machine)
+    co_names = args.co_apps.split(",") if args.co_apps else []
+    apps = _get_apps([args.target] + co_names)
+    frequency = args.frequency or machine.pstates.fastest.frequency_ghz
+    try:
+        pstate = machine.pstates.at_frequency(frequency)
+    except Exception as exc:
+        raise SystemExit(f"error: {exc}") from None
+    table = collect_baselines(engine, sorted(set(apps), key=lambda a: a.name))
+    target_base = table.get(args.target, pstate.frequency_ghz)
+    co_bases = [table.get(n, pstate.frequency_ghz) for n in co_names]
+    predicted = predictor.predict_time(target_base, co_bases)
+    print(f"baseline {args.target}: {target_base.wall_time_s:.1f} s")
+    print(
+        f"predicted with {len(co_names)} co-runner(s) "
+        f"at {pstate.frequency_ghz:.2f} GHz: {predicted:.1f} s "
+        f"({predicted / target_base.wall_time_s:.3f}x baseline)"
+    )
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from .harness import experiments
+    from .reporting.tables import render_table
+
+    ctx = experiments.ExperimentContext(repetitions=args.repetitions)
+    renderers = {
+        1: lambda: render_table(
+            ["Feature name", "aspect measured"], experiments.table1_rows(),
+            title="Table I"),
+        2: lambda: render_table(
+            ["Set", "features"], experiments.table2_rows(), title="Table II"),
+        3: lambda: render_table(
+            ["Application", "memory intensity", "Class"],
+            experiments.table3_rows(ctx), title="Table III"),
+        4: lambda: render_table(
+            ["Processor", "cores", "L3", "frequency range"],
+            experiments.table4_rows(), title="Table IV"),
+        5: lambda: render_table(
+            ["Processor", "P-states (GHz)", "co-location counts"],
+            experiments.table5_rows(), title="Table V"),
+        6: lambda: render_table(
+            ["num cg", "time (s)", "normalized", "linear-F MPE", "neural-F MPE"],
+            experiments.table6_rows(ctx), title="Table VI"),
+    }
+    if args.number not in renderers:
+        raise SystemExit(f"error: no Table {args.number}; the paper has I-VI")
+    print(renderers[args.number]())
+    return 0
+
+
+def _cmd_report(args) -> int:
+    """Collate benchmark artifacts into one reproduction report."""
+    from pathlib import Path
+
+    results_dir = Path(args.results)
+    if not results_dir.is_dir():
+        raise SystemExit(
+            f"error: no results directory at {results_dir}; run "
+            f"'pytest benchmarks/ --benchmark-only' first"
+        )
+    artifacts = sorted(results_dir.glob("*.txt"))
+    if not artifacts:
+        raise SystemExit(f"error: {results_dir} contains no artifacts")
+    sections = []
+    order = ["table", "fig", "pca", "ablation", "extension", "generalization"]
+
+    def sort_key(path: Path) -> tuple[int, str]:
+        for i, prefix in enumerate(order):
+            if path.stem.startswith(prefix):
+                return (i, path.stem)
+        return (len(order), path.stem)
+
+    for path in sorted(artifacts, key=sort_key):
+        sections.append(path.read_text().rstrip())
+    header = (
+        "Reproduction report: co-location aware performance modeling\n"
+        f"(collated from {len(artifacts)} artifacts in {results_dir})\n"
+    )
+    body = header + "\n\n" + "\n\n".join(sections) + "\n"
+    if args.output:
+        Path(args.output).write_text(body)
+        print(f"wrote report to {args.output} ({len(artifacts)} artifacts)")
+    else:
+        print(body)
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from .harness import experiments
+    from .reporting.figures import render_distributions, render_series, summarize
+
+    ctx = experiments.ExperimentContext(repetitions=args.repetitions)
+    spec = {
+        1: ("e5649", "mpe", "Figure 1: MPE, 6-core"),
+        2: ("e5-2697v2", "mpe", "Figure 2: MPE, 12-core"),
+        3: ("e5649", "nrmse", "Figure 3: NRMSE, 6-core"),
+        4: ("e5-2697v2", "nrmse", "Figure 4: NRMSE, 12-core"),
+    }
+    if args.number in spec:
+        machine, metric, title = spec[args.number]
+        labels, series = experiments.figure_series(ctx, machine, metric)
+        print(render_series(labels, series, title=title, unit="%"))
+        return 0
+    if args.number == 5:
+        dists = experiments.figure5a_distributions(ctx)
+        print(render_distributions(
+            [summarize(k, v) for k, v in dists.items()],
+            title="Figure 5(a): execution time distributions, 6-core", unit="s"))
+        errors = experiments.figure5b_errors(ctx, repetitions=5)
+        print()
+        print(render_distributions(
+            [summarize(k, v) for k, v in errors.items()],
+            title="Figure 5(b): neural/F percent error distributions", unit="%"))
+        return 0
+    raise SystemExit(f"error: no Figure {args.number}; the paper has 1-5")
+
+
+# --------------------------------------------------------------- parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Co-location aware performance modeling (Dauwe et al. 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machines", help="list catalog machines").set_defaults(
+        func=_cmd_machines
+    )
+
+    p = sub.add_parser("apps", help="list the Table III benchmark suite")
+    p.add_argument("--machine", default="e5649", help="machine for intensities")
+    p.set_defaults(func=_cmd_apps)
+
+    p = sub.add_parser("baseline", help="solo runs of one app at every P-state")
+    p.add_argument("--machine", default="e5649")
+    p.add_argument("--app", required=True)
+    p.set_defaults(func=_cmd_baseline)
+
+    p = sub.add_parser("collect", help="collect a training dataset (CSV)")
+    p.add_argument("--machine", default="e5649")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--seed", type=int, default=2015)
+    p.add_argument("--targets", help="comma-separated target apps (default: all 11)")
+    p.add_argument("--co-apps", dest="co_apps", help="comma-separated co-apps")
+    p.add_argument("--counts", help="comma-separated co-location counts")
+    p.set_defaults(func=_cmd_collect)
+
+    p = sub.add_parser("train", help="train a model from a dataset CSV")
+    p.add_argument("--data", required=True)
+    p.add_argument("--model", choices=["linear", "neural"], default="neural")
+    p.add_argument("--features", default="F", help="feature set A-F")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True)
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("evaluate", help="12-model accuracy grid for a dataset")
+    p.add_argument("--data", required=True)
+    p.add_argument("--repetitions", type=int, default=25)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("predict", help="predict a placement from a saved model")
+    p.add_argument("--model", required=True, help="model JSON from 'train'")
+    p.add_argument("--machine", default="e5649")
+    p.add_argument("--target", required=True)
+    p.add_argument("--co-apps", dest="co_apps", default="",
+                   help="comma-separated co-runners, e.g. cg,cg,cg")
+    p.add_argument("--frequency", type=float, help="P-state GHz (default fastest)")
+    p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser("table", help="regenerate a paper table (1-6)")
+    p.add_argument("number", type=int)
+    p.add_argument("--repetitions", type=int, default=25)
+    p.set_defaults(func=_cmd_table)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure (1-5)")
+    p.add_argument("number", type=int)
+    p.add_argument("--repetitions", type=int, default=10)
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser(
+        "report", help="collate benchmarks/results/ into one reproduction report"
+    )
+    p.add_argument("--results", default="benchmarks/results")
+    p.add_argument("-o", "--output", help="write to a file instead of stdout")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Model feature sets A–F (paper, Table II).
+
+Six nested feature groups, from the baseline-only model A to the full
+eight-feature model F.  The progression "simulates a realistic process
+where the resource management system progressively obtains more detailed
+information about the system and the executing applications"
+(Section III-B).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .features import Feature
+
+__all__ = ["FeatureSet", "FEATURE_SETS", "features_for"]
+
+
+class FeatureSet(enum.Enum):
+    """The six model variants of Table II, in increasing information order."""
+
+    A = "A"
+    B = "B"
+    C = "C"
+    D = "D"
+    E = "E"
+    F = "F"
+
+    @property
+    def features(self) -> tuple[Feature, ...]:
+        """The Table I features this set uses."""
+        return FEATURE_SETS[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Table II: each set adds features to the previous one.
+FEATURE_SETS: dict[FeatureSet, tuple[Feature, ...]] = {
+    FeatureSet.A: (Feature.BASE_EX_TIME,),
+    FeatureSet.B: (Feature.BASE_EX_TIME, Feature.NUM_CO_APP),
+    FeatureSet.C: (
+        Feature.BASE_EX_TIME,
+        Feature.NUM_CO_APP,
+        Feature.CO_APP_MEM,
+    ),
+    FeatureSet.D: (
+        Feature.BASE_EX_TIME,
+        Feature.NUM_CO_APP,
+        Feature.CO_APP_MEM,
+        Feature.TARGET_MEM,
+    ),
+    FeatureSet.E: (
+        Feature.BASE_EX_TIME,
+        Feature.NUM_CO_APP,
+        Feature.CO_APP_MEM,
+        Feature.TARGET_MEM,
+        Feature.CO_APP_CM_CA,
+        Feature.CO_APP_CA_INS,
+    ),
+    FeatureSet.F: (
+        Feature.BASE_EX_TIME,
+        Feature.NUM_CO_APP,
+        Feature.CO_APP_MEM,
+        Feature.TARGET_MEM,
+        Feature.CO_APP_CM_CA,
+        Feature.CO_APP_CA_INS,
+        Feature.TARGET_CM_CA,
+        Feature.TARGET_CA_INS,
+    ),
+}
+
+
+def features_for(feature_set: FeatureSet | str) -> tuple[Feature, ...]:
+    """Features for a set given as enum or letter ("a".."f", any case)."""
+    if isinstance(feature_set, str):
+        try:
+            feature_set = FeatureSet(feature_set.strip().upper())
+        except ValueError:
+            raise ValueError(
+                f"unknown feature set {feature_set!r}; expected A..F"
+            ) from None
+    return FEATURE_SETS[feature_set]

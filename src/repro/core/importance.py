@@ -1,0 +1,92 @@
+"""Permutation feature importance for trained models.
+
+The paper infers feature importance twice: from PCA variance ranking
+(Section III-B, pre-training) and from the MPE drop as feature sets grow
+(Section V, across models).  Permutation importance gives a third,
+post-hoc view on a *single* trained model: shuffle one feature column
+across the evaluation set and measure how much the model's error grows.
+A feature the model leans on hurts a lot when scrambled; a feature it
+ignores changes nothing.
+
+Used by the feature-importance bench to confirm the paper's conclusion —
+the co-located applications' cache-use features carry the signal — holds
+within one trained model, not just across the model grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .features import CoLocationObservation, Feature, feature_matrix
+from .metrics import mpe
+from .validation import RegressionModel
+
+__all__ = ["FeatureImportance", "permutation_importance"]
+
+
+@dataclass(frozen=True)
+class FeatureImportance:
+    """Importance of one feature for one trained model."""
+
+    feature: Feature
+    baseline_mpe: float
+    permuted_mpe: float
+
+    @property
+    def mpe_increase(self) -> float:
+        """Error added by scrambling the feature (percentage points)."""
+        return self.permuted_mpe - self.baseline_mpe
+
+
+def permutation_importance(
+    model: RegressionModel,
+    observations: list[CoLocationObservation],
+    features: tuple[Feature, ...],
+    *,
+    repetitions: int = 10,
+    rng: np.random.Generator | None = None,
+) -> list[FeatureImportance]:
+    """Measure per-feature permutation importance on an evaluation set.
+
+    Parameters
+    ----------
+    model:
+        A *fitted* model whose ``predict`` consumes exactly ``features``
+        (in order).
+    observations:
+        Evaluation observations (ideally held out from training).
+    features:
+        The model's feature tuple, e.g. ``FeatureSet.F.features``.
+    repetitions:
+        Independent shuffles per feature; the permuted error is their
+        mean (one shuffle is noisy on small sets).
+    rng:
+        Shuffle randomness.
+
+    Returns
+    -------
+    Importances sorted most-important first (largest MPE increase).
+    """
+    if repetitions < 1:
+        raise ValueError("need at least one repetition")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    X, y = feature_matrix(observations, features)
+    baseline = mpe(model.predict(X), y)
+    importances = []
+    for j, feature in enumerate(features):
+        errors = []
+        for _ in range(repetitions):
+            Xp = X.copy()
+            Xp[:, j] = rng.permutation(Xp[:, j])
+            errors.append(mpe(model.predict(Xp), y))
+        importances.append(
+            FeatureImportance(
+                feature=feature,
+                baseline_mpe=baseline,
+                permuted_mpe=float(np.mean(errors)),
+            )
+        )
+    return sorted(importances, key=lambda fi: fi.mpe_increase, reverse=True)

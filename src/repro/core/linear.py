@@ -1,0 +1,92 @@
+"""Linear co-location performance model (paper, Section III-C, Eq. 1).
+
+Predicts co-located execution time as a weighted sum of the features plus a
+constant; coefficients come from linear least squares — the paper uses "the
+linear least squares function in the Python package SciPy", and so do we
+(:func:`scipy.linalg.lstsq`).
+
+Features are standardized internally (zero mean, unit variance on the
+training data) before the solve.  Standardization does not change the model
+class — the composition is still affine in the raw features, and
+:attr:`LinearModel.coefficients` / :attr:`LinearModel.intercept` report the
+equivalent raw-feature Eq. 1 parameters — but it keeps the normal equations
+well-conditioned when features differ by orders of magnitude (memory
+intensities ~1e-6 next to execution times ~1e3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+__all__ = ["LinearModel"]
+
+
+class LinearModel:
+    """Eq. 1: ``time = sum_i coefficient_i * feature_i + constant``."""
+
+    def __init__(self) -> None:
+        self._weights: np.ndarray | None = None  # standardized-space weights
+        self._bias: float | None = None
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether ``fit`` has been called."""
+        return self._weights is not None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearModel":
+        """Fit coefficients by linear least squares.
+
+        Parameters
+        ----------
+        X:
+            ``(n_samples, n_features)`` design matrix.
+        y:
+            ``(n_samples,)`` actual co-located execution times.
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (samples x features)")
+        if X.shape[0] != y.size:
+            raise ValueError("X and y disagree on the number of samples")
+        if X.shape[0] <= X.shape[1]:
+            raise ValueError(
+                f"need more samples ({X.shape[0]}) than features ({X.shape[1]})"
+            )
+        self._mean = X.mean(axis=0)
+        std = X.std(axis=0)
+        self._scale = np.where(std > 0.0, std, 1.0)
+        Z = (X - self._mean) / self._scale
+        A = np.hstack([Z, np.ones((Z.shape[0], 1))])
+        solution, _res, _rank, _sv = scipy.linalg.lstsq(A, y)
+        self._weights = solution[:-1]
+        self._bias = float(solution[-1])
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.is_fitted:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted co-located execution times for new samples."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        Z = (X - self._mean) / self._scale
+        return Z @ self._weights + self._bias
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Eq. 1 coefficients in raw feature units."""
+        self._check_fitted()
+        return self._weights / self._scale
+
+    @property
+    def intercept(self) -> float:
+        """Eq. 1 constant in raw feature units."""
+        self._check_fitted()
+        return self._bias - float((self._weights / self._scale) @ self._mean)

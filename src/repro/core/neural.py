@@ -1,0 +1,182 @@
+"""Feed-forward neural network model (paper, Section III-D).
+
+One hidden layer of tanh units and a linear output, trained by scaled
+conjugate gradients (:mod:`repro.core.scg`) on mean squared error with a
+small L2 penalty.  "The neural networks used in this work vary in the
+number of nodes used from ten to twenty depending on the model feature set"
+— :func:`default_hidden_units` implements that rule.
+
+Inputs and the target are standardized internally; predictions are returned
+in original units.  The network captures the nonlinear cache/bandwidth
+contention effects the linear models cannot (Section V-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .scg import minimize_scg
+
+__all__ = ["NeuralNetworkModel", "default_hidden_units"]
+
+
+def default_hidden_units(num_features: int) -> int:
+    """Paper's hidden-layer sizing: 10 nodes for the smallest feature set,
+    growing with feature count, capped at 20."""
+    if num_features < 1:
+        raise ValueError("need at least one feature")
+    return int(min(20, 10 + max(0, (num_features - 1)) * 10 // 7))
+
+
+class NeuralNetworkModel:
+    """A 1-hidden-layer tanh regressor trained with SCG.
+
+    Parameters
+    ----------
+    hidden_units:
+        Hidden layer width; ``None`` selects the paper's rule from the
+        feature count at fit time.
+    l2:
+        L2 weight penalty (on weights, not biases).
+    max_iterations:
+        SCG iteration cap.
+    n_restarts:
+        Independent weight initializations; the best final loss wins.
+        SCG is deterministic given an initialization, so restarts are the
+        only stochastic element — they consume the caller's ``rng``.
+    """
+
+    def __init__(
+        self,
+        hidden_units: int | None = None,
+        *,
+        l2: float = 1e-4,
+        max_iterations: int = 300,
+        n_restarts: int = 2,
+    ) -> None:
+        if hidden_units is not None and hidden_units < 1:
+            raise ValueError("hidden layer needs at least one unit")
+        if l2 < 0.0:
+            raise ValueError("L2 penalty must be non-negative")
+        if n_restarts < 1:
+            raise ValueError("need at least one initialization")
+        self.hidden_units = hidden_units
+        self.l2 = l2
+        self.max_iterations = max_iterations
+        self.n_restarts = n_restarts
+        self._params: np.ndarray | None = None
+        self._shapes: tuple[int, int] | None = None  # (d, h)
+        self._x_mean: np.ndarray | None = None
+        self._x_scale: np.ndarray | None = None
+        self._y_mean: float = 0.0
+        self._y_scale: float = 1.0
+        self.training_loss_: float | None = None
+
+    # ----------------------------------------------------------- plumbing
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether ``fit`` has been called."""
+        return self._params is not None
+
+    def _unpack(self, params: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        d, h = self._shapes  # type: ignore[misc]
+        i = 0
+        W1 = params[i : i + d * h].reshape(d, h); i += d * h
+        b1 = params[i : i + h]; i += h
+        W2 = params[i : i + h]; i += h
+        b2 = float(params[i])
+        return W1, b1, W2, b2
+
+    def _loss_and_grad(
+        self, params: np.ndarray, Z: np.ndarray, t: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        n = Z.shape[0]
+        W1, b1, W2, b2 = self._unpack(params)
+        H = np.tanh(Z @ W1 + b1)            # (n, h)
+        out = H @ W2 + b2                    # (n,)
+        err = out - t
+        loss = 0.5 * float(err @ err) / n + 0.5 * self.l2 * (
+            float((W1 * W1).sum()) + float(W2 @ W2)
+        )
+        # Backpropagation.
+        d_out = err / n                       # (n,)
+        gW2 = H.T @ d_out + self.l2 * W2      # (h,)
+        gb2 = float(d_out.sum())
+        dH = np.outer(d_out, W2) * (1.0 - H * H)  # (n, h)
+        gW1 = Z.T @ dH + self.l2 * W1         # (d, h)
+        gb1 = dH.sum(axis=0)                  # (h,)
+        grad = np.concatenate([gW1.ravel(), gb1, gW2, [gb2]])
+        return loss, grad
+
+    # ---------------------------------------------------------------- API
+
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        rng: np.random.Generator | None = None,
+    ) -> "NeuralNetworkModel":
+        """Train on ``(n_samples, n_features)`` inputs and time targets."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D (samples x features)")
+        if X.shape[0] != y.size:
+            raise ValueError("X and y disagree on the number of samples")
+        if X.shape[0] < 2:
+            raise ValueError("need at least two training samples")
+        if rng is None:
+            rng = np.random.default_rng(0)
+
+        d = X.shape[1]
+        h = self.hidden_units if self.hidden_units is not None else default_hidden_units(d)
+        self._shapes = (d, h)
+
+        self._x_mean = X.mean(axis=0)
+        x_std = X.std(axis=0)
+        self._x_scale = np.where(x_std > 0.0, x_std, 1.0)
+        self._y_mean = float(y.mean())
+        y_std = float(y.std())
+        self._y_scale = y_std if y_std > 0.0 else 1.0
+        Z = (X - self._x_mean) / self._x_scale
+        t = (y - self._y_mean) / self._y_scale
+
+        best_params: np.ndarray | None = None
+        best_loss = np.inf
+        n_params = d * h + h + h + 1
+        for _ in range(self.n_restarts):
+            w0 = np.concatenate(
+                [
+                    rng.normal(0.0, 1.0 / np.sqrt(d), size=d * h),
+                    np.zeros(h),
+                    rng.normal(0.0, 1.0 / np.sqrt(h), size=h),
+                    [0.0],
+                ]
+            )
+            assert w0.size == n_params
+            result = minimize_scg(
+                lambda p: self._loss_and_grad(p, Z, t),
+                w0,
+                max_iterations=self.max_iterations,
+            )
+            if result.fun < best_loss:
+                best_loss = result.fun
+                best_params = result.x
+        assert best_params is not None
+        self._params = best_params
+        self.training_loss_ = float(best_loss)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted co-located execution times for new samples."""
+        if not self.is_fitted:
+            raise RuntimeError("model is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        Z = (X - self._x_mean) / self._x_scale
+        W1, b1, W2, b2 = self._unpack(self._params)  # type: ignore[arg-type]
+        out = np.tanh(Z @ W1 + b1) @ W2 + b2
+        return out * self._y_scale + self._y_mean

@@ -1,0 +1,176 @@
+"""Model persistence: save and load trained predictors as JSON.
+
+A resource manager trains once per machine and then predicts for the
+machine's lifetime; the trained artifact must survive process restarts.
+This module serializes the two model families (and the
+:class:`~repro.core.methodology.PerformancePredictor` wrapper) to plain
+JSON — no pickling, so artifacts are portable, diffable, and safe to load
+from untrusted storage.
+
+The format is versioned; loading rejects unknown versions and malformed
+payloads with descriptive errors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .feature_sets import FeatureSet
+from .linear import LinearModel
+from .methodology import ModelKind, PerformancePredictor
+from .neural import NeuralNetworkModel
+
+__all__ = [
+    "PersistenceError",
+    "save_predictor",
+    "load_predictor",
+    "predictor_to_dict",
+    "predictor_from_dict",
+]
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(ValueError):
+    """Raised for malformed or incompatible model payloads."""
+
+
+def _array(value: Any, name: str) -> np.ndarray:
+    try:
+        return np.asarray(value, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise PersistenceError(f"field {name!r} is not numeric") from exc
+
+
+def _linear_to_dict(model: LinearModel) -> dict:
+    if not model.is_fitted:
+        raise PersistenceError("cannot serialize an unfitted linear model")
+    return {
+        "weights": model._weights.tolist(),
+        "bias": model._bias,
+        "mean": model._mean.tolist(),
+        "scale": model._scale.tolist(),
+    }
+
+
+def _linear_from_dict(data: dict) -> LinearModel:
+    model = LinearModel()
+    model._weights = _array(data["weights"], "weights")
+    model._bias = float(data["bias"])
+    model._mean = _array(data["mean"], "mean")
+    model._scale = _array(data["scale"], "scale")
+    if not (
+        model._weights.shape == model._mean.shape == model._scale.shape
+    ) or model._weights.ndim != 1:
+        raise PersistenceError("inconsistent linear model shapes")
+    return model
+
+
+def _neural_to_dict(model: NeuralNetworkModel) -> dict:
+    if not model.is_fitted:
+        raise PersistenceError("cannot serialize an unfitted neural model")
+    d, h = model._shapes  # type: ignore[misc]
+    return {
+        "inputs": d,
+        "hidden": h,
+        "params": model._params.tolist(),
+        "x_mean": model._x_mean.tolist(),
+        "x_scale": model._x_scale.tolist(),
+        "y_mean": model._y_mean,
+        "y_scale": model._y_scale,
+        "l2": model.l2,
+    }
+
+
+def _neural_from_dict(data: dict) -> NeuralNetworkModel:
+    d, h = int(data["inputs"]), int(data["hidden"])
+    if d < 1 or h < 1:
+        raise PersistenceError("invalid network shape")
+    model = NeuralNetworkModel(hidden_units=h, l2=float(data.get("l2", 0.0)))
+    params = _array(data["params"], "params")
+    expected = d * h + h + h + 1
+    if params.shape != (expected,):
+        raise PersistenceError(
+            f"parameter vector has {params.size} entries; expected {expected}"
+        )
+    model._shapes = (d, h)
+    model._params = params
+    model._x_mean = _array(data["x_mean"], "x_mean")
+    model._x_scale = _array(data["x_scale"], "x_scale")
+    if model._x_mean.shape != (d,) or model._x_scale.shape != (d,):
+        raise PersistenceError("input standardization shape mismatch")
+    model._y_mean = float(data["y_mean"])
+    model._y_scale = float(data["y_scale"])
+    return model
+
+
+def predictor_to_dict(predictor: PerformancePredictor) -> dict:
+    """Serialize a fitted predictor to a JSON-ready dict."""
+    if not predictor.is_fitted:
+        raise PersistenceError("cannot serialize an unfitted predictor")
+    model = predictor._model
+    if isinstance(model, LinearModel):
+        payload = _linear_to_dict(model)
+    elif isinstance(model, NeuralNetworkModel):
+        payload = _neural_to_dict(model)
+    else:  # pragma: no cover - no other kinds exist
+        raise PersistenceError(f"unsupported model type {type(model).__name__}")
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": predictor.kind.value,
+        "feature_set": predictor.feature_set.value,
+        "processor_name": predictor.processor_name,
+        "model": payload,
+    }
+
+
+def predictor_from_dict(data: dict) -> PerformancePredictor:
+    """Rebuild a fitted predictor from :func:`predictor_to_dict` output."""
+    try:
+        version = int(data["format_version"])
+    except (KeyError, TypeError, ValueError):
+        raise PersistenceError("missing or invalid format_version") from None
+    if version != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version {version}; this build reads "
+            f"{FORMAT_VERSION}"
+        )
+    try:
+        kind = ModelKind(data["kind"])
+        feature_set = FeatureSet(data["feature_set"])
+        payload = data["model"]
+    except (KeyError, ValueError) as exc:
+        raise PersistenceError(f"malformed predictor payload: {exc}") from None
+    predictor = PerformancePredictor(kind, feature_set)
+    if kind is ModelKind.LINEAR:
+        predictor._model = _linear_from_dict(payload)
+    else:
+        model = _neural_from_dict(payload)
+        expected_inputs = len(feature_set.features)
+        if model._shapes[0] != expected_inputs:
+            raise PersistenceError(
+                f"network expects {model._shapes[0]} inputs but feature set "
+                f"{feature_set.value} has {expected_inputs}"
+            )
+        predictor._model = model
+    processor = data.get("processor_name")
+    predictor._processor_name = str(processor) if processor is not None else None
+    return predictor
+
+
+def save_predictor(predictor: PerformancePredictor, path: str | Path) -> None:
+    """Write a fitted predictor to a JSON file."""
+    Path(path).write_text(json.dumps(predictor_to_dict(predictor), indent=2))
+
+
+def load_predictor(path: str | Path) -> PerformancePredictor:
+    """Read a predictor written by :func:`save_predictor`."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"not valid JSON: {exc}") from None
+    return predictor_from_dict(data)

@@ -1,0 +1,26 @@
+"""Performance counter infrastructure: PAPI presets + flat profiler."""
+
+from .hpcrun import (
+    DEFAULT_EVENTS,
+    FlatProfile,
+    hpcrun_flat,
+    profile_from_dict,
+    profile_to_dict,
+)
+from .papi import EventSet, HardwareCounters, PAPIError, PresetEvent
+from .sampling import CounterSample, SampledProfile, hpcrun_sampled
+
+__all__ = [
+    "CounterSample",
+    "DEFAULT_EVENTS",
+    "EventSet",
+    "FlatProfile",
+    "HardwareCounters",
+    "PAPIError",
+    "PresetEvent",
+    "SampledProfile",
+    "hpcrun_flat",
+    "hpcrun_sampled",
+    "profile_from_dict",
+    "profile_to_dict",
+]

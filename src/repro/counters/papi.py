@@ -1,0 +1,153 @@
+"""PAPI-style performance counter interface over the simulator.
+
+The paper's testing environment reads hardware performance counters through
+PAPI's portable "preset" events (Section IV-A2).  This module reproduces
+that interface: preset event names, an :class:`EventSet` with PAPI's
+create/add/start/stop/read life cycle, and an architecture adapter that
+resolves presets against a simulated machine.
+
+The point of mirroring the API (rather than just exposing the simulator's
+result fields) is that everything above this layer — feature extraction,
+model training — consumes *only* counter reads and wall-clock times, exactly
+as it would on real hardware.  Porting the methodology to a physical machine
+means swapping this module's backend and nothing else.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..sim.engine import AppRun
+
+__all__ = ["PAPIError", "PresetEvent", "HardwareCounters", "EventSet"]
+
+
+class PAPIError(RuntimeError):
+    """Raised on PAPI usage errors (bad state, unavailable preset)."""
+
+
+class PresetEvent(enum.Enum):
+    """PAPI preset events supported by the simulated architectures.
+
+    Only the presets the methodology needs are implemented (the paper uses
+    total instructions, last-level cache accesses, and last-level cache
+    misses); unknown presets raise :class:`PAPIError` at ``add_event`` time
+    just as PAPI rejects presets a machine cannot count.
+    """
+
+    PAPI_TOT_INS = "PAPI_TOT_INS"  # total instructions completed
+    PAPI_TOT_CYC = "PAPI_TOT_CYC"  # total core cycles
+    PAPI_L2_TCA = "PAPI_L2_TCA"    # L2 total cache accesses
+    PAPI_L2_TCM = "PAPI_L2_TCM"    # L2 total cache misses
+    PAPI_L3_TCA = "PAPI_L3_TCA"    # L3 total cache accesses
+    PAPI_L3_TCM = "PAPI_L3_TCM"    # L3 total cache misses
+
+
+@dataclass(frozen=True)
+class HardwareCounters:
+    """Architecture adapter: resolves presets for one simulated run.
+
+    ``llc_level`` is the machine's last-level cache level; the paper notes
+    "last-level" can mean L2 or L3 depending on the processor
+    (Section IV-A3).  Presets for the other cache level are unavailable,
+    mirroring real preset tables differing across microarchitectures.
+    """
+
+    run: AppRun
+    frequency_ghz: float
+    llc_level: int = 3
+
+    def __post_init__(self) -> None:
+        if self.llc_level not in (2, 3):
+            raise PAPIError(f"unsupported last-level cache level {self.llc_level}")
+
+    def available(self, event: PresetEvent) -> bool:
+        """Whether this architecture can count the preset."""
+        if event in (PresetEvent.PAPI_TOT_INS, PresetEvent.PAPI_TOT_CYC):
+            return True
+        level = 2 if event in (PresetEvent.PAPI_L2_TCA, PresetEvent.PAPI_L2_TCM) else 3
+        return level == self.llc_level
+
+    def read(self, event: PresetEvent) -> float:
+        """Final counter value for one preset over the whole run."""
+        if not self.available(event):
+            raise PAPIError(
+                f"{event.value} is not available on an architecture whose "
+                f"last-level cache is L{self.llc_level}"
+            )
+        if event is PresetEvent.PAPI_TOT_INS:
+            return self.run.instructions
+        if event is PresetEvent.PAPI_TOT_CYC:
+            return self.run.execution_time_s * self.frequency_ghz * 1e9
+        if event in (PresetEvent.PAPI_L2_TCA, PresetEvent.PAPI_L3_TCA):
+            return self.run.llc_accesses
+        return self.run.llc_misses
+
+
+class EventSet:
+    """A PAPI event set with the standard life cycle.
+
+    >>> es = EventSet(hardware)
+    >>> es.add_event(PresetEvent.PAPI_TOT_INS)
+    >>> es.start(); counts = es.stop()
+
+    State rules follow PAPI: events can only be added while stopped, reads
+    are only valid while running or after a stop, and double start/stop is
+    an error.
+    """
+
+    def __init__(self, hardware: HardwareCounters) -> None:
+        self._hardware = hardware
+        self._events: list[PresetEvent] = []
+        self._running = False
+        self._last_counts: dict[PresetEvent, float] | None = None
+
+    @property
+    def events(self) -> tuple[PresetEvent, ...]:
+        """Events currently in the set, in insertion order."""
+        return tuple(self._events)
+
+    def add_event(self, event: PresetEvent) -> None:
+        """Add one preset to the set (must be stopped; duplicates rejected)."""
+        if self._running:
+            raise PAPIError("cannot add events while the event set is running")
+        if event in self._events:
+            raise PAPIError(f"{event.value} already in event set")
+        if not self._hardware.available(event):
+            raise PAPIError(f"{event.value} not available on this architecture")
+        self._events.append(event)
+
+    def start(self) -> None:
+        """Begin counting (PAPI_start)."""
+        if self._running:
+            raise PAPIError("event set already running")
+        if not self._events:
+            raise PAPIError("cannot start an empty event set")
+        self._running = True
+        self._last_counts = None
+
+    def read(self) -> dict[PresetEvent, float]:
+        """Read counters while running (PAPI_read).
+
+        The simulated run has already completed, so a read returns the
+        final totals — matching how the testing environment samples
+        counters once per application run (Section IV-A3 notes the loss of
+        temporal information).
+        """
+        if not self._running:
+            raise PAPIError("event set is not running")
+        return {e: self._hardware.read(e) for e in self._events}
+
+    def stop(self) -> dict[PresetEvent, float]:
+        """Stop counting and return the final counts (PAPI_stop)."""
+        if not self._running:
+            raise PAPIError("event set is not running")
+        self._last_counts = {e: self._hardware.read(e) for e in self._events}
+        self._running = False
+        return dict(self._last_counts)
+
+    @property
+    def last_counts(self) -> dict[PresetEvent, float] | None:
+        """Counts from the most recent stop, if any."""
+        return dict(self._last_counts) if self._last_counts is not None else None

@@ -1,0 +1,13 @@
+"""Energy modeling extension (the paper's Section VI next step)."""
+
+from .power import EnergyEstimate, PowerModel, interference_energy_cost
+from .rapl import EnergyMeasurement, RaplPackageCounter, measure_energy
+
+__all__ = [
+    "EnergyEstimate",
+    "EnergyMeasurement",
+    "PowerModel",
+    "RaplPackageCounter",
+    "interference_energy_cost",
+    "measure_energy",
+]

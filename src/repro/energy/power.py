@@ -1,0 +1,118 @@
+"""Energy modeling extension (paper, Section VI).
+
+The paper's stated next step: "include monitoring of application power use
+into the testing environment … the energy use of a system is heavily
+dependent on the time that the system spends executing applications", so a
+model that predicts co-located execution time extends naturally to energy.
+
+This module implements that extension over the reproduction:
+
+* a first-order CMOS power model per core — static leakage plus dynamic
+  ``C_eff * V^2 * f`` switching power, with the P-state supplying (V, f);
+* chip power for a co-location = uncore power + per-active-core power;
+* predicted energy = predicted chip power x predicted execution time, and
+* the *energy cost of interference*: the extra energy spent because
+  co-location stretched the target's runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.pstates import PState
+from ..machine.processor import MulticoreProcessor
+
+__all__ = ["PowerModel", "EnergyEstimate", "interference_energy_cost"]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """First-order chip power model for one multicore processor.
+
+    Attributes
+    ----------
+    processor:
+        The machine being modeled.
+    static_w_per_core:
+        Leakage power per powered-on core, independent of frequency.
+    ceff_w_per_ghz_v2:
+        Effective switching capacitance: dynamic watts per GHz per volt^2
+        per core at full activity.
+    uncore_w:
+        Shared uncore power (LLC, memory controllers, interconnect).
+    """
+
+    processor: MulticoreProcessor
+    static_w_per_core: float = 2.5
+    ceff_w_per_ghz_v2: float = 6.0
+    uncore_w: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.static_w_per_core < 0.0 or self.ceff_w_per_ghz_v2 < 0.0:
+            raise ValueError("power coefficients must be non-negative")
+        if self.uncore_w < 0.0:
+            raise ValueError("uncore power must be non-negative")
+
+    def core_power_w(self, pstate: PState, *, activity: float = 1.0) -> float:
+        """Power of one active core at a P-state.
+
+        ``activity`` in [0, 1] scales the dynamic component only (a core
+        stalled on memory still leaks).
+        """
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError("activity must be within [0, 1]")
+        dynamic = (
+            self.ceff_w_per_ghz_v2
+            * pstate.voltage_v**2
+            * pstate.frequency_ghz
+            * activity
+        )
+        return self.static_w_per_core + dynamic
+
+    def chip_power_w(self, pstate: PState, active_cores: int) -> float:
+        """Chip power with ``active_cores`` busy cores at one P-state."""
+        if not 0 <= active_cores <= self.processor.num_cores:
+            raise ValueError(
+                f"active cores must be in [0, {self.processor.num_cores}]"
+            )
+        return self.uncore_w + active_cores * self.core_power_w(pstate)
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Predicted energy for one placement."""
+
+    execution_time_s: float
+    chip_power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        """Total predicted energy in joules."""
+        return self.execution_time_s * self.chip_power_w
+
+    @property
+    def energy_wh(self) -> float:
+        """Total predicted energy in watt-hours."""
+        return self.energy_j / 3600.0
+
+
+def interference_energy_cost(
+    power_model: PowerModel,
+    pstate: PState,
+    baseline_time_s: float,
+    co_located_time_s: float,
+    active_cores: int,
+) -> float:
+    """Extra energy (J) attributable to co-location interference.
+
+    The target would have finished in ``baseline_time_s`` alone; contention
+    stretched it to ``co_located_time_s``, and the whole chip stays powered
+    for the difference.  Negative inputs and a co-located time shorter than
+    baseline are rejected — interference never speeds the target up.
+    """
+    if baseline_time_s <= 0.0:
+        raise ValueError("baseline time must be positive")
+    if co_located_time_s < baseline_time_s:
+        raise ValueError("co-located time cannot be below the baseline")
+    extra = co_located_time_s - baseline_time_s
+    return extra * power_model.chip_power_w(pstate, active_cores)

@@ -1,0 +1,140 @@
+"""Dataset provenance manifests.
+
+A trained model is only as trustworthy as the record of how its training
+data was produced.  A :class:`DatasetManifest` captures everything needed
+to regenerate a dataset bit-for-bit — machine, targets, co-apps, counts,
+P-states, seed, library version — plus a content digest to detect drift
+between a CSV on disk and the manifest that claims to describe it.
+
+Manifests are written as JSON sidecars next to the dataset CSV
+(``data.csv`` → ``data.manifest.json``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from .datasets import ObservationDataset
+
+__all__ = ["DatasetManifest", "manifest_path_for", "write_manifest", "read_manifest"]
+
+
+def _digest(dataset: ObservationDataset) -> str:
+    """SHA-256 of the canonical CSV serialization."""
+    return hashlib.sha256(dataset.to_csv_string().encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class DatasetManifest:
+    """Provenance record for one observation dataset."""
+
+    processor_name: str
+    num_observations: int
+    content_sha256: str
+    seed: int | None = None
+    targets: tuple[str, ...] = ()
+    co_apps: tuple[str, ...] = ()
+    co_location_counts: tuple[int, ...] = ()
+    frequencies_ghz: tuple[float, ...] = ()
+    library_version: str = ""
+    notes: str = ""
+
+    @classmethod
+    def describe(
+        cls,
+        dataset: ObservationDataset,
+        *,
+        seed: int | None = None,
+        notes: str = "",
+    ) -> "DatasetManifest":
+        """Build a manifest from a dataset's actual contents.
+
+        Targets, co-apps, counts, and frequencies are read off the
+        observations, so the manifest always matches what is really in
+        the dataset regardless of how it was collected.
+        """
+        from .. import __version__
+
+        targets = tuple(dataset.target_names())
+        co_apps = tuple(
+            sorted({o.co_app_name for o in dataset if o.co_app_name})
+        )
+        counts = tuple(sorted({o.num_co_app for o in dataset}))
+        freqs = tuple(sorted({round(o.frequency_ghz, 6) for o in dataset}, reverse=True))
+        return cls(
+            processor_name=dataset.processor_name,
+            num_observations=len(dataset),
+            content_sha256=_digest(dataset),
+            seed=seed,
+            targets=targets,
+            co_apps=co_apps,
+            co_location_counts=counts,
+            frequencies_ghz=freqs,
+            library_version=__version__,
+            notes=notes,
+        )
+
+    def matches(self, dataset: ObservationDataset) -> bool:
+        """Whether the dataset's content digest matches this manifest."""
+        return _digest(dataset) == self.content_sha256
+
+    def to_json(self) -> str:
+        """Serialize to pretty JSON."""
+        return json.dumps(asdict(self), indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DatasetManifest":
+        """Parse a manifest previously produced by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"manifest is not valid JSON: {exc}") from None
+        try:
+            return cls(
+                processor_name=str(data["processor_name"]),
+                num_observations=int(data["num_observations"]),
+                content_sha256=str(data["content_sha256"]),
+                seed=None if data.get("seed") is None else int(data["seed"]),
+                targets=tuple(data.get("targets", ())),
+                co_apps=tuple(data.get("co_apps", ())),
+                co_location_counts=tuple(
+                    int(c) for c in data.get("co_location_counts", ())
+                ),
+                frequencies_ghz=tuple(
+                    float(f) for f in data.get("frequencies_ghz", ())
+                ),
+                library_version=str(data.get("library_version", "")),
+                notes=str(data.get("notes", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed manifest: {exc}") from None
+
+
+def manifest_path_for(csv_path: str | Path) -> Path:
+    """Sidecar path convention: ``data.csv`` → ``data.manifest.json``."""
+    p = Path(csv_path)
+    return p.with_suffix(".manifest.json")
+
+
+def write_manifest(
+    dataset: ObservationDataset,
+    csv_path: str | Path,
+    *,
+    seed: int | None = None,
+    notes: str = "",
+) -> DatasetManifest:
+    """Describe ``dataset`` and write the sidecar next to its CSV."""
+    manifest = DatasetManifest.describe(dataset, seed=seed, notes=notes)
+    manifest_path_for(csv_path).write_text(manifest.to_json())
+    return manifest
+
+
+def read_manifest(csv_path: str | Path) -> DatasetManifest:
+    """Read the sidecar manifest for a dataset CSV."""
+    path = manifest_path_for(csv_path)
+    if not path.exists():
+        raise FileNotFoundError(f"no manifest at {path}")
+    return DatasetManifest.from_json(path.read_text())

@@ -1,0 +1,32 @@
+"""Multicore processor descriptions: cores, shared LLC, DRAM, P-states.
+
+This subpackage is the machine substrate of the reproduction — it stands in
+for the two physical Intel Xeon servers of the paper's Table IV.
+"""
+
+from .processor import (
+    PROCESSOR_CATALOG,
+    XEON_E5649,
+    XEON_E5_2697V2,
+    CacheGeometry,
+    DRAMConfig,
+    MulticoreProcessor,
+    get_processor,
+)
+from .pstates import DVFSError, PState, PStateLadder
+from .topology import Server, dual_socket
+
+__all__ = [
+    "CacheGeometry",
+    "DRAMConfig",
+    "DVFSError",
+    "MulticoreProcessor",
+    "PROCESSOR_CATALOG",
+    "PState",
+    "PStateLadder",
+    "Server",
+    "XEON_E5649",
+    "XEON_E5_2697V2",
+    "dual_socket",
+    "get_processor",
+]

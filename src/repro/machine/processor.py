@@ -1,0 +1,192 @@
+"""Multicore processor specifications (paper, Table IV).
+
+A :class:`MulticoreProcessor` bundles everything the simulator needs to know
+about one machine: the core count, the shared last-level cache geometry, the
+DRAM interface, and the P-state ladder.  The two validation machines from the
+paper (Intel Xeon E5649 and Xeon E5-2697v2) ship as catalog entries; users
+can define additional machines to port the methodology (Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .pstates import PStateLadder
+
+__all__ = [
+    "CacheGeometry",
+    "DRAMConfig",
+    "MulticoreProcessor",
+    "PROCESSOR_CATALOG",
+    "XEON_E5649",
+    "XEON_E5_2697V2",
+    "get_processor",
+]
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of the shared last-level cache.
+
+    The paper's machines have inclusive L3 caches shared by all cores; lower
+    cache levels are private and folded into the per-application baseline
+    behaviour (the methodology observes only last-level accesses/misses).
+    """
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 16
+    hit_latency_ns: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.line_bytes <= 0 or (self.line_bytes & (self.line_bytes - 1)) != 0:
+            raise ValueError("line size must be a positive power of two")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ValueError(
+                "cache size must be a multiple of line_bytes * associativity"
+            )
+        if self.hit_latency_ns <= 0.0:
+            raise ValueError("hit latency must be positive")
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (lines / associativity)."""
+        return self.num_lines // self.associativity
+
+    @property
+    def size_mb(self) -> float:
+        """Capacity in binary megabytes."""
+        return self.size_bytes / (1024.0 * 1024.0)
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """First-order DRAM interface model.
+
+    ``idle_latency_ns`` is the unloaded round-trip latency of an LLC miss;
+    ``peak_bandwidth_gbs`` bounds the aggregate miss traffic the memory
+    system can sustain.  The queueing model in :mod:`repro.memsys.dram`
+    inflates latency as utilization approaches the peak.
+    """
+
+    idle_latency_ns: float = 80.0
+    peak_bandwidth_gbs: float = 25.0
+    queue_shape: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.idle_latency_ns <= 0.0:
+            raise ValueError("idle latency must be positive")
+        if self.peak_bandwidth_gbs <= 0.0:
+            raise ValueError("peak bandwidth must be positive")
+        if self.queue_shape < 0.0:
+            raise ValueError("queue shape must be non-negative")
+
+
+@dataclass(frozen=True)
+class MulticoreProcessor:
+    """A complete machine description (one row of Table IV).
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier, e.g. ``"Xeon E5649"``.
+    num_cores:
+        Physical core count.  Hyperthreading is off throughout the paper, so
+        cores == hardware contexts.
+    llc:
+        Shared last-level cache geometry.
+    dram:
+        DRAM interface parameters.
+    pstates:
+        DVFS ladder; the paper samples six states per machine (Table V).
+    """
+
+    name: str
+    num_cores: int
+    llc: CacheGeometry
+    dram: DRAMConfig
+    pstates: PStateLadder
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("core count must be positive")
+        if not self.name:
+            raise ValueError("processor needs a name")
+
+    @property
+    def max_co_located(self) -> int:
+        """Maximum number of co-runners next to one target application.
+
+        One core runs the target; the remaining ``num_cores - 1`` cores can
+        host co-located applications (paper, Section IV-B3).
+        """
+        return self.num_cores - 1
+
+    def validate_co_location_count(self, count: int) -> None:
+        """Raise ``ValueError`` when ``count`` co-runners do not fit."""
+        if count < 0:
+            raise ValueError(f"co-location count must be non-negative, got {count}")
+        if count > self.max_co_located:
+            raise ValueError(
+                f"{self.name} has {self.num_cores} cores; at most "
+                f"{self.max_co_located} co-located applications fit, got {count}"
+            )
+
+    def with_pstates(self, frequencies_ghz: list[float]) -> "MulticoreProcessor":
+        """Return a copy of this machine with a different P-state ladder."""
+        return replace(self, pstates=PStateLadder.from_frequencies(frequencies_ghz))
+
+
+def _mb(n: float) -> int:
+    return int(n * 1024 * 1024)
+
+
+#: Intel Xeon E5649 — 6 cores, 12 MB L3, 1.60–2.53 GHz (Table IV).  The six
+#: P-states match the sampled frequencies of Table V.
+XEON_E5649 = MulticoreProcessor(
+    name="Xeon E5649",
+    num_cores=6,
+    llc=CacheGeometry(size_bytes=_mb(12), line_bytes=64, associativity=16,
+                      hit_latency_ns=15.0),
+    dram=DRAMConfig(idle_latency_ns=95.0, peak_bandwidth_gbs=14.0),
+    pstates=PStateLadder.from_frequencies([2.53, 2.40, 2.13, 1.86, 1.73, 1.60]),
+)
+
+#: Intel Xeon E5-2697v2 — 12 cores, 30 MB L3, 1.20–2.70 GHz (Table IV).
+XEON_E5_2697V2 = MulticoreProcessor(
+    name="Xeon E5-2697v2",
+    num_cores=12,
+    llc=CacheGeometry(size_bytes=_mb(30), line_bytes=64, associativity=20,
+                      hit_latency_ns=18.0),
+    dram=DRAMConfig(idle_latency_ns=85.0, peak_bandwidth_gbs=30.0),
+    pstates=PStateLadder.from_frequencies([2.70, 2.40, 2.10, 1.80, 1.50, 1.20]),
+)
+
+#: Machines used for validation in the paper, keyed by short name.
+PROCESSOR_CATALOG: dict[str, MulticoreProcessor] = {
+    "e5649": XEON_E5649,
+    "e5-2697v2": XEON_E5_2697V2,
+}
+
+
+def get_processor(name: str) -> MulticoreProcessor:
+    """Look up a catalog machine by short name (case-insensitive).
+
+    >>> get_processor("E5649").num_cores
+    6
+    """
+    key = name.strip().lower()
+    try:
+        return PROCESSOR_CATALOG[key]
+    except KeyError:
+        known = ", ".join(sorted(PROCESSOR_CATALOG))
+        raise KeyError(f"unknown processor {name!r}; catalog has: {known}") from None

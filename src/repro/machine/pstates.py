@@ -1,0 +1,154 @@
+"""Processor performance states (P-states) and DVFS scaling.
+
+P-states are the discrete voltage/frequency operating points of a multicore
+processor (paper, Section IV-A4).  Lowering the frequency throttles the
+compute-bound portion of an application while leaving memory latency (which
+is set by the uncore/DRAM clock domain) essentially unchanged.  The paper
+accounts for the P-state effect solely through the *baseline execution time
+measured at each P-state*; this module provides the frequency ladder and the
+scaling law the simulator uses to produce those baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PState", "PStateLadder", "DVFSError"]
+
+
+class DVFSError(ValueError):
+    """Raised for invalid P-state ladders or frequency requests."""
+
+
+@dataclass(frozen=True, order=True)
+class PState:
+    """A single processor performance state.
+
+    Attributes
+    ----------
+    frequency_ghz:
+        Core clock frequency at this state, in GHz.
+    voltage_v:
+        Supply voltage at this state, in volts.  Used only by the energy
+        extension (``repro.energy``); the performance model needs frequency
+        only.
+    index:
+        Position in the ladder, ``0`` being the *highest*-frequency state
+        (matching the common ``P0 = fastest`` convention).
+    """
+
+    frequency_ghz: float
+    voltage_v: float = 1.0
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0.0:
+            raise DVFSError(f"frequency must be positive, got {self.frequency_ghz}")
+        if self.voltage_v <= 0.0:
+            raise DVFSError(f"voltage must be positive, got {self.voltage_v}")
+
+    @property
+    def frequency_hz(self) -> float:
+        """Frequency in Hz."""
+        return self.frequency_ghz * 1e9
+
+    def cycle_time_s(self) -> float:
+        """Duration of one core clock cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+
+@dataclass(frozen=True)
+class PStateLadder:
+    """An ordered set of P-states for one processor.
+
+    States are stored fastest-first (P0 is the maximum frequency), matching
+    ACPI convention.  The ladder is immutable; constructing one from an
+    unsorted frequency list sorts it.
+    """
+
+    states: tuple[PState, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.states:
+            raise DVFSError("a P-state ladder needs at least one state")
+        freqs = [s.frequency_ghz for s in self.states]
+        if sorted(freqs, reverse=True) != freqs:
+            raise DVFSError("P-states must be ordered fastest-first")
+        if len(set(freqs)) != len(freqs):
+            raise DVFSError("duplicate P-state frequencies")
+
+    @classmethod
+    def from_frequencies(
+        cls,
+        frequencies_ghz: list[float] | tuple[float, ...],
+        *,
+        vmin: float = 0.8,
+        vmax: float = 1.2,
+    ) -> "PStateLadder":
+        """Build a ladder from a list of frequencies (any order).
+
+        Voltage is assigned by linear interpolation between ``vmin`` at the
+        lowest frequency and ``vmax`` at the highest, a standard first-order
+        DVFS approximation.
+        """
+        freqs = sorted(set(float(f) for f in frequencies_ghz), reverse=True)
+        if not freqs:
+            raise DVFSError("empty frequency list")
+        fmax, fmin = freqs[0], freqs[-1]
+        span = fmax - fmin
+        states = []
+        for i, f in enumerate(freqs):
+            frac = 1.0 if span == 0.0 else (f - fmin) / span
+            states.append(PState(frequency_ghz=f, voltage_v=vmin + frac * (vmax - vmin), index=i))
+        return cls(states=tuple(states))
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self):
+        return iter(self.states)
+
+    def __getitem__(self, index: int) -> PState:
+        return self.states[index]
+
+    @property
+    def fastest(self) -> PState:
+        """The P0 (maximum frequency) state."""
+        return self.states[0]
+
+    @property
+    def slowest(self) -> PState:
+        """The lowest-frequency state."""
+        return self.states[-1]
+
+    @property
+    def frequencies_ghz(self) -> tuple[float, ...]:
+        """All ladder frequencies, fastest first."""
+        return tuple(s.frequency_ghz for s in self.states)
+
+    def at_frequency(self, frequency_ghz: float, *, tol: float = 1e-9) -> PState:
+        """Return the state with exactly this frequency.
+
+        Raises :class:`DVFSError` when no state matches; use
+        :meth:`closest` for nearest-neighbour lookup.
+        """
+        for s in self.states:
+            if abs(s.frequency_ghz - frequency_ghz) <= tol:
+                return s
+        raise DVFSError(
+            f"no P-state at {frequency_ghz} GHz; ladder has {self.frequencies_ghz}"
+        )
+
+    def closest(self, frequency_ghz: float) -> PState:
+        """Return the ladder state nearest to the requested frequency."""
+        if frequency_ghz <= 0.0:
+            raise DVFSError(f"frequency must be positive, got {frequency_ghz}")
+        return min(self.states, key=lambda s: abs(s.frequency_ghz - frequency_ghz))
+
+    def slowdown_factor(self, state: PState) -> float:
+        """Compute-time inflation of ``state`` relative to the fastest state.
+
+        Pure CPU-bound work at frequency *f* takes ``fmax / f`` times longer
+        than at ``fmax``.  Memory-bound time is unaffected by core DVFS.
+        """
+        return self.fastest.frequency_ghz / state.frequency_ghz

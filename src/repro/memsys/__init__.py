@@ -1,0 +1,11 @@
+"""Memory system substrate: DRAM contention and the composed hierarchy."""
+
+from .dram import MAX_UTILIZATION, DRAMModel
+from .hierarchy import MemoryHierarchy, MemorySystemState
+
+__all__ = [
+    "DRAMModel",
+    "MAX_UTILIZATION",
+    "MemoryHierarchy",
+    "MemorySystemState",
+]

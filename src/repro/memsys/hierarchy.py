@@ -1,0 +1,96 @@
+"""Composed memory hierarchy: shared LLC in front of contended DRAM.
+
+:class:`MemoryHierarchy` wires the analytic cache-sharing model
+(:mod:`repro.cache.sharing`) to the DRAM contention model
+(:mod:`repro.memsys.dram`) and exposes the quantity the execution engine
+needs: the average memory stall time an application pays per LLC access,
+given everyone's occupancies and the aggregate miss traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cache.sharing import CacheCompetitor, SharingSolution, solve_shared_cache
+from ..machine.processor import MulticoreProcessor
+from .dram import DRAMModel
+
+__all__ = ["MemoryHierarchy", "MemorySystemState"]
+
+
+@dataclass(frozen=True)
+class MemorySystemState:
+    """Steady-state snapshot of the memory system under one co-location.
+
+    Attributes
+    ----------
+    sharing:
+        Shared-LLC occupancy solution for all competitors.
+    miss_bandwidth_bytes_per_s:
+        Aggregate LLC-miss traffic reaching DRAM.
+    dram_utilization:
+        Fraction of peak DRAM bandwidth in use (clamped).
+    dram_latency_ns:
+        Loaded per-miss latency implied by the utilization.
+    """
+
+    sharing: SharingSolution
+    miss_bandwidth_bytes_per_s: float
+    dram_utilization: float
+    dram_latency_ns: float
+
+
+class MemoryHierarchy:
+    """The shared-memory substrate of one multicore processor."""
+
+    def __init__(self, processor: MulticoreProcessor) -> None:
+        self.processor = processor
+        self.dram = DRAMModel(processor.dram)
+
+    def solve(
+        self,
+        competitors: list[CacheCompetitor],
+    ) -> MemorySystemState:
+        """Solve cache occupancies and DRAM load for one set of co-runners.
+
+        ``competitors`` carry the access rates from the *current* engine
+        iterate; the engine re-solves as rates converge.
+        """
+        sharing = solve_shared_cache(competitors, self.processor.llc.size_bytes)
+        rates = np.array([c.access_rate for c in competitors])
+        miss_rates = rates * sharing.miss_ratios
+        bandwidth = float(miss_rates.sum()) * self.processor.llc.line_bytes
+        rho = float(self.dram.utilization(bandwidth))
+        latency = float(self.dram.effective_latency_ns(bandwidth))
+        return MemorySystemState(
+            sharing=sharing,
+            miss_bandwidth_bytes_per_s=bandwidth,
+            dram_utilization=rho,
+            dram_latency_ns=latency,
+        )
+
+    def stall_ns_per_access(
+        self,
+        miss_ratio: np.ndarray | float,
+        dram_latency_ns: float,
+        *,
+        mlp: np.ndarray | float = 1.0,
+        hit_exposure: float = 0.3,
+    ) -> np.ndarray | float:
+        """Average memory stall per LLC access.
+
+        A hit costs an exposed fraction of the LLC hit latency (out-of-order
+        cores hide most of it); a miss costs the loaded DRAM latency divided
+        by the application's memory-level parallelism ``mlp``.
+        """
+        m = np.asarray(miss_ratio, dtype=float)
+        if np.any(m < 0.0) or np.any(m > 1.0):
+            raise ValueError("miss ratio must be within [0, 1]")
+        mlp_arr = np.asarray(mlp, dtype=float)
+        if np.any(mlp_arr < 1.0):
+            raise ValueError("memory-level parallelism must be >= 1")
+        hit_ns = self.processor.llc.hit_latency_ns * hit_exposure
+        out = (1.0 - m) * hit_ns + m * (dram_latency_ns / mlp_arr)
+        return out if out.ndim else float(out)

@@ -1,0 +1,18 @@
+"""Plain-text rendering of the paper's tables and figures."""
+
+from .figures import (
+    DistributionSummary,
+    render_distributions,
+    render_series,
+    summarize,
+)
+from .tables import format_cell, render_table
+
+__all__ = [
+    "DistributionSummary",
+    "format_cell",
+    "render_distributions",
+    "render_series",
+    "render_table",
+    "summarize",
+]

@@ -1,0 +1,133 @@
+"""Plain-text "figure" rendering: series plots and distribution summaries.
+
+The paper's figures are line charts (Figures 1–4: error versus feature set)
+and violin-style distributions (Figure 5).  In a terminal reproduction we
+render the same *data*: aligned series tables with spark-bars for the
+trends, and five-number summaries with a box rendering for distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["render_series", "DistributionSummary", "summarize", "render_distributions"]
+
+_BAR_CHARS = " ▁▂▃▄▅▆▇█"
+
+
+def _spark(values: np.ndarray) -> str:
+    """Unicode spark-bar for a series (min..max scaled)."""
+    v = np.asarray(values, dtype=float)
+    lo, hi = float(v.min()), float(v.max())
+    if hi - lo < 1e-12:
+        return _BAR_CHARS[4] * v.size
+    idx = np.round((v - lo) / (hi - lo) * (len(_BAR_CHARS) - 1)).astype(int)
+    return "".join(_BAR_CHARS[i] for i in idx)
+
+
+def render_series(
+    x_labels: list[str],
+    series: dict[str, np.ndarray],
+    *,
+    title: str | None = None,
+    unit: str = "%",
+    precision: int = 2,
+) -> str:
+    """Render named series over shared x labels (one Figures 1–4 panel).
+
+    Each series gets one row of values plus a spark-bar showing its trend
+    across the x axis (feature sets A–F in the paper's figures).
+    """
+    if not x_labels:
+        raise ValueError("need x labels")
+    if not series:
+        raise ValueError("need at least one series")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points; expected {len(x_labels)}"
+            )
+    name_w = max(len(n) for n in series)
+    val_w = max(
+        max(len(f"{float(v):.{precision}f}") for v in vals) for vals in series.values()
+    )
+    val_w = max(val_w, *(len(x) for x in x_labels))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * name_w + "  " + " ".join(x.rjust(val_w) for x in x_labels)
+    lines.append(header)
+    for name, values in series.items():
+        vals = " ".join(f"{float(v):.{precision}f}".rjust(val_w) for v in values)
+        lines.append(f"{name.ljust(name_w)}  {vals}  {_spark(np.asarray(values))} {unit}")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number summary of one distribution (a Figure 5 violin)."""
+
+    name: str
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    count: int
+
+
+def summarize(name: str, values: np.ndarray) -> DistributionSummary:
+    """Five-number summary of a sample."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    q1, med, q3 = np.percentile(v, [25.0, 50.0, 75.0])
+    return DistributionSummary(
+        name=name,
+        minimum=float(v.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(v.max()),
+        count=int(v.size),
+    )
+
+
+def render_distributions(
+    summaries: list[DistributionSummary],
+    *,
+    title: str | None = None,
+    unit: str = "",
+    width: int = 40,
+) -> str:
+    """Render box plots for several distributions on a shared axis."""
+    if not summaries:
+        raise ValueError("need at least one distribution")
+    lo = min(s.minimum for s in summaries)
+    hi = max(s.maximum for s in summaries)
+    span = hi - lo if hi > lo else 1.0
+
+    def col(x: float) -> int:
+        return int(round((x - lo) / span * (width - 1)))
+
+    name_w = max(len(s.name) for s in summaries)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"{'':{name_w}}  {lo:9.2f}{unit}{'':{max(width - 20, 1)}}{hi:9.2f}{unit}"
+    )
+    for s in summaries:
+        axis = [" "] * width
+        for x in range(col(s.minimum), col(s.maximum) + 1):
+            axis[x] = "-"
+        for x in range(col(s.q1), col(s.q3) + 1):
+            axis[x] = "="
+        axis[col(s.median)] = "|"
+        lines.append(
+            f"{s.name.ljust(name_w)}  [{''.join(axis)}]  "
+            f"med={s.median:7.2f}{unit} IQR=[{s.q1:7.2f},{s.q3:7.2f}] n={s.count}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Plain-text table rendering for the reproduced paper tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["render_table", "format_cell"]
+
+
+def format_cell(value: object, *, precision: int = 3) -> str:
+    """Format one table cell: floats compactly, everything else via str.
+
+    Small floats (< 1e-2) switch to scientific notation so memory
+    intensities stay readable next to execution times.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if value == 0.0:
+        return "0"
+    if abs(value) < 1e-2 or abs(value) >= 1e7:
+        return f"{value:.{precision}e}"
+    return f"{value:.{precision}f}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+------
+    1 | 2.500
+    """
+    if not headers:
+        raise ValueError("table needs headers")
+    formatted = [[format_cell(c, precision=precision) for c in row] for row in rows]
+    for i, row in enumerate(formatted):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells; expected {len(headers)}"
+            )
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in formatted)) if formatted else len(headers[j])
+        for j in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)

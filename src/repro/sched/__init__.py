@@ -1,0 +1,36 @@
+"""Interference-aware scheduling built on the trained predictors."""
+
+from .cluster import (
+    ClusterSimulator,
+    ClusterState,
+    ClusterTrace,
+    JobRecord,
+    JobRequest,
+    first_fit_policy,
+    least_loaded_policy,
+    model_driven_policy,
+)
+from .governor import GovernorObjective, PStateChoice, select_pstate
+from .policies import Placement, pack_first, round_robin, spread_by_intensity
+from .scheduler import PlacementOutcome, evaluate_placement, interference_aware
+
+__all__ = [
+    "ClusterSimulator",
+    "ClusterState",
+    "ClusterTrace",
+    "GovernorObjective",
+    "JobRecord",
+    "JobRequest",
+    "PStateChoice",
+    "Placement",
+    "PlacementOutcome",
+    "evaluate_placement",
+    "first_fit_policy",
+    "interference_aware",
+    "least_loaded_policy",
+    "model_driven_policy",
+    "pack_first",
+    "round_robin",
+    "select_pstate",
+    "spread_by_intensity",
+]

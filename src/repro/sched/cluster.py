@@ -1,0 +1,372 @@
+"""Online cluster simulation: jobs arriving over time.
+
+The static scheduler (:mod:`repro.sched.scheduler`) places a fixed batch;
+real clusters receive a *stream* of jobs.  This module simulates that
+stream event-by-event on top of the analytic engine: between events every
+machine's resident jobs progress at their current steady-state rates
+(re-solved whenever membership changes — the same physics as
+:mod:`repro.sim.timesliced`, lifted to many machines), jobs that finish
+free their cores, and arriving or queued jobs are placed by a pluggable
+policy.
+
+Policies are online: they see one job and the current cluster state, and
+return a machine (or ``None`` to leave the job queued).  The
+model-driven policy consults trained predictors exactly as the paper
+envisions — using only baseline profiles, never the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..core.methodology import PerformancePredictor
+from ..harness.baselines import BaselineTable
+from ..machine.processor import MulticoreProcessor
+from ..sim.engine import SimulationEngine
+from ..workloads.app import ApplicationSpec
+
+__all__ = [
+    "JobRequest",
+    "JobRecord",
+    "ClusterState",
+    "ClusterTrace",
+    "ClusterSimulator",
+    "first_fit_policy",
+    "least_loaded_policy",
+    "model_driven_policy",
+]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One job submission."""
+
+    app: ApplicationSpec
+    arrival_s: float
+    job_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0.0:
+            raise ValueError("arrival time must be non-negative")
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Outcome of one completed job."""
+
+    request: JobRequest
+    machine_name: str
+    start_s: float
+    end_s: float
+    baseline_s: float
+
+    @property
+    def wait_s(self) -> float:
+        """Queueing delay before the job started."""
+        return self.start_s - self.request.arrival_s
+
+    @property
+    def run_s(self) -> float:
+        """Wall time on the machine."""
+        return self.end_s - self.start_s
+
+    @property
+    def slowdown(self) -> float:
+        """Execution stretch from interference (run time over solo time)."""
+        return self.run_s / self.baseline_s
+
+    @property
+    def response_s(self) -> float:
+        """Arrival-to-completion latency (wait + run)."""
+        return self.end_s - self.request.arrival_s
+
+
+@dataclass
+class _RunningJob:
+    request: JobRequest
+    start_s: float
+    remaining_instructions: float
+
+
+@dataclass
+class ClusterState:
+    """What a placement policy may inspect at decision time."""
+
+    now_s: float
+    resident: dict[str, tuple[ApplicationSpec, ...]]
+    free_cores: dict[str, int]
+
+
+class PlacementPolicy(Protocol):
+    """Online placement decision."""
+
+    def __call__(
+        self, job: ApplicationSpec, state: ClusterState
+    ) -> str | None: ...
+
+
+@dataclass(frozen=True)
+class ClusterTrace:
+    """Result of one cluster simulation."""
+
+    records: tuple[JobRecord, ...]
+    makespan_s: float
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Average execution stretch across completed jobs."""
+        return float(np.mean([r.slowdown for r in self.records]))
+
+    @property
+    def mean_response_s(self) -> float:
+        """Average arrival-to-completion latency."""
+        return float(np.mean([r.response_s for r in self.records]))
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Average queueing delay."""
+        return float(np.mean([r.wait_s for r in self.records]))
+
+    def by_machine(self) -> dict[str, int]:
+        """Completed-job counts per machine."""
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.machine_name] = out.get(r.machine_name, 0) + 1
+        return out
+
+
+# ----------------------------------------------------------------- policies
+
+
+def first_fit_policy(job: ApplicationSpec, state: ClusterState) -> str | None:
+    """Place on the first machine with a free core (consolidating)."""
+    for name, free in state.free_cores.items():
+        if free > 0:
+            return name
+    return None
+
+
+def least_loaded_policy(job: ApplicationSpec, state: ClusterState) -> str | None:
+    """Place on the machine with the most free cores (spreading)."""
+    best, best_free = None, 0
+    for name, free in state.free_cores.items():
+        if free > best_free:
+            best, best_free = name, free
+    return best
+
+
+def model_driven_policy(
+    predictors: dict[str, PerformancePredictor],
+    baselines: dict[str, BaselineTable],
+    machines: dict[str, MulticoreProcessor],
+) -> PlacementPolicy:
+    """Greedy interference-aware online policy.
+
+    Scores every machine with a free core by the *predicted* marginal
+    slowdown of adding the job — the job's own predicted stretch plus the
+    predicted worsening of the residents — and picks the minimum.
+    """
+
+    def profile(name: str, app: ApplicationSpec):
+        fmax = machines[name].pstates.fastest.frequency_ghz
+        return baselines[name].get(app.name, fmax)
+
+    def group_cost(name: str, group: list[ApplicationSpec]) -> float:
+        if not group:
+            return 0.0
+        predictor = predictors[name]
+        total = 0.0
+        for i, app in enumerate(group):
+            co = [profile(name, a) for j, a in enumerate(group) if j != i]
+            if co:
+                total += predictor.predict_slowdown(profile(name, app), co)
+            else:
+                total += 1.0
+        return total
+
+    def policy(job: ApplicationSpec, state: ClusterState) -> str | None:
+        best, best_cost = None, np.inf
+        for name, free in state.free_cores.items():
+            if free <= 0:
+                continue
+            group = list(state.resident[name])
+            cost = group_cost(name, group + [job]) - group_cost(name, group)
+            if cost < best_cost:
+                best, best_cost = name, cost
+        return best
+
+    return policy
+
+
+# ---------------------------------------------------------------- simulator
+
+
+class ClusterSimulator:
+    """Event-driven multi-machine co-location simulator.
+
+    Parameters
+    ----------
+    engines:
+        One engine per machine, keyed by machine name.  Machine names
+        must be unique (use :meth:`repro.machine.Server.placement_domains`
+        for identical sockets).
+    baselines:
+        Per-machine baseline tables (for slowdown normalization).
+    policy:
+        Online placement policy; jobs it declines (or that find no free
+        core) wait in a FIFO queue and are re-offered on every completion.
+    """
+
+    def __init__(
+        self,
+        engines: dict[str, SimulationEngine],
+        baselines: dict[str, BaselineTable],
+        policy: PlacementPolicy,
+    ) -> None:
+        if not engines:
+            raise ValueError("need at least one machine")
+        missing = set(engines) - set(baselines)
+        if missing:
+            raise ValueError(f"baselines missing for machines: {sorted(missing)}")
+        self.engines = dict(engines)
+        self.baselines = dict(baselines)
+        self.policy = policy
+
+    # ------------------------------------------------------------ helpers
+
+    def _state(self, now: float, running: dict[str, list[_RunningJob]]) -> ClusterState:
+        resident = {
+            name: tuple(j.request.app for j in jobs)
+            for name, jobs in running.items()
+        }
+        free = {
+            name: self.engines[name].processor.num_cores - len(jobs)
+            for name, jobs in running.items()
+        }
+        return ClusterState(now_s=now, resident=resident, free_cores=free)
+
+    def _rates(
+        self, running: dict[str, list[_RunningJob]]
+    ) -> dict[str, np.ndarray]:
+        """Per-machine steady-state IPS for the current residents."""
+        rates = {}
+        for name, jobs in running.items():
+            if not jobs:
+                rates[name] = np.array([])
+                continue
+            state = self.engines[name].solve_steady_state(
+                tuple(j.request.app for j in jobs)
+            )
+            rates[name] = state.instructions_per_second
+        return rates
+
+    def _baseline_s(self, machine_name: str, app: ApplicationSpec) -> float:
+        fmax = self.engines[machine_name].processor.pstates.fastest.frequency_ghz
+        return self.baselines[machine_name].get(app.name, fmax).wall_time_s
+
+    # ---------------------------------------------------------------- run
+
+    def run(self, jobs: list[JobRequest], *, max_events: int = 100_000) -> ClusterTrace:
+        """Simulate one job stream to completion.
+
+        Events are arrivals and job completions; between consecutive
+        events, every machine's membership is constant, so its rates are
+        one steady-state solve.  Raises when the event budget is exhausted
+        (a pathological policy that never places anything).
+        """
+        if not jobs:
+            raise ValueError("need at least one job")
+        pending = sorted(jobs, key=lambda j: (j.arrival_s, j.job_id))
+        arrivals = list(reversed(pending))  # pop() = earliest
+        queue: list[JobRequest] = []
+        running: dict[str, list[_RunningJob]] = {name: [] for name in self.engines}
+        records: list[JobRecord] = []
+        now = 0.0
+
+        def try_place(job: JobRequest) -> bool:
+            state = self._state(now, running)
+            choice = self.policy(job.app, state)
+            if choice is None:
+                return False
+            if choice not in running:
+                raise ValueError(f"policy chose unknown machine {choice!r}")
+            if state.free_cores[choice] <= 0:
+                raise ValueError(
+                    f"policy placed a job on full machine {choice!r}"
+                )
+            running[choice].append(
+                _RunningJob(
+                    request=job,
+                    start_s=now,
+                    remaining_instructions=job.app.instructions,
+                )
+            )
+            return True
+
+        for _ in range(max_events):
+            if not arrivals and not queue and all(
+                not jobs_ for jobs_ in running.values()
+            ):
+                break
+            rates = self._rates(running)
+            # Next completion across all machines.
+            next_completion = np.inf
+            for name, jobs_ in running.items():
+                for j, ips in zip(jobs_, rates[name]):
+                    t = now + j.remaining_instructions / float(ips)
+                    next_completion = min(next_completion, t)
+            next_arrival = arrivals[-1].arrival_s if arrivals else np.inf
+            next_time = min(next_completion, next_arrival)
+            if not np.isfinite(next_time):
+                raise RuntimeError(
+                    "deadlock: jobs queued but nothing is running or arriving"
+                )
+
+            # Advance all running jobs to the event time.
+            dt = next_time - now
+            for name, jobs_ in running.items():
+                for j, ips in zip(jobs_, rates[name]):
+                    j.remaining_instructions -= float(ips) * dt
+            now = next_time
+
+            # Handle completions (all jobs that reached zero).
+            finished_any = False
+            for name, jobs_ in running.items():
+                still = []
+                for j in jobs_:
+                    if j.remaining_instructions <= 1e-3:
+                        records.append(
+                            JobRecord(
+                                request=j.request,
+                                machine_name=name,
+                                start_s=j.start_s,
+                                end_s=now,
+                                baseline_s=self._baseline_s(name, j.request.app),
+                            )
+                        )
+                        finished_any = True
+                    else:
+                        still.append(j)
+                running[name] = still
+
+            # Handle the arrival landing exactly now.
+            while arrivals and arrivals[-1].arrival_s <= now + 1e-12:
+                queue.append(arrivals.pop())
+
+            # Drain the queue FIFO as far as the policy allows.
+            if finished_any or queue:
+                still_waiting: list[JobRequest] = []
+                for job in queue:
+                    if not try_place(job):
+                        still_waiting.append(job)
+                queue = still_waiting
+        else:
+            raise RuntimeError(f"exceeded {max_events} events")
+
+        return ClusterTrace(
+            records=tuple(sorted(records, key=lambda r: r.request.job_id)),
+            makespan_s=now,
+        )

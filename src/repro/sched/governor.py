@@ -1,0 +1,126 @@
+"""Model-driven DVFS governor.
+
+Section VI connects the methodology to energy: a system that can predict
+co-located execution time at every P-state can choose the frequency that
+minimizes energy (or energy-delay product) *after* pricing in both the
+DVFS stretch and the memory-interference stretch — something a
+frequency-only governor cannot do, because interference shifts how much of
+the runtime is frequency-sensitive.
+
+:func:`select_pstate` evaluates every P-state of a machine for one
+placement using a trained predictor and a :class:`~repro.energy.PowerModel`
+and returns the best feasible choice under an optional deadline.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.methodology import PerformancePredictor
+from ..energy.power import PowerModel
+from ..harness.baselines import BaselineTable
+from ..machine.pstates import PState
+
+__all__ = ["GovernorObjective", "PStateChoice", "select_pstate"]
+
+
+class GovernorObjective(enum.Enum):
+    """What the governor minimizes."""
+
+    ENERGY = "energy"          # joules
+    EDP = "edp"                # energy-delay product (J*s)
+    TIME = "time"              # plain performance governor (for reference)
+
+
+@dataclass(frozen=True)
+class PStateChoice:
+    """One P-state's evaluated outcome for a placement."""
+
+    pstate: PState
+    predicted_time_s: float
+    chip_power_w: float
+
+    @property
+    def predicted_energy_j(self) -> float:
+        """Energy at this P-state."""
+        return self.predicted_time_s * self.chip_power_w
+
+    @property
+    def energy_delay_product(self) -> float:
+        """EDP at this P-state."""
+        return self.predicted_energy_j * self.predicted_time_s
+
+
+def select_pstate(
+    predictor: PerformancePredictor,
+    power_model: PowerModel,
+    baselines: BaselineTable,
+    target_name: str,
+    co_app_names: list[str],
+    *,
+    objective: GovernorObjective = GovernorObjective.ENERGY,
+    deadline_s: float | None = None,
+) -> tuple[PStateChoice, list[PStateChoice]]:
+    """Choose the best P-state for one placement.
+
+    Parameters
+    ----------
+    predictor:
+        Trained for the machine in ``power_model.processor``.
+    power_model:
+        Chip power model supplying watts per (P-state, active cores).
+    baselines:
+        Must contain target and co-app profiles at every P-state (the
+        paper measures baselines "across six P-state frequencies").
+    target_name, co_app_names:
+        The placement: target plus co-runners by suite name.
+    objective:
+        Minimized quantity among deadline-feasible P-states.
+    deadline_s:
+        Optional latest acceptable predicted completion time.  When no
+        P-state meets it, the fastest-completing P-state is returned
+        (best effort) — callers can detect this via the returned choice's
+        ``predicted_time_s``.
+
+    Returns
+    -------
+    (best, all_choices):
+        The selected choice and every P-state's evaluation (fastest
+        first), for reporting.
+    """
+    if deadline_s is not None and deadline_s <= 0.0:
+        raise ValueError("deadline must be positive")
+    processor = power_model.processor
+    active_cores = 1 + len(co_app_names)
+    choices = []
+    for pstate in processor.pstates:
+        target_base = baselines.get(target_name, pstate.frequency_ghz)
+        co_bases = [
+            baselines.get(n, pstate.frequency_ghz) for n in co_app_names
+        ]
+        predicted = predictor.predict_time(target_base, co_bases)
+        choices.append(
+            PStateChoice(
+                pstate=pstate,
+                predicted_time_s=predicted,
+                chip_power_w=power_model.chip_power_w(pstate, active_cores),
+            )
+        )
+
+    feasible = (
+        [c for c in choices if c.predicted_time_s <= deadline_s]
+        if deadline_s is not None
+        else list(choices)
+    )
+    if not feasible:
+        # Best effort: nothing meets the deadline; finish soonest.
+        best = min(choices, key=lambda c: c.predicted_time_s)
+        return best, choices
+
+    key = {
+        GovernorObjective.ENERGY: lambda c: c.predicted_energy_j,
+        GovernorObjective.EDP: lambda c: c.energy_delay_product,
+        GovernorObjective.TIME: lambda c: c.predicted_time_s,
+    }[objective]
+    return min(feasible, key=key), choices

@@ -1,0 +1,126 @@
+"""Placement policies for multi-machine job scheduling.
+
+Baseline policies a co-location-unaware resource manager might use, against
+which the interference-aware scheduler (:mod:`repro.sched.scheduler`) is
+compared.  A *placement* assigns each job to one machine; each machine then
+runs all of its jobs co-located (one per core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.processor import MulticoreProcessor
+from ..workloads.app import ApplicationSpec
+
+__all__ = ["Placement", "round_robin", "pack_first", "spread_by_intensity"]
+
+
+@dataclass
+class Placement:
+    """An assignment of jobs to machines (index-aligned with the machines)."""
+
+    machines: tuple[MulticoreProcessor, ...]
+    assignments: list[list[ApplicationSpec]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise ValueError("placement needs at least one machine")
+        if not self.assignments:
+            self.assignments = [[] for _ in self.machines]
+        if len(self.assignments) != len(self.machines):
+            raise ValueError("assignments must align with machines")
+
+    def assign(self, machine_index: int, job: ApplicationSpec) -> None:
+        """Place one job, enforcing the machine's core capacity."""
+        machine = self.machines[machine_index]
+        group = self.assignments[machine_index]
+        if len(group) >= machine.num_cores:
+            raise ValueError(
+                f"{machine.name} has {machine.num_cores} cores; all occupied"
+            )
+        group.append(job)
+
+    def free_cores(self, machine_index: int) -> int:
+        """Unoccupied cores on one machine."""
+        return self.machines[machine_index].num_cores - len(
+            self.assignments[machine_index]
+        )
+
+    @property
+    def total_capacity(self) -> int:
+        """Total cores across all machines."""
+        return sum(m.num_cores for m in self.machines)
+
+    def job_count(self) -> int:
+        """Jobs placed so far."""
+        return sum(len(g) for g in self.assignments)
+
+
+def _check_capacity(
+    jobs: list[ApplicationSpec], machines: tuple[MulticoreProcessor, ...]
+) -> None:
+    capacity = sum(m.num_cores for m in machines)
+    if len(jobs) > capacity:
+        raise ValueError(
+            f"{len(jobs)} jobs exceed the {capacity} cores available"
+        )
+
+
+def round_robin(
+    jobs: list[ApplicationSpec],
+    machines: tuple[MulticoreProcessor, ...],
+) -> Placement:
+    """Deal jobs across machines in turn, skipping full machines."""
+    placement = Placement(machines=machines)
+    _check_capacity(jobs, machines)
+    idx = 0
+    for job in jobs:
+        for _ in range(len(machines)):
+            if placement.free_cores(idx) > 0:
+                placement.assign(idx, job)
+                idx = (idx + 1) % len(machines)
+                break
+            idx = (idx + 1) % len(machines)
+        else:  # pragma: no cover - guarded by _check_capacity
+            raise ValueError("no free cores remain")
+    return placement
+
+
+def pack_first(
+    jobs: list[ApplicationSpec],
+    machines: tuple[MulticoreProcessor, ...],
+) -> Placement:
+    """Fill each machine completely before starting the next.
+
+    This is the consolidation-maximizing policy: fewest machines powered,
+    worst co-location pressure — the power/performance trade-off the
+    paper's introduction motivates.
+    """
+    placement = Placement(machines=machines)
+    _check_capacity(jobs, machines)
+    idx = 0
+    for job in jobs:
+        while placement.free_cores(idx) == 0:
+            idx += 1
+        placement.assign(idx, job)
+    return placement
+
+
+def spread_by_intensity(
+    jobs: list[ApplicationSpec],
+    machines: tuple[MulticoreProcessor, ...],
+    llc_reference_bytes: float | None = None,
+) -> Placement:
+    """Heuristic: alternate memory-heavy jobs across machines.
+
+    Sorts jobs by baseline memory intensity (descending) and deals them
+    round-robin, so each machine gets a balanced intensity mix.  A
+    class-information-only strategy a resource manager could run without
+    any trained model (the paper's Section IV-B1 "class values" use case).
+    """
+    ref = llc_reference_bytes or float(machines[0].llc.size_bytes)
+    ordered = sorted(
+        jobs, key=lambda a: a.solo_memory_intensity(ref), reverse=True
+    )
+    return round_robin(ordered, machines)

@@ -1,0 +1,153 @@
+"""Interference-aware scheduling (paper, Sections I and VI).
+
+"The information gained from accurate co-location performance degradation
+could be integrated into intelligent application scheduling" — this module
+closes that loop: a greedy scheduler that places each job on the machine
+where the trained :class:`~repro.core.methodology.PerformancePredictor`
+expects the least added slowdown (for the job *and* for the jobs already
+there), plus an evaluator that measures any placement's true outcome on the
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.methodology import PerformancePredictor
+from ..harness.baselines import BaselineTable
+from ..machine.processor import MulticoreProcessor
+from ..sim.engine import SimulationEngine
+from ..workloads.app import ApplicationSpec
+from .policies import Placement, _check_capacity
+
+__all__ = ["PlacementOutcome", "evaluate_placement", "interference_aware"]
+
+
+@dataclass(frozen=True)
+class PlacementOutcome:
+    """Simulated ground-truth result of one placement.
+
+    ``slowdowns`` maps each job (by machine, slot) to its achieved
+    normalized execution time; summary statistics aggregate them.
+    """
+
+    slowdowns: tuple[tuple[float, ...], ...]
+    times_s: tuple[tuple[float, ...], ...]
+
+    @property
+    def mean_slowdown(self) -> float:
+        """Average normalized execution time across all jobs."""
+        flat = [s for group in self.slowdowns for s in group]
+        return float(np.mean(flat)) if flat else 1.0
+
+    @property
+    def worst_slowdown(self) -> float:
+        """Worst job's normalized execution time."""
+        flat = [s for group in self.slowdowns for s in group]
+        return float(max(flat)) if flat else 1.0
+
+    @property
+    def makespan_s(self) -> float:
+        """Longest job execution time across the system."""
+        flat = [t for group in self.times_s for t in group]
+        return float(max(flat)) if flat else 0.0
+
+
+def evaluate_placement(
+    placement: Placement,
+    engines: dict[str, SimulationEngine],
+    baselines: dict[str, BaselineTable],
+) -> PlacementOutcome:
+    """Measure a placement's true per-job slowdowns on the simulator.
+
+    Each machine runs its assigned jobs co-located; each job's time is
+    taken from one steady-state solve with the others as co-runners, and
+    normalized by its solo baseline at the machine's fastest P-state.
+    """
+    slowdowns: list[tuple[float, ...]] = []
+    times: list[tuple[float, ...]] = []
+    for machine, group in zip(placement.machines, placement.assignments):
+        if not group:
+            slowdowns.append(())
+            times.append(())
+            continue
+        engine = engines[machine.name]
+        table = baselines[machine.name]
+        fmax = machine.pstates.fastest.frequency_ghz
+        group_slow = []
+        group_time = []
+        for i, job in enumerate(group):
+            co = [a for j, a in enumerate(group) if j != i]
+            run = engine.run(job, co)
+            base = table.get(job.name, fmax).wall_time_s
+            group_time.append(run.target.execution_time_s)
+            group_slow.append(run.target.execution_time_s / base)
+        slowdowns.append(tuple(group_slow))
+        times.append(tuple(group_time))
+    return PlacementOutcome(slowdowns=tuple(slowdowns), times_s=tuple(times))
+
+
+def interference_aware(
+    jobs: list[ApplicationSpec],
+    machines: tuple[MulticoreProcessor, ...],
+    predictors: dict[str, PerformancePredictor],
+    baselines: dict[str, BaselineTable],
+) -> Placement:
+    """Greedy model-driven placement.
+
+    Jobs are placed most-memory-intensive first (they are the hardest to
+    co-locate).  For each job, every machine with a free core is scored by
+    the *predicted* total slowdown of that machine's group with the job
+    added — the candidate's own predicted slowdown plus the predicted
+    worsening of the jobs already there — and the best machine wins.
+
+    Only baseline profiles and trained predictors are consulted; the
+    simulator is never queried (that would be cheating — the paper's
+    premise is prediction *before* running).
+    """
+    placement = Placement(machines=machines)
+    _check_capacity(jobs, machines)
+
+    def baseline_profile(machine: MulticoreProcessor, app: ApplicationSpec):
+        fmax = machine.pstates.fastest.frequency_ghz
+        return baselines[machine.name].get(app.name, fmax)
+
+    def predicted_group_slowdown(
+        machine: MulticoreProcessor, group: list[ApplicationSpec]
+    ) -> float:
+        """Sum of predicted normalized times over a machine's group."""
+        if not group:
+            return 0.0
+        predictor = predictors[machine.name]
+        total = 0.0
+        for i, job in enumerate(group):
+            co = [baseline_profile(machine, a) for j, a in enumerate(group) if j != i]
+            target = baseline_profile(machine, job)
+            if co:
+                total += predictor.predict_slowdown(target, co)
+            else:
+                total += 1.0
+        return total
+
+    ref = float(machines[0].llc.size_bytes)
+    ordered = sorted(
+        jobs, key=lambda a: a.solo_memory_intensity(ref), reverse=True
+    )
+    for job in ordered:
+        best_idx = None
+        best_cost = np.inf
+        for idx, machine in enumerate(placement.machines):
+            if placement.free_cores(idx) == 0:
+                continue
+            group = placement.assignments[idx]
+            before = predicted_group_slowdown(machine, group)
+            after = predicted_group_slowdown(machine, group + [job])
+            cost = after - before  # marginal predicted slowdown added
+            if cost < best_cost:
+                best_cost = cost
+                best_idx = idx
+        assert best_idx is not None  # capacity checked up front
+        placement.assign(best_idx, job)
+    return placement

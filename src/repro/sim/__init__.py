@@ -1,0 +1,35 @@
+"""Execution simulation: analytic steady-state engine + trace-driven check."""
+
+from .colocation import (
+    ColocationScenario,
+    homogeneous_scenarios,
+    normalized_execution_time,
+    run_scenario,
+)
+from .engine import (
+    AppRun,
+    ColocationRun,
+    ConvergenceError,
+    SimulationEngine,
+    SteadyState,
+)
+from .timesliced import SliceRecord, TimeSlicedResult, TimeSlicedSimulator
+from .tracesim import TraceCompetitor, TraceSharingResult, simulate_trace_sharing
+
+__all__ = [
+    "AppRun",
+    "ColocationRun",
+    "ColocationScenario",
+    "ConvergenceError",
+    "SimulationEngine",
+    "SliceRecord",
+    "SteadyState",
+    "TimeSlicedResult",
+    "TimeSlicedSimulator",
+    "TraceCompetitor",
+    "TraceSharingResult",
+    "homogeneous_scenarios",
+    "normalized_execution_time",
+    "run_scenario",
+    "simulate_trace_sharing",
+]

@@ -1,0 +1,124 @@
+"""Co-location scenario descriptions and runners.
+
+A :class:`ColocationScenario` names one cell of the paper's data-collection
+loop nest (Section IV-B3): a machine, a P-state, a target application, a
+co-located application type, and how many copies of it run alongside the
+target.  The training data uses *homogeneous* co-location (all co-runners
+identical); heterogeneous mixes are supported for testing generalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.pstates import PState
+from ..machine.processor import MulticoreProcessor
+from ..workloads.app import ApplicationSpec
+from ..workloads.suite import get_application
+from .engine import ColocationRun, SimulationEngine
+
+__all__ = [
+    "ColocationScenario",
+    "homogeneous_scenarios",
+    "run_scenario",
+    "normalized_execution_time",
+]
+
+
+@dataclass(frozen=True)
+class ColocationScenario:
+    """One co-location test: target + n copies of one co-app at one P-state."""
+
+    target: str
+    co_app: str | None
+    num_co_located: int
+    frequency_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.num_co_located < 0:
+            raise ValueError("co-location count must be non-negative")
+        if self.num_co_located > 0 and self.co_app is None:
+            raise ValueError("co-located scenario needs a co-app name")
+        if self.num_co_located == 0 and self.co_app is not None:
+            raise ValueError("baseline scenario must not name a co-app")
+
+    @property
+    def is_baseline(self) -> bool:
+        """Whether this is a solo (no co-location) run."""
+        return self.num_co_located == 0
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and reports."""
+        if self.is_baseline:
+            return f"{self.target} solo @ {self.frequency_ghz:.2f} GHz"
+        return (
+            f"{self.target} + {self.num_co_located}x {self.co_app} "
+            f"@ {self.frequency_ghz:.2f} GHz"
+        )
+
+
+def homogeneous_scenarios(
+    processor: MulticoreProcessor,
+    targets: list[str],
+    co_apps: list[str],
+    co_location_counts: list[int],
+) -> list[ColocationScenario]:
+    """The full Table V loop nest for one machine.
+
+    Produces ``frequency x target x co_app x count`` scenarios; counts that
+    exceed the machine's free cores are rejected (callers pass per-machine
+    count lists, Table V column "num. of co-locations").
+    """
+    scenarios = []
+    for count in co_location_counts:
+        processor.validate_co_location_count(count)
+    for pstate in processor.pstates:
+        for target in targets:
+            for co_app in co_apps:
+                for count in co_location_counts:
+                    scenarios.append(
+                        ColocationScenario(
+                            target=target,
+                            co_app=co_app,
+                            num_co_located=count,
+                            frequency_ghz=pstate.frequency_ghz,
+                        )
+                    )
+    return scenarios
+
+
+def _resolve(name: str, extra_apps: dict[str, ApplicationSpec] | None) -> ApplicationSpec:
+    if extra_apps and name in extra_apps:
+        return extra_apps[name]
+    return get_application(name)
+
+
+def run_scenario(
+    engine: SimulationEngine,
+    scenario: ColocationScenario,
+    *,
+    rng: np.random.Generator | None = None,
+    extra_apps: dict[str, ApplicationSpec] | None = None,
+) -> ColocationRun:
+    """Execute one scenario on an engine.
+
+    ``extra_apps`` lets callers use applications outside the Table III
+    suite (e.g. for the portability example) without registering them
+    globally.
+    """
+    pstate: PState = engine.processor.pstates.at_frequency(scenario.frequency_ghz)
+    target = _resolve(scenario.target, extra_apps)
+    if scenario.is_baseline:
+        return engine.baseline(target, pstate=pstate, rng=rng)
+    co_app = _resolve(scenario.co_app, extra_apps)  # type: ignore[arg-type]
+    co_runners = [co_app] * scenario.num_co_located
+    return engine.run(target, co_runners, pstate=pstate, rng=rng)
+
+
+def normalized_execution_time(co_located_s: float, baseline_s: float) -> float:
+    """Co-located time over baseline time (Table VI's normalized column)."""
+    if baseline_s <= 0.0:
+        raise ValueError("baseline time must be positive")
+    return co_located_s / baseline_s

@@ -1,0 +1,434 @@
+"""Analytic steady-state co-location execution engine.
+
+This is the fast substrate used for bulk data collection: it computes, for
+one multicore processor at one P-state running a *target* application
+co-located with any mix of co-runners, the steady-state execution rate of
+every application and from it the target's execution time and counter
+values.
+
+The model couples three mutually-dependent quantities in one fixed point:
+
+* per-application **throughput** (instructions/second) — depends on memory
+  stalls;
+* shared-LLC **occupancies** — depend on every application's insertion
+  (miss) rate, which depends on throughput and occupancy;
+* the loaded **DRAM latency** — depends on the aggregate miss bandwidth,
+  which depends on throughput and miss ratios.
+
+Each iteration evaluates all miss ratios through a vectorized
+:class:`~repro.cache.reuse.ProfileTable` and solves the occupancy split
+with the same rate-proportional waterfilling as the reference model in
+:mod:`repro.cache.sharing` (agreement between the two is tested).  Damped
+iteration converges in a few dozen steps.
+
+Co-runners are modeled as *continuously running*: the paper's test harness
+restarts co-located applications so that pressure on the target stays
+constant for the target's whole run — steady state is exactly the right
+abstraction.  Measurement noise is a seeded multiplicative perturbation
+applied to reported times only (the paper reports ~quarter-percent spread
+across repetitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cache.reuse import ProfileTable
+from ..cache.sharing import waterfill
+from ..machine.pstates import PState
+from ..machine.processor import MulticoreProcessor
+from ..memsys.dram import DRAMModel
+from ..workloads.app import ApplicationSpec, PhasedApplication
+
+__all__ = [
+    "AppRun",
+    "ColocationRun",
+    "ConvergenceError",
+    "SimulationEngine",
+    "SteadyState",
+]
+
+#: Exposed fraction of the LLC hit latency (out-of-order cores hide the
+#: rest); see :meth:`repro.memsys.hierarchy.MemoryHierarchy.stall_ns_per_access`.
+HIT_EXPOSURE = 0.3
+
+#: Insertion-pressure floor used by the occupancy waterfilling, matching
+#: :func:`repro.cache.sharing.solve_shared_cache`.
+PRESSURE_FLOOR = 0.002
+
+
+class ConvergenceError(RuntimeError):
+    """Raised when the steady-state fixed point fails to converge."""
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """Instantaneous steady-state rates for one set of co-located apps.
+
+    All arrays are indexed like ``apps``.  This is rate information only —
+    how long anything runs (and hence counter totals) is the caller's
+    concern, which is what lets the time-sliced simulator reuse it for
+    workloads whose membership changes over time.
+    """
+
+    apps: tuple[ApplicationSpec, ...]
+    pstate: PState
+    seconds_per_instruction: np.ndarray
+    miss_ratios: np.ndarray
+    occupancies_bytes: np.ndarray
+    miss_bandwidth_bytes_per_s: float
+    dram_utilization: float
+    dram_latency_ns: float
+    iterations: int
+
+    @property
+    def instructions_per_second(self) -> np.ndarray:
+        """Per-application steady-state throughput."""
+        return 1.0 / self.seconds_per_instruction
+
+
+@dataclass(frozen=True)
+class AppRun:
+    """Steady-state result for one application in a co-location.
+
+    Counter-style totals (instructions, accesses, misses) are reported for
+    one complete run of the application at its steady-state rate.
+    """
+
+    app: ApplicationSpec
+    execution_time_s: float
+    instructions: float
+    llc_accesses: float
+    llc_misses: float
+    miss_ratio: float
+    occupancy_bytes: float
+    instructions_per_second: float
+
+    @property
+    def memory_intensity(self) -> float:
+        """LLC misses per instruction under this co-location."""
+        return self.llc_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def ca_per_ins(self) -> float:
+        """LLC accesses per instruction (the paper's CA/INS feature)."""
+        return self.llc_accesses / self.instructions if self.instructions else 0.0
+
+    @property
+    def cm_per_ca(self) -> float:
+        """LLC misses per access (the paper's CM/CA feature)."""
+        return self.llc_misses / self.llc_accesses if self.llc_accesses else 0.0
+
+
+@dataclass(frozen=True)
+class ColocationRun:
+    """Result of simulating one co-location scenario.
+
+    ``runs[0]`` is the target application; the rest are co-runners in the
+    order given.  Machine-level state is included for analysis/debugging.
+    """
+
+    processor_name: str
+    frequency_ghz: float
+    runs: tuple[AppRun, ...]
+    dram_utilization: float
+    dram_latency_ns: float
+    iterations: int
+
+    @property
+    def target(self) -> AppRun:
+        """The target application's run."""
+        return self.runs[0]
+
+    @property
+    def co_runners(self) -> tuple[AppRun, ...]:
+        """All co-located applications' runs."""
+        return self.runs[1:]
+
+
+class SimulationEngine:
+    """Analytic co-location simulator for one multicore processor."""
+
+    def __init__(
+        self,
+        processor: MulticoreProcessor,
+        *,
+        noise_sigma: float = 0.01,
+        max_iterations: int = 600,
+        rel_tolerance: float = 1e-7,
+        damping: float = 0.5,
+    ) -> None:
+        if noise_sigma < 0.0:
+            raise ValueError("noise sigma must be non-negative")
+        if not 0.0 < damping <= 1.0:
+            raise ValueError("damping must be in (0, 1]")
+        self.processor = processor
+        self.dram = DRAMModel(processor.dram)
+        self.noise_sigma = noise_sigma
+        self.max_iterations = max_iterations
+        self.rel_tolerance = rel_tolerance
+        self.damping = damping
+
+    # ------------------------------------------------------------------ API
+
+    def run(
+        self,
+        target: ApplicationSpec | PhasedApplication,
+        co_runners: list[ApplicationSpec] | tuple[ApplicationSpec, ...] = (),
+        *,
+        pstate: PState | None = None,
+        rng: np.random.Generator | None = None,
+        fixed_occupancies: np.ndarray | None = None,
+    ) -> ColocationRun:
+        """Simulate ``target`` co-located with ``co_runners``.
+
+        Parameters
+        ----------
+        target:
+            The application whose execution time is measured.  A
+            :class:`PhasedApplication` is simulated phase by phase (each
+            phase reaches its own steady state) and the results summed.
+        co_runners:
+            Applications occupying the other cores (continuously running).
+            Phased co-runners are folded to their aggregate behaviour — a
+            restarting co-runner's pressure time-averages over its phases,
+            which is exactly what the aggregate encodes.
+        pstate:
+            Operating P-state; defaults to the fastest.
+        rng:
+            When given, multiplicative measurement noise is applied to the
+            reported execution time; omit for the noise-free prediction.
+        fixed_occupancies:
+            When given (one byte count per application, target first),
+            LLC occupancies are pinned instead of competed for — a
+            way-partitioned cache (see :mod:`repro.cache.partition`).
+            DRAM bandwidth remains shared.  Not supported for phased
+            targets.
+        """
+        co_runners = [
+            c.aggregate() if isinstance(c, PhasedApplication) else c
+            for c in co_runners
+        ]
+        self.processor.validate_co_location_count(len(co_runners))
+        if pstate is None:
+            pstate = self.processor.pstates.fastest
+        if isinstance(target, PhasedApplication):
+            if fixed_occupancies is not None:
+                raise ValueError(
+                    "fixed occupancies are not supported for phased targets"
+                )
+            return self._run_phased(target, tuple(co_runners), pstate, rng)
+        return self._run_steady(
+            target, tuple(co_runners), pstate, rng, fixed_occupancies
+        )
+
+    def baseline(
+        self,
+        app: ApplicationSpec | PhasedApplication,
+        *,
+        pstate: PState | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> ColocationRun:
+        """Solo (no co-location) run — the paper's baseline measurement."""
+        return self.run(app, (), pstate=pstate, rng=rng)
+
+    # ------------------------------------------------------------ internals
+
+    def _run_phased(
+        self,
+        target: PhasedApplication,
+        co_runners: tuple[ApplicationSpec, ...],
+        pstate: PState,
+        rng: np.random.Generator | None,
+    ) -> ColocationRun:
+        total_time = 0.0
+        tot_ins = tot_acc = tot_miss = 0.0
+        last = None
+        for phase_spec in target.phase_specs():
+            run = self._run_steady(phase_spec, co_runners, pstate, rng=None)
+            total_time += run.target.execution_time_s
+            tot_ins += run.target.instructions
+            tot_acc += run.target.llc_accesses
+            tot_miss += run.target.llc_misses
+            last = run
+        assert last is not None
+        if rng is not None and self.noise_sigma > 0.0:
+            total_time *= float(np.exp(rng.normal(0.0, self.noise_sigma)))
+        target_run = AppRun(
+            app=target.aggregate(),
+            execution_time_s=total_time,
+            instructions=tot_ins,
+            llc_accesses=tot_acc,
+            llc_misses=tot_miss,
+            miss_ratio=tot_miss / tot_acc if tot_acc else 0.0,
+            occupancy_bytes=last.target.occupancy_bytes,
+            instructions_per_second=tot_ins / total_time if total_time else 0.0,
+        )
+        return ColocationRun(
+            processor_name=self.processor.name,
+            frequency_ghz=pstate.frequency_ghz,
+            runs=(target_run,) + last.co_runners,
+            dram_utilization=last.dram_utilization,
+            dram_latency_ns=last.dram_latency_ns,
+            iterations=last.iterations,
+        )
+
+    def solve_steady_state(
+        self,
+        apps: tuple[ApplicationSpec, ...] | list[ApplicationSpec],
+        pstate: PState | None = None,
+        *,
+        fixed_occupancies: np.ndarray | None = None,
+    ) -> "SteadyState":
+        """Solve the joint throughput/occupancy/DRAM fixed point.
+
+        The low-level entry point used by :meth:`run` and by the
+        time-sliced simulator (:mod:`repro.sim.timesliced`): given the set
+        of applications currently on the machine, returns every
+        application's steady-state rate and the memory-system state, with
+        no notion of run length or noise.
+        """
+        apps = tuple(apps)
+        if not apps:
+            raise ValueError("need at least one application")
+        if len(apps) > self.processor.num_cores:
+            raise ValueError(
+                f"{len(apps)} applications exceed the "
+                f"{self.processor.num_cores} cores of {self.processor.name}"
+            )
+        if pstate is None:
+            pstate = self.processor.pstates.fastest
+        f_hz = pstate.frequency_hz
+        capacity = float(self.processor.llc.size_bytes)
+        line = float(self.processor.llc.line_bytes)
+        hit_ns = self.processor.llc.hit_latency_ns * HIT_EXPOSURE
+
+        cpi = np.array([a.base_cpi for a in apps])
+        api = np.array([a.accesses_per_instruction for a in apps])
+        mlp = np.array([a.mlp for a in apps])
+        table = ProfileTable([a.reuse for a in apps])
+        demand = np.minimum(table.footprints, capacity)
+        pinned = fixed_occupancies is not None
+        if pinned:
+            alloc = np.asarray(fixed_occupancies, dtype=float)
+            if alloc.shape != (len(apps),):
+                raise ValueError(
+                    f"need one occupancy per application, got shape {alloc.shape}"
+                )
+            if np.any(alloc < 0.0) or alloc.sum() > capacity * (1 + 1e-9):
+                raise ValueError(
+                    "fixed occupancies must be non-negative and sum to at "
+                    "most the LLC capacity"
+                )
+            # An application cannot make use of more cache than it touches.
+            fixed = np.minimum(alloc, demand)
+            fits = True  # no competition: occupancies never move
+        else:
+            fixed = None
+            fits = demand.sum() <= capacity
+
+        # Initial iterate: footprint-proportional occupancy, stall-free speed.
+        if pinned:
+            occ = fixed.copy()
+        else:
+            occ = demand.copy() if fits else waterfill(demand.copy(), demand, capacity)
+        tpi = cpi / f_hz  # seconds per instruction
+        damp = self.damping
+        iterations = 0
+        converged = False
+        for iterations in range(1, self.max_iterations + 1):
+            # The waterfill's demand clipping makes the occupancy map
+            # piecewise: near a clipping boundary the undamped iteration
+            # can limit-cycle.  Decaying the damping breaks such cycles
+            # while leaving well-behaved cases (which converge long before
+            # this) untouched.
+            if iterations % 100 == 0:
+                damp *= 0.5
+            rate = api / tpi  # LLC accesses per second per app
+            miss = table.miss_ratio(occ)
+            if pinned:
+                occ_new = occ
+            elif fits:
+                occ_new = demand
+            else:
+                pressure = rate * np.maximum(miss, PRESSURE_FLOOR)
+                occ_new = (1.0 - damp) * occ + damp * waterfill(
+                    pressure, demand, capacity
+                )
+            bandwidth = float((rate * miss).sum()) * line
+            lat_ns = float(self.dram.effective_latency_ns(bandwidth))
+            stall_ns = (1.0 - miss) * hit_ns + miss * (lat_ns / mlp)
+            tpi_new = (1.0 - damp) * tpi + damp * (cpi / f_hz + api * stall_ns * 1e-9)
+            occ_delta = float(np.max(np.abs(occ_new - occ))) / capacity
+            tpi_delta = float(np.max(np.abs(tpi_new - tpi) / tpi))
+            occ, tpi = occ_new, tpi_new
+            if occ_delta < self.rel_tolerance and tpi_delta < self.rel_tolerance:
+                converged = True
+                break
+        if not converged:
+            raise ConvergenceError(
+                f"steady state did not converge in {self.max_iterations} "
+                f"iterations for {[a.name for a in apps]} on {self.processor.name}"
+            )
+
+        miss = table.miss_ratio(occ)
+        bandwidth = float((api / tpi * miss).sum()) * line
+        rho = float(self.dram.utilization(bandwidth))
+        lat_ns = float(self.dram.effective_latency_ns(bandwidth))
+        return SteadyState(
+            apps=apps,
+            pstate=pstate,
+            seconds_per_instruction=tpi,
+            miss_ratios=miss,
+            occupancies_bytes=occ,
+            miss_bandwidth_bytes_per_s=bandwidth,
+            dram_utilization=rho,
+            dram_latency_ns=lat_ns,
+            iterations=iterations,
+        )
+
+    def _run_steady(
+        self,
+        target: ApplicationSpec,
+        co_runners: tuple[ApplicationSpec, ...],
+        pstate: PState,
+        rng: np.random.Generator | None,
+        fixed_occupancies: np.ndarray | None = None,
+    ) -> ColocationRun:
+        apps = (target,) + co_runners
+        state = self.solve_steady_state(
+            apps, pstate, fixed_occupancies=fixed_occupancies
+        )
+        tpi = state.seconds_per_instruction
+        miss = state.miss_ratios
+        occ = state.occupancies_bytes
+        api = np.array([a.accesses_per_instruction for a in apps])
+
+        runs = []
+        for i, app in enumerate(apps):
+            time_s = float(app.instructions * tpi[i])
+            if i == 0 and rng is not None and self.noise_sigma > 0.0:
+                time_s *= float(np.exp(rng.normal(0.0, self.noise_sigma)))
+            accesses = app.instructions * api[i]
+            runs.append(
+                AppRun(
+                    app=app,
+                    execution_time_s=time_s,
+                    instructions=app.instructions,
+                    llc_accesses=accesses,
+                    llc_misses=accesses * float(miss[i]),
+                    miss_ratio=float(miss[i]),
+                    occupancy_bytes=float(occ[i]),
+                    instructions_per_second=1.0 / float(tpi[i]),
+                )
+            )
+        return ColocationRun(
+            processor_name=self.processor.name,
+            frequency_ghz=pstate.frequency_ghz,
+            runs=tuple(runs),
+            dram_utilization=state.dram_utilization,
+            dram_latency_ns=state.dram_latency_ns,
+            iterations=state.iterations,
+        )

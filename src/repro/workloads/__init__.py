@@ -1,0 +1,46 @@
+"""Synthetic benchmark workloads: the Table III application suite.
+
+Stands in for the paper's PARSEC and NAS benchmark binaries; each
+application is a behavioural spec the simulator can execute and the
+performance counters can observe.
+"""
+
+from .app import ApplicationPhase, ApplicationSpec, PhasedApplication
+from .classes import (
+    CLASS_BOUNDARIES,
+    MemoryIntensityClass,
+    class_representative_intensity,
+    classify_intensity,
+)
+from .generator import generate_application, generate_batch
+from .suite import (
+    BENCHMARK_SUITE,
+    TRAINING_CO_APP_NAMES,
+    all_applications,
+    get_application,
+    intended_class,
+    measured_class,
+    training_co_apps,
+)
+from .tracegen import generate_trace, scaled_profile
+
+__all__ = [
+    "ApplicationPhase",
+    "ApplicationSpec",
+    "BENCHMARK_SUITE",
+    "CLASS_BOUNDARIES",
+    "MemoryIntensityClass",
+    "PhasedApplication",
+    "TRAINING_CO_APP_NAMES",
+    "all_applications",
+    "class_representative_intensity",
+    "classify_intensity",
+    "generate_application",
+    "generate_batch",
+    "generate_trace",
+    "get_application",
+    "intended_class",
+    "measured_class",
+    "scaled_profile",
+    "training_co_apps",
+]

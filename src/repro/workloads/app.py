@@ -1,0 +1,222 @@
+"""Synthetic application specifications.
+
+The paper's workloads are eleven PARSEC/NAS benchmarks.  We have no
+benchmark binaries (and no hardware to run them on), so each application is
+described by the handful of parameters that determine its behaviour in the
+simulated memory system:
+
+* total dynamic instruction count,
+* base CPI (cycles per instruction with a private-cache-resident working
+  set — i.e. excluding LLC/DRAM stalls),
+* LLC accesses per instruction,
+* a :class:`~repro.cache.reuse.ReuseProfile` (working sets → miss-ratio
+  curve), and
+* memory-level parallelism (how many misses overlap).
+
+These are exactly the knobs that differentiate real benchmarks from the
+point of view of the methodology, which only ever observes execution times
+and aggregate performance counters (instructions, LLC accesses, LLC
+misses).
+
+The paper notes ([SaS13]) that applications move through memory-use phases
+but demonstrates that aggregate behaviour suffices for accurate prediction.
+We mirror that: :class:`ApplicationSpec` is the aggregate description, and
+:class:`PhasedApplication` optionally expresses phase structure, with
+:meth:`PhasedApplication.aggregate` producing the equivalent aggregate spec
+the way time-averaged hardware counters would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..cache.reuse import ReuseProfile
+
+__all__ = ["ApplicationSpec", "ApplicationPhase", "PhasedApplication"]
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Aggregate behavioural description of one application.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name (e.g. ``"canneal"``).
+    suite:
+        Originating suite tag: ``"PARSEC"`` or ``"NAS"`` for the paper's
+        applications, anything for user-defined ones.
+    instructions:
+        Total dynamic instructions executed by one run.
+    base_cpi:
+        Cycles per instruction when the working set is private-cache
+        resident (no LLC misses, no contention).
+    accesses_per_instruction:
+        LLC accesses issued per instruction (the paper's CA/INS feature is
+        measured, not assumed; this is ground truth the counters observe).
+    reuse:
+        Temporal locality profile; determines the miss-ratio curve.
+    mlp:
+        Memory-level parallelism: average number of outstanding misses a
+        stalled core overlaps, >= 1.
+    """
+
+    name: str
+    suite: str
+    instructions: float
+    base_cpi: float
+    accesses_per_instruction: float
+    reuse: ReuseProfile
+    mlp: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("application needs a name")
+        if self.instructions <= 0.0:
+            raise ValueError("instruction count must be positive")
+        if self.base_cpi <= 0.0:
+            raise ValueError("base CPI must be positive")
+        if not 0.0 <= self.accesses_per_instruction <= 1.0:
+            raise ValueError("LLC accesses per instruction must be in [0, 1]")
+        if self.mlp < 1.0:
+            raise ValueError("memory-level parallelism must be >= 1")
+
+    @property
+    def footprint_bytes(self) -> float:
+        """Largest working-set size the application touches."""
+        return self.reuse.footprint_bytes
+
+    def llc_accesses(self) -> float:
+        """Total LLC accesses in one run (the TCA counter's final value)."""
+        return self.instructions * self.accesses_per_instruction
+
+    def solo_miss_ratio(self, llc_capacity_bytes: float) -> float:
+        """Miss ratio when running alone with the whole LLC available."""
+        occupancy = min(self.footprint_bytes, llc_capacity_bytes)
+        return float(self.reuse.miss_ratio(occupancy))
+
+    def solo_memory_intensity(self, llc_capacity_bytes: float) -> float:
+        """Baseline memory intensity: LLC misses per instruction, solo.
+
+        This is the metric the paper uses to place applications into memory
+        intensity classes (Table III).
+        """
+        return self.accesses_per_instruction * self.solo_miss_ratio(llc_capacity_bytes)
+
+    def scaled(self, instruction_factor: float) -> "ApplicationSpec":
+        """A copy with the instruction count scaled (longer/shorter run)."""
+        if instruction_factor <= 0.0:
+            raise ValueError("scale factor must be positive")
+        return replace(self, instructions=self.instructions * instruction_factor)
+
+
+@dataclass(frozen=True)
+class ApplicationPhase:
+    """One execution phase of a phased application.
+
+    ``fraction`` is the share of the application's total instructions spent
+    in this phase; the behavioural fields override the aggregate ones.
+    """
+
+    fraction: float
+    base_cpi: float
+    accesses_per_instruction: float
+    reuse: ReuseProfile
+    mlp: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("phase fraction must be in (0, 1]")
+        if self.base_cpi <= 0.0:
+            raise ValueError("base CPI must be positive")
+        if not 0.0 <= self.accesses_per_instruction <= 1.0:
+            raise ValueError("LLC accesses per instruction must be in [0, 1]")
+        if self.mlp < 1.0:
+            raise ValueError("memory-level parallelism must be >= 1")
+
+
+@dataclass(frozen=True)
+class PhasedApplication:
+    """An application with explicit memory-use phases.
+
+    The paper argues phase-level detail is unnecessary for accurate
+    prediction; this class exists so that claim can be *tested* — the
+    engine can simulate each phase separately, and the methodology is fed
+    only the aggregate.
+    """
+
+    name: str
+    suite: str
+    instructions: float
+    phases: tuple[ApplicationPhase, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a phased application needs at least one phase")
+        total = sum(p.fraction for p in self.phases)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"phase fractions must sum to 1, got {total}")
+        if self.instructions <= 0.0:
+            raise ValueError("instruction count must be positive")
+
+    def phase_specs(self) -> tuple[ApplicationSpec, ...]:
+        """Each phase as a standalone spec (for phase-by-phase simulation)."""
+        return tuple(
+            ApplicationSpec(
+                name=f"{self.name}#phase{i}",
+                suite=self.suite,
+                instructions=self.instructions * p.fraction,
+                base_cpi=p.base_cpi,
+                accesses_per_instruction=p.accesses_per_instruction,
+                reuse=p.reuse,
+                mlp=p.mlp,
+            )
+            for i, p in enumerate(self.phases)
+        )
+
+    def aggregate(self) -> ApplicationSpec:
+        """Instruction-weighted aggregate spec.
+
+        Models what time-averaged performance counters report: CPI and
+        access rate are instruction-weighted means; the reuse profile is
+        the access-weighted mixture of the phase profiles; MLP is
+        access-weighted (it only matters while missing).
+        """
+        fracs = np.array([p.fraction for p in self.phases])
+        cpis = np.array([p.base_cpi for p in self.phases])
+        apis = np.array([p.accesses_per_instruction for p in self.phases])
+        mlps = np.array([p.mlp for p in self.phases])
+        agg_api = float(fracs @ apis)
+        access_weights = fracs * apis
+        if access_weights.sum() > 0.0:
+            access_weights = access_weights / access_weights.sum()
+            agg_mlp = float(access_weights @ mlps)
+        else:
+            agg_mlp = float(fracs @ mlps)
+            access_weights = fracs
+        # Mixture of the phase reuse profiles, weighted by access share.
+        parts: list[tuple[float, float, float]] = []
+        compulsory = 0.0
+        for w, p in zip(access_weights, self.phases):
+            compulsory += w * p.reuse.compulsory
+            for comp in p.reuse.components:
+                parts.append(
+                    (comp.working_set_bytes,
+                     w * comp.weight * (1.0 - p.reuse.compulsory),
+                     comp.sharpness)
+                )
+        # Guard against an all-zero mixture (every phase fully compulsory).
+        if not parts or sum(p[1] for p in parts) <= 0.0:
+            parts = [(self.phases[0].reuse.footprint_bytes, 1.0, 3.0)]
+        reuse = ReuseProfile.mixture(parts, compulsory=min(compulsory, 0.999))
+        return ApplicationSpec(
+            name=self.name,
+            suite=self.suite,
+            instructions=self.instructions,
+            base_cpi=float(fracs @ cpis),
+            accesses_per_instruction=agg_api,
+            reuse=reuse,
+            mlp=max(agg_mlp, 1.0),
+        )

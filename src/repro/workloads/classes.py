@@ -1,0 +1,88 @@
+"""Memory intensity classes (paper, Table III).
+
+The paper groups its eleven applications into four classes by baseline
+memory intensity (LLC misses per instruction, measured solo).  Class I is
+the most memory-bound, Class IV the most CPU-bound, and adjacent classes
+differ by roughly an order of magnitude — which is what makes class-level
+(rather than per-application) information still useful to a resource
+manager (Section IV-B1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = [
+    "MemoryIntensityClass",
+    "CLASS_BOUNDARIES",
+    "classify_intensity",
+    "class_representative_intensity",
+]
+
+
+class MemoryIntensityClass(enum.IntEnum):
+    """The four memory intensity classes, Class I most memory intensive."""
+
+    CLASS_I = 1
+    CLASS_II = 2
+    CLASS_III = 3
+    CLASS_IV = 4
+
+    @property
+    def roman(self) -> str:
+        """Roman-numeral label as printed in the paper ("I".."IV")."""
+        return ["I", "II", "III", "IV"][self.value - 1]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Class {self.roman}"
+
+
+#: Lower intensity bound (misses / instruction) of classes I..III; anything
+#: below the Class III bound is Class IV.  Boundaries are an order of
+#: magnitude apart, mirroring the paper's observation that "memory intensity
+#: values between application classes tend to differ by orders of magnitude".
+CLASS_BOUNDARIES: dict[MemoryIntensityClass, float] = {
+    MemoryIntensityClass.CLASS_I: 2e-3,
+    MemoryIntensityClass.CLASS_II: 2e-4,
+    MemoryIntensityClass.CLASS_III: 2e-5,
+}
+
+
+def classify_intensity(memory_intensity: float) -> MemoryIntensityClass:
+    """Map a baseline memory intensity to its class.
+
+    >>> classify_intensity(5e-3)
+    <MemoryIntensityClass.CLASS_I: 1>
+    >>> classify_intensity(1e-6)
+    <MemoryIntensityClass.CLASS_IV: 4>
+    """
+    if memory_intensity < 0.0:
+        raise ValueError("memory intensity cannot be negative")
+    for cls, bound in CLASS_BOUNDARIES.items():
+        if memory_intensity >= bound:
+            return cls
+    return MemoryIntensityClass.CLASS_IV
+
+
+def class_representative_intensity(cls: MemoryIntensityClass) -> float:
+    """Geometric-mid representative intensity for one class.
+
+    Supports the paper's "developer only knows the class" use case: a model
+    can be evaluated with the class representative substituted for an
+    application's true memory intensity.
+    """
+    bounds = CLASS_BOUNDARIES
+    if cls is MemoryIntensityClass.CLASS_I:
+        # Open-ended at the top; use 3x the boundary as a representative.
+        return float(3.0 * bounds[MemoryIntensityClass.CLASS_I])
+    if cls is MemoryIntensityClass.CLASS_IV:
+        # Open-ended at the bottom; one order of magnitude under the bound.
+        return float(bounds[MemoryIntensityClass.CLASS_III] / 10.0)
+    upper = {
+        MemoryIntensityClass.CLASS_II: bounds[MemoryIntensityClass.CLASS_I],
+        MemoryIntensityClass.CLASS_III: bounds[MemoryIntensityClass.CLASS_II],
+    }[cls]
+    lower = bounds[cls]
+    return float(np.sqrt(lower * upper))

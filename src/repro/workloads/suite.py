@@ -1,0 +1,169 @@
+"""The eleven-application benchmark suite (paper, Table III).
+
+Synthetic analogs of the paper's PARSEC (P) and NAS (N) applications.  Each
+spec's parameters were chosen so that, on the reference machine (the 6-core
+Xeon E5649, whose 12 MB LLC matches the "one specific system" the paper
+measured Table III on), the application lands in its intended memory
+intensity class, and baseline execution times at the fastest P-state fall in
+the paper's reported 150–1000+ second range.
+
+Four of the applications — ``cg`` (Class I), ``sp`` (Class II),
+``fluidanimate`` (Class III) and ``ep`` (Class IV) — double as the
+co-location applications used to generate training data (Section IV-B3).
+"""
+
+from __future__ import annotations
+
+from ..cache.reuse import ReuseProfile
+from .app import ApplicationSpec
+from .classes import MemoryIntensityClass, classify_intensity
+
+__all__ = [
+    "BENCHMARK_SUITE",
+    "TRAINING_CO_APP_NAMES",
+    "all_applications",
+    "get_application",
+    "training_co_apps",
+    "intended_class",
+]
+
+
+def _mb(n: float) -> float:
+    return n * 1024.0 * 1024.0
+
+
+def _spec(
+    name: str,
+    suite: str,
+    giga_instructions: float,
+    base_cpi: float,
+    accesses_per_instruction: float,
+    parts: list[tuple[float, float] | tuple[float, float, float]],
+    compulsory: float,
+    mlp: float,
+) -> ApplicationSpec:
+    return ApplicationSpec(
+        name=name,
+        suite=suite,
+        instructions=giga_instructions * 1e9,
+        base_cpi=base_cpi,
+        accesses_per_instruction=accesses_per_instruction,
+        reuse=ReuseProfile.mixture(parts, compulsory=compulsory),
+        mlp=mlp,
+    )
+
+
+# --- Class I: memory bound, footprints far beyond any LLC ------------------
+_CG = _spec(
+    "cg", "NAS", 320.0, 0.75, 0.020,
+    [(_mb(2.0), 0.20, 3.0), (_mb(320.0), 0.80, 2.2)], compulsory=0.02, mlp=1.6,
+)
+_CANNEAL = _spec(
+    "canneal", "PARSEC", 300.0, 0.85, 0.012,
+    [(_mb(6.0), 0.45, 3.0), (_mb(220.0), 0.55, 2.0)], compulsory=0.015, mlp=1.3,
+)
+_MG = _spec(
+    "mg", "NAS", 420.0, 0.70, 0.0090,
+    [(_mb(4.0), 0.38, 3.0), (_mb(140.0), 0.62, 2.4)], compulsory=0.01, mlp=2.2,
+)
+
+# --- Class II: moderately memory bound, footprints near LLC scale ----------
+_SP = _spec(
+    "sp", "NAS", 500.0, 0.80, 0.0016,
+    [(_mb(9.0), 0.55, 3.2), (_mb(70.0), 0.45, 2.6)], compulsory=0.004, mlp=1.8,
+)
+_STREAMCLUSTER = _spec(
+    "streamcluster", "PARSEC", 380.0, 0.90, 0.0011,
+    [(_mb(11.0), 0.62, 3.4), (_mb(55.0), 0.38, 2.8)], compulsory=0.003, mlp=1.5,
+)
+
+# --- Class III: mildly memory bound, working sets around LLC size ----------
+_FLUIDANIMATE = _spec(
+    "fluidanimate", "PARSEC", 460.0, 0.95, 0.0045,
+    [(_mb(1.2), 0.60, 3.0), (_mb(5.0), 0.40, 3.6)], compulsory=0.0015, mlp=1.4,
+)
+_FT = _spec(
+    "ft", "NAS", 520.0, 0.85, 0.0050,
+    [(_mb(1.8), 0.62, 3.0), (_mb(4.5), 0.38, 3.4)], compulsory=0.0012, mlp=2.0,
+)
+_LU = _spec(
+    "lu", "NAS", 600.0, 0.80, 0.0040,
+    [(_mb(1.0), 0.70, 3.0), (_mb(5.0), 0.30, 3.4)], compulsory=0.0010, mlp=1.7,
+)
+
+# --- Class IV: CPU bound, cache resident ------------------------------------
+_EP = _spec(
+    "ep", "NAS", 700.0, 0.65, 0.0010,
+    [(_mb(0.4), 0.95, 3.0), (_mb(2.5), 0.05, 3.0)], compulsory=0.0002, mlp=1.2,
+)
+_BLACKSCHOLES = _spec(
+    "blackscholes", "PARSEC", 560.0, 0.70, 0.0006,
+    [(_mb(0.8), 0.90, 3.0), (_mb(3.0), 0.10, 3.0)], compulsory=0.0001, mlp=1.1,
+)
+_BODYTRACK = _spec(
+    "bodytrack", "PARSEC", 480.0, 0.75, 0.0008,
+    [(_mb(1.5), 0.85, 3.0), (_mb(5.0), 0.15, 3.0)], compulsory=0.0001, mlp=1.2,
+)
+
+#: All eleven applications, in Table III order (Class I first).
+BENCHMARK_SUITE: tuple[ApplicationSpec, ...] = (
+    _CG, _CANNEAL, _MG,
+    _SP, _STREAMCLUSTER,
+    _FLUIDANIMATE, _FT, _LU,
+    _EP, _BLACKSCHOLES, _BODYTRACK,
+)
+
+#: The intended Table III class of each application (checked by the
+#: calibration tests against the intensity measured on the reference
+#: machine).
+_INTENDED_CLASS: dict[str, MemoryIntensityClass] = {
+    "cg": MemoryIntensityClass.CLASS_I,
+    "canneal": MemoryIntensityClass.CLASS_I,
+    "mg": MemoryIntensityClass.CLASS_I,
+    "sp": MemoryIntensityClass.CLASS_II,
+    "streamcluster": MemoryIntensityClass.CLASS_II,
+    "fluidanimate": MemoryIntensityClass.CLASS_III,
+    "ft": MemoryIntensityClass.CLASS_III,
+    "lu": MemoryIntensityClass.CLASS_III,
+    "ep": MemoryIntensityClass.CLASS_IV,
+    "blackscholes": MemoryIntensityClass.CLASS_IV,
+    "bodytrack": MemoryIntensityClass.CLASS_IV,
+}
+
+#: The four co-location applications used for training data (Section
+#: IV-B3), one representative per memory intensity class.
+TRAINING_CO_APP_NAMES: tuple[str, ...] = ("cg", "sp", "fluidanimate", "ep")
+
+_BY_NAME: dict[str, ApplicationSpec] = {a.name: a for a in BENCHMARK_SUITE}
+
+
+def all_applications() -> tuple[ApplicationSpec, ...]:
+    """The full suite, Table III order."""
+    return BENCHMARK_SUITE
+
+
+def get_application(name: str) -> ApplicationSpec:
+    """Look up a suite application by name (case-insensitive)."""
+    try:
+        return _BY_NAME[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown application {name!r}; suite has: {known}") from None
+
+
+def training_co_apps() -> tuple[ApplicationSpec, ...]:
+    """The four training co-location applications, Class I..IV order."""
+    return tuple(get_application(n) for n in TRAINING_CO_APP_NAMES)
+
+
+def intended_class(name: str) -> MemoryIntensityClass:
+    """The Table III class the application was designed to fall in."""
+    try:
+        return _INTENDED_CLASS[name.strip().lower()]
+    except KeyError:
+        raise KeyError(f"no intended class recorded for {name!r}") from None
+
+
+def measured_class(app: ApplicationSpec, llc_capacity_bytes: float) -> MemoryIntensityClass:
+    """Class from the intensity actually measured at this LLC capacity."""
+    return classify_intensity(app.solo_memory_intensity(llc_capacity_bytes))

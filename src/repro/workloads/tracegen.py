@@ -1,0 +1,102 @@
+"""Synthetic address trace generation from reuse profiles.
+
+Generates line-granularity access traces whose LRU stack-distance
+distribution matches a :class:`~repro.cache.reuse.ReuseProfile`, using the
+classic inverse construction: to emit an access with stack distance *d*,
+touch the *d*-th most recently used distinct line.  Replaying such a trace
+through a fully-associative LRU cache of *c* lines yields a miss ratio of
+``P(distance >= c)`` — i.e. the profile's miss-ratio curve — and a
+set-associative cache approximates it (validated in ``tests/cache``).
+
+The LRU stack is a plain Python list (index 0 = most recent).  ``list.pop``
+from the middle is O(stack), so generation cost grows with the working-set
+size; traces are meant for validation-scale profiles (working sets of up to
+a few tens of thousands of lines), not for the full Table III applications
+— those are handled by the analytic engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..cache.reuse import ReuseProfile
+
+__all__ = ["generate_trace", "scaled_profile"]
+
+
+def scaled_profile(profile: ReuseProfile, factor: float) -> ReuseProfile:
+    """Shrink (or grow) every working set of a profile by ``factor``.
+
+    Used to produce validation-scale versions of the Table III applications
+    whose real footprints would make trace simulation impractically slow.
+    Miss-ratio *shape* is preserved: ``scaled.miss_ratio(c * factor) ==
+    profile.miss_ratio(c)``.
+    """
+    if factor <= 0.0:
+        raise ValueError("scale factor must be positive")
+    parts = [
+        (comp.working_set_bytes * factor, comp.weight, comp.sharpness)
+        for comp in profile.components
+    ]
+    return ReuseProfile.mixture(parts, compulsory=profile.compulsory)
+
+
+def generate_trace(
+    profile: ReuseProfile,
+    line_bytes: int,
+    num_references: int,
+    rng: np.random.Generator,
+    *,
+    max_stack_lines: int | None = None,
+) -> np.ndarray:
+    """Generate a line-number trace realizing ``profile``'s locality.
+
+    Parameters
+    ----------
+    profile:
+        Target reuse profile.
+    line_bytes:
+        Cache line size used to convert byte capacities to line distances.
+    num_references:
+        Trace length.
+    rng:
+        Seeded random generator (all stochastic components of this library
+        take one explicitly).
+    max_stack_lines:
+        Cap on tracked stack depth; defaults to the profile footprint in
+        lines.  Sampled distances beyond the cap become cold accesses.
+
+    Returns
+    -------
+    numpy.ndarray of int64 line numbers, length ``num_references``.
+    """
+    if num_references <= 0:
+        raise ValueError("trace length must be positive")
+    if max_stack_lines is None:
+        max_stack_lines = int(profile.footprint_bytes / line_bytes) + 1
+    if max_stack_lines < 1:
+        raise ValueError("stack cap must be at least one line")
+
+    distances, probabilities = profile.stack_distance_distribution(
+        line_bytes, max_distance_lines=max_stack_lines
+    )
+    sampled = rng.choice(distances, size=num_references, p=probabilities)
+
+    trace = np.empty(num_references, dtype=np.int64)
+    stack: list[int] = []  # index 0 = most recently used line number
+    next_line = 0
+    for i, d in enumerate(sampled):
+        d = int(d)
+        if 1 <= d <= len(stack):
+            # Stack distance d (1-based: distance 1 = most recent line, so a
+            # cache of d lines just barely holds it) reuses stack[d - 1].
+            line = stack.pop(d - 1)
+        else:
+            # Cold access: allocate a fresh line number.
+            line = next_line
+            next_line += 1
+        stack.insert(0, line)
+        if len(stack) > max_stack_lines:
+            stack.pop()
+        trace[i] = line
+    return trace

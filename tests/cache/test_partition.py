@@ -1,0 +1,147 @@
+"""Tests for LLC way-partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.cache.partition import (
+    WayPartition,
+    equal_partition,
+    footprint_proportional_partition,
+    protect_target_partition,
+)
+from repro.machine import XEON_E5649
+from repro.workloads.suite import get_application
+
+GEO = XEON_E5649.llc  # 12 MB, 16 ways
+
+
+class TestWayPartition:
+    def test_occupancy_conversion(self):
+        p = WayPartition(geometry=GEO, ways=(8, 4, 4))
+        occ = p.occupancies_bytes()
+        assert occ.sum() == pytest.approx(GEO.size_bytes)
+        assert occ[0] == pytest.approx(GEO.size_bytes / 2)
+
+    def test_partial_assignment_allowed(self):
+        p = WayPartition(geometry=GEO, ways=(4, 4))
+        assert p.occupancies_bytes().sum() < GEO.size_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one application"):
+            WayPartition(geometry=GEO, ways=())
+        with pytest.raises(ValueError, match="at least one way"):
+            WayPartition(geometry=GEO, ways=(0, 16))
+        with pytest.raises(ValueError, match="16"):
+            WayPartition(geometry=GEO, ways=(10, 10))
+
+
+class TestPolicies:
+    def test_equal_partition(self):
+        p = equal_partition(3, GEO)
+        assert sum(p.ways) == 16
+        assert p.ways == (6, 5, 5)  # leftovers to the target
+
+    def test_equal_partition_validation(self):
+        with pytest.raises(ValueError):
+            equal_partition(0, GEO)
+        with pytest.raises(ValueError):
+            equal_partition(17, GEO)
+
+    def test_footprint_proportional(self):
+        apps = [get_application("cg"), get_application("ep")]
+        p = footprint_proportional_partition(apps, GEO)
+        assert sum(p.ways) <= 16
+        assert p.ways[0] > p.ways[1]  # cg's footprint dwarfs ep's
+
+    def test_footprint_proportional_minimum_one_way(self):
+        apps = [get_application("cg")] + [get_application("ep")] * 3
+        p = footprint_proportional_partition(apps, GEO)
+        assert all(w >= 1 for w in p.ways)
+
+    def test_protect_target(self):
+        p = protect_target_partition(3, GEO, target_fraction=0.5)
+        assert p.ways[0] == 8
+        assert sum(p.ways[1:]) == 8
+        assert len(p.ways) == 4
+
+    def test_protect_target_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            protect_target_partition(2, GEO, target_fraction=1.0)
+        with pytest.raises(ValueError, match="cannot share"):
+            protect_target_partition(10, GEO, target_fraction=0.9)
+
+    def test_protect_target_solo(self):
+        p = protect_target_partition(0, GEO, target_fraction=0.25)
+        assert p.ways == (4,)
+
+
+class TestPartitionedExecution:
+    def test_protection_shields_the_victim(self, engine_6core):
+        """Pinned ways insulate canneal from cg's cache pressure."""
+        canneal = get_application("canneal")
+        cg = get_application("cg")
+        shared = engine_6core.run(canneal, [cg] * 3)
+        partition = protect_target_partition(3, GEO, target_fraction=0.75)
+        isolated = engine_6core.run(
+            canneal, [cg] * 3, fixed_occupancies=partition.occupancies_bytes()
+        )
+        # Under sharing, cg squeezes canneal far below 75% of the LLC.
+        assert shared.target.occupancy_bytes < 0.75 * GEO.size_bytes * 0.9
+        assert isolated.target.miss_ratio < shared.target.miss_ratio
+        assert (
+            isolated.target.execution_time_s < shared.target.execution_time_s
+        )
+
+    def test_protection_costs_the_aggressors(self, engine_6core):
+        canneal = get_application("canneal")
+        cg = get_application("cg")
+        shared = engine_6core.run(canneal, [cg] * 3)
+        partition = protect_target_partition(3, GEO, target_fraction=0.75)
+        isolated = engine_6core.run(
+            canneal, [cg] * 3, fixed_occupancies=partition.occupancies_bytes()
+        )
+        # cg loses capacity it held under sharing -> runs slower.
+        assert (
+            isolated.co_runners[0].execution_time_s
+            >= shared.co_runners[0].execution_time_s * 0.999
+        )
+
+    def test_occupancies_pinned_exactly(self, engine_6core):
+        canneal = get_application("canneal")
+        cg = get_application("cg")
+        partition = equal_partition(3, GEO)
+        run = engine_6core.run(
+            canneal, [cg] * 2, fixed_occupancies=partition.occupancies_bytes()
+        )
+        expected = partition.occupancies_bytes()
+        for app_run, alloc in zip(run.runs, expected):
+            # Pinned, but never above what the app can use.
+            cap = min(alloc, app_run.app.footprint_bytes)
+            assert app_run.occupancy_bytes == pytest.approx(cap)
+
+    def test_engine_validation(self, engine_6core):
+        canneal = get_application("canneal")
+        cg = get_application("cg")
+        with pytest.raises(ValueError, match="one occupancy per"):
+            engine_6core.run(
+                canneal, [cg], fixed_occupancies=np.array([1e6, 1e6, 1e6])
+            )
+        with pytest.raises(ValueError, match="at most the LLC"):
+            engine_6core.run(
+                canneal, [cg],
+                fixed_occupancies=np.array([GEO.size_bytes, GEO.size_bytes]),
+            )
+
+    def test_phased_target_rejected(self, engine_6core):
+        from repro.cache.reuse import ReuseProfile
+        from repro.workloads.app import ApplicationPhase, PhasedApplication
+
+        phased = PhasedApplication(
+            name="p", suite="T", instructions=1e10,
+            phases=(ApplicationPhase(1.0, 1.0, 0.001,
+                                     ReuseProfile.single(1e6)),),
+        )
+        with pytest.raises(ValueError, match="phased"):
+            engine_6core.run(
+                phased, [], fixed_occupancies=np.array([1e6])
+            )

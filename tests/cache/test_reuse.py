@@ -1,0 +1,218 @@
+"""Tests for reuse profiles and miss-ratio curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.reuse import (
+    MissRatioCurve,
+    ProfileTable,
+    ReuseComponent,
+    ReuseProfile,
+)
+
+KB = 1024.0
+MB = 1024.0 * 1024.0
+
+
+class TestReuseComponent:
+    def test_miss_fraction_half_at_working_set(self):
+        comp = ReuseComponent(working_set_bytes=1 * MB, weight=1.0)
+        assert comp.miss_fraction(1 * MB) == pytest.approx(0.5)
+
+    def test_miss_fraction_limits(self):
+        comp = ReuseComponent(working_set_bytes=1 * MB, weight=1.0)
+        assert comp.miss_fraction(0.0) == pytest.approx(1.0)
+        assert comp.miss_fraction(100 * MB) < 1e-4
+
+    def test_sharpness_controls_knee(self):
+        soft = ReuseComponent(1 * MB, 1.0, sharpness=1.0)
+        sharp = ReuseComponent(1 * MB, 1.0, sharpness=6.0)
+        # Above the knee the sharp component decays faster.
+        assert sharp.miss_fraction(2 * MB) < soft.miss_fraction(2 * MB)
+
+    def test_settled_capacity(self):
+        comp = ReuseComponent(1 * MB, 1.0, sharpness=3.0)
+        settled = comp.settled_capacity(0.05)
+        assert comp.miss_fraction(settled) == pytest.approx(0.05, rel=1e-6)
+        assert settled > comp.working_set_bytes
+
+    def test_settled_capacity_epsilon_validation(self):
+        comp = ReuseComponent(1 * MB, 1.0)
+        with pytest.raises(ValueError):
+            comp.settled_capacity(0.0)
+        with pytest.raises(ValueError):
+            comp.settled_capacity(1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"working_set_bytes": 0.0, "weight": 1.0},
+            {"working_set_bytes": 1.0, "weight": 0.0},
+            {"working_set_bytes": 1.0, "weight": 1.5},
+            {"working_set_bytes": 1.0, "weight": 1.0, "sharpness": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ReuseComponent(**kwargs)
+
+
+class TestReuseProfile:
+    def test_single(self):
+        p = ReuseProfile.single(1 * MB, compulsory=0.1)
+        assert p.miss_ratio(1e12) == pytest.approx(0.1, abs=1e-3)
+        assert p.miss_ratio(0.0) == pytest.approx(1.0)
+
+    def test_mixture_normalizes_weights(self):
+        p = ReuseProfile.mixture([(1 * MB, 2.0), (4 * MB, 2.0)])
+        assert sum(c.weight for c in p.components) == pytest.approx(1.0)
+
+    def test_mixture_with_sharpness(self):
+        p = ReuseProfile.mixture([(1 * MB, 1.0, 5.0)])
+        assert p.components[0].sharpness == 5.0
+
+    def test_weights_must_sum_to_one(self):
+        comps = (ReuseComponent(1 * MB, 0.5),)
+        with pytest.raises(ValueError, match="sum to 1"):
+            ReuseProfile(components=comps)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReuseProfile(components=())
+        with pytest.raises(ValueError):
+            ReuseProfile.mixture([])
+
+    def test_compulsory_bounds(self):
+        with pytest.raises(ValueError):
+            ReuseProfile.single(1 * MB, compulsory=1.0)
+        with pytest.raises(ValueError):
+            ReuseProfile.single(1 * MB, compulsory=-0.1)
+
+    def test_miss_ratio_monotone_nonincreasing(self, small_profile):
+        caps = np.linspace(0, 1 * MB, 200)
+        mrs = np.asarray(small_profile.miss_ratio(caps))
+        assert np.all(np.diff(mrs) <= 1e-12)
+
+    def test_miss_ratio_bounded(self, small_profile):
+        caps = np.geomspace(1.0, 100 * MB, 50)
+        mrs = np.asarray(small_profile.miss_ratio(caps))
+        assert np.all(mrs >= small_profile.compulsory - 1e-12)
+        assert np.all(mrs <= 1.0)
+
+    def test_miss_ratio_scalar_and_vector_agree(self, small_profile):
+        caps = np.array([0.0, 16 * KB, 64 * KB, 1 * MB])
+        vec = np.asarray(small_profile.miss_ratio(caps))
+        scal = np.array([small_profile.miss_ratio(float(c)) for c in caps])
+        np.testing.assert_allclose(vec, scal)
+
+    def test_footprint_is_settled_capacity(self):
+        p = ReuseProfile.mixture([(1 * MB, 0.5), (4 * MB, 0.5)])
+        expected = max(c.settled_capacity() for c in p.components)
+        assert p.footprint_bytes == pytest.approx(expected)
+        assert p.max_working_set_bytes == pytest.approx(4 * MB)
+
+    def test_curve_tabulation(self, small_profile):
+        curve = small_profile.curve(1 * MB, points=64)
+        assert curve.is_monotone_nonincreasing()
+        assert curve(0.0) == pytest.approx(float(small_profile.miss_ratio(0.0)))
+        mid = 128 * KB
+        assert curve(mid) == pytest.approx(
+            float(small_profile.miss_ratio(mid)), abs=0.02
+        )
+
+    def test_stack_distance_distribution_sums_to_one(self, small_profile):
+        dist, prob = small_profile.stack_distance_distribution(64)
+        assert prob.sum() == pytest.approx(1.0)
+        assert np.all(prob >= 0.0)
+        assert dist[-1] == np.iinfo(np.int64).max
+
+    def test_stack_distance_cdf_matches_miss_ratio(self, small_profile):
+        line = 64
+        dist, prob = small_profile.stack_distance_distribution(line)
+        # P(distance > d) should approximate miss_ratio(d * line).
+        d_query = int(32 * KB // line)
+        tail = prob[dist > d_query].sum()
+        expected = float(small_profile.miss_ratio(d_query * line))
+        assert tail == pytest.approx(expected, abs=0.03)
+
+    def test_stack_distance_rejects_bad_args(self, small_profile):
+        with pytest.raises(ValueError):
+            small_profile.stack_distance_distribution(0)
+        with pytest.raises(ValueError):
+            small_profile.stack_distance_distribution(64, max_distance_lines=0)
+
+    @given(
+        ws=st.floats(min_value=1 * KB, max_value=10 * MB),
+        compulsory=st.floats(min_value=0.0, max_value=0.5),
+        sharp=st.floats(min_value=0.5, max_value=8.0),
+    )
+    @settings(max_examples=50)
+    def test_property_monotone_any_profile(self, ws, compulsory, sharp):
+        p = ReuseProfile.mixture([(ws, 1.0, sharp)], compulsory=compulsory)
+        caps = np.geomspace(1.0, 20 * ws, 64)
+        mrs = np.asarray(p.miss_ratio(caps))
+        assert np.all(np.diff(mrs) <= 1e-9)
+        assert mrs[0] <= 1.0 and mrs[-1] >= compulsory - 1e-9
+
+
+class TestMissRatioCurve:
+    def test_interpolation(self):
+        curve = MissRatioCurve(
+            capacities=np.array([0.0, 10.0, 20.0]),
+            miss_ratios=np.array([1.0, 0.5, 0.0]),
+        )
+        assert curve(5.0) == pytest.approx(0.75)
+        assert curve(15.0) == pytest.approx(0.25)
+
+    def test_clamps_outside_range(self):
+        curve = MissRatioCurve(
+            capacities=np.array([10.0, 20.0]),
+            miss_ratios=np.array([0.8, 0.2]),
+        )
+        assert curve(0.0) == pytest.approx(0.8)
+        assert curve(100.0) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MissRatioCurve(np.array([1.0, 1.0]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError, match="within"):
+            MissRatioCurve(np.array([0.0, 1.0]), np.array([1.5, 0.5]))
+        with pytest.raises(ValueError, match="at least two"):
+            MissRatioCurve(np.array([0.0]), np.array([0.5]))
+        with pytest.raises(ValueError, match="equal-length"):
+            MissRatioCurve(np.array([0.0, 1.0]), np.array([0.5]))
+
+    def test_monotone_check(self):
+        up = MissRatioCurve(np.array([0.0, 1.0]), np.array([0.2, 0.8]))
+        assert not up.is_monotone_nonincreasing()
+
+
+class TestProfileTable:
+    def test_matches_scalar_path(self, rng):
+        profiles = [
+            ReuseProfile.mixture([(1 * MB, 0.7), (8 * MB, 0.3)], compulsory=0.01),
+            ReuseProfile.single(512 * KB, compulsory=0.1),
+            ReuseProfile.mixture([(64 * KB, 0.2, 2.0), (2 * MB, 0.8, 4.0)]),
+        ]
+        table = ProfileTable(profiles)
+        occ = rng.uniform(0, 4 * MB, size=3)
+        batched = table.miss_ratio(occ)
+        scalar = np.array([p.miss_ratio(float(o)) for p, o in zip(profiles, occ)])
+        np.testing.assert_allclose(batched, scalar, rtol=1e-12)
+
+    def test_footprints_match(self):
+        profiles = [ReuseProfile.single(1 * MB), ReuseProfile.single(4 * MB)]
+        table = ProfileTable(profiles)
+        np.testing.assert_allclose(
+            table.footprints, [p.footprint_bytes for p in profiles]
+        )
+
+    def test_shape_validation(self):
+        table = ProfileTable([ReuseProfile.single(1 * MB)])
+        with pytest.raises(ValueError, match="expected 1"):
+            table.miss_ratio(np.zeros(2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ProfileTable([])

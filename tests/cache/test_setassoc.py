@@ -1,0 +1,166 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.reuse import ReuseProfile
+from repro.cache.setassoc import (
+    CacheStats,
+    SetAssociativeCache,
+    measure_miss_ratio_curve,
+)
+from repro.machine.processor import CacheGeometry
+
+
+def small_geometry(sets=4, assoc=2, line=64):
+    return CacheGeometry(
+        size_bytes=sets * assoc * line, line_bytes=line, associativity=assoc
+    )
+
+
+class TestCacheStats:
+    def test_miss_ratio(self):
+        s = CacheStats(accesses=10, hits=7, misses=3)
+        assert s.miss_ratio == pytest.approx(0.3)
+
+    def test_miss_ratio_empty(self):
+        assert CacheStats().miss_ratio == 0.0
+
+    def test_merge(self):
+        a = CacheStats(accesses=5, hits=3, misses=2, evictions=1)
+        b = CacheStats(accesses=1, hits=0, misses=1, evictions=0)
+        m = a.merge(b)
+        assert (m.accesses, m.hits, m.misses, m.evictions) == (6, 3, 3, 1)
+
+
+class TestSetAssociativeCache:
+    def test_first_access_misses_then_hits(self):
+        cache = SetAssociativeCache(small_geometry())
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.stats.accesses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        # Direct-mapped would be trivial; use 2-way and force one set.
+        cache = SetAssociativeCache(small_geometry(sets=4, assoc=2))
+        # Lines 0, 4, 8 all map to set 0 (line % 4).
+        cache.access(0)
+        cache.access(4)
+        cache.access(0)      # 0 is now MRU, 4 LRU
+        cache.access(8)      # evicts 4
+        assert cache.access(0) is True
+        assert cache.access(4) is False  # was evicted
+        assert cache.stats.evictions >= 1
+
+    def test_capacity_never_exceeded(self):
+        geo = small_geometry(sets=2, assoc=2)
+        cache = SetAssociativeCache(geo)
+        for line in range(100):
+            cache.access(line)
+        assert cache.occupancy() <= geo.num_lines
+
+    def test_owners_do_not_alias(self):
+        cache = SetAssociativeCache(small_geometry())
+        cache.access(7, owner=0)
+        # Same line number, different owner: must miss.
+        assert cache.access(7, owner=1) is False
+        assert cache.owner_stats(0).accesses == 1
+        assert cache.owner_stats(1).misses == 1
+
+    def test_per_owner_occupancy(self):
+        cache = SetAssociativeCache(small_geometry(sets=8, assoc=4))
+        for line in range(4):
+            cache.access(line, owner=0)
+        for line in range(2):
+            cache.access(line, owner=1)
+        assert cache.occupancy(0) == 4
+        assert cache.occupancy(1) == 2
+        assert cache.occupancy() == 6
+
+    def test_reset_stats_keeps_contents(self):
+        cache = SetAssociativeCache(small_geometry())
+        cache.access(3)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+        assert cache.access(3) is True  # still resident
+
+    def test_flush_clears_contents(self):
+        cache = SetAssociativeCache(small_geometry())
+        cache.access(3)
+        cache.flush()
+        assert cache.access(3) is False
+
+    def test_access_trace_equals_scalar_loop(self, rng):
+        geo = small_geometry(sets=8, assoc=2)
+        trace = rng.integers(0, 64, size=500)
+        c1 = SetAssociativeCache(geo)
+        stats = c1.access_trace(trace)
+        c2 = SetAssociativeCache(geo)
+        hits = sum(c2.access(int(l)) for l in trace)
+        assert stats.hits == hits
+        assert stats.accesses == 500
+        assert stats.misses == 500 - hits
+
+    def test_access_trace_returns_delta_not_total(self, rng):
+        cache = SetAssociativeCache(small_geometry())
+        t1 = rng.integers(0, 8, size=100)
+        t2 = rng.integers(0, 8, size=100)
+        cache.access_trace(t1)
+        stats2 = cache.access_trace(t2)
+        assert stats2.accesses == 100
+        assert cache.stats.accesses == 200
+
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        geo = small_geometry(sets=4, assoc=4)  # 16 lines
+        cache = SetAssociativeCache(geo)
+        trace = np.tile(np.arange(16), 10)
+        cache.access_trace(trace[:16])
+        cache.reset_stats()
+        stats = cache.access_trace(trace[16:])
+        assert stats.miss_ratio == 0.0
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20, deadline=None)
+    def test_property_hits_plus_misses(self, assoc, sets):
+        geo = CacheGeometry(
+            size_bytes=sets * assoc * 64, line_bytes=64, associativity=assoc
+        )
+        cache = SetAssociativeCache(geo)
+        rng = np.random.default_rng(sets * 10 + assoc)
+        trace = rng.integers(0, 4 * sets, size=200)
+        stats = cache.access_trace(trace)
+        assert stats.hits + stats.misses == stats.accesses == 200
+        assert cache.occupancy() <= geo.num_lines
+
+
+class TestMeasureMissRatioCurve:
+    def test_curve_monotone_for_looping_trace(self):
+        # A cyclic trace over N lines has a cliff at N lines of capacity.
+        geo = small_geometry(sets=16, assoc=4)
+        trace = np.tile(np.arange(32), 60)
+        caps = np.array([8, 16, 32, 64, 128]) * 64.0
+        curve = measure_miss_ratio_curve(trace, geo, caps)
+        assert curve.miss_ratios[0] >= curve.miss_ratios[-1]
+        # Everything fits at 128 lines: essentially no misses post warmup.
+        assert curve.miss_ratios[-1] < 0.05
+
+    def test_matches_generating_profile(self, small_profile, rng):
+        from repro.workloads.tracegen import generate_trace
+
+        geo = CacheGeometry(size_bytes=256 * 1024, line_bytes=64, associativity=8)
+        trace = generate_trace(small_profile, 64, 120_000, rng)
+        caps = np.array([8, 32, 64, 128, 192, 320]) * 1024.0
+        curve = measure_miss_ratio_curve(trace, geo, caps)
+        predicted = np.asarray(small_profile.miss_ratio(caps))
+        # Trace-driven set-associative measurements track the analytic MRC.
+        np.testing.assert_allclose(curve.miss_ratios, predicted, atol=0.08)
+
+    def test_validation(self):
+        geo = small_geometry()
+        with pytest.raises(ValueError, match="warmup"):
+            measure_miss_ratio_curve(np.arange(10), geo, [64.0, 128.0], warmup_fraction=1.0)
+        with pytest.raises(ValueError, match="two capacities"):
+            measure_miss_ratio_curve(np.arange(10), geo, [64.0])

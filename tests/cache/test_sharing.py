@@ -1,0 +1,140 @@
+"""Tests for the analytic shared-cache occupancy model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.reuse import ReuseProfile
+from repro.cache.sharing import (
+    CacheCompetitor,
+    solve_shared_cache,
+    waterfill,
+)
+
+MB = 1024.0 * 1024.0
+
+
+class TestWaterfill:
+    def test_proportional_when_unconstrained(self):
+        alloc = waterfill(np.array([1.0, 3.0]), np.array([100.0, 100.0]), 40.0)
+        np.testing.assert_allclose(alloc, [10.0, 30.0])
+
+    def test_caps_at_demand_and_redistributes(self):
+        alloc = waterfill(np.array([1.0, 1.0]), np.array([5.0, 100.0]), 40.0)
+        np.testing.assert_allclose(alloc, [5.0, 35.0])
+
+    def test_never_exceeds_capacity(self):
+        alloc = waterfill(np.array([2.0, 5.0, 1.0]), np.array([10.0, 10.0, 10.0]), 12.0)
+        assert alloc.sum() <= 12.0 + 1e-9
+        assert np.all(alloc <= 10.0 + 1e-9)
+
+    def test_zero_pressure_splits_evenly(self):
+        alloc = waterfill(np.zeros(2), np.array([100.0, 100.0]), 10.0)
+        np.testing.assert_allclose(alloc, [5.0, 5.0])
+
+    def test_all_demand_satisfiable(self):
+        alloc = waterfill(np.array([1.0, 1.0]), np.array([3.0, 4.0]), 100.0)
+        np.testing.assert_allclose(alloc, [3.0, 4.0])
+
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        cap=st.floats(min_value=1.0, max_value=1000.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60)
+    def test_property_feasible_allocation(self, n, cap, seed):
+        rng = np.random.default_rng(seed)
+        pressure = rng.uniform(0.0, 10.0, n)
+        demand = rng.uniform(0.1, 500.0, n)
+        alloc = waterfill(pressure, demand, cap)
+        assert np.all(alloc >= -1e-9)
+        assert np.all(alloc <= demand + 1e-6)
+        assert alloc.sum() <= cap + 1e-6
+        # Capacity is exhausted unless all demand is satisfied.
+        if demand.sum() > cap:
+            assert alloc.sum() == pytest.approx(cap, rel=1e-6)
+
+
+class TestSolveSharedCache:
+    def test_single_app_gets_min_footprint_capacity(self, small_profile):
+        sol = solve_shared_cache(
+            [CacheCompetitor(small_profile, access_rate=1e6)], 10 * MB
+        )
+        assert sol.converged
+        assert sol.occupancies_bytes[0] == pytest.approx(
+            min(small_profile.footprint_bytes, 10 * MB)
+        )
+        assert sol.miss_ratios[0] == pytest.approx(
+            float(small_profile.miss_ratio(sol.occupancies_bytes[0])), rel=1e-6
+        )
+
+    def test_everything_fits_no_competition(self):
+        p = ReuseProfile.single(64 * 1024)
+        comps = [CacheCompetitor(p, 1e6), CacheCompetitor(p, 1e6)]
+        sol = solve_shared_cache(comps, 10 * MB)
+        assert sol.iterations == 0
+        np.testing.assert_allclose(
+            sol.occupancies_bytes, [p.footprint_bytes] * 2
+        )
+
+    def test_identical_competitors_split_evenly(self):
+        p = ReuseProfile.single(8 * MB)
+        comps = [CacheCompetitor(p, 1e6), CacheCompetitor(p, 1e6)]
+        sol = solve_shared_cache(comps, 10 * MB)
+        assert sol.converged
+        assert sol.occupancies_bytes[0] == pytest.approx(
+            sol.occupancies_bytes[1], rel=1e-3
+        )
+        assert sol.occupancies_bytes.sum() == pytest.approx(10 * MB, rel=1e-3)
+
+    def test_higher_rate_wins_capacity(self):
+        p = ReuseProfile.single(8 * MB)
+        comps = [CacheCompetitor(p, 1e7), CacheCompetitor(p, 1e6)]
+        sol = solve_shared_cache(comps, 10 * MB)
+        assert sol.occupancies_bytes[0] > sol.occupancies_bytes[1]
+
+    def test_adding_competitors_raises_target_misses(self):
+        target = ReuseProfile.single(6 * MB)
+        aggressor = ReuseProfile.single(64 * MB)
+        prev = None
+        for n in range(0, 4):
+            comps = [CacheCompetitor(target, 1e6)] + [
+                CacheCompetitor(aggressor, 1e7) for _ in range(n)
+            ]
+            sol = solve_shared_cache(comps, 12 * MB)
+            mr = sol.miss_ratios[0]
+            if prev is not None:
+                assert mr >= prev - 1e-9
+            prev = mr
+
+    def test_occupancies_within_capacity(self, small_profile):
+        comps = [CacheCompetitor(small_profile, 10 ** (5 + i)) for i in range(5)]
+        sol = solve_shared_cache(comps, 256 * 1024)
+        assert sol.occupancies_bytes.sum() <= 256 * 1024 * (1 + 1e-6)
+        assert np.all(sol.occupancies_bytes >= 0.0)
+
+    def test_validation(self, small_profile):
+        comp = CacheCompetitor(small_profile, 1e6)
+        with pytest.raises(ValueError, match="capacity"):
+            solve_shared_cache([comp], 0.0)
+        with pytest.raises(ValueError, match="at least one"):
+            solve_shared_cache([], 1 * MB)
+        with pytest.raises(ValueError, match="damping"):
+            solve_shared_cache([comp], 1 * MB, damping=0.0)
+        with pytest.raises(ValueError, match="access rate"):
+            CacheCompetitor(small_profile, -1.0)
+
+    @given(
+        rates=st.lists(
+            st.floats(min_value=1e3, max_value=1e9), min_size=2, max_size=6
+        ),
+        cap_mb=st.floats(min_value=1.0, max_value=32.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_fixed_point_feasible(self, rates, cap_mb):
+        p = ReuseProfile.mixture([(2 * MB, 0.5), (16 * MB, 0.5)], compulsory=0.01)
+        comps = [CacheCompetitor(p, r) for r in rates]
+        sol = solve_shared_cache(comps, cap_mb * MB)
+        assert sol.occupancies_bytes.sum() <= cap_mb * MB * (1 + 1e-6)
+        assert np.all(sol.miss_ratios >= 0.0)
+        assert np.all(sol.miss_ratios <= 1.0)

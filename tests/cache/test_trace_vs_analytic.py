@@ -1,0 +1,86 @@
+"""Cross-validation: analytic sharing model vs trace-driven ground truth.
+
+The central substrate claim of DESIGN.md: the rate-proportional occupancy
+equilibrium (`repro.cache.sharing`) predicts what actually emerges when
+interleaved synthetic traces share a real (simulated) set-associative LRU
+cache (`repro.sim.tracesim`).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.reuse import ReuseProfile
+from repro.cache.sharing import CacheCompetitor, solve_shared_cache
+from repro.machine.processor import CacheGeometry
+from repro.sim.tracesim import TraceCompetitor, simulate_trace_sharing
+
+KB = 1024.0
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    # 256 KB shared cache, validation scale.
+    return CacheGeometry(size_bytes=256 * 1024, line_bytes=64, associativity=8)
+
+
+def run_both(profiles_weights, geometry, n_refs=300_000, seed=11):
+    """Run the trace simulation and the analytic solver on the same setup."""
+    rng = np.random.default_rng(seed)
+    tcs = [
+        TraceCompetitor(f"app{i}", p, w) for i, (p, w) in enumerate(profiles_weights)
+    ]
+    measured = simulate_trace_sharing(tcs, geometry, n_refs, rng)
+    analytic = solve_shared_cache(
+        [CacheCompetitor(p, w) for p, w in profiles_weights],
+        geometry.size_bytes,
+    )
+    return measured, analytic
+
+
+class TestAgreement:
+    def test_two_equal_streams(self, geometry):
+        p = ReuseProfile.single(96 * KB, compulsory=0.02)
+        measured, analytic = run_both([(p, 1.0), (p, 1.0)], geometry)
+        np.testing.assert_allclose(
+            measured.miss_ratios, analytic.miss_ratios, atol=0.10
+        )
+
+    def test_aggressor_vs_victim_miss_ratios(self, geometry):
+        victim = ReuseProfile.single(64 * KB, compulsory=0.01)
+        aggressor = ReuseProfile.single(1024 * KB, compulsory=0.02)
+        measured, analytic = run_both(
+            [(victim, 1.0), (aggressor, 3.0)], geometry
+        )
+        # Both models agree the victim suffers and the aggressor streams.
+        np.testing.assert_allclose(
+            measured.miss_ratios, analytic.miss_ratios, atol=0.12
+        )
+
+    def test_victim_degrades_with_aggressor_pressure_in_both_models(self, geometry):
+        victim = ReuseProfile.single(64 * KB, compulsory=0.01)
+        aggressor = ReuseProfile.single(1024 * KB, compulsory=0.02)
+        measured_mrs, analytic_mrs = [], []
+        for weight in (0.5, 2.0, 8.0):
+            measured, analytic = run_both(
+                [(victim, 1.0), (aggressor, weight)], geometry, n_refs=200_000
+            )
+            measured_mrs.append(measured.miss_ratios[0])
+            analytic_mrs.append(analytic.miss_ratios[0])
+        # Monotone degradation of the victim, in both worlds.
+        assert measured_mrs[0] <= measured_mrs[-1] + 0.02
+        assert analytic_mrs[0] <= analytic_mrs[-1] + 1e-9
+
+    def test_occupancy_split_direction_matches(self, geometry):
+        small = ReuseProfile.single(48 * KB, compulsory=0.01)
+        big = ReuseProfile.single(512 * KB, compulsory=0.01)
+        measured, analytic = run_both([(small, 1.0), (big, 1.0)], geometry)
+        # The big/high-miss stream holds more of the cache in both models.
+        assert measured.occupancies_bytes[1] > measured.occupancies_bytes[0]
+        assert analytic.occupancies_bytes[1] > analytic.occupancies_bytes[0]
+
+    def test_solo_stream_matches_profile(self, geometry):
+        p = ReuseProfile.single(96 * KB, compulsory=0.02)
+        measured, analytic = run_both([(p, 1.0)], geometry)
+        expected = float(p.miss_ratio(min(p.footprint_bytes, geometry.size_bytes)))
+        assert measured.miss_ratios[0] == pytest.approx(expected, abs=0.08)
+        assert analytic.miss_ratios[0] == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite.
+
+Heavy artifacts (engines, baseline tables, a reduced training dataset) are
+session-scoped: collecting them once keeps the several-hundred-test suite
+fast while still exercising the real code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cache.reuse import ReuseProfile
+from repro.harness.baselines import collect_baselines
+from repro.harness.collection import collect_training_data
+from repro.machine import XEON_E5649, XEON_E5_2697V2
+from repro.sim import SimulationEngine
+from repro.workloads import all_applications, get_application
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def engine_6core() -> SimulationEngine:
+    """Engine for the 6-core Xeon E5649."""
+    return SimulationEngine(XEON_E5649)
+
+
+@pytest.fixture(scope="session")
+def engine_12core() -> SimulationEngine:
+    """Engine for the 12-core Xeon E5-2697v2."""
+    return SimulationEngine(XEON_E5_2697V2)
+
+
+@pytest.fixture(scope="session")
+def baselines_6core(engine_6core):
+    """Baseline table for all 11 apps on the 6-core machine."""
+    return collect_baselines(engine_6core, all_applications())
+
+
+@pytest.fixture(scope="session")
+def small_dataset(engine_6core, baselines_6core):
+    """A reduced-but-real training dataset on the 6-core machine.
+
+    Four targets (one per class), two co-apps, three counts — 144
+    observations, still spanning the contention space.
+    """
+    targets = [get_application(n) for n in ("canneal", "sp", "fluidanimate", "ep")]
+    co_apps = [get_application(n) for n in ("cg", "ep")]
+    return collect_training_data(
+        engine_6core,
+        baselines=baselines_6core,
+        targets=targets,
+        co_apps=co_apps,
+        counts=(1, 3, 5),
+        rng=np.random.default_rng(7),
+    )
+
+
+@pytest.fixture
+def small_profile() -> ReuseProfile:
+    """A validation-scale reuse profile (working sets in the tens of KB)."""
+    return ReuseProfile.mixture(
+        [(16 * 1024, 0.6, 3.0), (96 * 1024, 0.4, 3.0)], compulsory=0.02
+    )

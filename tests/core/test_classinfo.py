@@ -1,0 +1,108 @@
+"""Tests for class-level prediction (Section IV-B1's degraded mode)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classinfo import ClassProfiles, predict_time_from_classes
+from repro.core.feature_sets import FeatureSet
+from repro.core.methodology import ModelKind, PerformancePredictor
+from repro.workloads.classes import MemoryIntensityClass, classify_intensity
+from repro.workloads.suite import get_application
+
+
+@pytest.fixture(scope="module")
+def class_profiles(baselines_6core):
+    fmax = 2.53
+    profiles = [
+        baselines_6core.get(name, fmax)
+        for name in baselines_6core.app_names()
+    ]
+    return ClassProfiles.from_profiles(profiles)
+
+
+class TestClassProfiles:
+    def test_intensities_ordered_by_class(self, class_profiles):
+        vals = [class_profiles.intensity[c] for c in MemoryIntensityClass]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_representatives_fall_in_their_class(self, class_profiles):
+        for c in MemoryIntensityClass:
+            assert classify_intensity(class_profiles.intensity[c]) is c
+
+    def test_ratios_positive(self, class_profiles):
+        for c in MemoryIntensityClass:
+            assert class_profiles.cm_per_ca[c] > 0.0
+            assert class_profiles.ca_per_ins[c] > 0.0
+
+    def test_missing_class_falls_back(self, baselines_6core):
+        # Build from Class IV apps only; other classes use fallbacks.
+        profiles = [baselines_6core.get("ep", 2.53)]
+        cp = ClassProfiles.from_profiles(profiles)
+        assert classify_intensity(cp.intensity[MemoryIntensityClass.CLASS_I]) is (
+            MemoryIntensityClass.CLASS_I
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClassProfiles.from_profiles([])
+
+    def test_synthetic_profile_ratios(self, class_profiles, baselines_6core):
+        template = baselines_6core.get("canneal", 2.53)
+        synth = class_profiles.synthetic_profile(
+            template, MemoryIntensityClass.CLASS_I
+        )
+        assert synth.memory_intensity == pytest.approx(
+            class_profiles.intensity[MemoryIntensityClass.CLASS_I]
+        )
+        assert synth.ca_per_ins == pytest.approx(
+            class_profiles.ca_per_ins[MemoryIntensityClass.CLASS_I]
+        )
+        assert synth.processor_name == template.processor_name
+
+
+class TestPredictFromClasses:
+    @pytest.fixture(scope="class")
+    def predictor(self, small_dataset):
+        p = PerformancePredictor(ModelKind.NEURAL, FeatureSet.F, seed=0)
+        p.fit(list(small_dataset))
+        return p
+
+    def test_class_prediction_tracks_exact_prediction(
+        self, predictor, class_profiles, baselines_6core, engine_6core
+    ):
+        """Knowing only 'three Class I co-runners' should land in the same
+        regime as knowing they are exactly cg."""
+        fmax = 2.53
+        target = baselines_6core.get("canneal", fmax)
+        exact = predictor.predict_time(
+            target, [baselines_6core.get("cg", fmax)] * 3
+        )
+        by_class = predict_time_from_classes(
+            predictor,
+            class_profiles,
+            target,
+            [MemoryIntensityClass.CLASS_I] * 3,
+        )
+        assert by_class == pytest.approx(exact, rel=0.15)
+
+    def test_heavier_classes_predict_longer_times(
+        self, predictor, class_profiles, baselines_6core
+    ):
+        target = baselines_6core.get("canneal", 2.53)
+        t_heavy = predict_time_from_classes(
+            predictor, class_profiles, target, [MemoryIntensityClass.CLASS_I] * 4
+        )
+        t_light = predict_time_from_classes(
+            predictor, class_profiles, target, [MemoryIntensityClass.CLASS_IV] * 4
+        )
+        assert t_heavy > t_light
+
+    def test_mixed_classes(self, predictor, class_profiles, baselines_6core):
+        target = baselines_6core.get("sp", 2.53)
+        t = predict_time_from_classes(
+            predictor,
+            class_profiles,
+            target,
+            [MemoryIntensityClass.CLASS_I, MemoryIntensityClass.CLASS_IV],
+        )
+        assert np.isfinite(t) and t > 0.0

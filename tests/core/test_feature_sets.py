@@ -1,0 +1,53 @@
+"""Tests for Table II feature sets."""
+
+import pytest
+
+from repro.core.feature_sets import FEATURE_SETS, FeatureSet, features_for
+from repro.core.features import Feature
+
+
+class TestFeatureSets:
+    def test_six_sets(self):
+        assert len(FeatureSet) == 6
+        assert [fs.value for fs in FeatureSet] == ["A", "B", "C", "D", "E", "F"]
+
+    def test_nested(self):
+        """Each set strictly extends the previous (Table II structure)."""
+        sets = [set(FEATURE_SETS[fs]) for fs in FeatureSet]
+        for smaller, larger in zip(sets, sets[1:]):
+            assert smaller < larger
+
+    def test_set_a_is_baseline_only(self):
+        assert FEATURE_SETS[FeatureSet.A] == (Feature.BASE_EX_TIME,)
+
+    def test_set_f_uses_all_features(self):
+        assert set(FEATURE_SETS[FeatureSet.F]) == set(Feature)
+
+    def test_table2_increments(self):
+        """The specific feature added at each step matches Table II."""
+        diffs = []
+        sets = list(FeatureSet)
+        for prev, cur in zip(sets, sets[1:]):
+            added = set(FEATURE_SETS[cur]) - set(FEATURE_SETS[prev])
+            diffs.append(added)
+        assert diffs[0] == {Feature.NUM_CO_APP}                      # B
+        assert diffs[1] == {Feature.CO_APP_MEM}                      # C
+        assert diffs[2] == {Feature.TARGET_MEM}                      # D
+        assert diffs[3] == {Feature.CO_APP_CM_CA, Feature.CO_APP_CA_INS}  # E
+        assert diffs[4] == {Feature.TARGET_CM_CA, Feature.TARGET_CA_INS}  # F
+
+    def test_features_property(self):
+        assert FeatureSet.C.features == FEATURE_SETS[FeatureSet.C]
+
+
+class TestFeaturesFor:
+    def test_accepts_enum(self):
+        assert features_for(FeatureSet.B) == FEATURE_SETS[FeatureSet.B]
+
+    def test_accepts_letter_any_case(self):
+        assert features_for("d") == FEATURE_SETS[FeatureSet.D]
+        assert features_for(" F ") == FEATURE_SETS[FeatureSet.F]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown feature set"):
+            features_for("Z")

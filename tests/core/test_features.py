@@ -1,0 +1,131 @@
+"""Tests for Table I features and co-location observations."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    FEATURE_DESCRIPTIONS,
+    CoLocationObservation,
+    Feature,
+    feature_matrix,
+    feature_row,
+    observation_from_profiles,
+)
+from repro.counters.hpcrun import hpcrun_flat
+from repro.workloads.suite import get_application
+
+
+def make_observation(**overrides):
+    defaults = dict(
+        processor_name="Xeon E5649",
+        frequency_ghz=2.53,
+        target_name="canneal",
+        co_app_name="cg",
+        base_ex_time_s=220.0,
+        num_co_app=3,
+        co_app_mem=0.024,
+        target_mem=0.005,
+        co_app_cm_ca=2.4,
+        co_app_ca_ins=0.06,
+        target_cm_ca=0.6,
+        target_ca_ins=0.0085,
+        actual_time_s=290.0,
+    )
+    defaults.update(overrides)
+    return CoLocationObservation(**defaults)
+
+
+class TestFeatureEnum:
+    def test_eight_features(self):
+        assert len(Feature) == 8
+
+    def test_descriptions_complete(self):
+        assert set(FEATURE_DESCRIPTIONS) == set(Feature)
+
+    def test_table1_names(self):
+        assert Feature.BASE_EX_TIME.value == "baseExTime"
+        assert Feature.CO_APP_CM_CA.value == "coAppCM/CA"
+
+
+class TestCoLocationObservation:
+    def test_feature_values(self):
+        obs = make_observation()
+        assert obs.feature_value(Feature.BASE_EX_TIME) == 220.0
+        assert obs.feature_value(Feature.NUM_CO_APP) == 3.0
+        assert obs.feature_value(Feature.CO_APP_MEM) == 0.024
+        assert obs.feature_value(Feature.TARGET_CA_INS) == 0.0085
+
+    def test_slowdown(self):
+        obs = make_observation()
+        assert obs.slowdown == pytest.approx(290.0 / 220.0)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"base_ex_time_s": 0.0},
+            {"actual_time_s": -1.0},
+            {"num_co_app": -1},
+            {"co_app_mem": -0.1},
+            {"target_cm_ca": -0.5},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            make_observation(**overrides)
+
+
+class TestObservationFromProfiles:
+    def test_sums_over_co_apps(self, engine_6core):
+        target = hpcrun_flat(engine_6core, get_application("canneal"))
+        co = hpcrun_flat(engine_6core, get_application("cg"))
+        obs = observation_from_profiles(target, [co, co, co], 300.0)
+        assert obs.num_co_app == 3
+        assert obs.co_app_mem == pytest.approx(3 * co.memory_intensity)
+        assert obs.co_app_cm_ca == pytest.approx(3 * co.cm_per_ca)
+        assert obs.co_app_ca_ins == pytest.approx(3 * co.ca_per_ins)
+
+    def test_target_fields(self, engine_6core):
+        target = hpcrun_flat(engine_6core, get_application("sp"))
+        obs = observation_from_profiles(target, [], target.wall_time_s)
+        assert obs.target_name == "sp"
+        assert obs.base_ex_time_s == target.wall_time_s
+        assert obs.target_mem == pytest.approx(target.memory_intensity)
+        assert obs.co_app_name is None
+        assert obs.num_co_app == 0
+
+    def test_co_app_name_inference(self, engine_6core):
+        target = hpcrun_flat(engine_6core, get_application("sp"))
+        cg = hpcrun_flat(engine_6core, get_application("cg"))
+        ep = hpcrun_flat(engine_6core, get_application("ep"))
+        homog = observation_from_profiles(target, [cg, cg], 200.0)
+        assert homog.co_app_name == "cg"
+        mixed = observation_from_profiles(target, [cg, ep], 200.0)
+        assert mixed.co_app_name == "cg+ep"
+
+
+class TestFeatureMatrix:
+    def test_shape_and_order(self):
+        observations = [make_observation(actual_time_s=250.0 + i) for i in range(5)]
+        feats = (Feature.BASE_EX_TIME, Feature.NUM_CO_APP)
+        X, y = feature_matrix(observations, feats)
+        assert X.shape == (5, 2)
+        np.testing.assert_allclose(X[:, 0], 220.0)
+        np.testing.assert_allclose(X[:, 1], 3.0)
+        np.testing.assert_allclose(y, 250.0 + np.arange(5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            feature_matrix([], (Feature.BASE_EX_TIME,))
+        with pytest.raises(ValueError):
+            feature_matrix([make_observation()], ())
+
+
+class TestFeatureRow:
+    def test_matches_observation_path(self, engine_6core):
+        target = hpcrun_flat(engine_6core, get_application("canneal"))
+        co = hpcrun_flat(engine_6core, get_application("cg"))
+        feats = tuple(Feature)
+        row = feature_row(target, [co, co], feats)
+        obs = observation_from_profiles(target, [co, co], 1.0)
+        expected = np.array([obs.feature_value(f) for f in feats])
+        np.testing.assert_allclose(row, expected)

@@ -1,0 +1,83 @@
+"""Tests for permutation feature importance."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_sets import FeatureSet
+from repro.core.features import Feature, feature_matrix
+from repro.core.importance import permutation_importance
+from repro.core.linear import LinearModel
+from repro.core.methodology import ModelKind, PerformancePredictor
+
+
+@pytest.fixture(scope="module")
+def fitted_nn_f(small_dataset):
+    predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.F, seed=0)
+    predictor.fit(list(small_dataset))
+    return predictor._model
+
+
+class TestPermutationImportance:
+    def test_sorted_by_importance(self, fitted_nn_f, small_dataset, rng):
+        importances = permutation_importance(
+            fitted_nn_f, list(small_dataset), FeatureSet.F.features, rng=rng
+        )
+        increases = [fi.mpe_increase for fi in importances]
+        assert increases == sorted(increases, reverse=True)
+        assert len(importances) == 8
+
+    def test_base_ex_time_is_load_bearing(self, fitted_nn_f, small_dataset, rng):
+        """Scrambling the baseline time must devastate any model: it is
+        the only feature carrying the target's scale."""
+        importances = permutation_importance(
+            fitted_nn_f, list(small_dataset), FeatureSet.F.features, rng=rng
+        )
+        by_feature = {fi.feature: fi.mpe_increase for fi in importances}
+        assert by_feature[Feature.BASE_EX_TIME] > 5.0
+
+    def test_ignored_feature_has_zero_importance(self, small_dataset, rng):
+        """A model trained with a zero-weight feature should report ~0
+        importance for it: train a linear model on (baseExTime, numCoApp)
+        where we force the numCoApp coefficient to zero."""
+        X, y = feature_matrix(
+            list(small_dataset),
+            (Feature.BASE_EX_TIME, Feature.NUM_CO_APP),
+        )
+        model = LinearModel().fit(X, y)
+        # Zero out the second coefficient in standardized space.
+        model._weights = model._weights.copy()
+        model._weights[1] = 0.0
+        importances = permutation_importance(
+            model,
+            list(small_dataset),
+            (Feature.BASE_EX_TIME, Feature.NUM_CO_APP),
+            rng=rng,
+        )
+        by_feature = {fi.feature: fi for fi in importances}
+        assert by_feature[Feature.NUM_CO_APP].mpe_increase == pytest.approx(0.0)
+        assert by_feature[Feature.BASE_EX_TIME].mpe_increase > 0.0
+
+    def test_baseline_consistency(self, fitted_nn_f, small_dataset, rng):
+        importances = permutation_importance(
+            fitted_nn_f, list(small_dataset), FeatureSet.F.features, rng=rng
+        )
+        baselines = {fi.baseline_mpe for fi in importances}
+        assert len(baselines) == 1  # same unpermuted error for all
+
+    def test_deterministic_given_rng(self, fitted_nn_f, small_dataset):
+        i1 = permutation_importance(
+            fitted_nn_f, list(small_dataset), FeatureSet.F.features,
+            rng=np.random.default_rng(3),
+        )
+        i2 = permutation_importance(
+            fitted_nn_f, list(small_dataset), FeatureSet.F.features,
+            rng=np.random.default_rng(3),
+        )
+        assert [fi.permuted_mpe for fi in i1] == [fi.permuted_mpe for fi in i2]
+
+    def test_validation(self, fitted_nn_f, small_dataset):
+        with pytest.raises(ValueError, match="repetition"):
+            permutation_importance(
+                fitted_nn_f, list(small_dataset), FeatureSet.F.features,
+                repetitions=0,
+            )

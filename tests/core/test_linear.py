@@ -1,0 +1,93 @@
+"""Tests for the linear least-squares model (Eq. 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.linear import LinearModel
+
+
+class TestFitPredict:
+    def test_recovers_exact_linear_relationship(self, rng):
+        X = rng.normal(size=(100, 3))
+        true_w = np.array([2.0, -1.5, 0.5])
+        y = X @ true_w + 4.0
+        model = LinearModel().fit(X, y)
+        np.testing.assert_allclose(model.coefficients, true_w, atol=1e-8)
+        assert model.intercept == pytest.approx(4.0, abs=1e-8)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-8)
+
+    def test_eq1_composition(self, rng):
+        """predict(x) == sum(coef * x) + intercept, in raw units."""
+        X = rng.normal(size=(50, 2)) * np.array([1e3, 1e-6])  # wild scales
+        y = rng.normal(size=50) + 100.0
+        model = LinearModel().fit(X, y)
+        x = rng.normal(size=2) * np.array([1e3, 1e-6])
+        manual = float(model.coefficients @ x) + model.intercept
+        assert model.predict(x)[0] == pytest.approx(manual, rel=1e-9)
+
+    def test_noisy_fit_near_truth(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = X @ np.array([3.0, 1.0]) + 2.0 + rng.normal(scale=0.1, size=500)
+        model = LinearModel().fit(X, y)
+        np.testing.assert_allclose(model.coefficients, [3.0, 1.0], atol=0.05)
+
+    def test_single_feature(self, rng):
+        X = rng.uniform(1, 10, size=(30, 1))
+        y = 5.0 * X[:, 0]
+        model = LinearModel().fit(X, y)
+        assert model.coefficients[0] == pytest.approx(5.0, rel=1e-9)
+
+    def test_constant_feature_no_blowup(self, rng):
+        X = np.column_stack([rng.normal(size=40), np.full(40, 3.0)])
+        y = 2.0 * X[:, 0] + 1.0
+        model = LinearModel().fit(X, y)
+        pred = model.predict(X)
+        np.testing.assert_allclose(pred, y, atol=1e-8)
+
+    def test_predict_1d_input(self, rng):
+        X = rng.normal(size=(20, 2))
+        y = X @ np.array([1.0, 1.0])
+        model = LinearModel().fit(X, y)
+        out = model.predict(X[0])
+        assert out.shape == (1,)
+
+
+class TestValidation:
+    def test_unfitted(self):
+        model = LinearModel()
+        assert not model.is_fitted
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            _ = model.coefficients
+
+    def test_shape_errors(self, rng):
+        model = LinearModel()
+        with pytest.raises(ValueError, match="2-D"):
+            model.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError, match="disagree"):
+            model.fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_underdetermined_rejected(self):
+        with pytest.raises(ValueError, match="more samples"):
+            LinearModel().fit(np.zeros((3, 3)), np.zeros(3))
+
+
+@given(
+    n=st.integers(min_value=10, max_value=60),
+    d=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+@settings(max_examples=30)
+def test_property_least_squares_residual_orthogonality(n, d, seed):
+    """LS residuals are orthogonal to every (centered) feature column."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = rng.normal(size=n)
+    model = LinearModel().fit(X, y)
+    residual = y - model.predict(X)
+    centered = X - X.mean(axis=0)
+    np.testing.assert_allclose(centered.T @ residual, 0.0, atol=1e-6)
+    # Residuals also orthogonal to the intercept column (mean zero).
+    assert residual.mean() == pytest.approx(0.0, abs=1e-8)

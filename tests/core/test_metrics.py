@@ -1,0 +1,95 @@
+"""Tests for MPE (Eq. 2) and NRMSE (Eq. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metrics import mae, mpe, nrmse, percent_errors, rmse
+
+
+class TestPercentErrors:
+    def test_signed(self):
+        errs = percent_errors(np.array([110.0, 90.0]), np.array([100.0, 100.0]))
+        np.testing.assert_allclose(errs, [10.0, -10.0])
+
+    def test_zero_actual_rejected(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            percent_errors(np.array([1.0]), np.array([0.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            percent_errors(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            percent_errors(np.array([]), np.array([]))
+
+
+class TestMPE:
+    def test_perfect_prediction(self):
+        y = np.array([150.0, 400.0, 1000.0])
+        assert mpe(y, y) == 0.0
+
+    def test_known_value(self):
+        assert mpe(np.array([110.0, 95.0]), np.array([100.0, 100.0])) == pytest.approx(7.5)
+
+    def test_magnitude_independent(self):
+        """The paper's motivation: same relative error, any scale."""
+        a = mpe(np.array([1.05]), np.array([1.0]))
+        b = mpe(np.array([1050.0]), np.array([1000.0]))
+        assert a == pytest.approx(b)
+
+    def test_symmetric_in_sign_of_error(self):
+        assert mpe(np.array([110.0]), np.array([100.0])) == pytest.approx(
+            mpe(np.array([90.0]), np.array([100.0]))
+        )
+
+
+class TestNRMSE:
+    def test_perfect_prediction(self):
+        y = np.array([100.0, 200.0])
+        assert nrmse(y, y) == 0.0
+
+    def test_known_value(self):
+        pred = np.array([110.0, 200.0])
+        actual = np.array([100.0, 200.0])
+        # RMSE = sqrt(100/2), range = 100.
+        assert nrmse(pred, actual) == pytest.approx(100.0 * np.sqrt(50.0) / 100.0)
+
+    def test_zero_range_rejected(self):
+        with pytest.raises(ValueError, match="zero range"):
+            nrmse(np.array([1.0, 2.0]), np.array([5.0, 5.0]))
+
+    def test_scale_invariant(self):
+        pred = np.array([1.1, 2.0, 2.9])
+        actual = np.array([1.0, 2.0, 3.0])
+        assert nrmse(pred, actual) == pytest.approx(nrmse(pred * 10, actual * 10))
+
+
+class TestRMSEAndMAE:
+    def test_rmse(self):
+        assert rmse(np.array([1.0, 3.0]), np.array([0.0, 0.0])) == pytest.approx(
+            np.sqrt(5.0)
+        )
+
+    def test_mae(self):
+        assert mae(np.array([1.0, -3.0]), np.array([0.0, 0.0])) == pytest.approx(2.0)
+
+    def test_rmse_dominates_mae(self):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=100)
+        actual = rng.normal(size=100)
+        assert rmse(pred, actual) >= mae(pred, actual)
+
+
+@given(
+    actual=st.lists(
+        st.floats(min_value=1.0, max_value=1e4), min_size=2, max_size=50
+    ),
+    scale=st.floats(min_value=0.5, max_value=2.0),
+)
+@settings(max_examples=50)
+def test_property_mpe_of_scaled_predictions(actual, scale):
+    """Predicting k*actual gives MPE exactly 100*|k-1|."""
+    y = np.array(actual)
+    assert mpe(y * scale, y) == pytest.approx(100.0 * abs(scale - 1.0), rel=1e-9)

@@ -1,0 +1,144 @@
+"""Tests for the SCG-trained neural network model."""
+
+import numpy as np
+import pytest
+
+from repro.core.neural import NeuralNetworkModel, default_hidden_units
+
+
+class TestDefaultHiddenUnits:
+    def test_paper_range(self):
+        """Ten to twenty nodes depending on the feature set (Section III-D)."""
+        sizes = [default_hidden_units(n) for n in range(1, 9)]
+        assert sizes[0] == 10
+        assert sizes[-1] == 20
+        assert all(10 <= s <= 20 for s in sizes)
+        assert sizes == sorted(sizes)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            default_hidden_units(0)
+
+
+class TestFitPredict:
+    def test_learns_linear_function(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = 3.0 * X[:, 0] - 2.0 * X[:, 1] + 5.0
+        model = NeuralNetworkModel(hidden_units=8).fit(X, y, rng=rng)
+        pred = model.predict(X)
+        rel = np.abs(pred - y) / (np.abs(y) + 1.0)
+        assert np.mean(rel) < 0.05
+
+    def test_learns_nonlinear_function(self, rng):
+        """The motivating case: NNs capture what Eq. 1 cannot."""
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(X[:, 0] * 2.0) + X[:, 1] ** 2
+        nn = NeuralNetworkModel(hidden_units=16, max_iterations=600).fit(
+            X, y, rng=rng
+        )
+        nn_rmse = float(np.sqrt(np.mean((nn.predict(X) - y) ** 2)))
+        from repro.core.linear import LinearModel
+
+        lin = LinearModel().fit(X, y)
+        lin_rmse = float(np.sqrt(np.mean((lin.predict(X) - y) ** 2)))
+        assert nn_rmse < lin_rmse * 0.5
+
+    def test_predictions_in_original_units(self, rng):
+        X = rng.normal(size=(100, 1))
+        y = 1000.0 + 50.0 * X[:, 0]  # large offset, real-time-like scale
+        model = NeuralNetworkModel(hidden_units=6).fit(X, y, rng=rng)
+        pred = model.predict(X)
+        assert 800.0 < pred.mean() < 1200.0
+
+    def test_deterministic_given_rng_seed(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = X.sum(axis=1)
+        m1 = NeuralNetworkModel(hidden_units=5).fit(X, y, rng=np.random.default_rng(3))
+        m2 = NeuralNetworkModel(hidden_units=5).fit(X, y, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(m1.predict(X), m2.predict(X))
+
+    def test_default_rng_when_omitted(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = X.sum(axis=1)
+        m1 = NeuralNetworkModel(hidden_units=4).fit(X, y)
+        m2 = NeuralNetworkModel(hidden_units=4).fit(X, y)
+        np.testing.assert_array_equal(m1.predict(X), m2.predict(X))
+
+    def test_predict_1d_input(self, rng):
+        X = rng.normal(size=(40, 3))
+        y = X.sum(axis=1)
+        model = NeuralNetworkModel(hidden_units=4).fit(X, y, rng=rng)
+        assert model.predict(X[0]).shape == (1,)
+
+    def test_hidden_units_from_feature_count(self, rng):
+        X = rng.normal(size=(60, 4))
+        y = X.sum(axis=1)
+        model = NeuralNetworkModel().fit(X, y, rng=rng)
+        assert model._shapes == (4, default_hidden_units(4))
+
+    def test_restarts_pick_best_loss(self, rng):
+        X = rng.normal(size=(80, 2))
+        y = np.sin(X[:, 0]) + X[:, 1]
+        one = NeuralNetworkModel(hidden_units=6, n_restarts=1).fit(
+            X, y, rng=np.random.default_rng(0)
+        )
+        many = NeuralNetworkModel(hidden_units=6, n_restarts=4).fit(
+            X, y, rng=np.random.default_rng(0)
+        )
+        assert many.training_loss_ <= one.training_loss_ + 1e-12
+
+    def test_constant_target_handled(self, rng):
+        X = rng.normal(size=(30, 2))
+        y = np.full(30, 42.0)
+        model = NeuralNetworkModel(hidden_units=4).fit(X, y, rng=rng)
+        np.testing.assert_allclose(model.predict(X), 42.0, atol=1.0)
+
+
+class TestGradient:
+    def test_backprop_matches_finite_differences(self, rng):
+        """The analytic gradient must match numeric differentiation."""
+        X = rng.normal(size=(20, 3))
+        y = rng.normal(size=20)
+        model = NeuralNetworkModel(hidden_units=4, l2=1e-3)
+        model._shapes = (3, 4)
+        n_params = 3 * 4 + 4 + 4 + 1
+        params = rng.normal(size=n_params) * 0.5
+        Z = (X - X.mean(0)) / X.std(0)
+        t = (y - y.mean()) / y.std()
+        loss, grad = model._loss_and_grad(params, Z, t)
+        eps = 1e-6
+        numeric = np.empty_like(params)
+        for i in range(n_params):
+            up, down = params.copy(), params.copy()
+            up[i] += eps
+            down[i] -= eps
+            numeric[i] = (
+                model._loss_and_grad(up, Z, t)[0]
+                - model._loss_and_grad(down, Z, t)[0]
+            ) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, atol=1e-6)
+
+
+class TestValidation:
+    def test_unfitted(self):
+        model = NeuralNetworkModel()
+        assert not model.is_fitted
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict(np.zeros((1, 2)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            NeuralNetworkModel(hidden_units=0)
+        with pytest.raises(ValueError):
+            NeuralNetworkModel(l2=-1.0)
+        with pytest.raises(ValueError):
+            NeuralNetworkModel(n_restarts=0)
+
+    def test_fit_shape_validation(self, rng):
+        model = NeuralNetworkModel()
+        with pytest.raises(ValueError, match="2-D"):
+            model.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError, match="disagree"):
+            model.fit(np.zeros((5, 2)), np.zeros(3))
+        with pytest.raises(ValueError, match="two training samples"):
+            model.fit(np.zeros((1, 2)), np.zeros(1))

@@ -1,0 +1,94 @@
+"""Tests for PCA feature ranking."""
+
+import numpy as np
+import pytest
+
+from repro.core.pca import PCA, rank_features
+
+
+@pytest.fixture
+def correlated_data(rng):
+    n = 500
+    latent = rng.normal(size=n)
+    X = np.column_stack(
+        [
+            latent + 0.1 * rng.normal(size=n),       # strong loading
+            2.0 * latent + 0.1 * rng.normal(size=n),  # strong loading
+            rng.normal(size=n) * 0.05,                # weak noise feature
+        ]
+    )
+    return X
+
+
+class TestPCA:
+    def test_explained_variance_ordered(self, correlated_data):
+        pca = PCA().fit(correlated_data)
+        ev = pca.explained_variance_
+        assert np.all(np.diff(ev) <= 1e-12)
+
+    def test_variance_ratio_sums_to_one(self, correlated_data):
+        pca = PCA().fit(correlated_data)
+        assert pca.explained_variance_ratio_.sum() == pytest.approx(1.0)
+
+    def test_first_component_captures_latent(self, correlated_data):
+        pca = PCA().fit(correlated_data)
+        assert pca.explained_variance_ratio_[0] > 0.6
+
+    def test_components_orthonormal(self, correlated_data):
+        pca = PCA().fit(correlated_data)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(gram.shape[0]), atol=1e-10)
+
+    def test_transform_shape(self, correlated_data):
+        pca = PCA(n_components=2).fit(correlated_data)
+        scores = pca.transform(correlated_data)
+        assert scores.shape == (correlated_data.shape[0], 2)
+
+    def test_transform_decorrelates(self, correlated_data):
+        scores = PCA().fit_transform(correlated_data)
+        cov = np.cov(scores, rowvar=False)
+        off = cov - np.diag(np.diag(cov))
+        assert np.abs(off).max() < 1e-8
+
+    def test_inverse_transform_roundtrip(self, correlated_data):
+        pca = PCA().fit(correlated_data)  # all components kept
+        scores = pca.transform(correlated_data)
+        back = pca.inverse_transform(scores)
+        np.testing.assert_allclose(back, correlated_data, atol=1e-8)
+
+    def test_constant_feature_handled(self, rng):
+        X = np.column_stack([rng.normal(size=100), np.full(100, 7.0)])
+        pca = PCA().fit(X)
+        assert np.all(np.isfinite(pca.components_))
+        assert pca.explained_variance_ratio_[0] == pytest.approx(1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PCA().transform(np.zeros((3, 2)))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            PCA().fit(np.zeros(5))
+        with pytest.raises(ValueError, match="two samples"):
+            PCA().fit(np.zeros((1, 3)))
+        with pytest.raises(ValueError, match="n_components"):
+            PCA(n_components=5).fit(rng.normal(size=(10, 3)))
+
+
+class TestFeatureImportance:
+    def test_importance_sums_to_one(self, correlated_data):
+        imp = PCA().fit(correlated_data).feature_importance()
+        assert imp.sum() == pytest.approx(1.0)
+
+    def test_noise_feature_ranked_last(self, correlated_data):
+        ranking = rank_features(correlated_data, ["a", "b", "noise"])
+        assert ranking[-1][0] == "noise"
+
+    def test_rank_features_sorted(self, correlated_data):
+        ranking = rank_features(correlated_data, ["a", "b", "c"])
+        scores = [s for _n, s in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rank_features_validation(self, correlated_data):
+        with pytest.raises(ValueError, match="names must match"):
+            rank_features(correlated_data, ["only", "two"])

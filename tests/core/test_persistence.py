@@ -1,0 +1,109 @@
+"""Tests for model persistence (JSON save/load)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.feature_sets import FeatureSet
+from repro.core.methodology import ModelKind, PerformancePredictor
+from repro.core.persistence import (
+    FORMAT_VERSION,
+    PersistenceError,
+    load_predictor,
+    predictor_from_dict,
+    predictor_to_dict,
+    save_predictor,
+)
+
+
+@pytest.fixture(scope="module", params=[ModelKind.LINEAR, ModelKind.NEURAL])
+def fitted_predictor(request, small_dataset):
+    predictor = PerformancePredictor(request.param, FeatureSet.D, seed=1)
+    predictor.fit(list(small_dataset))
+    return predictor
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_predictions(self, fitted_predictor, small_dataset):
+        restored = predictor_from_dict(predictor_to_dict(fitted_predictor))
+        original = fitted_predictor.predict_observations(list(small_dataset))
+        recovered = restored.predict_observations(list(small_dataset))
+        np.testing.assert_allclose(recovered, original, rtol=1e-12)
+
+    def test_file_roundtrip(self, fitted_predictor, small_dataset, tmp_path):
+        path = tmp_path / "model.json"
+        save_predictor(fitted_predictor, path)
+        restored = load_predictor(path)
+        np.testing.assert_allclose(
+            restored.predict_observations(list(small_dataset)),
+            fitted_predictor.predict_observations(list(small_dataset)),
+            rtol=1e-12,
+        )
+
+    def test_metadata_preserved(self, fitted_predictor):
+        restored = predictor_from_dict(predictor_to_dict(fitted_predictor))
+        assert restored.kind is fitted_predictor.kind
+        assert restored.feature_set is fitted_predictor.feature_set
+        assert restored.is_fitted
+
+    def test_payload_is_plain_json(self, fitted_predictor):
+        text = json.dumps(predictor_to_dict(fitted_predictor))
+        assert "format_version" in text
+
+
+class TestValidation:
+    def test_unfitted_rejected(self):
+        with pytest.raises(PersistenceError, match="unfitted"):
+            predictor_to_dict(PerformancePredictor())
+
+    def test_wrong_version_rejected(self, fitted_predictor):
+        data = predictor_to_dict(fitted_predictor)
+        data["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(PersistenceError, match="unsupported format version"):
+            predictor_from_dict(data)
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(PersistenceError, match="format_version"):
+            predictor_from_dict({"kind": "linear"})
+
+    def test_unknown_kind_rejected(self, fitted_predictor):
+        data = predictor_to_dict(fitted_predictor)
+        data["kind"] = "forest"
+        with pytest.raises(PersistenceError, match="malformed"):
+            predictor_from_dict(data)
+
+    def test_unknown_feature_set_rejected(self, fitted_predictor):
+        data = predictor_to_dict(fitted_predictor)
+        data["feature_set"] = "Z"
+        with pytest.raises(PersistenceError, match="malformed"):
+            predictor_from_dict(data)
+
+    def test_corrupt_weights_rejected(self, fitted_predictor):
+        data = predictor_to_dict(fitted_predictor)
+        key = "weights" if fitted_predictor.kind is ModelKind.LINEAR else "params"
+        data["model"][key] = ["not", "numbers"]
+        with pytest.raises(PersistenceError):
+            predictor_from_dict(data)
+
+    def test_truncated_neural_params_rejected(self, small_dataset):
+        predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.B, seed=0)
+        predictor.fit(list(small_dataset))
+        data = predictor_to_dict(predictor)
+        data["model"]["params"] = data["model"]["params"][:-3]
+        with pytest.raises(PersistenceError, match="parameter vector"):
+            predictor_from_dict(data)
+
+    def test_feature_count_mismatch_rejected(self, small_dataset):
+        predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.B, seed=0)
+        predictor.fit(list(small_dataset))
+        data = predictor_to_dict(predictor)
+        data["feature_set"] = "F"  # 8 features vs a 2-input network
+        with pytest.raises(PersistenceError, match="inputs"):
+            predictor_from_dict(data)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError, match="not valid JSON"):
+            load_predictor(path)

@@ -1,0 +1,106 @@
+"""Tests for repeated random sub-sampling validation."""
+
+import numpy as np
+import pytest
+
+from repro.core.linear import LinearModel
+from repro.core.validation import ValidationResult, repeated_random_subsampling
+
+
+@pytest.fixture
+def linear_data(rng):
+    X = rng.normal(size=(200, 2))
+    y = X @ np.array([2.0, 1.0]) + 100.0 + rng.normal(scale=0.5, size=200)
+    return X, y
+
+
+class TestRepeatedRandomSubsampling:
+    def test_result_shapes(self, linear_data, rng):
+        X, y = linear_data
+        res = repeated_random_subsampling(
+            LinearModel, X, y, repetitions=10, rng=rng
+        )
+        assert res.repetitions == 10
+        assert res.train_mpe.shape == (10,)
+        assert res.test_nrmse.shape == (10,)
+
+    def test_linear_model_on_linear_data_is_accurate(self, linear_data, rng):
+        X, y = linear_data
+        res = repeated_random_subsampling(
+            LinearModel, X, y, repetitions=20, rng=rng
+        )
+        assert res.mean_test_mpe < 2.0
+        assert res.mean_train_mpe < 2.0
+
+    def test_test_error_tracks_train_error(self, linear_data, rng):
+        X, y = linear_data
+        res = repeated_random_subsampling(
+            LinearModel, X, y, repetitions=20, rng=rng
+        )
+        assert res.mean_test_mpe == pytest.approx(res.mean_train_mpe, rel=0.5)
+
+    def test_split_sizes(self, rng):
+        """Each repetition trains on 70% and tests on 30%."""
+        sizes = []
+
+        class SpyModel(LinearModel):
+            def fit(self, X, y):
+                sizes.append(len(y))
+                return super().fit(X, y)
+
+        X = rng.normal(size=(100, 1))
+        y = X[:, 0] * 2.0 + rng.normal(size=100)
+        repeated_random_subsampling(SpyModel, X, y, repetitions=5, rng=rng)
+        assert sizes == [70] * 5
+
+    def test_different_partitions_each_repetition(self, rng):
+        """Model sees different training data across repetitions."""
+        first_rows = []
+
+        class SpyModel(LinearModel):
+            def fit(self, X, y):
+                first_rows.append(tuple(np.sort(y)[:3]))
+                return super().fit(X, y)
+
+        X = rng.normal(size=(50, 1))
+        y = np.arange(50, dtype=float) + 1.0
+        repeated_random_subsampling(SpyModel, X, y, repetitions=8, rng=rng)
+        assert len(set(first_rows)) > 1
+
+    def test_deterministic_given_rng(self, linear_data):
+        X, y = linear_data
+        r1 = repeated_random_subsampling(
+            LinearModel, X, y, repetitions=5, rng=np.random.default_rng(1)
+        )
+        r2 = repeated_random_subsampling(
+            LinearModel, X, y, repetitions=5, rng=np.random.default_rng(1)
+        )
+        np.testing.assert_array_equal(r1.test_mpe, r2.test_mpe)
+
+    def test_validation_errors(self, rng):
+        X = rng.normal(size=(10, 2))
+        y = rng.normal(size=10)
+        with pytest.raises(ValueError, match="test fraction"):
+            repeated_random_subsampling(LinearModel, X, y, test_fraction=0.0)
+        with pytest.raises(ValueError, match="repetition"):
+            repeated_random_subsampling(LinearModel, X, y, repetitions=0)
+        with pytest.raises(ValueError, match="four samples"):
+            repeated_random_subsampling(LinearModel, X[:3], y[:3])
+        with pytest.raises(ValueError, match="X must be"):
+            repeated_random_subsampling(LinearModel, X, y[:5])
+
+
+class TestValidationResult:
+    def test_summary_statistics(self):
+        res = ValidationResult(
+            train_mpe=np.array([1.0, 2.0]),
+            test_mpe=np.array([2.0, 4.0]),
+            train_nrmse=np.array([0.5, 1.5]),
+            test_nrmse=np.array([1.0, 3.0]),
+        )
+        assert res.mean_train_mpe == pytest.approx(1.5)
+        assert res.mean_test_mpe == pytest.approx(3.0)
+        assert res.mean_train_nrmse == pytest.approx(1.0)
+        assert res.mean_test_nrmse == pytest.approx(2.0)
+        assert res.test_mpe_std == pytest.approx(1.0)
+        assert res.repetitions == 2

@@ -1,0 +1,118 @@
+"""Tests for the PAPI-style counter interface."""
+
+import pytest
+
+from repro.counters.papi import EventSet, HardwareCounters, PAPIError, PresetEvent
+from repro.workloads.suite import get_application
+
+
+@pytest.fixture
+def hardware(engine_6core):
+    run = engine_6core.baseline(get_application("canneal"))
+    return HardwareCounters(run.target, frequency_ghz=run.frequency_ghz)
+
+
+class TestHardwareCounters:
+    def test_tot_ins(self, hardware):
+        assert hardware.read(PresetEvent.PAPI_TOT_INS) == pytest.approx(
+            get_application("canneal").instructions
+        )
+
+    def test_tot_cyc_consistent_with_time(self, hardware):
+        cyc = hardware.read(PresetEvent.PAPI_TOT_CYC)
+        expected = hardware.run.execution_time_s * hardware.frequency_ghz * 1e9
+        assert cyc == pytest.approx(expected)
+
+    def test_l3_counters(self, hardware):
+        tca = hardware.read(PresetEvent.PAPI_L3_TCA)
+        tcm = hardware.read(PresetEvent.PAPI_L3_TCM)
+        assert tca == pytest.approx(hardware.run.llc_accesses)
+        assert tcm == pytest.approx(hardware.run.llc_misses)
+        assert tcm <= tca
+
+    def test_l2_presets_unavailable_on_l3_machine(self, hardware):
+        assert not hardware.available(PresetEvent.PAPI_L2_TCA)
+        with pytest.raises(PAPIError, match="not available"):
+            hardware.read(PresetEvent.PAPI_L2_TCM)
+
+    def test_l2_llc_machine(self, engine_6core):
+        run = engine_6core.baseline(get_application("ep"))
+        hw = HardwareCounters(run.target, frequency_ghz=run.frequency_ghz, llc_level=2)
+        assert hw.available(PresetEvent.PAPI_L2_TCA)
+        assert not hw.available(PresetEvent.PAPI_L3_TCA)
+        assert hw.read(PresetEvent.PAPI_L2_TCM) == pytest.approx(run.target.llc_misses)
+
+    def test_invalid_llc_level(self, hardware):
+        with pytest.raises(PAPIError):
+            HardwareCounters(hardware.run, frequency_ghz=2.53, llc_level=4)
+
+
+class TestEventSetLifecycle:
+    def test_normal_flow(self, hardware):
+        es = EventSet(hardware)
+        es.add_event(PresetEvent.PAPI_TOT_INS)
+        es.add_event(PresetEvent.PAPI_L3_TCM)
+        es.start()
+        mid = es.read()
+        counts = es.stop()
+        assert set(counts) == {PresetEvent.PAPI_TOT_INS, PresetEvent.PAPI_L3_TCM}
+        assert mid == counts
+        assert es.last_counts == counts
+
+    def test_add_while_running_rejected(self, hardware):
+        es = EventSet(hardware)
+        es.add_event(PresetEvent.PAPI_TOT_INS)
+        es.start()
+        with pytest.raises(PAPIError, match="while the event set is running"):
+            es.add_event(PresetEvent.PAPI_L3_TCA)
+
+    def test_duplicate_event_rejected(self, hardware):
+        es = EventSet(hardware)
+        es.add_event(PresetEvent.PAPI_TOT_INS)
+        with pytest.raises(PAPIError, match="already in event set"):
+            es.add_event(PresetEvent.PAPI_TOT_INS)
+
+    def test_unavailable_event_rejected_at_add(self, hardware):
+        es = EventSet(hardware)
+        with pytest.raises(PAPIError, match="not available"):
+            es.add_event(PresetEvent.PAPI_L2_TCA)
+
+    def test_start_empty_rejected(self, hardware):
+        es = EventSet(hardware)
+        with pytest.raises(PAPIError, match="empty"):
+            es.start()
+
+    def test_double_start_rejected(self, hardware):
+        es = EventSet(hardware)
+        es.add_event(PresetEvent.PAPI_TOT_INS)
+        es.start()
+        with pytest.raises(PAPIError, match="already running"):
+            es.start()
+
+    def test_read_or_stop_before_start_rejected(self, hardware):
+        es = EventSet(hardware)
+        es.add_event(PresetEvent.PAPI_TOT_INS)
+        with pytest.raises(PAPIError, match="not running"):
+            es.read()
+        with pytest.raises(PAPIError, match="not running"):
+            es.stop()
+
+    def test_restart_after_stop(self, hardware):
+        es = EventSet(hardware)
+        es.add_event(PresetEvent.PAPI_TOT_INS)
+        es.start()
+        es.stop()
+        es.add_event(PresetEvent.PAPI_L3_TCA)  # allowed while stopped
+        es.start()
+        counts = es.stop()
+        assert len(counts) == 2
+
+    def test_last_counts_none_before_first_stop(self, hardware):
+        es = EventSet(hardware)
+        assert es.last_counts is None
+
+    def test_events_property(self, hardware):
+        es = EventSet(hardware)
+        es.add_event(PresetEvent.PAPI_L3_TCA)
+        es.add_event(PresetEvent.PAPI_TOT_INS)
+        assert es.events == (PresetEvent.PAPI_L3_TCA, PresetEvent.PAPI_TOT_INS)

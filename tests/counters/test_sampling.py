@@ -1,0 +1,106 @@
+"""Tests for interval-sampled counter collection."""
+
+import numpy as np
+import pytest
+
+from repro.cache.reuse import ReuseProfile
+from repro.counters.sampling import hpcrun_sampled
+from repro.workloads.app import ApplicationPhase, PhasedApplication
+from repro.workloads.suite import get_application
+
+MB = 1024.0 * 1024.0
+
+
+@pytest.fixture
+def phased_app():
+    return PhasedApplication(
+        name="two-phase",
+        suite="SYNTH",
+        instructions=2e11,
+        phases=(
+            ApplicationPhase(
+                0.5, 0.8, 0.02,
+                ReuseProfile.single(200 * MB, compulsory=0.05), mlp=1.5,
+            ),
+            ApplicationPhase(
+                0.5, 1.0, 1e-4, ReuseProfile.single(0.5 * MB), mlp=1.0,
+            ),
+        ),
+    )
+
+
+class TestSampledTotals:
+    def test_totals_match_flat_profile(self, engine_6core):
+        """Sampling redistributes counters over time; totals are identical
+        to the averaged measurement (Section IV-A3)."""
+        app = get_application("canneal")
+        sampled = hpcrun_sampled(engine_6core, app, interval_s=5.0)
+        run = engine_6core.baseline(app).target
+        ins, acc, mis = sampled.totals()
+        assert ins == pytest.approx(run.instructions, rel=1e-9)
+        assert acc == pytest.approx(run.llc_accesses, rel=1e-9)
+        assert mis == pytest.approx(run.llc_misses, rel=1e-9)
+
+    def test_wall_time_matches(self, engine_6core):
+        app = get_application("sp")
+        sampled = hpcrun_sampled(engine_6core, app, interval_s=3.0)
+        run = engine_6core.baseline(app).target
+        assert sampled.wall_time_s == pytest.approx(run.execution_time_s, rel=1e-9)
+
+    def test_interval_independence_of_totals(self, engine_6core, phased_app):
+        fine = hpcrun_sampled(engine_6core, phased_app, interval_s=0.5)
+        coarse = hpcrun_sampled(engine_6core, phased_app, interval_s=25.0)
+        np.testing.assert_allclose(fine.totals(), coarse.totals(), rtol=1e-9)
+
+    def test_phased_totals_match_phase_sum(self, engine_6core, phased_app):
+        sampled = hpcrun_sampled(engine_6core, phased_app, interval_s=2.0)
+        expected_time = sum(
+            engine_6core.baseline(p).target.execution_time_s
+            for p in phased_app.phase_specs()
+        )
+        assert sampled.wall_time_s == pytest.approx(expected_time, rel=1e-9)
+
+
+class TestTemporalStructure:
+    def test_flat_app_has_constant_intensity(self, engine_6core):
+        app = get_application("canneal")
+        sampled = hpcrun_sampled(engine_6core, app, interval_s=10.0)
+        series = sampled.intensity_series()
+        assert series.std() < series.mean() * 1e-9
+
+    def test_phased_app_shows_phase_transition(self, engine_6core, phased_app):
+        """The sampled series reveals what the averaged totals hide."""
+        sampled = hpcrun_sampled(engine_6core, phased_app, interval_s=2.0)
+        series = sampled.intensity_series()
+        # Memory phase first: high intensity, then the compute phase.
+        assert series[0] > 100 * series[-1]
+        ins, _acc, mis = sampled.totals()
+        average = mis / ins
+        # The average sits strictly between the phase extremes — the
+        # "loss of temporal information" made concrete.
+        assert series[-1] < average < series[0]
+
+    def test_last_sample_truncated_to_run_end(self, engine_6core):
+        app = get_application("ep")
+        sampled = hpcrun_sampled(engine_6core, app, interval_s=7.0)
+        assert sampled.samples[-1].duration_s <= 7.0
+        full = sampled.samples[:-1]
+        assert all(s.duration_s == pytest.approx(7.0) for s in full)
+
+    def test_sample_metadata(self, engine_6core):
+        sampled = hpcrun_sampled(engine_6core, get_application("lu"))
+        assert sampled.app_name == "lu"
+        assert sampled.processor_name == "Xeon E5649"
+        starts = [s.start_s for s in sampled.samples]
+        assert starts == sorted(starts)
+
+    def test_ips_property(self, engine_6core):
+        sampled = hpcrun_sampled(engine_6core, get_application("ep"), interval_s=4.0)
+        run = engine_6core.baseline(get_application("ep")).target
+        assert sampled.samples[0].ips == pytest.approx(
+            run.instructions_per_second, rel=1e-9
+        )
+
+    def test_validation(self, engine_6core):
+        with pytest.raises(ValueError, match="interval"):
+            hpcrun_sampled(engine_6core, get_application("ep"), interval_s=0.0)

@@ -1,0 +1,82 @@
+"""Tests for the energy modeling extension."""
+
+import pytest
+
+from repro.energy.power import (
+    EnergyEstimate,
+    PowerModel,
+    interference_energy_cost,
+)
+from repro.machine import XEON_E5649
+
+
+@pytest.fixture
+def model():
+    return PowerModel(XEON_E5649, static_w_per_core=2.0, ceff_w_per_ghz_v2=5.0, uncore_w=10.0)
+
+
+class TestPowerModel:
+    def test_core_power_at_fastest(self, model):
+        p0 = XEON_E5649.pstates.fastest
+        expected = 2.0 + 5.0 * p0.voltage_v**2 * p0.frequency_ghz
+        assert model.core_power_w(p0) == pytest.approx(expected)
+
+    def test_dvfs_reduces_power(self, model):
+        fast = model.core_power_w(XEON_E5649.pstates.fastest)
+        slow = model.core_power_w(XEON_E5649.pstates.slowest)
+        assert slow < fast
+
+    def test_activity_scales_dynamic_only(self, model):
+        p0 = XEON_E5649.pstates.fastest
+        idle = model.core_power_w(p0, activity=0.0)
+        busy = model.core_power_w(p0, activity=1.0)
+        assert idle == pytest.approx(2.0)  # leakage only
+        assert busy > idle
+
+    def test_activity_validation(self, model):
+        with pytest.raises(ValueError):
+            model.core_power_w(XEON_E5649.pstates.fastest, activity=1.5)
+
+    def test_chip_power_scales_with_cores(self, model):
+        p0 = XEON_E5649.pstates.fastest
+        assert model.chip_power_w(p0, 0) == pytest.approx(10.0)
+        two = model.chip_power_w(p0, 2)
+        four = model.chip_power_w(p0, 4)
+        assert four - two == pytest.approx(2 * model.core_power_w(p0))
+
+    def test_chip_power_core_bounds(self, model):
+        with pytest.raises(ValueError):
+            model.chip_power_w(XEON_E5649.pstates.fastest, 7)
+        with pytest.raises(ValueError):
+            model.chip_power_w(XEON_E5649.pstates.fastest, -1)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(XEON_E5649, static_w_per_core=-1.0)
+        with pytest.raises(ValueError):
+            PowerModel(XEON_E5649, uncore_w=-5.0)
+
+
+class TestEnergyEstimate:
+    def test_joules_and_wh(self):
+        est = EnergyEstimate(execution_time_s=3600.0, chip_power_w=50.0)
+        assert est.energy_j == pytest.approx(180_000.0)
+        assert est.energy_wh == pytest.approx(50.0)
+
+
+class TestInterferenceEnergyCost:
+    def test_extra_energy(self, model):
+        p0 = XEON_E5649.pstates.fastest
+        cost = interference_energy_cost(model, p0, 200.0, 260.0, active_cores=4)
+        assert cost == pytest.approx(60.0 * model.chip_power_w(p0, 4))
+
+    def test_no_interference_no_cost(self, model):
+        p0 = XEON_E5649.pstates.fastest
+        assert interference_energy_cost(model, p0, 200.0, 200.0, 2) == 0.0
+
+    def test_validation(self, model):
+        p0 = XEON_E5649.pstates.fastest
+        with pytest.raises(ValueError, match="baseline"):
+            interference_energy_cost(model, p0, 0.0, 100.0, 2)
+        with pytest.raises(ValueError, match="below the baseline"):
+            interference_energy_cost(model, p0, 200.0, 150.0, 2)

@@ -1,0 +1,67 @@
+"""Tests for baseline collection."""
+
+import pytest
+
+from repro.harness.baselines import BaselineTable, collect_baselines
+from repro.workloads.suite import all_applications, get_application
+
+
+class TestBaselineTable:
+    def test_collects_all_apps_all_pstates(self, baselines_6core, engine_6core):
+        n_apps = len(all_applications())
+        n_pstates = len(engine_6core.processor.pstates)
+        assert len(baselines_6core.profiles) == n_apps * n_pstates
+
+    def test_get(self, baselines_6core):
+        profile = baselines_6core.get("canneal", 2.53)
+        assert profile.app_name == "canneal"
+        assert profile.frequency_ghz == pytest.approx(2.53)
+
+    def test_get_missing_app(self, baselines_6core):
+        with pytest.raises(KeyError, match="no baseline"):
+            baselines_6core.get("doom", 2.53)
+
+    def test_get_missing_frequency(self, baselines_6core):
+        with pytest.raises(KeyError, match="no baseline"):
+            baselines_6core.get("canneal", 9.99)
+
+    def test_base_ex_times_all_pstates(self, baselines_6core, engine_6core):
+        """Table I: baseline execution time at all P-states."""
+        times = baselines_6core.base_ex_times("canneal")
+        freqs = list(times)
+        assert freqs == sorted(freqs, reverse=True)
+        assert len(times) == len(engine_6core.processor.pstates)
+        # Slower P-state, longer time.
+        values = list(times.values())
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_base_ex_times_unknown_app(self, baselines_6core):
+        with pytest.raises(KeyError):
+            baselines_6core.base_ex_times("doom")
+
+    def test_app_names(self, baselines_6core):
+        assert baselines_6core.app_names() == sorted(
+            a.name for a in all_applications()
+        )
+
+    def test_duplicate_rejected(self, engine_6core):
+        table = collect_baselines(engine_6core, [get_application("ep")])
+        from repro.counters.hpcrun import hpcrun_flat
+
+        dup = hpcrun_flat(engine_6core, get_application("ep"))
+        with pytest.raises(ValueError, match="duplicate"):
+            table.add(dup)
+
+    def test_wrong_machine_rejected(self, engine_12core, baselines_6core):
+        from repro.counters.hpcrun import hpcrun_flat
+
+        other = hpcrun_flat(engine_12core, get_application("ep"))
+        with pytest.raises(ValueError, match="table"):
+            baselines_6core.add(other)
+
+    def test_baselines_are_noise_free_by_default(self, engine_6core):
+        t1 = collect_baselines(engine_6core, [get_application("lu")])
+        t2 = collect_baselines(engine_6core, [get_application("lu")])
+        assert (
+            t1.get("lu", 2.53).wall_time_s == t2.get("lu", 2.53).wall_time_s
+        )

@@ -1,0 +1,128 @@
+"""Tests for observation datasets and CSV persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import CoLocationObservation
+from repro.harness.datasets import ObservationDataset
+
+
+def make_obs(processor="M", target="canneal", co_app="cg", freq=2.53, n=2, t=250.0):
+    return CoLocationObservation(
+        processor_name=processor,
+        frequency_ghz=freq,
+        target_name=target,
+        co_app_name=co_app if n else None,
+        base_ex_time_s=200.0,
+        num_co_app=n,
+        co_app_mem=0.01 * n,
+        target_mem=0.005,
+        co_app_cm_ca=0.8 * n,
+        co_app_ca_ins=0.02 * n,
+        target_cm_ca=0.6,
+        target_ca_ins=0.0085,
+        actual_time_s=t,
+    )
+
+
+class TestDataset:
+    def test_add_and_len(self):
+        ds = ObservationDataset("M")
+        ds.add(make_obs())
+        ds.extend([make_obs(t=260.0), make_obs(t=270.0)])
+        assert len(ds) == 3
+
+    def test_machine_tag_enforced(self):
+        ds = ObservationDataset("M")
+        with pytest.raises(ValueError, match="dataset"):
+            ds.add(make_obs(processor="other"))
+
+    def test_constructor_checks_tags(self):
+        with pytest.raises(ValueError):
+            ObservationDataset("M", [make_obs(processor="other")])
+
+    def test_iteration(self):
+        obs = [make_obs(t=250.0 + i) for i in range(3)]
+        ds = ObservationDataset("M", obs)
+        assert list(ds) == obs
+
+    def test_actual_times(self):
+        ds = ObservationDataset("M", [make_obs(t=100.0), make_obs(t=300.0)])
+        np.testing.assert_allclose(ds.actual_times(), [100.0, 300.0])
+
+    def test_target_names_first_seen_order(self):
+        ds = ObservationDataset(
+            "M",
+            [make_obs(target="b"), make_obs(target="a"), make_obs(target="b")],
+        )
+        assert ds.target_names() == ["b", "a"]
+
+
+class TestFilter:
+    @pytest.fixture
+    def dataset(self):
+        return ObservationDataset(
+            "M",
+            [
+                make_obs(target="canneal", co_app="cg", freq=2.53, n=1),
+                make_obs(target="canneal", co_app="cg", freq=2.53, n=3),
+                make_obs(target="canneal", co_app="ep", freq=2.53, n=1),
+                make_obs(target="sp", co_app="cg", freq=1.60, n=1),
+            ],
+        )
+
+    def test_filter_by_target(self, dataset):
+        assert len(dataset.filter(target_name="canneal")) == 3
+
+    def test_filter_by_co_app(self, dataset):
+        assert len(dataset.filter(co_app_name="ep")) == 1
+
+    def test_filter_by_frequency(self, dataset):
+        assert len(dataset.filter(frequency_ghz=1.60)) == 1
+
+    def test_filter_by_count(self, dataset):
+        assert len(dataset.filter(num_co_app=1)) == 3
+
+    def test_combined_filters(self, dataset):
+        sub = dataset.filter(target_name="canneal", co_app_name="cg", num_co_app=3)
+        assert len(sub) == 1
+
+    def test_filter_returns_dataset(self, dataset):
+        sub = dataset.filter(target_name="sp")
+        assert isinstance(sub, ObservationDataset)
+        assert sub.processor_name == "M"
+
+
+class TestCSVRoundtrip:
+    def test_roundtrip_string(self):
+        ds = ObservationDataset(
+            "M", [make_obs(t=251.5), make_obs(n=0, co_app=None, t=200.0)]
+        )
+        restored = ObservationDataset.from_csv_string(ds.to_csv_string())
+        assert restored.processor_name == "M"
+        assert list(restored) == list(ds)
+
+    def test_roundtrip_file(self, tmp_path):
+        ds = ObservationDataset("M", [make_obs(t=260.25)])
+        path = tmp_path / "data.csv"
+        ds.to_csv(path)
+        restored = ObservationDataset.from_csv(path)
+        assert list(restored) == list(ds)
+
+    def test_float_precision_preserved(self):
+        ds = ObservationDataset("M", [make_obs(t=1.0 / 3.0 * 700)])
+        restored = ObservationDataset.from_csv_string(ds.to_csv_string())
+        assert restored.observations[0].actual_time_s == ds.observations[0].actual_time_s
+
+    def test_empty_csv_rejected(self):
+        header_only = (
+            "processor_name,frequency_ghz,target_name,co_app_name,"
+            "base_ex_time_s,num_co_app,co_app_mem,target_mem,co_app_cm_ca,"
+            "co_app_ca_ins,target_cm_ca,target_ca_ins,actual_time_s\n"
+        )
+        with pytest.raises(ValueError, match="no observations"):
+            ObservationDataset.from_csv_string(header_only)
+
+    def test_bad_columns_rejected(self):
+        with pytest.raises(ValueError, match="unexpected CSV columns"):
+            ObservationDataset.from_csv_string("a,b,c\n1,2,3\n")

@@ -1,0 +1,133 @@
+"""Tests for the per-table/figure experiment drivers.
+
+These use a low-repetition context: the drivers' correctness (shapes,
+metadata, caching) is independent of the statistical repetition count; the
+full-fidelity runs live in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_sets import FeatureSet
+from repro.harness.experiments import (
+    ExperimentContext,
+    figure5a_distributions,
+    figure5b_errors,
+    figure_series,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+    table6_rows,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(seed=1, repetitions=3)
+
+
+class TestContext:
+    def test_engine_cached(self, ctx):
+        assert ctx.engine("e5649") is ctx.engine("e5649")
+
+    def test_unknown_machine(self, ctx):
+        with pytest.raises(KeyError, match="unknown machine"):
+            ctx.engine("i7")
+
+    def test_dataset_cached_and_sized(self, ctx):
+        ds = ctx.dataset("e5649")
+        assert ds is ctx.dataset("e5649")
+        assert len(ds) == 1320
+
+
+class TestStaticTables:
+    def test_table1(self):
+        rows = table1_rows()
+        assert len(rows) == 8
+        assert rows[0][0] == "baseExTime"
+
+    def test_table2(self):
+        rows = table2_rows()
+        assert len(rows) == 6
+        assert rows[0] == ["A", "baseExTime"]
+        assert "targetCM/CA" in rows[5][1]
+
+    def test_table4(self):
+        rows = table4_rows()
+        assert len(rows) == 2
+        assert rows[0][1] == 6 and rows[1][1] == 12
+
+    def test_table5(self):
+        rows = table5_rows()
+        assert len(rows) == 2
+        assert "1, 2, 3, 4, 5" in rows[0][2]
+        assert "1, 3, 5, 7, 9, 11" in rows[1][2]
+
+
+class TestTable3(object):
+    def test_rows(self, ctx):
+        rows = table3_rows(ctx)
+        assert len(rows) == 11
+        names = [r[0] for r in rows]
+        assert "cg (N)" in names and "canneal (P)" in names
+        intensities = [r[1] for r in rows]
+        assert max(intensities) / min(intensities) > 100.0
+        classes = {r[2] for r in rows}
+        assert classes == {"I", "II", "III", "IV"}
+
+
+class TestTable6:
+    def test_rows(self, ctx):
+        rows = table6_rows(ctx)
+        assert len(rows) == 11  # 1..11 cg co-runners
+        counts = [r[0] for r in rows]
+        assert counts == list(range(1, 12))
+        norms = [r[2] for r in rows]
+        # Degradation grows (allowing noise jitter) and is significant.
+        assert norms[-1] > norms[0]
+        assert norms[-1] > 1.2
+        # The neural model-F beats the linear model-F on average.
+        lin = np.mean([r[3] for r in rows])
+        nn = np.mean([r[4] for r in rows])
+        assert nn < lin
+
+
+class TestFigureSeries:
+    def test_series_layout(self, ctx):
+        labels, series = figure_series(ctx, "e5649", "mpe")
+        assert labels == [fs.value for fs in FeatureSet]
+        assert set(series) == {
+            "linear train",
+            "linear test",
+            "neural train",
+            "neural test",
+        }
+        for vals in series.values():
+            assert vals.shape == (6,)
+            assert np.all(vals >= 0.0)
+
+    def test_metric_validation(self, ctx):
+        with pytest.raises(ValueError, match="metric"):
+            figure_series(ctx, "e5649", "mape")
+
+    def test_neural_f_beats_linear_f(self, ctx):
+        _labels, series = figure_series(ctx, "e5649", "mpe")
+        assert series["neural test"][-1] < series["linear test"][-1]
+
+
+class TestFigure5:
+    def test_5a_distributions(self, ctx):
+        dists = figure5a_distributions(ctx)
+        assert len(dists) == 11
+        for values in dists.values():
+            # 6 pstates x 4 co-apps x 5 counts per target
+            assert values.size == 120
+            assert np.all(values > 0.0)
+
+    def test_5b_errors_centered(self, ctx):
+        errors = figure5b_errors(ctx, repetitions=2)
+        assert len(errors) == 11
+        pooled = np.concatenate(list(errors.values()))
+        assert abs(np.median(pooled)) < 5.0

@@ -1,0 +1,92 @@
+"""Tests for dataset provenance manifests."""
+
+import pytest
+
+from repro.harness.manifest import (
+    DatasetManifest,
+    manifest_path_for,
+    read_manifest,
+    write_manifest,
+)
+
+
+class TestDescribe:
+    def test_contents_summarized(self, small_dataset):
+        manifest = DatasetManifest.describe(small_dataset, seed=7)
+        assert manifest.processor_name == "Xeon E5649"
+        assert manifest.num_observations == len(small_dataset)
+        assert manifest.seed == 7
+        assert set(manifest.targets) == {"canneal", "sp", "fluidanimate", "ep"}
+        assert set(manifest.co_apps) == {"cg", "ep"}
+        assert manifest.co_location_counts == (1, 3, 5)
+        assert len(manifest.frequencies_ghz) == 6
+        assert manifest.library_version
+
+    def test_digest_matches_dataset(self, small_dataset):
+        manifest = DatasetManifest.describe(small_dataset)
+        assert manifest.matches(small_dataset)
+
+    def test_digest_detects_drift(self, small_dataset):
+        import dataclasses
+
+        manifest = DatasetManifest.describe(small_dataset)
+        from repro.harness.datasets import ObservationDataset
+
+        tampered = ObservationDataset(
+            small_dataset.processor_name,
+            [
+                dataclasses.replace(
+                    small_dataset.observations[0], actual_time_s=999.0
+                )
+            ]
+            + small_dataset.observations[1:],
+        )
+        assert not manifest.matches(tampered)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, small_dataset):
+        manifest = DatasetManifest.describe(small_dataset, seed=3, notes="test")
+        restored = DatasetManifest.from_json(manifest.to_json())
+        assert restored == manifest
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ValueError, match="not valid JSON"):
+            DatasetManifest.from_json("{")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            DatasetManifest.from_json('{"processor_name": "x"}')
+
+    def test_null_seed_roundtrips(self, small_dataset):
+        manifest = DatasetManifest.describe(small_dataset)  # seed=None
+        restored = DatasetManifest.from_json(manifest.to_json())
+        assert restored.seed is None
+
+
+class TestSidecars:
+    def test_path_convention(self):
+        assert manifest_path_for("/x/data.csv").name == "data.manifest.json"
+
+    def test_write_read_roundtrip(self, small_dataset, tmp_path):
+        csv_path = tmp_path / "train.csv"
+        small_dataset.to_csv(csv_path)
+        written = write_manifest(small_dataset, csv_path, seed=11)
+        restored = read_manifest(csv_path)
+        assert restored == written
+        assert restored.matches(small_dataset)
+
+    def test_missing_sidecar(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_manifest(tmp_path / "absent.csv")
+
+    def test_end_to_end_verification(self, small_dataset, tmp_path):
+        """The intended workflow: write CSV + manifest, reload, verify."""
+        from repro.harness.datasets import ObservationDataset
+
+        csv_path = tmp_path / "train.csv"
+        small_dataset.to_csv(csv_path)
+        write_manifest(small_dataset, csv_path, seed=0)
+        reloaded = ObservationDataset.from_csv(csv_path)
+        manifest = read_manifest(csv_path)
+        assert manifest.matches(reloaded)

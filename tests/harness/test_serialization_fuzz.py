@@ -1,0 +1,134 @@
+"""Property-based fuzzing of the serialization boundaries.
+
+The CSV dataset format, the JSON model format, and the manifest format are
+the library's interchange points with the outside world; hypothesis
+generates adversarial-ish content to check that round trips are exact and
+that malformed input always fails with the documented exception types
+(never an uncontrolled crash or silent corruption).
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.features import CoLocationObservation
+from repro.core.persistence import PersistenceError, predictor_from_dict
+from repro.harness.datasets import ObservationDataset
+from repro.harness.manifest import DatasetManifest
+
+finite_positive = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+finite_ratio = st.floats(
+    min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+safe_name = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="-_."),
+    min_size=1,
+    max_size=24,
+)
+
+
+@st.composite
+def observations(draw):
+    n_co = draw(st.integers(min_value=0, max_value=11))
+    return CoLocationObservation(
+        processor_name=draw(safe_name),
+        frequency_ghz=draw(finite_positive),
+        target_name=draw(safe_name),
+        co_app_name=draw(safe_name) if n_co else None,
+        base_ex_time_s=draw(finite_positive),
+        num_co_app=n_co,
+        co_app_mem=draw(finite_ratio),
+        target_mem=draw(finite_ratio),
+        co_app_cm_ca=draw(finite_ratio),
+        co_app_ca_ins=draw(finite_ratio),
+        target_cm_ca=draw(finite_ratio),
+        target_ca_ins=draw(finite_ratio),
+        actual_time_s=draw(finite_positive),
+    )
+
+
+class TestCSVFuzz:
+    @given(obs_list=st.lists(observations(), min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_csv_roundtrip_exact(self, obs_list):
+        machine = obs_list[0].processor_name
+        import dataclasses
+
+        aligned = [
+            dataclasses.replace(o, processor_name=machine) for o in obs_list
+        ]
+        ds = ObservationDataset(machine, aligned)
+        restored = ObservationDataset.from_csv_string(ds.to_csv_string())
+        assert list(restored) == aligned
+
+    @given(obs=observations())
+    @settings(max_examples=40, deadline=None)
+    def test_manifest_roundtrip_and_digest(self, obs):
+        ds = ObservationDataset(obs.processor_name, [obs])
+        manifest = DatasetManifest.describe(ds, seed=1)
+        restored = DatasetManifest.from_json(manifest.to_json())
+        assert restored == manifest
+        assert restored.matches(ds)
+
+    @given(garbage=st.text(max_size=200))
+    @settings(max_examples=40)
+    def test_csv_garbage_never_crashes_uncontrolled(self, garbage):
+        try:
+            ObservationDataset.from_csv_string(garbage)
+        except ValueError:
+            pass  # the documented failure mode
+
+    @given(garbage=st.text(max_size=200))
+    @settings(max_examples=40)
+    def test_manifest_garbage_raises_value_error(self, garbage):
+        try:
+            DatasetManifest.from_json(garbage)
+        except ValueError:
+            pass
+
+
+class TestModelPayloadFuzz:
+    @given(
+        payload=st.dictionaries(
+            st.sampled_from(
+                ["format_version", "kind", "feature_set", "model",
+                 "processor_name", "extra"]
+            ),
+            st.one_of(
+                st.none(),
+                st.integers(min_value=-5, max_value=5),
+                st.text(max_size=8),
+                st.dictionaries(st.text(max_size=5), st.integers(), max_size=3),
+            ),
+            max_size=6,
+        )
+    )
+    @settings(max_examples=60)
+    def test_arbitrary_dicts_raise_persistence_error(self, payload):
+        """No generated payload may load successfully or crash with
+        anything other than PersistenceError."""
+        with pytest.raises(PersistenceError):
+            predictor_from_dict(payload)
+
+    def test_nearly_valid_payload_with_nan_weights(self, small_dataset):
+        """NaN weights survive JSON as null -> must be rejected, not
+        silently loaded."""
+        from repro.core.feature_sets import FeatureSet
+        from repro.core.methodology import ModelKind, PerformancePredictor
+        from repro.core.persistence import predictor_to_dict
+
+        predictor = PerformancePredictor(ModelKind.LINEAR, FeatureSet.B)
+        predictor.fit(list(small_dataset))
+        data = predictor_to_dict(predictor)
+        data["model"]["weights"] = [None, None]
+        text = json.dumps(data)  # stays valid JSON
+        loaded = json.loads(text)
+        restored = predictor_from_dict(loaded)
+        # numpy turns None into nan; predictions must not silently look
+        # plausible — they are nan, which predict_observations exposes.
+        preds = restored.predict_observations(list(small_dataset))
+        assert np.all(np.isnan(preds))

@@ -1,0 +1,120 @@
+"""End-to-end integration: the full pipeline on reduced-scale data."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_sets import FeatureSet
+from repro.core.metrics import mpe
+from repro.core.methodology import ModelKind, PerformancePredictor, evaluate_models
+from repro.harness.baselines import collect_baselines
+from repro.harness.collection import collect_training_data
+from repro.harness.datasets import ObservationDataset
+from repro.machine import XEON_E5_2697V2
+from repro.machine.processor import CacheGeometry, DRAMConfig, MulticoreProcessor
+from repro.machine.pstates import PStateLadder
+from repro.sim import SimulationEngine
+from repro.workloads.suite import all_applications, get_application
+
+
+class TestFullPipeline6Core:
+    def test_collect_train_predict_unseen_scenarios(
+        self, engine_6core, baselines_6core, small_dataset
+    ):
+        """Train on the reduced dataset, predict scenarios that were never
+        in the training loop nest (different co-app count), and check the
+        predictions track the simulator."""
+        predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.F, seed=1)
+        predictor.fit(list(small_dataset))
+
+        # Count 2 and 4 were withheld (training used 1, 3, 5).
+        fmax = engine_6core.processor.pstates.fastest
+        preds, actuals = [], []
+        for count in (2, 4):
+            for target_name in ("canneal", "fluidanimate"):
+                target = get_application(target_name)
+                cg = get_application("cg")
+                run = engine_6core.run(target, [cg] * count, pstate=fmax)
+                actuals.append(run.target.execution_time_s)
+                preds.append(
+                    predictor.predict_time(
+                        baselines_6core.get(target_name, fmax.frequency_ghz),
+                        [baselines_6core.get("cg", fmax.frequency_ghz)] * count,
+                    )
+                )
+        assert mpe(np.array(preds), np.array(actuals)) < 8.0
+
+    def test_generalizes_to_unseen_co_app(
+        self, engine_6core, baselines_6core, small_dataset
+    ):
+        """The paper designs training data to 'extend beyond the set of
+        four co-location applications': predict with a co-app (canneal)
+        never used as a co-runner during training."""
+        predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.F, seed=1)
+        predictor.fit(list(small_dataset))
+        fmax = engine_6core.processor.pstates.fastest
+        target = get_application("sp")
+        canneal = get_application("canneal")
+        actual = engine_6core.run(target, [canneal] * 3, pstate=fmax)
+        pred = predictor.predict_time(
+            baselines_6core.get("sp", fmax.frequency_ghz),
+            [baselines_6core.get("canneal", fmax.frequency_ghz)] * 3,
+        )
+        assert pred == pytest.approx(actual.target.execution_time_s, rel=0.10)
+
+    def test_csv_roundtrip_preserves_model_quality(self, small_dataset, tmp_path):
+        path = tmp_path / "train.csv"
+        small_dataset.to_csv(path)
+        restored = ObservationDataset.from_csv(path)
+        p1 = PerformancePredictor(ModelKind.LINEAR, FeatureSet.D)
+        p1.fit(list(small_dataset))
+        p2 = PerformancePredictor(ModelKind.LINEAR, FeatureSet.D)
+        p2.fit(list(restored))
+        preds1 = p1.predict_observations(list(small_dataset))
+        preds2 = p2.predict_observations(list(restored))
+        np.testing.assert_allclose(preds1, preds2, rtol=1e-9)
+
+
+class TestPortability:
+    """Section VI: the methodology ports to machines outside the catalog."""
+
+    @pytest.fixture(scope="class")
+    def custom_machine(self):
+        return MulticoreProcessor(
+            name="Custom 8-core",
+            num_cores=8,
+            llc=CacheGeometry(size_bytes=16 * 1024 * 1024, associativity=16,
+                              hit_latency_ns=14.0),
+            dram=DRAMConfig(idle_latency_ns=90.0, peak_bandwidth_gbs=18.0),
+            pstates=PStateLadder.from_frequencies([2.8, 2.2, 1.6]),
+        )
+
+    def test_pipeline_on_custom_machine(self, custom_machine):
+        engine = SimulationEngine(custom_machine)
+        baselines = collect_baselines(engine, all_applications())
+        dataset = collect_training_data(
+            engine,
+            baselines=baselines,
+            targets=[get_application(n) for n in ("canneal", "sp", "ep")],
+            co_apps=[get_application("cg")],
+            counts=(1, 4, 7),
+            rng=np.random.default_rng(0),
+        )
+        # 3 pstates x 3 targets x 1 co-app x 3 counts
+        assert len(dataset) == 27
+        evals = evaluate_models(
+            list(dataset),
+            kinds=(ModelKind.LINEAR,),
+            feature_sets=(FeatureSet.C,),
+            repetitions=5,
+        )
+        assert evals[0].result.mean_test_mpe < 25.0
+
+
+class TestCrossMachineIsolation:
+    def test_12core_model_not_trained_on_6core_data(
+        self, engine_12core, small_dataset
+    ):
+        """Datasets are machine-tagged; mixing machines is an error."""
+        ds = ObservationDataset(engine_12core.processor.name)
+        with pytest.raises(ValueError):
+            ds.add(small_dataset.observations[0])

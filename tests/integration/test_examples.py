@@ -1,0 +1,59 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are executed in-process (runpy) with stdout captured; each test
+asserts the example's key claim appears in its output, so a regression
+that silently breaks an example's story — not just its syntax — fails.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "canneal alone" in out
+        assert "1320 co-location observations" in out
+        # All four predictions printed with errors under 10%.
+        for line in out.splitlines():
+            if line.strip().endswith("%") and "error" not in line:
+                err = float(line.split()[-1].rstrip("%"))
+                assert err < 10.0
+
+    def test_phase_analysis(self, capsys):
+        out = run_example("phase_analysis.py", capsys)
+        assert "Worst aggregate-vs-phase gap" in out
+        gap = float(out.split("Worst aggregate-vs-phase gap:")[1].split("%")[0])
+        assert gap < 10.0
+
+    def test_interference_scheduler(self, capsys):
+        out = run_example("interference_scheduler.py", capsys)
+        assert "interference-aware (model)" in out
+        assert "cuts mean slowdown" in out
+        gain = float(out.split("cuts mean slowdown by")[1].split("%")[0])
+        assert gain > 0.0
+
+    def test_energy_modeling(self, capsys):
+        out = run_example("energy_modeling.py", capsys)
+        assert "Minimum-energy P-state" in out
+        assert "Wh" in out
+
+    def test_portability(self, capsys):
+        out = run_example("portability.py", capsys)
+        assert "Best model: neural/F" in out
+
+    def test_uncertainty_and_governor(self, capsys):
+        out = run_example("uncertainty_and_governor.py", capsys)
+        assert "relative disagreement" in out
+        assert "deadline" in out

@@ -1,0 +1,118 @@
+"""Tests for processor specifications (Table IV)."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.processor import (
+    PROCESSOR_CATALOG,
+    XEON_E5649,
+    XEON_E5_2697V2,
+    CacheGeometry,
+    DRAMConfig,
+    MulticoreProcessor,
+    get_processor,
+)
+from repro.machine.pstates import PStateLadder
+
+
+class TestCacheGeometry:
+    def test_derived_quantities(self):
+        geo = CacheGeometry(size_bytes=1024 * 1024, line_bytes=64, associativity=16)
+        assert geo.num_lines == 16384
+        assert geo.num_sets == 1024
+        assert geo.size_mb == pytest.approx(1.0)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError, match="power of two"):
+            CacheGeometry(size_bytes=1024, line_bytes=48)
+
+    def test_rejects_misaligned_size(self):
+        with pytest.raises(ValueError, match="multiple"):
+            CacheGeometry(size_bytes=1000, line_bytes=64, associativity=4)
+
+    def test_rejects_nonpositive_fields(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=0)
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024 * 1024, associativity=0)
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024 * 1024, hit_latency_ns=0.0)
+
+
+class TestDRAMConfig:
+    def test_defaults_valid(self):
+        cfg = DRAMConfig()
+        assert cfg.idle_latency_ns > 0
+        assert cfg.peak_bandwidth_gbs > 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"idle_latency_ns": 0.0},
+            {"peak_bandwidth_gbs": -1.0},
+            {"queue_shape": -0.1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            DRAMConfig(**kwargs)
+
+
+class TestCatalog:
+    def test_table4_e5649(self):
+        assert XEON_E5649.num_cores == 6
+        assert XEON_E5649.llc.size_mb == pytest.approx(12.0)
+        assert XEON_E5649.pstates.fastest.frequency_ghz == pytest.approx(2.53)
+        assert XEON_E5649.pstates.slowest.frequency_ghz == pytest.approx(1.60)
+        assert len(XEON_E5649.pstates) == 6
+
+    def test_table4_e5_2697v2(self):
+        assert XEON_E5_2697V2.num_cores == 12
+        assert XEON_E5_2697V2.llc.size_mb == pytest.approx(30.0)
+        assert XEON_E5_2697V2.pstates.fastest.frequency_ghz == pytest.approx(2.70)
+        assert XEON_E5_2697V2.pstates.slowest.frequency_ghz == pytest.approx(1.20)
+        assert len(XEON_E5_2697V2.pstates) == 6
+
+    def test_get_processor_case_insensitive(self):
+        assert get_processor("E5649") is XEON_E5649
+        assert get_processor("e5-2697v2") is XEON_E5_2697V2
+
+    def test_get_processor_unknown(self):
+        with pytest.raises(KeyError, match="catalog has"):
+            get_processor("pentium")
+
+    def test_catalog_complete(self):
+        assert set(PROCESSOR_CATALOG) == {"e5649", "e5-2697v2"}
+
+
+class TestMulticoreProcessor:
+    def test_max_co_located(self):
+        assert XEON_E5649.max_co_located == 5
+        assert XEON_E5_2697V2.max_co_located == 11
+
+    def test_validate_co_location_count(self):
+        XEON_E5649.validate_co_location_count(0)
+        XEON_E5649.validate_co_location_count(5)
+        with pytest.raises(ValueError, match="at most 5"):
+            XEON_E5649.validate_co_location_count(6)
+        with pytest.raises(ValueError, match="non-negative"):
+            XEON_E5649.validate_co_location_count(-1)
+
+    def test_with_pstates(self):
+        custom = XEON_E5649.with_pstates([2.0, 1.0])
+        assert custom.pstates.frequencies_ghz == (2.0, 1.0)
+        assert custom.llc is XEON_E5649.llc  # everything else untouched
+        assert XEON_E5649.pstates.fastest.frequency_ghz == pytest.approx(2.53)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            XEON_E5649.num_cores = 8  # type: ignore[misc]
+
+    def test_rejects_invalid(self):
+        ladder = PStateLadder.from_frequencies([1.0])
+        geo = CacheGeometry(size_bytes=1024 * 1024)
+        with pytest.raises(ValueError, match="positive"):
+            MulticoreProcessor("x", 0, geo, DRAMConfig(), ladder)
+        with pytest.raises(ValueError, match="name"):
+            MulticoreProcessor("", 4, geo, DRAMConfig(), ladder)

@@ -1,0 +1,120 @@
+"""Tests for P-states and DVFS scaling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.pstates import DVFSError, PState, PStateLadder
+
+
+class TestPState:
+    def test_frequency_conversion(self):
+        p = PState(frequency_ghz=2.5)
+        assert p.frequency_hz == pytest.approx(2.5e9)
+
+    def test_cycle_time(self):
+        p = PState(frequency_ghz=2.0)
+        assert p.cycle_time_s() == pytest.approx(0.5e-9)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(DVFSError):
+            PState(frequency_ghz=0.0)
+        with pytest.raises(DVFSError):
+            PState(frequency_ghz=-1.0)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(DVFSError):
+            PState(frequency_ghz=1.0, voltage_v=0.0)
+
+    def test_ordering_by_frequency(self):
+        slow = PState(frequency_ghz=1.0)
+        fast = PState(frequency_ghz=2.0)
+        assert slow < fast
+
+
+class TestPStateLadder:
+    def test_from_frequencies_sorts_fastest_first(self):
+        ladder = PStateLadder.from_frequencies([1.6, 2.53, 2.13])
+        assert ladder.frequencies_ghz == (2.53, 2.13, 1.6)
+
+    def test_from_frequencies_deduplicates(self):
+        ladder = PStateLadder.from_frequencies([2.0, 2.0, 1.0])
+        assert len(ladder) == 2
+
+    def test_fastest_and_slowest(self):
+        ladder = PStateLadder.from_frequencies([1.0, 3.0, 2.0])
+        assert ladder.fastest.frequency_ghz == 3.0
+        assert ladder.slowest.frequency_ghz == 1.0
+
+    def test_voltage_interpolation_monotone(self):
+        ladder = PStateLadder.from_frequencies([1.0, 1.5, 2.0, 2.5])
+        volts = [s.voltage_v for s in ladder]
+        assert volts == sorted(volts, reverse=True)
+        assert ladder.fastest.voltage_v == pytest.approx(1.2)
+        assert ladder.slowest.voltage_v == pytest.approx(0.8)
+
+    def test_single_state_ladder(self):
+        ladder = PStateLadder.from_frequencies([2.0])
+        assert ladder.fastest is ladder.slowest
+        assert ladder.fastest.voltage_v == pytest.approx(1.2)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(DVFSError):
+            PStateLadder(states=())
+        with pytest.raises(DVFSError):
+            PStateLadder.from_frequencies([])
+
+    def test_unsorted_states_rejected(self):
+        states = (PState(1.0, index=0), PState(2.0, index=1))
+        with pytest.raises(DVFSError):
+            PStateLadder(states=states)
+
+    def test_duplicate_states_rejected(self):
+        states = (PState(2.0, index=0), PState(2.0, index=1))
+        with pytest.raises(DVFSError):
+            PStateLadder(states=states)
+
+    def test_at_frequency_exact(self):
+        ladder = PStateLadder.from_frequencies([1.6, 2.53])
+        assert ladder.at_frequency(2.53).frequency_ghz == 2.53
+
+    def test_at_frequency_missing_raises(self):
+        ladder = PStateLadder.from_frequencies([1.6, 2.53])
+        with pytest.raises(DVFSError, match="no P-state at"):
+            ladder.at_frequency(2.0)
+
+    def test_closest(self):
+        ladder = PStateLadder.from_frequencies([1.0, 2.0, 3.0])
+        assert ladder.closest(1.9).frequency_ghz == 2.0
+        assert ladder.closest(10.0).frequency_ghz == 3.0
+
+    def test_closest_rejects_nonpositive(self):
+        ladder = PStateLadder.from_frequencies([1.0])
+        with pytest.raises(DVFSError):
+            ladder.closest(0.0)
+
+    def test_slowdown_factor(self):
+        ladder = PStateLadder.from_frequencies([1.0, 2.0])
+        assert ladder.slowdown_factor(ladder.fastest) == pytest.approx(1.0)
+        assert ladder.slowdown_factor(ladder.slowest) == pytest.approx(2.0)
+
+    def test_iteration_and_indexing(self):
+        ladder = PStateLadder.from_frequencies([1.0, 2.0, 3.0])
+        assert [s.frequency_ghz for s in ladder] == [3.0, 2.0, 1.0]
+        assert ladder[0].frequency_ghz == 3.0
+        assert ladder[-1].frequency_ghz == 1.0
+
+    @given(
+        freqs=st.lists(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=10,
+            unique=True,
+        )
+    )
+    def test_property_ladder_ordered_and_slowdown_ge_one(self, freqs):
+        ladder = PStateLadder.from_frequencies(freqs)
+        ghz = ladder.frequencies_ghz
+        assert all(a > b for a, b in zip(ghz, ghz[1:]))
+        for state in ladder:
+            assert ladder.slowdown_factor(state) >= 1.0

@@ -1,0 +1,57 @@
+"""Tests for multi-socket server topology."""
+
+import pytest
+
+from repro.machine import XEON_E5649, XEON_E5_2697V2
+from repro.machine.topology import Server, dual_socket
+
+
+class TestServer:
+    def test_dual_socket(self):
+        server = dual_socket("node01", XEON_E5649)
+        assert server.total_cores == 12
+        assert len(server.sockets) == 2
+        assert server.homogeneous()
+
+    def test_socket_names_unique(self):
+        server = dual_socket("node01", XEON_E5649)
+        names = server.socket_names
+        assert names == ("node01/socket0", "node01/socket1")
+
+    def test_placement_domains_carry_qualified_names(self):
+        server = dual_socket("node01", XEON_E5649)
+        domains = server.placement_domains()
+        assert [d.name for d in domains] == list(server.socket_names)
+        # Specs preserved.
+        assert all(d.num_cores == 6 for d in domains)
+        assert all(d.llc == XEON_E5649.llc for d in domains)
+
+    def test_heterogeneous_server(self):
+        server = Server("mixed", (XEON_E5649, XEON_E5_2697V2))
+        assert server.total_cores == 18
+        assert not server.homogeneous()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            Server("", (XEON_E5649,))
+        with pytest.raises(ValueError, match="socket"):
+            Server("empty", ())
+
+    def test_domains_schedulable(self, baselines_6core, engine_6core):
+        """Sockets plug straight into the scheduling extension."""
+        from repro.sched import evaluate_placement, round_robin
+        from repro.workloads import get_application
+
+        server = dual_socket("node01", XEON_E5649)
+        domains = server.placement_domains()
+        jobs = [get_application(n) for n in ("cg", "canneal", "ep", "sp")]
+        placement = round_robin(jobs, domains)
+        # Identical sockets share one engine and one baseline table,
+        # keyed by each domain's qualified name.
+        outcome = evaluate_placement(
+            placement,
+            {d.name: engine_6core for d in domains},
+            {d.name: baselines_6core for d in domains},
+        )
+        assert outcome.mean_slowdown >= 1.0
+        assert len(outcome.slowdowns) == 2

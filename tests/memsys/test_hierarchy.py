@@ -1,0 +1,68 @@
+"""Tests for the composed memory hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.cache.reuse import ReuseProfile
+from repro.cache.sharing import CacheCompetitor
+from repro.machine import XEON_E5649
+from repro.memsys.hierarchy import MemoryHierarchy
+
+MB = 1024.0 * 1024.0
+
+
+@pytest.fixture
+def hierarchy():
+    return MemoryHierarchy(XEON_E5649)
+
+
+class TestSolve:
+    def test_single_quiet_app(self, hierarchy):
+        p = ReuseProfile.single(1 * MB, compulsory=0.01)
+        state = hierarchy.solve([CacheCompetitor(p, access_rate=1e5)])
+        assert state.dram_utilization < 0.01
+        assert state.dram_latency_ns == pytest.approx(
+            XEON_E5649.dram.idle_latency_ns, rel=0.05
+        )
+
+    def test_heavy_traffic_loads_dram(self, hierarchy):
+        p = ReuseProfile.single(500 * MB, compulsory=0.02)
+        quiet = hierarchy.solve([CacheCompetitor(p, 1e6)])
+        loud = hierarchy.solve([CacheCompetitor(p, 1e9)] * 3)
+        assert loud.dram_utilization > quiet.dram_utilization
+        assert loud.dram_latency_ns > quiet.dram_latency_ns
+
+    def test_bandwidth_accounting(self, hierarchy):
+        p = ReuseProfile.single(500 * MB)
+        rate = 1e7
+        state = hierarchy.solve([CacheCompetitor(p, rate)])
+        mr = state.sharing.miss_ratios[0]
+        expected = rate * mr * XEON_E5649.llc.line_bytes
+        assert state.miss_bandwidth_bytes_per_s == pytest.approx(expected)
+
+
+class TestStallPerAccess:
+    def test_zero_miss_ratio_pays_hit_exposure_only(self, hierarchy):
+        stall = hierarchy.stall_ns_per_access(0.0, 100.0)
+        expected = XEON_E5649.llc.hit_latency_ns * 0.3
+        assert stall == pytest.approx(expected)
+
+    def test_full_miss_ratio_pays_dram(self, hierarchy):
+        stall = hierarchy.stall_ns_per_access(1.0, 100.0, mlp=1.0)
+        assert stall == pytest.approx(100.0)
+
+    def test_mlp_divides_miss_cost(self, hierarchy):
+        s1 = hierarchy.stall_ns_per_access(1.0, 100.0, mlp=1.0)
+        s2 = hierarchy.stall_ns_per_access(1.0, 100.0, mlp=2.0)
+        assert s2 == pytest.approx(s1 / 2.0)
+
+    def test_monotone_in_miss_ratio(self, hierarchy):
+        ms = np.linspace(0, 1, 11)
+        stalls = np.asarray(hierarchy.stall_ns_per_access(ms, 100.0))
+        assert np.all(np.diff(stalls) > 0)
+
+    def test_validation(self, hierarchy):
+        with pytest.raises(ValueError):
+            hierarchy.stall_ns_per_access(1.5, 100.0)
+        with pytest.raises(ValueError):
+            hierarchy.stall_ns_per_access(0.5, 100.0, mlp=0.5)

@@ -1,0 +1,84 @@
+"""Tests for text figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.figures import (
+    render_distributions,
+    render_series,
+    summarize,
+)
+
+
+class TestRenderSeries:
+    def test_basic(self):
+        out = render_series(
+            ["A", "B", "C"],
+            {"linear test": np.array([8.0, 7.5, 6.5])},
+            title="Fig 1",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Fig 1"
+        assert "A" in lines[1] and "C" in lines[1]
+        assert "linear test" in lines[2]
+        assert "8.00" in lines[2]
+
+    def test_sparkbar_present(self):
+        out = render_series(["A", "B"], {"s": np.array([1.0, 2.0])})
+        assert any(ch in out for ch in "▁▂▃▄▅▆▇█")
+
+    def test_constant_series(self):
+        out = render_series(["A", "B"], {"s": np.array([3.0, 3.0])})
+        assert "3.00" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="points"):
+            render_series(["A"], {"s": np.array([1.0, 2.0])})
+
+    def test_empty_inputs(self):
+        with pytest.raises(ValueError):
+            render_series([], {"s": np.array([])})
+        with pytest.raises(ValueError):
+            render_series(["A"], {})
+
+
+class TestSummarize:
+    def test_five_numbers(self):
+        s = summarize("x", np.arange(1, 101, dtype=float))
+        assert s.minimum == 1.0
+        assert s.maximum == 100.0
+        assert s.median == pytest.approx(50.5)
+        assert s.q1 == pytest.approx(25.75)
+        assert s.q3 == pytest.approx(75.25)
+        assert s.count == 100
+
+    def test_single_value(self):
+        s = summarize("x", np.array([7.0]))
+        assert s.minimum == s.median == s.maximum == 7.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize("x", np.array([]))
+
+
+class TestRenderDistributions:
+    def test_layout(self, rng):
+        summaries = [
+            summarize("canneal", rng.normal(250, 20, 100)),
+            summarize("ep", rng.normal(180, 5, 100)),
+        ]
+        out = render_distributions(summaries, title="Fig 5a", unit="s")
+        lines = out.splitlines()
+        assert lines[0] == "Fig 5a"
+        assert "canneal" in out and "ep" in out
+        assert "med=" in out and "IQR=" in out
+        # Box characters rendered.
+        assert "=" in out and "|" in out
+
+    def test_degenerate_distribution(self):
+        out = render_distributions([summarize("x", np.array([5.0, 5.0]))])
+        assert "med=" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_distributions([])

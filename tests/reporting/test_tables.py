@@ -1,0 +1,63 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.reporting.tables import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+    def test_float_normal(self):
+        assert format_cell(2.5) == "2.500"
+
+    def test_float_small_scientific(self):
+        assert format_cell(5.1e-3) == "5.100e-03"
+
+    def test_float_large_scientific(self):
+        assert format_cell(3.2e9) == "3.200e+09"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_cell("canneal (P)") == "canneal (P)"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_cell(True) == "True"
+
+    def test_precision(self):
+        assert format_cell(1.23456, precision=1) == "1.2"
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["name", "n"], [["cg", 1], ["canneal", 12]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "-+-" in lines[1]
+        assert lines[2].startswith("cg")
+        # Columns aligned: header and rows share the separator position.
+        sep = lines[0].index("|")
+        assert lines[2].index("|") == sep
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="row 0"):
+            render_table(["a", "b"], [[1]])
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(ValueError):
+            render_table([], [])
+
+    def test_doctest_example(self):
+        out = render_table(["a", "b"], [[1, 2.5]])
+        assert out == "a | b\n--+------\n1 | 2.500"

@@ -1,0 +1,165 @@
+"""Tests for the online cluster simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.feature_sets import FeatureSet
+from repro.core.methodology import ModelKind, PerformancePredictor
+from repro.machine import XEON_E5649
+from repro.sched.cluster import (
+    ClusterSimulator,
+    JobRequest,
+    first_fit_policy,
+    least_loaded_policy,
+    model_driven_policy,
+)
+from repro.workloads.suite import get_application
+
+
+@pytest.fixture(scope="module")
+def cluster(engine_6core, baselines_6core):
+    engines = {"m0": engine_6core, "m1": engine_6core}
+    baselines = {"m0": baselines_6core, "m1": baselines_6core}
+    return engines, baselines
+
+
+def make_jobs(names, spacing_s=10.0):
+    return [
+        JobRequest(app=get_application(n), arrival_s=i * spacing_s, job_id=i)
+        for i, n in enumerate(names)
+    ]
+
+
+class TestJobRecord:
+    def test_derived_metrics(self):
+        req = JobRequest(app=get_application("ep"), arrival_s=5.0, job_id=1)
+        from repro.sched.cluster import JobRecord
+
+        rec = JobRecord(
+            request=req, machine_name="m0", start_s=8.0, end_s=208.0,
+            baseline_s=100.0,
+        )
+        assert rec.wait_s == pytest.approx(3.0)
+        assert rec.run_s == pytest.approx(200.0)
+        assert rec.slowdown == pytest.approx(2.0)
+        assert rec.response_s == pytest.approx(203.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            JobRequest(app=get_application("ep"), arrival_s=-1.0)
+
+
+class TestClusterSimulator:
+    def test_all_jobs_complete(self, cluster):
+        engines, baselines = cluster
+        sim = ClusterSimulator(engines, baselines, least_loaded_policy)
+        jobs = make_jobs(["cg", "canneal", "sp", "ep"])
+        trace = sim.run(jobs)
+        assert len(trace.records) == 4
+        assert {r.request.job_id for r in trace.records} == {0, 1, 2, 3}
+
+    def test_records_sorted_by_job_id(self, cluster):
+        engines, baselines = cluster
+        sim = ClusterSimulator(engines, baselines, first_fit_policy)
+        trace = sim.run(make_jobs(["ep", "cg", "sp"]))
+        ids = [r.request.job_id for r in trace.records]
+        assert ids == sorted(ids)
+
+    def test_single_job_matches_baseline(self, cluster):
+        engines, baselines = cluster
+        sim = ClusterSimulator(engines, baselines, first_fit_policy)
+        trace = sim.run([JobRequest(app=get_application("canneal"), arrival_s=0.0)])
+        rec = trace.records[0]
+        assert rec.slowdown == pytest.approx(1.0, rel=1e-6)
+        assert rec.wait_s == 0.0
+
+    def test_timeline_sanity(self, cluster):
+        engines, baselines = cluster
+        sim = ClusterSimulator(engines, baselines, least_loaded_policy)
+        trace = sim.run(make_jobs(["cg", "canneal", "sp", "ep"], spacing_s=25.0))
+        for rec in trace.records:
+            assert rec.start_s >= rec.request.arrival_s - 1e-9
+            assert rec.end_s > rec.start_s
+            assert rec.end_s <= trace.makespan_s + 1e-9
+        assert trace.makespan_s == pytest.approx(
+            max(r.end_s for r in trace.records)
+        )
+
+    def test_contention_stretches_concurrent_jobs(self, cluster):
+        engines, baselines = cluster
+        # Everything arrives at once on one machine: heavy co-location.
+        sim = ClusterSimulator(
+            {"m0": engines["m0"]}, {"m0": baselines["m0"]}, first_fit_policy
+        )
+        jobs = make_jobs(["cg", "canneal", "mg", "sp"], spacing_s=0.0)
+        trace = sim.run(jobs)
+        assert trace.mean_slowdown > 1.1
+
+    def test_queueing_when_cluster_full(self, engine_6core, baselines_6core):
+        """With one 6-core machine and 7 simultaneous jobs, one must wait."""
+        sim = ClusterSimulator(
+            {"m0": engine_6core}, {"m0": baselines_6core}, first_fit_policy
+        )
+        jobs = make_jobs(["ep"] * 7, spacing_s=0.0)
+        trace = sim.run(jobs)
+        waits = [r.wait_s for r in trace.records]
+        assert sum(w > 1.0 for w in waits) == 1
+        assert len(trace.records) == 7
+
+    def test_late_arrivals_wait_for_nothing(self, cluster):
+        engines, baselines = cluster
+        sim = ClusterSimulator(engines, baselines, least_loaded_policy)
+        jobs = make_jobs(["ep", "ep"], spacing_s=1000.0)  # far apart
+        trace = sim.run(jobs)
+        assert all(r.wait_s == pytest.approx(0.0) for r in trace.records)
+        # Second job ran alone: unit slowdown.
+        assert trace.records[1].slowdown == pytest.approx(1.0, rel=1e-6)
+
+    def test_by_machine_counts(self, cluster):
+        engines, baselines = cluster
+        sim = ClusterSimulator(engines, baselines, least_loaded_policy)
+        trace = sim.run(make_jobs(["ep"] * 4, spacing_s=0.0))
+        counts = trace.by_machine()
+        assert sum(counts.values()) == 4
+        assert set(counts) <= {"m0", "m1"}
+
+    def test_validation(self, cluster):
+        engines, baselines = cluster
+        with pytest.raises(ValueError, match="at least one machine"):
+            ClusterSimulator({}, {}, first_fit_policy)
+        with pytest.raises(ValueError, match="baselines missing"):
+            ClusterSimulator(engines, {"m0": baselines["m0"]}, first_fit_policy)
+        sim = ClusterSimulator(engines, baselines, first_fit_policy)
+        with pytest.raises(ValueError, match="at least one job"):
+            sim.run([])
+
+    def test_bad_policy_detected(self, cluster):
+        engines, baselines = cluster
+
+        def rogue(job, state):
+            return "mars"
+
+        sim = ClusterSimulator(engines, baselines, rogue)
+        with pytest.raises(ValueError, match="unknown machine"):
+            sim.run(make_jobs(["ep"]))
+
+
+class TestModelDrivenPolicy:
+    def test_beats_first_fit_on_mean_slowdown(
+        self, cluster, small_dataset, engine_6core
+    ):
+        engines, baselines = cluster
+        predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.F, seed=0)
+        predictor.fit(list(small_dataset))
+        policy = model_driven_policy(
+            predictors={"m0": predictor, "m1": predictor},
+            baselines=baselines,
+            machines={"m0": XEON_E5649, "m1": XEON_E5649},
+        )
+        # A bursty stream: memory hogs arrive together.
+        names = ["cg", "canneal", "mg", "sp", "ep", "blackscholes",
+                 "fluidanimate", "lu"]
+        jobs = make_jobs(names, spacing_s=5.0)
+        aware = ClusterSimulator(engines, baselines, policy).run(jobs)
+        naive = ClusterSimulator(engines, baselines, first_fit_policy).run(jobs)
+        assert aware.mean_slowdown < naive.mean_slowdown

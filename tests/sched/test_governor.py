@@ -1,0 +1,113 @@
+"""Tests for the model-driven DVFS governor."""
+
+import pytest
+
+from repro.core.feature_sets import FeatureSet
+from repro.core.methodology import ModelKind, PerformancePredictor
+from repro.energy.power import PowerModel
+from repro.machine import XEON_E5649
+from repro.sched.governor import GovernorObjective, select_pstate
+
+
+@pytest.fixture(scope="module")
+def governor_env(small_dataset, baselines_6core):
+    predictor = PerformancePredictor(ModelKind.NEURAL, FeatureSet.F, seed=0)
+    predictor.fit(list(small_dataset))
+    power = PowerModel(XEON_E5649)
+    return predictor, power, baselines_6core
+
+
+class TestSelectPstate:
+    def test_all_pstates_evaluated(self, governor_env):
+        predictor, power, baselines = governor_env
+        _best, choices = select_pstate(
+            predictor, power, baselines, "canneal", ["cg"] * 3
+        )
+        assert len(choices) == len(XEON_E5649.pstates)
+
+    def test_energy_objective_prefers_lower_frequency(self, governor_env):
+        """With cubic-ish dynamic power, throttling usually wins on energy
+        for these workloads — the governor must find that."""
+        predictor, power, baselines = governor_env
+        best, choices = select_pstate(
+            predictor, power, baselines, "canneal", ["cg"] * 3,
+            objective=GovernorObjective.ENERGY,
+        )
+        fastest = choices[0]
+        assert best.predicted_energy_j <= fastest.predicted_energy_j
+
+    def test_time_objective_picks_fastest(self, governor_env):
+        predictor, power, baselines = governor_env
+        best, _ = select_pstate(
+            predictor, power, baselines, "canneal", ["cg"] * 2,
+            objective=GovernorObjective.TIME,
+        )
+        assert best.pstate.frequency_ghz == pytest.approx(2.53)
+
+    def test_deadline_constrains_choice(self, governor_env):
+        predictor, power, baselines = governor_env
+        unconstrained, choices = select_pstate(
+            predictor, power, baselines, "canneal", ["cg"] * 3,
+            objective=GovernorObjective.ENERGY,
+        )
+        # Deadline slightly above the fastest prediction: forces high freq.
+        deadline = choices[0].predicted_time_s * 1.02
+        constrained, _ = select_pstate(
+            predictor, power, baselines, "canneal", ["cg"] * 3,
+            objective=GovernorObjective.ENERGY,
+            deadline_s=deadline,
+        )
+        assert constrained.predicted_time_s <= deadline
+        assert (
+            constrained.pstate.frequency_ghz
+            >= unconstrained.pstate.frequency_ghz
+        )
+
+    def test_impossible_deadline_best_effort(self, governor_env):
+        predictor, power, baselines = governor_env
+        best, choices = select_pstate(
+            predictor, power, baselines, "canneal", ["cg"] * 3,
+            deadline_s=1.0,
+        )
+        assert best.predicted_time_s == min(c.predicted_time_s for c in choices)
+        assert best.predicted_time_s > 1.0  # caller can detect the miss
+
+    def test_edp_between_energy_and_time(self, governor_env):
+        predictor, power, baselines = governor_env
+        e_best, _ = select_pstate(
+            predictor, power, baselines, "sp", ["cg"] * 2,
+            objective=GovernorObjective.ENERGY,
+        )
+        t_best, _ = select_pstate(
+            predictor, power, baselines, "sp", ["cg"] * 2,
+            objective=GovernorObjective.TIME,
+        )
+        edp_best, _ = select_pstate(
+            predictor, power, baselines, "sp", ["cg"] * 2,
+            objective=GovernorObjective.EDP,
+        )
+        assert (
+            e_best.pstate.frequency_ghz
+            <= edp_best.pstate.frequency_ghz
+            <= t_best.pstate.frequency_ghz
+        )
+
+    def test_choice_metrics_consistent(self, governor_env):
+        predictor, power, baselines = governor_env
+        _best, choices = select_pstate(
+            predictor, power, baselines, "ep", []
+        )
+        for c in choices:
+            assert c.predicted_energy_j == pytest.approx(
+                c.predicted_time_s * c.chip_power_w
+            )
+            assert c.energy_delay_product == pytest.approx(
+                c.predicted_energy_j * c.predicted_time_s
+            )
+
+    def test_bad_deadline_rejected(self, governor_env):
+        predictor, power, baselines = governor_env
+        with pytest.raises(ValueError, match="deadline"):
+            select_pstate(
+                predictor, power, baselines, "ep", [], deadline_s=0.0
+            )

@@ -1,0 +1,92 @@
+"""Tests for baseline placement policies."""
+
+import pytest
+
+from repro.machine import XEON_E5649, XEON_E5_2697V2
+from repro.sched.policies import Placement, pack_first, round_robin, spread_by_intensity
+from repro.workloads.suite import get_application
+
+
+@pytest.fixture
+def jobs():
+    names = ["cg", "canneal", "sp", "ep", "fluidanimate", "blackscholes"]
+    return [get_application(n) for n in names]
+
+
+@pytest.fixture
+def machines():
+    return (XEON_E5649, XEON_E5649)
+
+
+class TestPlacement:
+    def test_assign_and_capacity(self, machines, jobs):
+        p = Placement(machines=machines)
+        p.assign(0, jobs[0])
+        assert p.free_cores(0) == 5
+        assert p.job_count() == 1
+        assert p.total_capacity == 12
+
+    def test_overfull_machine_rejected(self, machines, jobs):
+        p = Placement(machines=machines)
+        for _ in range(6):
+            p.assign(0, jobs[0])
+        with pytest.raises(ValueError, match="occupied"):
+            p.assign(0, jobs[0])
+
+    def test_needs_machines(self):
+        with pytest.raises(ValueError):
+            Placement(machines=())
+
+    def test_misaligned_assignments_rejected(self, machines):
+        with pytest.raises(ValueError, match="align"):
+            Placement(machines=machines, assignments=[[]])
+
+
+class TestRoundRobin:
+    def test_even_spread(self, machines, jobs):
+        p = round_robin(jobs, machines)
+        assert len(p.assignments[0]) == 3
+        assert len(p.assignments[1]) == 3
+
+    def test_skips_full_machines(self, jobs):
+        small = XEON_E5649.with_pstates([2.53])
+        machines = (small, XEON_E5_2697V2)
+        many = jobs * 3  # 18 jobs, small machine holds 6
+        p = round_robin(many, machines)
+        assert len(p.assignments[0]) == 6
+        assert len(p.assignments[1]) == 12
+
+    def test_capacity_exceeded_rejected(self, machines, jobs):
+        with pytest.raises(ValueError, match="exceed"):
+            round_robin(jobs * 3, machines)  # 18 > 12 cores
+
+
+class TestPackFirst:
+    def test_fills_first_machine(self, machines, jobs):
+        p = pack_first(jobs, machines)
+        assert len(p.assignments[0]) == 6
+        assert len(p.assignments[1]) == 0
+
+    def test_overflow_to_next(self, machines, jobs):
+        p = pack_first(jobs + jobs[:2], machines)
+        assert len(p.assignments[0]) == 6
+        assert len(p.assignments[1]) == 2
+
+
+class TestSpreadByIntensity:
+    def test_heaviest_jobs_split_across_machines(self, machines, jobs):
+        p = spread_by_intensity(jobs, machines)
+        cap = float(XEON_E5649.llc.size_bytes)
+        # The two most intense jobs (cg, canneal) land on different machines.
+        top_two = sorted(jobs, key=lambda a: a.solo_memory_intensity(cap))[-2:]
+        locations = {
+            idx
+            for idx, group in enumerate(p.assignments)
+            for app in group
+            if app in top_two
+        }
+        assert len(locations) == 2
+
+    def test_all_jobs_placed(self, machines, jobs):
+        p = spread_by_intensity(jobs, machines)
+        assert p.job_count() == len(jobs)

@@ -1,0 +1,101 @@
+"""Tests for co-location scenario descriptions and runners."""
+
+import numpy as np
+import pytest
+
+from repro.cache.reuse import ReuseProfile
+from repro.machine import XEON_E5649
+from repro.sim.colocation import (
+    ColocationScenario,
+    homogeneous_scenarios,
+    normalized_execution_time,
+    run_scenario,
+)
+from repro.workloads.app import ApplicationSpec
+
+
+class TestColocationScenario:
+    def test_baseline_scenario(self):
+        s = ColocationScenario("canneal", None, 0, 2.53)
+        assert s.is_baseline
+        assert "solo" in s.describe()
+
+    def test_co_located_scenario(self):
+        s = ColocationScenario("canneal", "cg", 3, 2.53)
+        assert not s.is_baseline
+        assert "3x cg" in s.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="needs a co-app"):
+            ColocationScenario("canneal", None, 2, 2.53)
+        with pytest.raises(ValueError, match="must not name"):
+            ColocationScenario("canneal", "cg", 0, 2.53)
+        with pytest.raises(ValueError, match="non-negative"):
+            ColocationScenario("canneal", "cg", -1, 2.53)
+
+
+class TestHomogeneousScenarios:
+    def test_loop_nest_size(self):
+        scenarios = homogeneous_scenarios(
+            XEON_E5649, ["canneal", "sp"], ["cg"], [1, 3]
+        )
+        # 6 pstates x 2 targets x 1 co-app x 2 counts
+        assert len(scenarios) == 24
+
+    def test_counts_validated_upfront(self):
+        with pytest.raises(ValueError, match="at most 5"):
+            homogeneous_scenarios(XEON_E5649, ["canneal"], ["cg"], [6])
+
+    def test_all_frequencies_present(self):
+        scenarios = homogeneous_scenarios(XEON_E5649, ["ep"], ["cg"], [1])
+        freqs = {s.frequency_ghz for s in scenarios}
+        assert freqs == set(XEON_E5649.pstates.frequencies_ghz)
+
+
+class TestRunScenario:
+    def test_baseline_run(self, engine_6core):
+        s = ColocationScenario("canneal", None, 0, 2.53)
+        run = run_scenario(engine_6core, s)
+        assert run.target.app.name == "canneal"
+        assert len(run.co_runners) == 0
+
+    def test_co_located_run(self, engine_6core):
+        s = ColocationScenario("canneal", "cg", 2, 2.13)
+        run = run_scenario(engine_6core, s)
+        assert len(run.co_runners) == 2
+        assert run.frequency_ghz == pytest.approx(2.13)
+
+    def test_extra_apps_resolution(self, engine_6core):
+        custom = ApplicationSpec(
+            name="custom",
+            suite="TEST",
+            instructions=1e10,
+            base_cpi=1.0,
+            accesses_per_instruction=0.001,
+            reuse=ReuseProfile.single(1024.0 * 1024.0),
+        )
+        s = ColocationScenario("custom", "cg", 1, 2.53)
+        run = run_scenario(engine_6core, s, extra_apps={"custom": custom})
+        assert run.target.app.name == "custom"
+
+    def test_unknown_frequency_rejected(self, engine_6core):
+        s = ColocationScenario("canneal", "cg", 1, 9.99)
+        with pytest.raises(Exception, match="no P-state"):
+            run_scenario(engine_6core, s)
+
+    def test_rng_noise_passthrough(self, engine_6core):
+        s = ColocationScenario("sp", "cg", 1, 2.53)
+        clean = run_scenario(engine_6core, s).target.execution_time_s
+        noisy = run_scenario(
+            engine_6core, s, rng=np.random.default_rng(5)
+        ).target.execution_time_s
+        assert clean != noisy
+
+
+class TestNormalizedExecutionTime:
+    def test_basic(self):
+        assert normalized_execution_time(260.0, 200.0) == pytest.approx(1.3)
+
+    def test_rejects_bad_baseline(self):
+        with pytest.raises(ValueError):
+            normalized_execution_time(100.0, 0.0)

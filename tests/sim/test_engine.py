@@ -1,0 +1,238 @@
+"""Tests for the analytic steady-state execution engine."""
+
+import numpy as np
+import pytest
+
+from repro.cache.reuse import ReuseProfile
+from repro.machine import XEON_E5649, XEON_E5_2697V2
+from repro.sim.engine import SimulationEngine
+from repro.workloads.app import ApplicationPhase, ApplicationSpec, PhasedApplication
+from repro.workloads.suite import get_application
+
+MB = 1024.0 * 1024.0
+
+
+@pytest.fixture
+def cpu_bound_app():
+    return ApplicationSpec(
+        name="cpu",
+        suite="TEST",
+        instructions=1e11,
+        base_cpi=1.0,
+        accesses_per_instruction=1e-5,
+        reuse=ReuseProfile.single(0.2 * MB),
+        mlp=1.0,
+    )
+
+
+@pytest.fixture
+def memory_bound_app():
+    return ApplicationSpec(
+        name="mem",
+        suite="TEST",
+        instructions=1e11,
+        base_cpi=0.8,
+        accesses_per_instruction=0.02,
+        reuse=ReuseProfile.single(400 * MB, compulsory=0.05),
+        mlp=1.5,
+    )
+
+
+class TestBaseline:
+    def test_cpu_bound_time_is_cycles_over_frequency(self, engine_6core, cpu_bound_app):
+        run = engine_6core.baseline(cpu_bound_app)
+        f = XEON_E5649.pstates.fastest.frequency_hz
+        expected = cpu_bound_app.instructions * cpu_bound_app.base_cpi / f
+        assert run.target.execution_time_s == pytest.approx(expected, rel=0.01)
+
+    def test_memory_bound_slower_than_compute_only(self, engine_6core, memory_bound_app):
+        run = engine_6core.baseline(memory_bound_app)
+        f = XEON_E5649.pstates.fastest.frequency_hz
+        compute_only = memory_bound_app.instructions * memory_bound_app.base_cpi / f
+        assert run.target.execution_time_s > compute_only * 1.5
+
+    def test_counters_consistent(self, engine_6core, memory_bound_app):
+        t = engine_6core.baseline(memory_bound_app).target
+        assert t.instructions == memory_bound_app.instructions
+        assert t.llc_accesses == pytest.approx(
+            memory_bound_app.instructions
+            * memory_bound_app.accesses_per_instruction
+        )
+        assert t.llc_misses == pytest.approx(t.llc_accesses * t.miss_ratio)
+        assert 0.0 <= t.miss_ratio <= 1.0
+
+    def test_derived_counter_ratios(self, engine_6core, memory_bound_app):
+        t = engine_6core.baseline(memory_bound_app).target
+        assert t.memory_intensity == pytest.approx(t.llc_misses / t.instructions)
+        assert t.ca_per_ins == pytest.approx(
+            memory_bound_app.accesses_per_instruction
+        )
+        assert t.cm_per_ca == pytest.approx(t.miss_ratio)
+
+
+class TestDVFS:
+    def test_cpu_bound_scales_with_frequency(self, engine_6core, cpu_bound_app):
+        ladder = XEON_E5649.pstates
+        fast = engine_6core.baseline(cpu_bound_app, pstate=ladder.fastest)
+        slow = engine_6core.baseline(cpu_bound_app, pstate=ladder.slowest)
+        ratio = slow.target.execution_time_s / fast.target.execution_time_s
+        assert ratio == pytest.approx(ladder.slowdown_factor(ladder.slowest), rel=0.01)
+
+    def test_memory_bound_scales_sublinearly(self, engine_6core, memory_bound_app):
+        ladder = XEON_E5649.pstates
+        fast = engine_6core.baseline(memory_bound_app, pstate=ladder.fastest)
+        slow = engine_6core.baseline(memory_bound_app, pstate=ladder.slowest)
+        ratio = slow.target.execution_time_s / fast.target.execution_time_s
+        # Memory time does not scale with core frequency.
+        assert 1.0 < ratio < ladder.slowdown_factor(ladder.slowest) * 0.95
+
+    def test_baseline_time_decreases_with_frequency(self, engine_6core):
+        app = get_application("canneal")
+        times = [
+            engine_6core.baseline(app, pstate=p).target.execution_time_s
+            for p in XEON_E5649.pstates
+        ]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+
+class TestColocation:
+    def test_interference_slows_target(self, engine_6core):
+        canneal, cg = get_application("canneal"), get_application("cg")
+        base = engine_6core.baseline(canneal).target.execution_time_s
+        co = engine_6core.run(canneal, [cg]).target.execution_time_s
+        assert co > base
+
+    def test_degradation_monotone_in_co_runner_count(self, engine_12core):
+        canneal, cg = get_application("canneal"), get_application("cg")
+        times = [
+            engine_12core.run(canneal, [cg] * n).target.execution_time_s
+            for n in range(0, 12, 2)
+        ]
+        assert all(a < b + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_memory_intense_co_runners_hurt_more(self, engine_6core):
+        target = get_application("canneal")
+        with_cg = engine_6core.run(target, [get_application("cg")] * 3)
+        with_ep = engine_6core.run(target, [get_application("ep")] * 3)
+        assert (
+            with_cg.target.execution_time_s > with_ep.target.execution_time_s
+        )
+
+    def test_cpu_bound_target_barely_affected(self, engine_6core, cpu_bound_app):
+        cg = get_application("cg")
+        base = engine_6core.baseline(cpu_bound_app).target.execution_time_s
+        co = engine_6core.run(cpu_bound_app, [cg] * 5).target.execution_time_s
+        assert co / base < 1.15
+
+    def test_co_runner_results_reported(self, engine_6core):
+        canneal, cg = get_application("canneal"), get_application("cg")
+        run = engine_6core.run(canneal, [cg, cg])
+        assert len(run.runs) == 3
+        assert run.target.app.name == "canneal"
+        assert all(r.app.name == "cg" for r in run.co_runners)
+        # Identical co-runners behave identically.
+        assert run.co_runners[0].execution_time_s == pytest.approx(
+            run.co_runners[1].execution_time_s
+        )
+
+    def test_too_many_co_runners_rejected(self, engine_6core):
+        cg = get_application("cg")
+        with pytest.raises(ValueError, match="at most 5"):
+            engine_6core.run(get_application("canneal"), [cg] * 6)
+
+    def test_dram_state_reported(self, engine_6core):
+        run = engine_6core.run(get_application("cg"), [get_application("cg")] * 5)
+        assert 0.0 < run.dram_utilization <= 0.96
+        assert run.dram_latency_ns >= XEON_E5649.dram.idle_latency_ns
+
+
+class TestNoise:
+    def test_no_rng_is_deterministic(self, engine_6core):
+        app = get_application("sp")
+        t1 = engine_6core.baseline(app).target.execution_time_s
+        t2 = engine_6core.baseline(app).target.execution_time_s
+        assert t1 == t2
+
+    def test_noise_applied_with_rng(self, engine_6core):
+        app = get_application("sp")
+        clean = engine_6core.baseline(app).target.execution_time_s
+        noisy = engine_6core.baseline(
+            app, rng=np.random.default_rng(1)
+        ).target.execution_time_s
+        assert noisy != clean
+        assert abs(noisy / clean - 1.0) < 0.05  # ~1% sigma
+
+    def test_noise_seeded_reproducibly(self, engine_6core):
+        app = get_application("sp")
+        t1 = engine_6core.baseline(app, rng=np.random.default_rng(9)).target
+        t2 = engine_6core.baseline(app, rng=np.random.default_rng(9)).target
+        assert t1.execution_time_s == t2.execution_time_s
+
+    def test_engine_validation(self):
+        with pytest.raises(ValueError):
+            SimulationEngine(XEON_E5649, noise_sigma=-0.1)
+        with pytest.raises(ValueError):
+            SimulationEngine(XEON_E5649, damping=0.0)
+
+
+class TestPhasedTargets:
+    def make_phased(self):
+        mem = ApplicationPhase(
+            0.5, 0.8, 0.02, ReuseProfile.single(200 * MB, compulsory=0.05), mlp=1.5
+        )
+        cpu = ApplicationPhase(
+            0.5, 1.0, 1e-4, ReuseProfile.single(0.5 * MB), mlp=1.0
+        )
+        return PhasedApplication(
+            name="phased", suite="TEST", instructions=2e11, phases=(mem, cpu)
+        )
+
+    def test_phased_baseline_equals_sum_of_phases(self, engine_6core):
+        phased = self.make_phased()
+        total = engine_6core.baseline(phased).target.execution_time_s
+        by_phase = sum(
+            engine_6core.baseline(p).target.execution_time_s
+            for p in phased.phase_specs()
+        )
+        assert total == pytest.approx(by_phase, rel=1e-9)
+
+    def test_aggregate_close_to_phased_under_colocation(self, engine_6core):
+        """The paper's claim: aggregate behaviour suffices."""
+        phased = self.make_phased()
+        cg = get_application("cg")
+        exact = engine_6core.run(phased, [cg] * 3).target.execution_time_s
+        approx = engine_6core.run(
+            phased.aggregate(), [cg] * 3
+        ).target.execution_time_s
+        assert approx == pytest.approx(exact, rel=0.15)
+
+    def test_phased_counters_accumulate(self, engine_6core):
+        phased = self.make_phased()
+        t = engine_6core.baseline(phased).target
+        assert t.instructions == pytest.approx(2e11)
+        assert t.llc_accesses > 0
+        assert 0.0 <= t.miss_ratio <= 1.0
+
+
+class TestPhasedCoRunners:
+    def test_phased_co_runner_folds_to_aggregate(self, engine_6core):
+        """A phased co-runner exerts its time-averaged pressure."""
+        mem = ApplicationPhase(
+            0.5, 0.8, 0.02, ReuseProfile.single(200 * MB, compulsory=0.05),
+            mlp=1.5,
+        )
+        cpu = ApplicationPhase(
+            0.5, 1.0, 1e-4, ReuseProfile.single(0.5 * MB), mlp=1.0,
+        )
+        phased = PhasedApplication(
+            name="phased-co", suite="TEST", instructions=2e11,
+            phases=(mem, cpu),
+        )
+        target = get_application("canneal")
+        via_phased = engine_6core.run(target, [phased, phased])
+        via_aggregate = engine_6core.run(
+            target, [phased.aggregate(), phased.aggregate()]
+        )
+        assert via_phased.target.execution_time_s == pytest.approx(
+            via_aggregate.target.execution_time_s
+        )

@@ -1,0 +1,126 @@
+"""Property-based physics tests for the analytic engine.
+
+Hypothesis generates random applications (via the class-targeted workload
+generator) and random co-location scenarios; every scenario must satisfy
+the physical invariants of the contention model, regardless of parameters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import XEON_E5649, XEON_E5_2697V2
+from repro.sim import SimulationEngine
+from repro.workloads.classes import MemoryIntensityClass
+from repro.workloads.generator import generate_application
+
+ENGINES = {
+    "e5649": SimulationEngine(XEON_E5649),
+    "e5-2697v2": SimulationEngine(XEON_E5_2697V2),
+}
+
+
+def random_app(seed: int):
+    rng = np.random.default_rng(seed)
+    cls = list(MemoryIntensityClass)[seed % 4]
+    return generate_application(cls, rng)
+
+
+@given(
+    seed_t=st.integers(min_value=0, max_value=5000),
+    seed_c=st.integers(min_value=0, max_value=5000),
+    count=st.integers(min_value=0, max_value=5),
+    machine=st.sampled_from(["e5649", "e5-2697v2"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_colocation_never_speeds_up_target(seed_t, seed_c, count, machine):
+    """Interference can only hurt: co-located time >= solo time."""
+    engine = ENGINES[machine]
+    target, co = random_app(seed_t), random_app(seed_c)
+    solo = engine.baseline(target).target.execution_time_s
+    loaded = engine.run(target, [co] * count).target.execution_time_s
+    assert loaded >= solo * (1.0 - 1e-9)
+
+
+@given(
+    seed_t=st.integers(min_value=0, max_value=5000),
+    seed_c=st.integers(min_value=0, max_value=5000),
+    machine=st.sampled_from(["e5649", "e5-2697v2"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_degradation_monotone_in_count(seed_t, seed_c, machine):
+    """More identical co-runners never help the target."""
+    engine = ENGINES[machine]
+    target, co = random_app(seed_t), random_app(seed_c)
+    times = [
+        engine.run(target, [co] * n).target.execution_time_s
+        for n in (0, 2, engine.processor.max_co_located)
+    ]
+    assert times[0] <= times[1] * (1 + 1e-9)
+    assert times[1] <= times[2] * (1 + 1e-9)
+
+
+@given(seed=st.integers(min_value=0, max_value=5000))
+@settings(max_examples=25, deadline=None)
+def test_dvfs_bounds(seed):
+    """Slowing the clock by k stretches time by at most k (memory time
+    does not scale) and at least 1 (it never speeds things up)."""
+    engine = ENGINES["e5649"]
+    app = random_app(seed)
+    ladder = engine.processor.pstates
+    fast = engine.baseline(app, pstate=ladder.fastest).target.execution_time_s
+    slow = engine.baseline(app, pstate=ladder.slowest).target.execution_time_s
+    k = ladder.slowdown_factor(ladder.slowest)
+    ratio = slow / fast
+    assert 1.0 - 1e-9 <= ratio <= k + 1e-9
+
+
+@given(
+    seed_t=st.integers(min_value=0, max_value=5000),
+    seed_c=st.integers(min_value=0, max_value=5000),
+    count=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_counter_consistency(seed_t, seed_c, count):
+    """TCM <= TCA <= NI-scaled bound; ratios within [0, 1]; bandwidth
+    accounting matches the DRAM state reported."""
+    engine = ENGINES["e5649"]
+    target, co = random_app(seed_t), random_app(seed_c)
+    run = engine.run(target, [co] * count)
+    for app_run in run.runs:
+        assert 0.0 <= app_run.miss_ratio <= 1.0
+        assert app_run.llc_misses <= app_run.llc_accesses * (1 + 1e-9)
+        assert app_run.llc_accesses == pytest.approx(
+            app_run.instructions * app_run.app.accesses_per_instruction
+        )
+    assert 0.0 <= run.dram_utilization <= 0.96
+    assert run.dram_latency_ns >= engine.processor.dram.idle_latency_ns - 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    count=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_occupancies_within_llc(seed, count):
+    engine = ENGINES["e5649"]
+    target, co = random_app(seed), random_app(seed + 1)
+    run = engine.run(target, [co] * count)
+    total = sum(r.occupancy_bytes for r in run.runs)
+    assert total <= engine.processor.llc.size_bytes * (1 + 1e-6)
+    assert all(r.occupancy_bytes >= 0.0 for r in run.runs)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=5000),
+    subset=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_removing_co_runners_never_hurts(seed, subset):
+    """Dropping co-runners from a scenario cannot slow the target."""
+    engine = ENGINES["e5649"]
+    target = random_app(seed)
+    co = [random_app(seed + 10 + i) for i in range(5)]
+    full = engine.run(target, co).target.execution_time_s
+    reduced = engine.run(target, co[:subset]).target.execution_time_s
+    assert reduced <= full * (1 + 1e-9)

@@ -1,0 +1,90 @@
+"""Direct tests of the engine's public steady-state solver."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.suite import get_application
+
+
+class TestSolveSteadyState:
+    def test_arrays_aligned_with_apps(self, engine_6core):
+        apps = (get_application("canneal"), get_application("cg"),
+                get_application("ep"))
+        state = engine_6core.solve_steady_state(apps)
+        n = len(apps)
+        assert state.apps == apps
+        assert state.seconds_per_instruction.shape == (n,)
+        assert state.miss_ratios.shape == (n,)
+        assert state.occupancies_bytes.shape == (n,)
+
+    def test_default_pstate_is_fastest(self, engine_6core):
+        state = engine_6core.solve_steady_state((get_application("ep"),))
+        assert state.pstate is engine_6core.processor.pstates.fastest
+
+    def test_instructions_per_second_inverse(self, engine_6core):
+        state = engine_6core.solve_steady_state(
+            (get_application("canneal"), get_application("cg"))
+        )
+        np.testing.assert_allclose(
+            state.instructions_per_second * state.seconds_per_instruction,
+            1.0,
+        )
+
+    def test_matches_run_times(self, engine_6core):
+        """run() is a thin wrapper: time = instructions * tpi."""
+        canneal, cg = get_application("canneal"), get_application("cg")
+        state = engine_6core.solve_steady_state((canneal, cg, cg))
+        run = engine_6core.run(canneal, [cg, cg])
+        assert run.target.execution_time_s == pytest.approx(
+            canneal.instructions * float(state.seconds_per_instruction[0])
+        )
+
+    def test_bandwidth_consistency(self, engine_6core):
+        apps = (get_application("cg"), get_application("cg"))
+        state = engine_6core.solve_steady_state(apps)
+        api = np.array([a.accesses_per_instruction for a in apps])
+        expected = float(
+            (api / state.seconds_per_instruction * state.miss_ratios).sum()
+        ) * engine_6core.processor.llc.line_bytes
+        assert state.miss_bandwidth_bytes_per_s == pytest.approx(expected)
+
+    def test_validation(self, engine_6core):
+        with pytest.raises(ValueError, match="at least one"):
+            engine_6core.solve_steady_state(())
+        too_many = tuple([get_application("ep")] * 7)
+        with pytest.raises(ValueError, match="exceed"):
+            engine_6core.solve_steady_state(too_many)
+
+    def test_pinned_occupancies_respected(self, engine_6core):
+        apps = (get_application("canneal"), get_application("cg"))
+        cap = engine_6core.processor.llc.size_bytes
+        pinned = np.array([0.7 * cap, 0.3 * cap])
+        state = engine_6core.solve_steady_state(
+            apps, fixed_occupancies=pinned
+        )
+        for occ, alloc, app in zip(state.occupancies_bytes, pinned, apps):
+            assert occ == pytest.approx(min(alloc, app.footprint_bytes))
+
+    def test_pinned_validation(self, engine_6core):
+        apps = (get_application("ep"),)
+        cap = engine_6core.processor.llc.size_bytes
+        with pytest.raises(ValueError, match="one occupancy"):
+            engine_6core.solve_steady_state(
+                apps, fixed_occupancies=np.zeros(2)
+            )
+        with pytest.raises(ValueError, match="at most the LLC"):
+            engine_6core.solve_steady_state(
+                apps, fixed_occupancies=np.array([2.0 * cap])
+            )
+        with pytest.raises(ValueError, match="non-negative"):
+            engine_6core.solve_steady_state(
+                apps, fixed_occupancies=np.array([-1.0])
+            )
+
+    def test_full_machine_allowed(self, engine_6core):
+        """Unlike run() (target + max_co_located), the raw solver accepts
+        up to num_cores applications — the time-sliced simulator uses it
+        with the target counted in."""
+        apps = tuple([get_application("ep")] * 6)
+        state = engine_6core.solve_steady_state(apps)
+        assert state.miss_ratios.shape == (6,)

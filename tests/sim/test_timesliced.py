@@ -1,0 +1,111 @@
+"""Tests for the time-sliced co-location simulator."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.timesliced import TimeSlicedSimulator
+from repro.machine import XEON_E5649
+from repro.workloads.suite import get_application
+
+
+@pytest.fixture(scope="module")
+def sim(engine_6core):
+    return TimeSlicedSimulator(engine_6core, slice_s=2.0)
+
+
+class TestSteadyStateAgreement:
+    def test_solo_matches_engine(self, sim, engine_6core):
+        app = get_application("canneal")
+        steady = engine_6core.baseline(app).target.execution_time_s
+        sliced = sim.run(app).execution_time_s
+        assert sliced == pytest.approx(steady, rel=1e-6)
+
+    def test_restarting_co_runners_match_engine(self, sim, engine_6core):
+        """With the paper's restart protocol, pressure is constant and the
+        time-sliced result equals the steady-state one."""
+        canneal, cg = get_application("canneal"), get_application("cg")
+        steady = engine_6core.run(canneal, [cg] * 3).target.execution_time_s
+        sliced = sim.run(canneal, [cg] * 3, restart_co_runners=True)
+        assert sliced.execution_time_s == pytest.approx(steady, rel=1e-6)
+
+    def test_slice_size_does_not_change_restart_result(self, engine_6core):
+        canneal, cg = get_application("canneal"), get_application("cg")
+        coarse = TimeSlicedSimulator(engine_6core, slice_s=20.0)
+        fine = TimeSlicedSimulator(engine_6core, slice_s=0.5)
+        t_coarse = coarse.run(canneal, [cg] * 2).execution_time_s
+        t_fine = fine.run(canneal, [cg] * 2).execution_time_s
+        assert t_coarse == pytest.approx(t_fine, rel=1e-6)
+
+
+class TestDepartingCoRunners:
+    def test_short_departing_co_runners_speed_up_target(self, sim, engine_6core):
+        """Once short co-runner jobs finish and leave, the target runs at
+        baseline speed — final time sits between baseline and steady."""
+        canneal = get_application("canneal")
+        short_cg = get_application("cg").scaled(0.15)
+        baseline = engine_6core.baseline(canneal).target.execution_time_s
+        steady = engine_6core.run(
+            canneal, [short_cg] * 3
+        ).target.execution_time_s
+        departed = sim.run(
+            canneal, [short_cg] * 3, restart_co_runners=False
+        ).execution_time_s
+        assert baseline < departed < steady
+
+    def test_restart_counts_completions(self, sim):
+        canneal = get_application("canneal")
+        short_cg = get_application("cg").scaled(0.1)
+        result = sim.run(canneal, [short_cg] * 2, restart_co_runners=True)
+        assert result.co_runner_completions.get("cg", 0) >= 2
+
+    def test_departed_co_runners_complete_once(self, sim):
+        canneal = get_application("canneal")
+        short_cg = get_application("cg").scaled(0.1)
+        result = sim.run(canneal, [short_cg] * 3, restart_co_runners=False)
+        assert result.co_runner_completions == {"cg": 3}
+
+    def test_timeline_shows_pressure_decay(self, sim):
+        """DRAM utilization drops across the timeline as jobs depart."""
+        canneal = get_application("canneal")
+        short_cg = get_application("cg").scaled(0.15)
+        result = sim.run(canneal, [short_cg] * 3, restart_co_runners=False)
+        rhos = [s.dram_utilization for s in result.timeline]
+        assert rhos[0] > rhos[-1]
+        # Target speeds up over time.
+        ips = [s.target_ips for s in result.timeline]
+        assert ips[-1] > ips[0]
+
+    def test_active_names_shrink(self, sim):
+        canneal = get_application("canneal")
+        short_cg = get_application("cg").scaled(0.1)
+        result = sim.run(canneal, [short_cg] * 2, restart_co_runners=False)
+        first = result.timeline[0].active_names
+        last = result.timeline[-1].active_names
+        assert len(first) == 3
+        assert last == ("canneal",)
+
+
+class TestBookkeeping:
+    def test_timeline_durations_sum_to_total(self, sim):
+        canneal, cg = get_application("canneal"), get_application("cg")
+        result = sim.run(canneal, [cg] * 2)
+        total = sum(s.duration_s for s in result.timeline)
+        assert total == pytest.approx(result.execution_time_s)
+
+    def test_timeline_starts_contiguous(self, sim):
+        result = sim.run(get_application("sp"), [get_application("cg")])
+        for prev, cur in zip(result.timeline, result.timeline[1:]):
+            assert cur.start_s == pytest.approx(prev.start_s + prev.duration_s)
+
+    def test_validation(self, engine_6core):
+        with pytest.raises(ValueError, match="slice length"):
+            TimeSlicedSimulator(engine_6core, slice_s=0.0)
+        sim = TimeSlicedSimulator(engine_6core)
+        with pytest.raises(ValueError, match="at most 5"):
+            sim.run(get_application("ep"), [get_application("cg")] * 6)
+
+    def test_max_slices_guard(self, engine_6core):
+        sim = TimeSlicedSimulator(engine_6core, slice_s=0.001)
+        with pytest.raises(RuntimeError, match="did not finish"):
+            sim.run(get_application("canneal"), max_slices=10)

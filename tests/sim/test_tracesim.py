@@ -1,0 +1,71 @@
+"""Tests for the trace-driven sharing simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cache.reuse import ReuseProfile
+from repro.machine.processor import CacheGeometry
+from repro.sim.tracesim import TraceCompetitor, simulate_trace_sharing
+
+KB = 1024.0
+
+
+@pytest.fixture
+def geometry():
+    return CacheGeometry(size_bytes=128 * 1024, line_bytes=64, associativity=8)
+
+
+class TestSimulateTraceSharing:
+    def test_access_shares_follow_weights(self, geometry, rng):
+        p = ReuseProfile.single(32 * KB)
+        comps = [TraceCompetitor("a", p, 1.0), TraceCompetitor("b", p, 3.0)]
+        result = simulate_trace_sharing(comps, geometry, 60_000, rng)
+        share = result.accesses[1] / result.accesses.sum()
+        assert share == pytest.approx(0.75, abs=0.03)
+
+    def test_miss_ratios_in_bounds(self, geometry, rng):
+        comps = [
+            TraceCompetitor("small", ReuseProfile.single(16 * KB), 1.0),
+            TraceCompetitor("big", ReuseProfile.single(512 * KB, compulsory=0.05), 1.0),
+        ]
+        result = simulate_trace_sharing(comps, geometry, 50_000, rng)
+        assert np.all(result.miss_ratios >= 0.0)
+        assert np.all(result.miss_ratios <= 1.0)
+        # The big streaming competitor misses more.
+        assert result.miss_ratios[1] > result.miss_ratios[0]
+
+    def test_occupancies_bounded_by_capacity(self, geometry, rng):
+        comps = [
+            TraceCompetitor(f"s{i}", ReuseProfile.single(256 * KB), 1.0)
+            for i in range(3)
+        ]
+        result = simulate_trace_sharing(comps, geometry, 50_000, rng)
+        assert result.occupancies_bytes.sum() <= geometry.size_bytes
+
+    def test_deterministic_with_seed(self, geometry):
+        p = ReuseProfile.single(64 * KB)
+        comps = [TraceCompetitor("a", p, 1.0), TraceCompetitor("b", p, 1.0)]
+        r1 = simulate_trace_sharing(comps, geometry, 20_000, np.random.default_rng(4))
+        r2 = simulate_trace_sharing(comps, geometry, 20_000, np.random.default_rng(4))
+        np.testing.assert_array_equal(r1.miss_ratios, r2.miss_ratios)
+
+    def test_names_preserved(self, geometry, rng):
+        comps = [
+            TraceCompetitor("alpha", ReuseProfile.single(16 * KB), 1.0),
+            TraceCompetitor("beta", ReuseProfile.single(16 * KB), 2.0),
+        ]
+        result = simulate_trace_sharing(comps, geometry, 10_000, rng)
+        assert result.names == ("alpha", "beta")
+
+    def test_validation(self, geometry, rng):
+        p = ReuseProfile.single(16 * KB)
+        with pytest.raises(ValueError, match="at least one"):
+            simulate_trace_sharing([], geometry, 100, rng)
+        with pytest.raises(ValueError, match="positive"):
+            simulate_trace_sharing([TraceCompetitor("a", p, 1.0)], geometry, 0, rng)
+        with pytest.raises(ValueError, match="warmup"):
+            simulate_trace_sharing(
+                [TraceCompetitor("a", p, 1.0)], geometry, 100, rng, warmup_fraction=1.0
+            )
+        with pytest.raises(ValueError, match="weight"):
+            TraceCompetitor("a", p, 0.0)

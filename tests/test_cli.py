@@ -1,0 +1,194 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInspectionCommands:
+    def test_machines(self, capsys):
+        assert main(["machines"]) == 0
+        out = capsys.readouterr().out
+        assert "e5649" in out and "e5-2697v2" in out
+        assert "12MB" in out and "30MB" in out
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "canneal" in out and "ep" in out
+        assert out.count("\n") >= 12
+
+    def test_apps_unknown_machine(self):
+        with pytest.raises(SystemExit, match="unknown processor"):
+            main(["apps", "--machine", "i9"])
+
+    def test_baseline(self, capsys):
+        assert main(["baseline", "--app", "ep", "--machine", "e5649"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 9  # title + header + rule + 6 P-states + final
+        assert "2.530" in out and "1.600" in out
+
+    def test_baseline_unknown_app(self):
+        with pytest.raises(SystemExit, match="unknown application"):
+            main(["baseline", "--app", "doom"])
+
+
+class TestPipelineCommands:
+    @pytest.fixture(scope="class")
+    def dataset_csv(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "data.csv"
+        code = main(
+            [
+                "collect",
+                "--machine", "e5649",
+                "-o", str(path),
+                "--targets", "canneal,sp,ep",
+                "--co-apps", "cg,ep",
+                "--counts", "1,3,5",
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_collect_output(self, dataset_csv, capsys):
+        text = dataset_csv.read_text()
+        # 6 pstates x 3 targets x 2 co-apps x 3 counts = 108 rows (+header)
+        assert len(text.strip().splitlines()) == 109
+
+    def test_collect_bad_counts(self, tmp_path):
+        with pytest.raises(SystemExit, match="invalid counts"):
+            main(["collect", "-o", str(tmp_path / "x.csv"), "--counts", "1,a"])
+
+    def test_collect_overfull_counts(self, tmp_path):
+        with pytest.raises(SystemExit, match="at most 5"):
+            main(["collect", "-o", str(tmp_path / "x.csv"), "--counts", "9"])
+
+    @pytest.fixture(scope="class")
+    def model_json(self, dataset_csv, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.json"
+        code = main(
+            [
+                "train",
+                "--data", str(dataset_csv),
+                "--model", "linear",
+                "--features", "d",
+                "-o", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_train_output(self, model_json, capsys):
+        payload = json.loads(model_json.read_text())
+        assert payload["kind"] == "linear"
+        assert payload["feature_set"] == "D"
+
+    def test_train_missing_data(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read dataset"):
+            main(["train", "--data", "/nonexistent.csv", "-o", str(tmp_path / "m.json")])
+
+    def test_train_bad_feature_set(self, dataset_csv, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["train", "--data", str(dataset_csv), "--features", "Z",
+                 "-o", str(tmp_path / "m.json")]
+            )
+
+    def test_predict(self, model_json, capsys):
+        code = main(
+            [
+                "predict",
+                "--model", str(model_json),
+                "--target", "canneal",
+                "--co-apps", "cg,cg,cg",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "predicted with 3 co-runner(s)" in out
+        assert "x baseline" in out
+
+    def test_predict_solo(self, model_json, capsys):
+        assert main(["predict", "--model", str(model_json), "--target", "ep"]) == 0
+        assert "0 co-runner(s)" in capsys.readouterr().out
+
+    def test_predict_bad_frequency(self, model_json):
+        with pytest.raises(SystemExit, match="no P-state"):
+            main(
+                ["predict", "--model", str(model_json), "--target", "ep",
+                 "--frequency", "9.9"]
+            )
+
+    def test_predict_corrupt_model(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit, match="cannot load model"):
+            main(["predict", "--model", str(bad), "--target", "ep"])
+
+    def test_evaluate(self, dataset_csv, capsys):
+        code = main(
+            ["evaluate", "--data", str(dataset_csv), "--repetitions", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "linear" in out and "neural" in out
+        assert out.count("\n") >= 14  # 12 model rows + header
+
+
+class TestPaperArtifacts:
+    @pytest.mark.parametrize("number", [1, 2, 4, 5])
+    def test_static_tables(self, number, capsys):
+        assert main(["table", str(number)]) == 0
+        assert f"Table" in capsys.readouterr().out
+
+    def test_unknown_table(self):
+        with pytest.raises(SystemExit, match="no Table 9"):
+            main(["table", "9"])
+
+    def test_unknown_figure(self):
+        with pytest.raises(SystemExit, match="no Figure 7"):
+            main(["figure", "7"])
+
+
+class TestReport:
+    def test_report_collates_artifacts(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1_x.txt").write_text("TABLE ONE\n")
+        (results / "fig1_y.txt").write_text("FIGURE ONE\n")
+        (results / "ablation_z.txt").write_text("ABLATION\n")
+        assert main(["report", "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        # Tables come before figures before ablations.
+        assert out.index("TABLE ONE") < out.index("FIGURE ONE") < out.index("ABLATION")
+        assert "3 artifacts" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1_x.txt").write_text("CONTENT\n")
+        out_file = tmp_path / "report.txt"
+        assert main(["report", "--results", str(results), "-o", str(out_file)]) == 0
+        assert "CONTENT" in out_file.read_text()
+
+    def test_report_missing_dir(self, tmp_path):
+        with pytest.raises(SystemExit, match="no results directory"):
+            main(["report", "--results", str(tmp_path / "absent")])
+
+    def test_report_empty_dir(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        with pytest.raises(SystemExit, match="no artifacts"):
+            main(["report", "--results", str(empty)])

@@ -1,0 +1,79 @@
+"""Public API surface checks.
+
+Guards the import contract a downstream user relies on: every name in
+every subpackage's ``__all__`` resolves, the root package re-exports all
+subpackages, and key entry points are importable exactly as the README
+shows them.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "cache",
+    "core",
+    "counters",
+    "energy",
+    "harness",
+    "machine",
+    "memsys",
+    "reporting",
+    "sched",
+    "sim",
+    "workloads",
+]
+
+
+class TestPackageLayout:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_root_reexports_subpackages(self):
+        for name in SUBPACKAGES:
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        assert module.__all__, f"repro.{name} exports nothing"
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"repro.{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_all_sorted(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        assert list(module.__all__) == sorted(
+            module.__all__
+        ), f"repro.{name}.__all__ not sorted"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_has_docstring(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        assert module.__doc__ and len(module.__doc__) > 20
+
+
+class TestReadmeImports:
+    def test_quickstart_imports(self):
+        from repro.core import FeatureSet, ModelKind, PerformancePredictor  # noqa: F401
+        from repro.harness import collect_baselines, collect_training_data  # noqa: F401
+        from repro.machine import XEON_E5649  # noqa: F401
+        from repro.sim import SimulationEngine  # noqa: F401
+        from repro.workloads import all_applications, get_application  # noqa: F401
+
+    def test_cli_entry_point(self):
+        from repro.cli import build_parser, main  # noqa: F401
+
+        assert callable(main)
+
+    def test_all_public_modules_have_docstrings(self):
+        import pkgutil
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if info.name == "repro.__main__":
+                continue  # importing it runs the CLI
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} lacks a module docstring"

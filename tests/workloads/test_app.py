@@ -1,0 +1,184 @@
+"""Tests for application specs and phased applications."""
+
+import pytest
+
+from repro.cache.reuse import ReuseProfile
+from repro.workloads.app import ApplicationPhase, ApplicationSpec, PhasedApplication
+
+MB = 1024.0 * 1024.0
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        name="test",
+        suite="NAS",
+        instructions=1e9,
+        base_cpi=1.0,
+        accesses_per_instruction=0.01,
+        reuse=ReuseProfile.single(4 * MB),
+        mlp=1.5,
+    )
+    defaults.update(overrides)
+    return ApplicationSpec(**defaults)
+
+
+class TestApplicationSpec:
+    def test_llc_accesses(self):
+        spec = make_spec(instructions=1e9, accesses_per_instruction=0.02)
+        assert spec.llc_accesses() == pytest.approx(2e7)
+
+    def test_footprint_delegates_to_profile(self):
+        spec = make_spec()
+        assert spec.footprint_bytes == spec.reuse.footprint_bytes
+
+    def test_solo_miss_ratio_capped_by_capacity(self):
+        spec = make_spec(reuse=ReuseProfile.single(100 * MB))
+        small = spec.solo_miss_ratio(1 * MB)
+        large = spec.solo_miss_ratio(1000 * MB)
+        assert small > large
+
+    def test_solo_memory_intensity(self):
+        spec = make_spec()
+        cap = 50 * MB
+        assert spec.solo_memory_intensity(cap) == pytest.approx(
+            spec.accesses_per_instruction * spec.solo_miss_ratio(cap)
+        )
+
+    def test_scaled(self):
+        spec = make_spec(instructions=1e9)
+        assert spec.scaled(2.0).instructions == pytest.approx(2e9)
+        assert spec.scaled(2.0).name == spec.name
+        with pytest.raises(ValueError):
+            spec.scaled(0.0)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"name": ""},
+            {"instructions": 0.0},
+            {"base_cpi": -1.0},
+            {"accesses_per_instruction": 1.5},
+            {"accesses_per_instruction": -0.1},
+            {"mlp": 0.5},
+        ],
+    )
+    def test_validation(self, overrides):
+        with pytest.raises(ValueError):
+            make_spec(**overrides)
+
+
+class TestApplicationPhase:
+    def test_valid_phase(self):
+        phase = ApplicationPhase(
+            fraction=0.5,
+            base_cpi=1.0,
+            accesses_per_instruction=0.01,
+            reuse=ReuseProfile.single(1 * MB),
+        )
+        assert phase.fraction == 0.5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fraction": 0.0},
+            {"fraction": 1.5},
+            {"base_cpi": 0.0},
+            {"accesses_per_instruction": 2.0},
+            {"mlp": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        defaults = dict(
+            fraction=0.5,
+            base_cpi=1.0,
+            accesses_per_instruction=0.01,
+            reuse=ReuseProfile.single(1 * MB),
+        )
+        defaults.update(kwargs)
+        with pytest.raises(ValueError):
+            ApplicationPhase(**defaults)
+
+
+class TestPhasedApplication:
+    def make_phased(self):
+        return PhasedApplication(
+            name="phased",
+            suite="NAS",
+            instructions=1e9,
+            phases=(
+                ApplicationPhase(0.6, 0.8, 0.02, ReuseProfile.single(1 * MB), mlp=2.0),
+                ApplicationPhase(0.4, 1.2, 0.001, ReuseProfile.single(8 * MB), mlp=1.0),
+            ),
+        )
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            PhasedApplication(
+                name="bad",
+                suite="NAS",
+                instructions=1e9,
+                phases=(
+                    ApplicationPhase(0.5, 1.0, 0.01, ReuseProfile.single(1 * MB)),
+                ),
+            )
+
+    def test_phase_specs_partition_instructions(self):
+        phased = self.make_phased()
+        specs = phased.phase_specs()
+        assert sum(s.instructions for s in specs) == pytest.approx(1e9)
+        assert specs[0].instructions == pytest.approx(0.6e9)
+
+    def test_aggregate_cpi_is_instruction_weighted(self):
+        phased = self.make_phased()
+        agg = phased.aggregate()
+        assert agg.base_cpi == pytest.approx(0.6 * 0.8 + 0.4 * 1.2)
+
+    def test_aggregate_api_is_instruction_weighted(self):
+        phased = self.make_phased()
+        agg = phased.aggregate()
+        assert agg.accesses_per_instruction == pytest.approx(
+            0.6 * 0.02 + 0.4 * 0.001
+        )
+
+    def test_aggregate_mlp_is_access_weighted(self):
+        phased = self.make_phased()
+        agg = phased.aggregate()
+        w0 = 0.6 * 0.02
+        w1 = 0.4 * 0.001
+        expected = (w0 * 2.0 + w1 * 1.0) / (w0 + w1)
+        assert agg.mlp == pytest.approx(expected)
+
+    def test_aggregate_reuse_mixture_spans_phases(self):
+        phased = self.make_phased()
+        agg = phased.aggregate()
+        working_sets = {c.working_set_bytes for c in agg.reuse.components}
+        assert 1 * MB in working_sets
+        assert 8 * MB in working_sets
+
+    def test_single_phase_aggregate_roundtrip(self):
+        p = ReuseProfile.single(2 * MB, compulsory=0.05)
+        phased = PhasedApplication(
+            name="one",
+            suite="PARSEC",
+            instructions=5e8,
+            phases=(ApplicationPhase(1.0, 1.1, 0.005, p, mlp=1.3),),
+        )
+        agg = phased.aggregate()
+        assert agg.base_cpi == pytest.approx(1.1)
+        assert agg.accesses_per_instruction == pytest.approx(0.005)
+        assert agg.mlp == pytest.approx(1.3)
+        assert agg.reuse.compulsory == pytest.approx(0.05)
+
+    def test_zero_access_phases_fall_back_to_fraction_weights(self):
+        phased = PhasedApplication(
+            name="cpu-only",
+            suite="NAS",
+            instructions=1e9,
+            phases=(
+                ApplicationPhase(0.5, 1.0, 0.0, ReuseProfile.single(1 * MB), mlp=2.0),
+                ApplicationPhase(0.5, 2.0, 0.0, ReuseProfile.single(1 * MB), mlp=4.0),
+            ),
+        )
+        agg = phased.aggregate()
+        assert agg.accesses_per_instruction == 0.0
+        assert agg.mlp == pytest.approx(3.0)

@@ -1,0 +1,66 @@
+"""Tests for memory intensity classes (Table III groupings)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.classes import (
+    CLASS_BOUNDARIES,
+    MemoryIntensityClass,
+    class_representative_intensity,
+    classify_intensity,
+)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "intensity,expected",
+        [
+            (1e-1, MemoryIntensityClass.CLASS_I),
+            (2e-3, MemoryIntensityClass.CLASS_I),
+            (1.9e-3, MemoryIntensityClass.CLASS_II),
+            (2e-4, MemoryIntensityClass.CLASS_II),
+            (1.9e-4, MemoryIntensityClass.CLASS_III),
+            (2e-5, MemoryIntensityClass.CLASS_III),
+            (1.9e-5, MemoryIntensityClass.CLASS_IV),
+            (0.0, MemoryIntensityClass.CLASS_IV),
+        ],
+    )
+    def test_boundaries(self, intensity, expected):
+        assert classify_intensity(intensity) is expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            classify_intensity(-1e-6)
+
+    def test_boundaries_are_orders_of_magnitude_apart(self):
+        bounds = list(CLASS_BOUNDARIES.values())
+        for upper, lower in zip(bounds, bounds[1:]):
+            assert upper / lower == pytest.approx(10.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_property_total_and_ordered(self, intensity):
+        cls = classify_intensity(intensity)
+        assert cls in MemoryIntensityClass
+        # Higher intensity never yields a higher-numbered (less intense) class.
+        weaker = classify_intensity(intensity / 100.0) if intensity > 0 else cls
+        assert weaker.value >= cls.value
+
+
+class TestRepresentatives:
+    def test_representative_lands_in_its_class(self):
+        for cls in MemoryIntensityClass:
+            rep = class_representative_intensity(cls)
+            assert classify_intensity(rep) is cls
+
+    def test_representatives_strictly_ordered(self):
+        reps = [class_representative_intensity(c) for c in MemoryIntensityClass]
+        assert all(a > b for a, b in zip(reps, reps[1:]))
+
+
+class TestEnumCosmetics:
+    def test_roman_labels(self):
+        assert MemoryIntensityClass.CLASS_I.roman == "I"
+        assert MemoryIntensityClass.CLASS_IV.roman == "IV"
+
+    def test_str(self):
+        assert str(MemoryIntensityClass.CLASS_II) == "Class II"

@@ -1,0 +1,97 @@
+"""Tests for the random application generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import XEON_E5649
+from repro.sim import SimulationEngine
+from repro.workloads.classes import MemoryIntensityClass, classify_intensity
+from repro.workloads.generator import generate_application, generate_batch
+
+REF = 12.0 * 1024 * 1024
+
+
+class TestGenerateApplication:
+    @pytest.mark.parametrize("cls", list(MemoryIntensityClass))
+    def test_lands_in_requested_class(self, cls, rng):
+        for _ in range(5):
+            app = generate_application(cls, rng)
+            assert classify_intensity(app.solo_memory_intensity(REF)) is cls
+
+    def test_deterministic_given_seed(self):
+        a = generate_application(
+            MemoryIntensityClass.CLASS_II, np.random.default_rng(7)
+        )
+        b = generate_application(
+            MemoryIntensityClass.CLASS_II, np.random.default_rng(7)
+        )
+        assert a == b
+
+    def test_custom_name(self, rng):
+        app = generate_application(MemoryIntensityClass.CLASS_I, rng, name="mine")
+        assert app.name == "mine"
+
+    def test_auto_names_unique(self, rng):
+        apps = [
+            generate_application(MemoryIntensityClass.CLASS_III, rng)
+            for _ in range(10)
+        ]
+        assert len({a.name for a in apps}) == 10
+
+    def test_generated_apps_run_on_engine(self, engine_6core, rng):
+        """Any generated app must simulate cleanly, solo and co-located."""
+        from repro.workloads.suite import get_application
+
+        cg = get_application("cg")
+        for cls in MemoryIntensityClass:
+            app = generate_application(cls, rng)
+            solo = engine_6core.baseline(app)
+            loaded = engine_6core.run(app, [cg] * 3)
+            assert solo.target.execution_time_s > 0
+            assert (
+                loaded.target.execution_time_s
+                >= solo.target.execution_time_s * 0.999
+            )
+
+    def test_custom_reference_capacity(self, rng):
+        big_ref = 30.0 * 1024 * 1024
+        app = generate_application(
+            MemoryIntensityClass.CLASS_II, rng, reference_capacity_bytes=big_ref
+        )
+        assert (
+            classify_intensity(app.solo_memory_intensity(big_ref))
+            is MemoryIntensityClass.CLASS_II
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=30, deadline=None)
+    def test_property_always_in_class(self, seed):
+        rng = np.random.default_rng(seed)
+        cls = list(MemoryIntensityClass)[seed % 4]
+        app = generate_application(cls, rng)
+        assert classify_intensity(app.solo_memory_intensity(REF)) is cls
+        assert 0.0 < app.accesses_per_instruction <= 0.05
+        assert app.mlp >= 1.0
+
+
+class TestGenerateBatch:
+    def test_composition(self, rng):
+        batch = generate_batch(
+            {
+                MemoryIntensityClass.CLASS_I: 2,
+                MemoryIntensityClass.CLASS_IV: 3,
+            },
+            rng,
+        )
+        assert len(batch) == 5
+        classes = [classify_intensity(a.solo_memory_intensity(REF)) for a in batch]
+        assert classes.count(MemoryIntensityClass.CLASS_I) == 2
+        assert classes.count(MemoryIntensityClass.CLASS_IV) == 3
+
+    def test_negative_count_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_batch({MemoryIntensityClass.CLASS_I: -1}, rng)
+
+    def test_empty_batch(self, rng):
+        assert generate_batch({}, rng) == []

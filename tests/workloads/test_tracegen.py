@@ -1,0 +1,88 @@
+"""Tests for synthetic trace generation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.reuse import ReuseProfile
+from repro.machine.processor import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+from repro.workloads.tracegen import generate_trace, scaled_profile
+
+KB = 1024.0
+
+
+class TestScaledProfile:
+    def test_preserves_shape(self, small_profile):
+        scaled = scaled_profile(small_profile, 0.25)
+        caps = np.geomspace(1 * KB, 512 * KB, 16)
+        orig = np.asarray(small_profile.miss_ratio(caps))
+        shrunk = np.asarray(scaled.miss_ratio(caps * 0.25))
+        np.testing.assert_allclose(shrunk, orig, rtol=1e-9)
+
+    def test_footprint_scales(self, small_profile):
+        scaled = scaled_profile(small_profile, 0.5)
+        assert scaled.footprint_bytes == pytest.approx(
+            small_profile.footprint_bytes * 0.5
+        )
+
+    def test_rejects_bad_factor(self, small_profile):
+        with pytest.raises(ValueError):
+            scaled_profile(small_profile, 0.0)
+
+
+class TestGenerateTrace:
+    def test_length_and_dtype(self, small_profile, rng):
+        trace = generate_trace(small_profile, 64, 1000, rng)
+        assert trace.shape == (1000,)
+        assert trace.dtype == np.int64
+        assert np.all(trace >= 0)
+
+    def test_deterministic_given_seed(self, small_profile):
+        t1 = generate_trace(small_profile, 64, 500, np.random.default_rng(3))
+        t2 = generate_trace(small_profile, 64, 500, np.random.default_rng(3))
+        np.testing.assert_array_equal(t1, t2)
+
+    def test_distinct_lines_bounded_by_locality(self, small_profile, rng):
+        trace = generate_trace(small_profile, 64, 20_000, rng)
+        distinct = len(np.unique(trace))
+        # With reuse, far fewer distinct lines than references.
+        assert distinct < 20_000 * 0.6
+
+    def test_high_compulsory_profile_is_streaming(self, rng):
+        p = ReuseProfile.single(8 * KB, compulsory=0.9)
+        trace = generate_trace(p, 64, 5000, rng)
+        distinct = len(np.unique(trace))
+        assert distinct > 5000 * 0.6  # mostly cold lines
+
+    def test_rejects_bad_args(self, small_profile, rng):
+        with pytest.raises(ValueError):
+            generate_trace(small_profile, 64, 0, rng)
+        with pytest.raises(ValueError):
+            generate_trace(small_profile, 64, 10, rng, max_stack_lines=0)
+
+    def test_replay_miss_ratio_matches_profile(self, rng):
+        """The core tracegen invariant: the profile's MRC is realized."""
+        p = ReuseProfile.single(64 * KB, compulsory=0.02)
+        trace = generate_trace(p, 64, 150_000, rng)
+        for cap_kb in (16, 48, 128):
+            geo = CacheGeometry(
+                size_bytes=int(cap_kb * KB), line_bytes=64, associativity=8
+            )
+            cache = SetAssociativeCache(geo)
+            split = len(trace) // 4
+            cache.access_trace(trace[:split])
+            cache.reset_stats()
+            stats = cache.access_trace(trace[split:])
+            expected = float(p.miss_ratio(cap_kb * KB))
+            assert stats.miss_ratio == pytest.approx(expected, abs=0.08)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_property_trace_lines_contiguous_from_zero(self, seed):
+        p = ReuseProfile.single(16 * KB, compulsory=0.1)
+        trace = generate_trace(p, 64, 3000, np.random.default_rng(seed))
+        # Line numbers are allocated sequentially: max < allocations <= refs.
+        assert trace.max() < 3000
+        uniq = np.unique(trace)
+        np.testing.assert_array_equal(uniq, np.arange(uniq.size))
