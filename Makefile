@@ -1,6 +1,6 @@
 # Developer convenience targets.
 
-.PHONY: install test bench bench-quick examples clean
+.PHONY: install test bench bench-quick bench-smoke examples clean
 
 install:
 	pip install -e '.[test]'
@@ -15,6 +15,11 @@ bench:
 # Quick pass: same shapes, ~10x faster.
 bench-quick:
 	REPRO_REPETITIONS=10 pytest benchmarks/ --benchmark-only
+
+# Engine-throughput smoke: reduced sweep, single rounds.  Surfaces solve/
+# cache-speedup regressions in routine checks without the full bench cost.
+bench-smoke:
+	REPRO_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/bench_engine_throughput.py -q --benchmark-disable
 
 examples:
 	python examples/quickstart.py

@@ -2,10 +2,24 @@
 
 Not a paper artifact; guards the property the harness depends on: one
 analytic co-location solve must stay in the low-millisecond range so the
-full Table V sweep (thousands of runs) completes in seconds.
+full Table V sweep (thousands of runs) completes in seconds — and, with a
+warm :class:`~repro.sim.solve_cache.SolveCache`, in a small fraction of
+that.
+
+Set ``REPRO_SMOKE=1`` for the reduced configuration used by
+``make bench-smoke`` (a routine throughput-regression check).
 """
 
+import os
+import time
+
+from repro.harness.baselines import collect_baselines
+from repro.harness.collection import collect_training_data
+from repro.machine import XEON_E5649
+from repro.sim import SimulationEngine, SolveCache
 from repro.workloads.suite import get_application
+
+_SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
 
 
 def test_engine_solo_solve(benchmark, ctx):
@@ -49,3 +63,75 @@ def test_model_fit_neural(benchmark, ctx):
         iterations=1,
     )
     assert model.is_fitted
+
+
+def _table5_kwargs():
+    """A Table V sweep: full-shape by default, reduced under REPRO_SMOKE."""
+    target_names = ("canneal", "ep") if _SMOKE else ("canneal", "sp", "fluidanimate", "ep")
+    counts = (1, 3) if _SMOKE else (1, 2, 3, 4, 5)
+    return dict(
+        targets=[get_application(n) for n in target_names],
+        co_apps=[get_application(n) for n in ("cg", "ep")],
+        counts=counts,
+    )
+
+
+def test_table5_collection_warm_cache_speedup(benchmark):
+    """A warm SolveCache must make the Table V collection >= 3x faster,
+
+    and serve *exactly* the dataset a cache-less engine produces (noise is
+    applied outside the memoized solve).
+    """
+    kwargs = _table5_kwargs()
+    apps = sorted(set(kwargs["targets"] + kwargs["co_apps"]), key=lambda a: a.name)
+    cached_engine = SimulationEngine(XEON_E5649, cache=SolveCache())
+    baselines = collect_baselines(cached_engine, apps)
+
+    cold_engine = SimulationEngine(XEON_E5649)
+    start = time.perf_counter()
+    cold = collect_training_data(cold_engine, baselines=baselines, **kwargs)
+    cold_s = time.perf_counter() - start
+
+    collect_training_data(cached_engine, baselines=baselines, **kwargs)  # warm up
+    start = time.perf_counter()
+    warm = collect_training_data(cached_engine, baselines=baselines, **kwargs)
+    warm_s = time.perf_counter() - start
+
+    assert [o.actual_time_s for o in warm] == [o.actual_time_s for o in cold]
+    assert cached_engine.stats.cache_hit_rate > 0.4  # second sweep all hits
+    assert cached_engine.stats.convergence_failures == 0
+    assert cold_s >= 3.0 * warm_s, (
+        f"warm cache too slow: cold {cold_s * 1e3:.1f} ms vs "
+        f"warm {warm_s * 1e3:.1f} ms"
+    )
+    print(f"\ncold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.1f} ms "
+          f"({cold_s / warm_s:.1f}x)\n" + cached_engine.stats.summary())
+    benchmark(
+        lambda: collect_training_data(
+            cached_engine, baselines=baselines, **kwargs
+        )
+    )
+
+
+def test_parallel_collection_matches_serial(benchmark):
+    """workers=4 must return the bit-identical dataset, timed as a bench."""
+    import numpy as np
+
+    kwargs = _table5_kwargs()
+    engine = SimulationEngine(XEON_E5649)
+    apps = sorted(set(kwargs["targets"] + kwargs["co_apps"]), key=lambda a: a.name)
+    baselines = collect_baselines(engine, apps)
+    serial = collect_training_data(
+        engine, baselines=baselines, rng=np.random.default_rng(2015), **kwargs
+    )
+    parallel = benchmark.pedantic(
+        lambda: collect_training_data(
+            engine, baselines=baselines, rng=np.random.default_rng(2015),
+            workers=4, **kwargs
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert [o.actual_time_s for o in parallel] == [
+        o.actual_time_s for o in serial
+    ]

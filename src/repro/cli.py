@@ -126,9 +126,12 @@ def _cmd_baseline(args) -> int:
 def _cmd_collect(args) -> int:
     from .harness.collection import collect_training_data
     from .sim.engine import SimulationEngine
+    from .sim.solve_cache import SolveCache
 
     machine = _get_machine(args.machine)
-    engine = SimulationEngine(machine)
+    engine = SimulationEngine(
+        machine, cache=None if args.no_cache else SolveCache()
+    )
     kwargs = {}
     if args.targets:
         kwargs["targets"] = _get_apps(args.targets.split(","))
@@ -141,7 +144,10 @@ def _cmd_collect(args) -> int:
             raise SystemExit(f"error: invalid counts {args.counts!r}") from None
     try:
         dataset = collect_training_data(
-            engine, rng=np.random.default_rng(args.seed), **kwargs
+            engine,
+            rng=np.random.default_rng(args.seed),
+            workers=args.workers,
+            **kwargs,
         )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
@@ -153,6 +159,8 @@ def _cmd_collect(args) -> int:
         f"wrote {len(dataset)} observations to {args.output} "
         f"(manifest: {manifest_path_for(args.output)})"
     )
+    if args.stats:
+        print(engine.stats.summary())
     return 0
 
 
@@ -376,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--targets", help="comma-separated target apps (default: all 11)")
     p.add_argument("--co-apps", dest="co_apps", help="comma-separated co-apps")
     p.add_argument("--counts", help="comma-separated co-location counts")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the sweep (default 1; any "
+                        "count yields the identical dataset)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable steady-state solve memoization")
+    p.add_argument("--stats", action="store_true",
+                   help="print engine solve/cache statistics after collection")
     p.set_defaults(func=_cmd_collect)
 
     p = sub.add_parser("train", help="train a model from a dataset CSV")

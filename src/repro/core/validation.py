@@ -93,7 +93,8 @@ def repeated_random_subsampling(
         Factory producing a fresh, unfitted model per repetition.
     X, y:
         The full dataset; each repetition withholds ``test_fraction`` of
-        the rows (at least one, at most all-but-two so the model can fit).
+        the rows (at least two so NRMSE is defined on the test partition,
+        at most all-but-two so the model can fit).
     test_fraction:
         Withheld share; the paper uses 0.3.
     repetitions:
@@ -107,7 +108,10 @@ def repeated_random_subsampling(
         raise ValueError("X must be (n, k) with y of length n")
     n = X.shape[0]
     if n < 4:
-        raise ValueError("need at least four samples to split meaningfully")
+        raise ValueError(
+            "need at least four samples to split into train/test partitions "
+            "of two or more rows each"
+        )
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test fraction must be in (0, 1)")
     if repetitions < 1:
@@ -115,7 +119,9 @@ def repeated_random_subsampling(
     if rng is None:
         rng = np.random.default_rng(0)
 
-    n_test = min(max(int(round(n * test_fraction)), 1), n - 2)
+    # A 1-sample test split always has zero range, which makes NRMSE
+    # undefined; keep both partitions at >= 2 rows.
+    n_test = min(max(int(round(n * test_fraction)), 2), n - 2)
     train_mpe = np.empty(repetitions)
     test_mpe = np.empty(repetitions)
     train_nrmse = np.empty(repetitions)
@@ -199,6 +205,13 @@ def leave_one_group_out(
             distinct.append(g)
     if len(distinct) < 2:
         raise ValueError("leave-one-group-out needs at least two groups")
+    for g in distinct:
+        members = int((labels == g).sum())
+        if members < 2:
+            raise ValueError(
+                f"group {g!r} has only {members} row; NRMSE is undefined on "
+                f"a singleton held-out group — every group needs >= 2 rows"
+            )
 
     group_mpe: dict = {}
     group_nrmse: dict = {}

@@ -15,6 +15,7 @@ from .manifest import (
     read_manifest,
     write_manifest,
 )
+from .parallel import map_scenarios, spawn_streams
 from .experiments import (
     ExperimentContext,
     default_context,
@@ -44,8 +45,10 @@ __all__ = [
     "figure5b_errors",
     "figure_series",
     "manifest_path_for",
+    "map_scenarios",
     "read_manifest",
     "setup_for",
+    "spawn_streams",
     "table1_rows",
     "table2_rows",
     "table3_rows",

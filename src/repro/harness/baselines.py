@@ -19,6 +19,7 @@ import numpy as np
 from ..counters.hpcrun import FlatProfile, hpcrun_flat
 from ..sim.engine import SimulationEngine
 from ..workloads.app import ApplicationSpec
+from .parallel import map_scenarios, spawn_streams
 
 __all__ = ["BaselineTable", "collect_baselines"]
 
@@ -73,15 +74,37 @@ class BaselineTable:
         return sorted({name for (name, _freq) in self.profiles})
 
 
+def _profile_scenario(engine: SimulationEngine, payload) -> FlatProfile:
+    """One solo profiling run (module-level so worker processes can pickle it)."""
+    app, pstate, rng = payload
+    return hpcrun_flat(engine, app, pstate=pstate, rng=rng)
+
+
 def collect_baselines(
     engine: SimulationEngine,
     apps: list[ApplicationSpec] | tuple[ApplicationSpec, ...],
     *,
     rng: np.random.Generator | None = None,
+    workers: int = 1,
 ) -> BaselineTable:
-    """Profile every application solo at every P-state of the machine."""
+    """Profile every application solo at every P-state of the machine.
+
+    ``workers > 1`` fans the (application, P-state) grid out across a
+    process pool.  When an ``rng`` is given, each run draws its noise from
+    its own child stream spawned from ``rng`` (keyed by grid index), so
+    the table is identical for any worker count.
+    """
+    pairs = [
+        (app, pstate) for app in apps for pstate in engine.processor.pstates
+    ]
+    streams: list = (
+        spawn_streams(rng, len(pairs)) if rng is not None else [None] * len(pairs)
+    )
+    payloads = [(app, pstate, s) for (app, pstate), s in zip(pairs, streams)]
+    profiles = map_scenarios(
+        engine, _profile_scenario, payloads, workers=workers
+    )
     table = BaselineTable(processor_name=engine.processor.name)
-    for app in apps:
-        for pstate in engine.processor.pstates:
-            table.add(hpcrun_flat(engine, app, pstate=pstate, rng=rng))
+    for profile in profiles:
+        table.add(profile)
     return table

@@ -15,6 +15,12 @@ memory intensity class), at every P-state, for each machine's co-location
 counts.  The counts sample the co-location space *uniformly* — the paper
 contrasts this with the mostly-random selection of [DwF12]; a random
 sampler with the same budget is provided for that ablation.
+
+Every scenario in the nest is independent, so collection accepts a
+``workers=N`` fan-out (see :mod:`repro.harness.parallel`).  Measurement
+noise for each scenario comes from its own child RNG spawned from the
+caller's root generator and keyed by scenario index, which makes the
+collected dataset bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -25,11 +31,13 @@ import numpy as np
 
 from ..core.features import observation_from_profiles
 from ..machine.processor import PROCESSOR_CATALOG, MulticoreProcessor
+from ..machine.pstates import PState
 from ..sim.engine import SimulationEngine
 from ..workloads.app import ApplicationSpec
 from ..workloads.suite import TRAINING_CO_APP_NAMES, all_applications, get_application
 from .baselines import BaselineTable, collect_baselines
 from .datasets import ObservationDataset
+from .parallel import map_scenarios, spawn_streams
 
 __all__ = [
     "TrainingSetup",
@@ -87,6 +95,28 @@ def setup_for(processor: MulticoreProcessor) -> TrainingSetup:
     return TrainingSetup(processor.name.lower(), tuple(counts))
 
 
+def _run_scenario(engine: SimulationEngine, payload) -> float:
+    """One Table V cell: the target's noisy co-located execution time."""
+    target, co_app, count, pstate, rng = payload
+    run = engine.run(target, [co_app] * count, pstate=pstate, rng=rng)
+    return run.target.execution_time_s
+
+
+def _scenario_payloads(
+    scenarios: list[tuple[ApplicationSpec, ApplicationSpec, int, PState]],
+    rng: np.random.Generator,
+) -> list:
+    """Attach one SeedSequence-spawned child RNG per scenario.
+
+    The child is keyed by the scenario's index, so noise draws depend only
+    on which scenario is run — never on loop order or worker placement.
+    """
+    streams = spawn_streams(rng, len(scenarios))
+    return [
+        scenario + (stream,) for scenario, stream in zip(scenarios, streams)
+    ]
+
+
 def collect_training_data(
     engine: SimulationEngine,
     *,
@@ -95,6 +125,7 @@ def collect_training_data(
     co_apps: list[ApplicationSpec] | None = None,
     counts: tuple[int, ...] | None = None,
     rng: np.random.Generator | None = None,
+    workers: int = 1,
 ) -> ObservationDataset:
     """Collect one machine's full Table V training dataset.
 
@@ -111,7 +142,11 @@ def collect_training_data(
     counts:
         Homogeneous co-location counts; default the machine's Table V row.
     rng:
-        Measurement-noise stream for the co-located runs (seeded default).
+        Root of the measurement-noise streams (seeded default).  Each
+        scenario gets its own child generator spawned from this root, so
+        the dataset is identical for any ``workers`` setting.
+    workers:
+        Worker processes for the sweep; 1 (the default) runs serially.
     """
     targets = list(targets) if targets is not None else list(all_applications())
     co_apps = (
@@ -127,26 +162,31 @@ def collect_training_data(
         rng = np.random.default_rng(2015)
     if baselines is None:
         baselines = collect_baselines(
-            engine, sorted(set(targets + co_apps), key=lambda a: a.name)
+            engine,
+            sorted(set(targets + co_apps), key=lambda a: a.name),
+            workers=workers,
         )
 
+    scenarios = [
+        (target, co_app, count, pstate)
+        for pstate in engine.processor.pstates
+        for target in targets
+        for co_app in co_apps
+        for count in counts
+    ]
+    times = map_scenarios(
+        engine, _run_scenario, _scenario_payloads(scenarios, rng),
+        workers=workers,
+    )
     dataset = ObservationDataset(processor_name=engine.processor.name)
-    for pstate in engine.processor.pstates:
-        for target in targets:
-            target_base = baselines.get(target.name, pstate.frequency_ghz)
-            for co_app in co_apps:
-                co_base = baselines.get(co_app.name, pstate.frequency_ghz)
-                for count in counts:
-                    run = engine.run(
-                        target, [co_app] * count, pstate=pstate, rng=rng
-                    )
-                    dataset.add(
-                        observation_from_profiles(
-                            target_base,
-                            [co_base] * count,
-                            run.target.execution_time_s,
-                        )
-                    )
+    for (target, co_app, count, pstate), time_s in zip(scenarios, times):
+        dataset.add(
+            observation_from_profiles(
+                baselines.get(target.name, pstate.frequency_ghz),
+                [baselines.get(co_app.name, pstate.frequency_ghz)] * count,
+                time_s,
+            )
+        )
     return dataset
 
 
@@ -158,6 +198,7 @@ def collect_random_training_data(
     targets: list[ApplicationSpec] | None = None,
     co_apps: list[ApplicationSpec] | None = None,
     rng: np.random.Generator | None = None,
+    workers: int = 1,
 ) -> ObservationDataset:
     """[DwF12]-style randomly sampled training data with a fixed budget.
 
@@ -165,6 +206,11 @@ def collect_random_training_data(
     co-app, and co-location count (uniform over 1..max free cores).  Used
     by the sampling ablation bench to compare against the paper's uniform
     coverage with the *same* number of runs.
+
+    Scenario *selection* draws come sequentially from ``rng``; each
+    selected scenario's measurement noise then comes from its own spawned
+    child stream, so ``workers > 1`` reproduces the serial dataset
+    exactly.
     """
     if budget < 1:
         raise ValueError("budget must be positive")
@@ -178,23 +224,31 @@ def collect_random_training_data(
         rng = np.random.default_rng(2015)
     if baselines is None:
         baselines = collect_baselines(
-            engine, sorted(set(targets + co_apps), key=lambda a: a.name)
+            engine,
+            sorted(set(targets + co_apps), key=lambda a: a.name),
+            workers=workers,
         )
 
     pstates = list(engine.processor.pstates)
     max_count = engine.processor.max_co_located
-    dataset = ObservationDataset(processor_name=engine.processor.name)
+    scenarios = []
     for _ in range(budget):
         pstate = pstates[rng.integers(len(pstates))]
         target = targets[rng.integers(len(targets))]
         co_app = co_apps[rng.integers(len(co_apps))]
         count = int(rng.integers(1, max_count + 1))
-        run = engine.run(target, [co_app] * count, pstate=pstate, rng=rng)
+        scenarios.append((target, co_app, count, pstate))
+    times = map_scenarios(
+        engine, _run_scenario, _scenario_payloads(scenarios, rng),
+        workers=workers,
+    )
+    dataset = ObservationDataset(processor_name=engine.processor.name)
+    for (target, co_app, count, pstate), time_s in zip(scenarios, times):
         dataset.add(
             observation_from_profiles(
                 baselines.get(target.name, pstate.frequency_ghz),
                 [baselines.get(co_app.name, pstate.frequency_ghz)] * count,
-                run.target.execution_time_s,
+                time_s,
             )
         )
     return dataset

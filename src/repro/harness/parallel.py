@@ -1,0 +1,121 @@
+"""Deterministic process-pool scaffolding for bulk collection.
+
+The Table V loop nest is thousands of *independent* scenarios, so the
+collection functions fan them out across worker processes.  Two rules keep
+parallel collection bit-identical to serial collection:
+
+* **Per-scenario RNGs.**  :func:`spawn_streams` derives one child
+  generator per scenario from the caller's root generator via
+  ``np.random.SeedSequence`` spawning, keyed by scenario index.  Noise
+  draws therefore depend only on *which* scenario is run, never on how
+  many scenarios ran before it or on which process runs it.
+* **Order-preserving results.**  :func:`map_scenarios` returns results in
+  payload order regardless of completion order, and merges every worker's
+  :class:`~repro.sim.solve_cache.EngineStats` back into the calling
+  engine's stats so observability survives the fan-out.
+
+Worker processes receive a pickled copy of the engine (including any
+warm :class:`~repro.sim.solve_cache.SolveCache`); caches populated inside
+workers are process-local and are not copied back — only their hit/miss
+accounting is.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..sim.engine import SimulationEngine
+from ..sim.solve_cache import EngineStats
+
+__all__ = ["map_scenarios", "spawn_streams"]
+
+
+def spawn_streams(
+    rng: np.random.Generator, n: int
+) -> list[np.random.Generator]:
+    """``n`` independent child generators derived from ``rng``.
+
+    Children come from the generator's underlying ``SeedSequence`` (its
+    spawn counter, not its draw position), so the i-th child is the same
+    whether or not any values were drawn from ``rng`` in between — the
+    property that makes noise draws independent of loop order.  Falls back
+    to seeding a fresh ``SeedSequence`` from one draw for generators whose
+    bit generator was built without a seed sequence.
+    """
+    if n < 0:
+        raise ValueError("cannot spawn a negative number of streams")
+    if n == 0:
+        return []
+    try:
+        return list(rng.spawn(n))
+    except TypeError:
+        root = np.random.SeedSequence(int(rng.integers(2**63)))
+        return [np.random.default_rng(child) for child in root.spawn(n)]
+
+
+_WORKER_ENGINE: SimulationEngine | None = None
+
+
+def _init_worker(engine: SimulationEngine) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = engine
+
+
+def _run_chunk(task):
+    func, chunk = task
+    engine = _WORKER_ENGINE
+    assert engine is not None, "worker pool used before initialization"
+    stats = EngineStats()
+    previous, engine.stats = engine.stats, stats
+    try:
+        results = [(index, func(engine, payload)) for index, payload in chunk]
+    finally:
+        engine.stats = previous
+        previous.merge(stats)
+    return results, stats
+
+
+def map_scenarios(
+    engine: SimulationEngine,
+    func: Callable,
+    payloads: Sequence,
+    *,
+    workers: int = 1,
+    chunks_per_worker: int = 4,
+):
+    """Evaluate ``func(engine, payload)`` for every payload, in order.
+
+    ``workers=1`` (the default) runs serially on the calling engine.  With
+    ``workers > 1`` the payloads are chunked across a process pool; each
+    worker gets a pickled copy of ``engine`` once, and worker stats are
+    merged back into ``engine.stats``.  ``func`` must be a module-level
+    (picklable) function and must not depend on evaluation order — results
+    are returned in payload order either way, which is what makes serial
+    and parallel collection bit-identical.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    payloads = list(payloads)
+    if workers == 1 or len(payloads) <= 1:
+        return [func(engine, payload) for payload in payloads]
+    indexed = list(enumerate(payloads))
+    n_chunks = min(len(indexed), workers * chunks_per_worker)
+    chunk_size = -(-len(indexed) // n_chunks)
+    chunks = [
+        indexed[start : start + chunk_size]
+        for start in range(0, len(indexed), chunk_size)
+    ]
+    results: list = [None] * len(payloads)
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_init_worker, initargs=(engine,)
+    ) as pool:
+        for chunk_results, stats in pool.map(
+            _run_chunk, [(func, chunk) for chunk in chunks]
+        ):
+            engine.stats.merge(stats)
+            for index, value in chunk_results:
+                results[index] = value
+    return results

@@ -13,6 +13,7 @@ from .engine import (
     SimulationEngine,
     SteadyState,
 )
+from .solve_cache import EngineStats, SolveCache, app_signature, solve_key
 from .timesliced import SliceRecord, TimeSlicedResult, TimeSlicedSimulator
 from .tracesim import TraceCompetitor, TraceSharingResult, simulate_trace_sharing
 
@@ -21,15 +22,19 @@ __all__ = [
     "ColocationRun",
     "ColocationScenario",
     "ConvergenceError",
+    "EngineStats",
     "SimulationEngine",
     "SliceRecord",
+    "SolveCache",
     "SteadyState",
     "TimeSlicedResult",
     "TimeSlicedSimulator",
     "TraceCompetitor",
     "TraceSharingResult",
+    "app_signature",
     "homogeneous_scenarios",
     "normalized_execution_time",
     "run_scenario",
     "simulate_trace_sharing",
+    "solve_key",
 ]

@@ -31,7 +31,7 @@ across repetitions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from ..machine.pstates import PState
 from ..machine.processor import MulticoreProcessor
 from ..memsys.dram import DRAMModel
 from ..workloads.app import ApplicationSpec, PhasedApplication
+from .solve_cache import EngineStats, SolveCache, solve_key
 
 __all__ = [
     "AppRun",
@@ -159,6 +160,7 @@ class SimulationEngine:
         max_iterations: int = 600,
         rel_tolerance: float = 1e-7,
         damping: float = 0.5,
+        cache: SolveCache | None = None,
     ) -> None:
         if noise_sigma < 0.0:
             raise ValueError("noise sigma must be non-negative")
@@ -170,6 +172,11 @@ class SimulationEngine:
         self.max_iterations = max_iterations
         self.rel_tolerance = rel_tolerance
         self.damping = damping
+        #: Optional memo of steady-state solves; caching is exact because
+        #: measurement noise is applied outside the solve.
+        self.cache = cache
+        #: Running solve/cache/convergence counters (see :class:`EngineStats`).
+        self.stats = EngineStats()
 
     # ------------------------------------------------------------------ API
 
@@ -253,7 +260,11 @@ class SimulationEngine:
             tot_acc += run.target.llc_accesses
             tot_miss += run.target.llc_misses
             last = run
-        assert last is not None
+        if last is None:
+            raise ValueError(
+                f"phased application {target.name!r} yielded no phases to "
+                f"simulate"
+            )
         if rng is not None and self.noise_sigma > 0.0:
             total_time *= float(np.exp(rng.normal(0.0, self.noise_sigma)))
         target_run = AppRun(
@@ -289,6 +300,11 @@ class SimulationEngine:
         of applications currently on the machine, returns every
         application's steady-state rate and the memory-system state, with
         no notion of run length or noise.
+
+        When the engine has a :class:`SolveCache`, solves are memoized on
+        ``(processor, frequency, per-app behaviour, pinned occupancies)``
+        and repeated scenarios are served from the cache bit-exactly.
+        Every call is tallied in :attr:`stats`.
         """
         apps = tuple(apps)
         if not apps:
@@ -300,18 +316,9 @@ class SimulationEngine:
             )
         if pstate is None:
             pstate = self.processor.pstates.fastest
-        f_hz = pstate.frequency_hz
         capacity = float(self.processor.llc.size_bytes)
-        line = float(self.processor.llc.line_bytes)
-        hit_ns = self.processor.llc.hit_latency_ns * HIT_EXPOSURE
-
-        cpi = np.array([a.base_cpi for a in apps])
-        api = np.array([a.accesses_per_instruction for a in apps])
-        mlp = np.array([a.mlp for a in apps])
-        table = ProfileTable([a.reuse for a in apps])
-        demand = np.minimum(table.footprints, capacity)
-        pinned = fixed_occupancies is not None
-        if pinned:
+        alloc = None
+        if fixed_occupancies is not None:
             alloc = np.asarray(fixed_occupancies, dtype=float)
             if alloc.shape != (len(apps),):
                 raise ValueError(
@@ -322,6 +329,45 @@ class SimulationEngine:
                     "fixed occupancies must be non-negative and sum to at "
                     "most the LLC capacity"
                 )
+
+        key = None
+        if self.cache is not None:
+            key = solve_key(self.processor.name, pstate.frequency_hz, apps, alloc)
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.record_hit()
+                # Re-label with the requested apps/pstate: the cache keys on
+                # behaviour only, so names and run lengths may differ.
+                return replace(cached, apps=apps, pstate=pstate)
+            self.stats.record_miss()
+        try:
+            state = self._solve_fixed_point(apps, pstate, alloc)
+        except ConvergenceError:
+            self.stats.record_failure()
+            raise
+        self.stats.record_solve(state.iterations)
+        if key is not None:
+            self.cache.put(key, state)
+        return state
+
+    def _solve_fixed_point(
+        self,
+        apps: tuple[ApplicationSpec, ...],
+        pstate: PState,
+        alloc: np.ndarray | None,
+    ) -> "SteadyState":
+        f_hz = pstate.frequency_hz
+        capacity = float(self.processor.llc.size_bytes)
+        line = float(self.processor.llc.line_bytes)
+        hit_ns = self.processor.llc.hit_latency_ns * HIT_EXPOSURE
+
+        cpi = np.array([a.base_cpi for a in apps])
+        api = np.array([a.accesses_per_instruction for a in apps])
+        mlp = np.array([a.mlp for a in apps])
+        table = ProfileTable([a.reuse for a in apps])
+        demand = np.minimum(table.footprints, capacity)
+        pinned = alloc is not None
+        if pinned:
             # An application cannot make use of more cache than it touches.
             fixed = np.minimum(alloc, demand)
             fits = True  # no competition: occupancies never move

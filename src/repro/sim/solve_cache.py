@@ -1,0 +1,235 @@
+"""Memoization and observability for the steady-state engine.
+
+The Table V loop nest drives thousands of independent fixed-point solves,
+and both the homogeneous co-location sweeps and the random-sampling
+ablation revisit identical (applications, P-state) scenarios many times.
+Two facts make exact memoization possible:
+
+* :meth:`~repro.sim.engine.SimulationEngine.solve_steady_state` is a pure
+  function of the processor, the P-state frequency, the behavioural
+  parameters of the co-located applications, and any pinned occupancies —
+  run length (``instructions``) and application names do not enter the
+  rate computation; and
+* measurement noise is applied to reported times *outside* the solve, so
+  a cached steady state reproduces the exact run a fresh solve would.
+
+:class:`SolveCache` memoizes on exactly that key (:func:`solve_key`,
+built from per-application :func:`app_signature` tuples).
+:class:`EngineStats` is the matching observability record: every engine
+tracks solve counts, cache hits, the fixed-point iteration distribution,
+and convergence failures, and the parallel collection layer
+(:mod:`repro.harness.parallel`) merges worker-process stats back into the
+caller's engine.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..workloads.app import ApplicationSpec
+
+__all__ = ["EngineStats", "SolveCache", "app_signature", "solve_key"]
+
+
+def app_signature(app: ApplicationSpec) -> tuple:
+    """Hashable signature of everything that affects an app's steady state.
+
+    Deliberately excludes ``name``, ``suite``, and ``instructions``: the
+    fixed point solves *rates*, so two applications that differ only in
+    identity or run length share one solve.
+    """
+    reuse = app.reuse
+    return (
+        float(app.base_cpi),
+        float(app.accesses_per_instruction),
+        float(app.mlp),
+        float(reuse.compulsory),
+        tuple(
+            (float(c.working_set_bytes), float(c.weight), float(c.sharpness))
+            for c in reuse.components
+        ),
+    )
+
+
+def solve_key(
+    processor_name: str,
+    frequency_hz: float,
+    apps: tuple[ApplicationSpec, ...],
+    fixed_occupancies: np.ndarray | None = None,
+) -> tuple:
+    """Cache key for one steady-state solve.
+
+    ``(processor name, P-state frequency, per-app signature tuple, pinned
+    occupancies)`` — everything :meth:`solve_steady_state` depends on.
+    """
+    pinned = (
+        None
+        if fixed_occupancies is None
+        else tuple(float(x) for x in np.asarray(fixed_occupancies, dtype=float))
+    )
+    return (
+        processor_name,
+        float(frequency_hz),
+        tuple(app_signature(a) for a in apps),
+        pinned,
+    )
+
+
+class SolveCache:
+    """LRU memo of steady-state solves, shareable across engines.
+
+    Keys are :func:`solve_key` tuples; values are frozen
+    :class:`~repro.sim.engine.SteadyState` records.  Unbounded by default;
+    pass ``max_entries`` to evict least-recently-used solves.  A cache may
+    back several engines, but only engines whose processors genuinely
+    share a configuration should share one (keys include the processor
+    *name*, not its full geometry).
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 (or None for unbounded)")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, key: tuple):
+        """The cached steady state for ``key``, or ``None`` on a miss."""
+        try:
+            state = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return state
+
+    def put(self, key: tuple, state) -> None:
+        """Store one solve, evicting the least-recently-used if bounded."""
+        self._entries[key] = state
+        self._entries.move_to_end(key)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry and reset the hit/miss counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class EngineStats:
+    """Running observability counters for one engine.
+
+    Attributes
+    ----------
+    solves:
+        Fixed-point solves actually performed (cache misses + uncached).
+    cache_hits / cache_misses:
+        Lookups served from / missed by the engine's :class:`SolveCache`
+        (both stay 0 on an engine without a cache).
+    convergence_failures:
+        Solves that raised :class:`~repro.sim.engine.ConvergenceError`.
+    iteration_counts:
+        Map from fixed-point iteration count to how many solves needed
+        exactly that many iterations.
+    """
+
+    solves: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    convergence_failures: int = 0
+    iteration_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def requests(self) -> int:
+        """Total steady-state requests (cache hits + actual solves)."""
+        return self.cache_hits + self.solves
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of requests served from the cache (0.0 when idle)."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    def record_solve(self, iterations: int) -> None:
+        """Count one completed fixed-point solve."""
+        self.solves += 1
+        self.iteration_counts[iterations] = (
+            self.iteration_counts.get(iterations, 0) + 1
+        )
+
+    def record_hit(self) -> None:
+        """Count one cache-served request."""
+        self.cache_hits += 1
+
+    def record_miss(self) -> None:
+        """Count one cache lookup that fell through to a solve."""
+        self.cache_misses += 1
+
+    def record_failure(self) -> None:
+        """Count one solve that failed to converge."""
+        self.convergence_failures += 1
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold another stats record (e.g. a worker process's) into this one."""
+        self.solves += other.solves
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.convergence_failures += other.convergence_failures
+        for iterations, count in other.iteration_counts.items():
+            self.iteration_counts[iterations] = (
+                self.iteration_counts.get(iterations, 0) + count
+            )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.solves = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.convergence_failures = 0
+        self.iteration_counts = {}
+
+    def iteration_histogram(self, bin_width: int = 25) -> dict[str, int]:
+        """Solve counts binned by fixed-point iterations, e.g. ``{"1-25": 7}``."""
+        if bin_width < 1:
+            raise ValueError("bin width must be >= 1")
+        bins: dict[int, int] = {}
+        for iterations, count in self.iteration_counts.items():
+            bins[(iterations - 1) // bin_width] = (
+                bins.get((iterations - 1) // bin_width, 0) + count
+            )
+        return {
+            f"{b * bin_width + 1}-{(b + 1) * bin_width}": bins[b]
+            for b in sorted(bins)
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-stop summary (used by the CLI and benches)."""
+        lines = [
+            f"engine stats: {self.requests} steady-state requests, "
+            f"{self.solves} solves, {self.cache_hits} cache hits "
+            f"({100.0 * self.cache_hit_rate:.1f}% hit rate), "
+            f"{self.convergence_failures} convergence failures"
+        ]
+        histogram = self.iteration_histogram()
+        if histogram:
+            body = " | ".join(f"{span}: {n}" for span, n in histogram.items())
+            lines.append(f"fixed-point iterations: {body}")
+        return "\n".join(lines)

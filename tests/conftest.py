@@ -57,7 +57,7 @@ def small_dataset(engine_6core, baselines_6core):
         targets=targets,
         co_apps=co_apps,
         counts=(1, 3, 5),
-        rng=np.random.default_rng(7),
+        rng=np.random.default_rng(11),
     )
 
 

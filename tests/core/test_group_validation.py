@@ -88,3 +88,20 @@ class TestLeaveOneGroupOut:
         groups = [o.target_name for o in observations]
         result = leave_one_group_out(LinearModel, X, y, groups)
         assert result.group_test_mpe[result.worst_group] > 100.0
+
+
+class TestSingletonGroups:
+    def test_singleton_group_rejected_up_front(self, rng):
+        """Regression: a 1-row group used to crash inside nrmse."""
+        X = rng.normal(size=(9, 2))
+        y = rng.normal(size=9)
+        groups = ["a"] * 4 + ["b"] * 4 + ["lonely"]
+        with pytest.raises(ValueError, match="'lonely'.*singleton"):
+            leave_one_group_out(LinearModel, X, y, groups)
+
+    def test_two_row_groups_accepted(self, rng):
+        X = rng.normal(size=(8, 1))
+        y = X[:, 0] * 3.0 + rng.normal(scale=0.01, size=8)
+        groups = ["a", "a", "b", "b", "c", "c", "d", "d"]
+        result = leave_one_group_out(LinearModel, X, y, groups)
+        assert set(result.groups) == {"a", "b", "c", "d"}

@@ -104,3 +104,29 @@ class TestValidationResult:
         assert res.mean_test_nrmse == pytest.approx(2.0)
         assert res.test_mpe_std == pytest.approx(1.0)
         assert res.repetitions == 2
+
+
+class TestDegenerateSplits:
+    def test_tiny_dataset_never_gets_one_sample_test_split(self, rng):
+        """Regression: round(7 * 0.2) == 1 used to crash inside nrmse
+
+        ("actual values have zero range") because a single-row test
+        partition always has zero range.  The split floor is now two rows.
+        """
+        X = rng.normal(size=(7, 2))
+        y = X @ np.array([1.0, 2.0]) + 3.0 + rng.normal(scale=0.01, size=7)
+        res = repeated_random_subsampling(
+            LinearModel, X, y, test_fraction=0.2, repetitions=10, rng=rng
+        )
+        assert res.repetitions == 10
+        assert np.isfinite(res.test_nrmse).all()
+
+    def test_extreme_fractions_stay_clamped(self, rng):
+        X = rng.normal(size=(8, 1))
+        y = X[:, 0] * 2.0 + 1.0 + rng.normal(scale=0.01, size=8)
+        for fraction in (0.01, 0.99):
+            res = repeated_random_subsampling(
+                LinearModel, X, y, test_fraction=fraction, repetitions=3, rng=rng
+            )
+            assert np.isfinite(res.test_nrmse).all()
+            assert np.isfinite(res.train_nrmse).all()

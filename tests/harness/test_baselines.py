@@ -1,5 +1,6 @@
 """Tests for baseline collection."""
 
+import numpy as np
 import pytest
 
 from repro.harness.baselines import BaselineTable, collect_baselines
@@ -65,3 +66,30 @@ class TestBaselineTable:
         assert (
             t1.get("lu", 2.53).wall_time_s == t2.get("lu", 2.53).wall_time_s
         )
+
+
+class TestParallelBaselines:
+    def test_parallel_table_identical(self, engine_6core):
+        apps = [get_application(n) for n in ("canneal", "cg", "ep")]
+        serial = collect_baselines(engine_6core, apps)
+        parallel = collect_baselines(engine_6core, apps, workers=2)
+        assert serial.profiles.keys() == parallel.profiles.keys()
+        for key in serial.profiles:
+            assert (
+                serial.profiles[key].wall_time_s
+                == parallel.profiles[key].wall_time_s
+            )
+
+    def test_parallel_noisy_table_identical(self, engine_6core):
+        apps = [get_application(n) for n in ("canneal", "cg")]
+        serial = collect_baselines(
+            engine_6core, apps, rng=np.random.default_rng(4)
+        )
+        parallel = collect_baselines(
+            engine_6core, apps, rng=np.random.default_rng(4), workers=2
+        )
+        for key in serial.profiles:
+            assert (
+                serial.profiles[key].wall_time_s
+                == parallel.profiles[key].wall_time_s
+            )

@@ -147,3 +147,73 @@ class TestCollectRandomTrainingData:
             collect_random_training_data(
                 engine_6core, 0, baselines=baselines_6core
             )
+
+
+class TestDeterministicParallelCollection:
+    KW = dict(counts=(1, 3))
+
+    def _kwargs(self, baselines):
+        return dict(
+            baselines=baselines,
+            targets=[get_application(n) for n in ("canneal", "sp")],
+            co_apps=[get_application("cg")],
+            **self.KW,
+        )
+
+    def test_parallel_dataset_bit_identical(self, engine_6core, baselines_6core):
+        kwargs = self._kwargs(baselines_6core)
+        serial = collect_training_data(
+            engine_6core, rng=np.random.default_rng(9), **kwargs
+        )
+        parallel = collect_training_data(
+            engine_6core, rng=np.random.default_rng(9), workers=3, **kwargs
+        )
+        assert [o.actual_time_s for o in serial] == [
+            o.actual_time_s for o in parallel
+        ]
+
+    def test_random_parallel_dataset_bit_identical(
+        self, engine_6core, baselines_6core
+    ):
+        kwargs = dict(
+            baselines=baselines_6core,
+            targets=[get_application(n) for n in ("canneal", "sp")],
+            co_apps=[get_application("cg")],
+        )
+        serial = collect_random_training_data(
+            engine_6core, 20, rng=np.random.default_rng(9), **kwargs
+        )
+        parallel = collect_random_training_data(
+            engine_6core, 20, rng=np.random.default_rng(9), workers=2, **kwargs
+        )
+        assert [o.actual_time_s for o in serial] == [
+            o.actual_time_s for o in parallel
+        ]
+        assert [o.target_name for o in serial] == [
+            o.target_name for o in parallel
+        ]
+
+    def test_noise_independent_of_sibling_scenarios(
+        self, engine_6core, baselines_6core
+    ):
+        """Per-scenario RNGs: a scenario's noise is a function of its index,
+
+        so the first scenario's draw cannot be perturbed by how many draws
+        later scenarios consume (the old shared-generator failure mode).
+        """
+        kwargs = self._kwargs(baselines_6core)
+        full = collect_training_data(
+            engine_6core, rng=np.random.default_rng(9), **kwargs
+        )
+        trimmed_kwargs = dict(kwargs, counts=(1,))
+        trimmed = collect_training_data(
+            engine_6core, rng=np.random.default_rng(9), **trimmed_kwargs
+        )
+        # Scenario 0 is (fastest pstate, canneal, cg, count 1) in both sweeps.
+        assert full.observations[0].actual_time_s == trimmed.observations[0].actual_time_s
+
+    def test_workers_validated(self, engine_6core, baselines_6core):
+        with pytest.raises(ValueError, match="workers"):
+            collect_training_data(
+                engine_6core, baselines=baselines_6core, workers=0
+            )

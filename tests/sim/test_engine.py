@@ -236,3 +236,20 @@ class TestPhasedCoRunners:
         assert via_phased.target.execution_time_s == pytest.approx(
             via_aggregate.target.execution_time_s
         )
+
+
+class _PhaselessApplication(PhasedApplication):
+    """A pathological phased app whose phase expansion comes up empty."""
+
+    def phase_specs(self):
+        return ()
+
+
+class TestPhasedDegenerate:
+    def test_zero_phases_raises_named_value_error(self, engine_6core):
+        app = _PhaselessApplication(
+            name="ghost", suite="TEST", instructions=1e9,
+            phases=(ApplicationPhase(1.0, 1.0, 1e-4, ReuseProfile.single(MB)),),
+        )
+        with pytest.raises(ValueError, match="ghost"):
+            engine_6core.run(app)

@@ -75,6 +75,31 @@ class TestPipelineCommands:
         with pytest.raises(SystemExit, match="at most 5"):
             main(["collect", "-o", str(tmp_path / "x.csv"), "--counts", "9"])
 
+    def test_collect_bad_workers(self, tmp_path):
+        with pytest.raises(SystemExit, match="workers"):
+            main(["collect", "-o", str(tmp_path / "x.csv"), "--workers", "0"])
+
+    def test_collect_parallel_with_stats(self, dataset_csv, tmp_path, capsys):
+        path = tmp_path / "parallel.csv"
+        code = main(
+            [
+                "collect",
+                "--machine", "e5649",
+                "-o", str(path),
+                "--targets", "canneal,sp,ep",
+                "--co-apps", "cg,ep",
+                "--counts", "1,3,5",
+                "--workers", "2",
+                "--stats",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engine stats" in out
+        assert "hit rate" in out
+        # Any worker count must reproduce the serial dataset bit-for-bit.
+        assert path.read_text() == dataset_csv.read_text()
+
     @pytest.fixture(scope="class")
     def model_json(self, dataset_csv, tmp_path_factory):
         path = tmp_path_factory.mktemp("cli") / "model.json"
