@@ -16,10 +16,11 @@ bench:
 bench-quick:
 	REPRO_REPETITIONS=10 pytest benchmarks/ --benchmark-only
 
-# Engine-throughput smoke: reduced sweep, single rounds.  Surfaces solve/
-# cache-speedup regressions in routine checks without the full bench cost.
+# Throughput smoke: reduced sweeps, single rounds.  Surfaces solve/
+# cache-speedup and serving micro-batch regressions in routine checks
+# without the full bench cost.
 bench-smoke:
-	REPRO_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/bench_engine_throughput.py -q --benchmark-disable
+	REPRO_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/bench_engine_throughput.py benchmarks/bench_serve_throughput.py -q --benchmark-disable
 
 examples:
 	python examples/quickstart.py

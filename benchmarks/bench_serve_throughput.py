@@ -1,0 +1,138 @@
+"""Microbenchmark — micro-batched serving vs one-request-at-a-time.
+
+Not a paper artifact; guards the property the serving layer exists for: a
+resource manager fanning placement queries at the service must see
+coalescing pay off. Closed-loop worker threads drive two identically
+configured servers — one with coalescing disabled (``max_batch=1``), one
+micro-batched — and the batched server must sustain at least 3x the
+request rate while serving bit-identical predictions (checked separately
+in ``tests/serve``).
+
+Set ``REPRO_SMOKE=1`` for the reduced configuration used by
+``make bench-smoke`` (fewer workers and requests; the speedup floor drops
+to 1.8x because tiny runs are noisy).
+"""
+
+import concurrent.futures
+import os
+import threading
+import time
+
+from repro.core.ensemble import EnsemblePredictor
+from repro.core.feature_sets import FeatureSet
+from repro.core.methodology import ModelKind
+from repro.serve.client import PredictionClient
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ServerThread
+
+_SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+N_WORKERS = 8 if _SMOKE else 16
+REQUESTS_PER_WORKER = 30 if _SMOKE else 80
+MIN_SPEEDUP = 1.8 if _SMOKE else 3.0
+N_MEMBERS = 128  # per-request model work must dominate transport cost
+
+
+def _percentile(sorted_values, p):
+    idx = max(0, min(len(sorted_values) - 1, round(p / 100 * len(sorted_values)) - 1))
+    return sorted_values[idx]
+
+
+def _drive(registry, feature_dicts, *, max_batch):
+    """Closed-loop load: N_WORKERS threads, each sending its requests
+    back-to-back. Returns (req_per_s, latencies_s, metrics_samples)."""
+    with ServerThread(
+        registry, max_batch=max_batch, max_wait_ms=4.0
+    ) as handle:
+        barrier = threading.Barrier(N_WORKERS + 1)
+        all_latencies = [None] * N_WORKERS
+
+        def worker(w):
+            latencies = []
+            with PredictionClient("127.0.0.1", handle.port) as client:
+                barrier.wait(timeout=30)
+                for i in range(REQUESTS_PER_WORKER):
+                    row = feature_dicts[(w + i) % len(feature_dicts)]
+                    t0 = time.perf_counter()
+                    client.predict(row, model="band")
+                    latencies.append(time.perf_counter() - t0)
+            all_latencies[w] = latencies
+
+        with concurrent.futures.ThreadPoolExecutor(N_WORKERS) as pool:
+            futures = [pool.submit(worker, w) for w in range(N_WORKERS)]
+            barrier.wait(timeout=30)
+            start = time.perf_counter()
+            for f in futures:
+                f.result(timeout=120)
+            elapsed = time.perf_counter() - start
+
+        with PredictionClient("127.0.0.1", handle.port) as client:
+            samples = client.metrics()
+
+    total = N_WORKERS * REQUESTS_PER_WORKER
+    latencies = sorted(v for per_worker in all_latencies for v in per_worker)
+    return total / elapsed, latencies, samples
+
+
+def test_micro_batching_speedup(ctx, benchmark):
+    dataset = list(ctx.dataset("e5649"))
+    ensemble = EnsemblePredictor(
+        ModelKind.LINEAR, FeatureSet.F, n_members=N_MEMBERS, seed=7
+    ).fit(dataset)
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        registry.push("band", ensemble)
+        names = [f.value for f in FeatureSet.F.features]
+        feature_dicts = [
+            {
+                name: obs.feature_value(feature)
+                for name, feature in zip(names, FeatureSet.F.features)
+            }
+            for obs in dataset[:64]
+        ]
+
+        serial_rps, serial_lat, serial_samples = _drive(
+            registry, feature_dicts, max_batch=1
+        )
+        batched_rps, batched_lat, batched_samples = benchmark.pedantic(
+            lambda: _drive(registry, feature_dicts, max_batch=N_WORKERS),
+            rounds=1,
+            iterations=1,
+        )
+
+    total = N_WORKERS * REQUESTS_PER_WORKER
+
+    # /metrics must agree exactly with the client-side request count.
+    for samples in (serial_samples, batched_samples):
+        key = 'repro_serve_requests_total{endpoint="/v1/predict",status="200"}'
+        assert samples[key] == total
+        assert samples["repro_serve_predictions_total"] == total
+        assert samples["repro_serve_request_latency_seconds_count"] == total
+        assert samples["repro_serve_batch_size_sum"] == float(total)
+
+    # Coalescing disabled -> every flush carried exactly one row.
+    assert serial_samples["repro_serve_batch_size_count"] == total
+    # Coalescing enabled -> flushes carried several rows each.
+    batched_flushes = batched_samples["repro_serve_batch_size_count"]
+    assert batched_flushes < total / 2, (
+        f"batching barely coalesced: {batched_flushes} flushes for {total} rows"
+    )
+
+    speedup = batched_rps / serial_rps
+    print(
+        f"\nserial   {serial_rps:8.0f} req/s  "
+        f"p50 {_percentile(serial_lat, 50) * 1e3:6.2f} ms  "
+        f"p99 {_percentile(serial_lat, 99) * 1e3:6.2f} ms\n"
+        f"batched  {batched_rps:8.0f} req/s  "
+        f"p50 {_percentile(batched_lat, 50) * 1e3:6.2f} ms  "
+        f"p99 {_percentile(batched_lat, 99) * 1e3:6.2f} ms\n"
+        f"speedup  {speedup:.2f}x  "
+        f"(mean batch {total / batched_flushes:.1f} rows/flush)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"micro-batching speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP}x floor ({serial_rps:.0f} -> {batched_rps:.0f} req/s)"
+    )

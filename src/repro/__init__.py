@@ -32,6 +32,7 @@ from . import (
     memsys,
     reporting,
     sched,
+    serve,
     sim,
     workloads,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "memsys",
     "reporting",
     "sched",
+    "serve",
     "sim",
     "workloads",
 ]

@@ -8,6 +8,8 @@ Exposes the full workflow without writing any Python:
 * ``train`` — fit a model on a dataset and save it as JSON,
 * ``evaluate`` — the 12-model accuracy grid for a dataset,
 * ``predict`` — predict a placement's time from a saved model,
+* ``registry`` — push/list/show versioned models in an on-disk registry,
+* ``serve`` — run the micro-batched asyncio prediction service,
 * ``table`` / ``figure`` — regenerate a paper table or figure,
 * ``report`` — collate benchmark artifacts into one reproduction report.
 
@@ -165,9 +167,10 @@ def _cmd_collect(args) -> int:
 
 
 def _cmd_train(args) -> int:
+    from .core.ensemble import EnsemblePredictor
     from .core.feature_sets import FeatureSet
     from .core.methodology import ModelKind, PerformancePredictor
-    from .core.persistence import save_predictor
+    from .core.persistence import save_artifact
     from .harness.datasets import ObservationDataset
 
     try:
@@ -179,11 +182,20 @@ def _cmd_train(args) -> int:
         feature_set = FeatureSet(args.features.upper())
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
-    predictor = PerformancePredictor(kind, feature_set, seed=args.seed)
-    predictor.fit(list(dataset))
-    save_predictor(predictor, args.output)
+    if args.ensemble:
+        if args.ensemble < 2:
+            raise SystemExit("error: --ensemble needs at least 2 members")
+        artifact = EnsemblePredictor(
+            kind, feature_set, n_members=args.ensemble, seed=args.seed
+        )
+        label = f"{kind.value}/{feature_set.value} x{args.ensemble} ensemble"
+    else:
+        artifact = PerformancePredictor(kind, feature_set, seed=args.seed)
+        label = f"{kind.value}/{feature_set.value}"
+    artifact.fit(list(dataset))
+    save_artifact(artifact, args.output)
     print(
-        f"trained {kind.value}/{feature_set.value} on {len(dataset)} "
+        f"trained {label} on {len(dataset)} "
         f"observations from {dataset.processor_name}; saved to {args.output}"
     )
     return 0
@@ -226,14 +238,21 @@ def _cmd_evaluate(args) -> int:
 
 
 def _cmd_predict(args) -> int:
-    from .core.persistence import PersistenceError, load_predictor
+    from .core.ensemble import EnsemblePredictor
+    from .core.persistence import PersistenceError, load_artifact
     from .harness.baselines import collect_baselines
     from .sim.engine import SimulationEngine
 
     try:
-        predictor = load_predictor(args.model)
+        artifact = load_artifact(args.model)
     except (OSError, PersistenceError) as exc:
         raise SystemExit(f"error: cannot load model: {exc}") from None
+    is_ensemble = isinstance(artifact, EnsemblePredictor)
+    if args.interval and not is_ensemble:
+        raise SystemExit(
+            "error: --interval needs an ensemble artifact; train one with "
+            "'repro train --ensemble N'"
+        )
     machine = _get_machine(args.machine)
     engine = SimulationEngine(machine)
     co_names = args.co_apps.split(",") if args.co_apps else []
@@ -246,13 +265,128 @@ def _cmd_predict(args) -> int:
     table = collect_baselines(engine, sorted(set(apps), key=lambda a: a.name))
     target_base = table.get(args.target, pstate.frequency_ghz)
     co_bases = [table.get(n, pstate.frequency_ghz) for n in co_names]
-    predicted = predictor.predict_time(target_base, co_bases)
+    if is_ensemble:
+        result = artifact.predict_interval(target_base, co_bases)
+        predicted = result.mean_s
+    else:
+        predicted = artifact.predict_time(target_base, co_bases)
     print(f"baseline {args.target}: {target_base.wall_time_s:.1f} s")
     print(
         f"predicted with {len(co_names)} co-runner(s) "
         f"at {pstate.frequency_ghz:.2f} GHz: {predicted:.1f} s "
         f"({predicted / target_base.wall_time_s:.3f}x baseline)"
     )
+    if args.interval:
+        lo, hi = result.interval(k=2.0)
+        print(
+            f"ensemble disagreement: +/- {result.std_s:.1f} s "
+            f"(2-sigma band [{lo:.1f}, {hi:.1f}] s, "
+            f"relative spread {100.0 * result.relative_spread:.2f}%)"
+        )
+    return 0
+
+
+# ------------------------------------------------- serving and registry
+
+
+def _open_registry(path: str):
+    from .serve.registry import ModelRegistry
+
+    return ModelRegistry(path)
+
+
+def _cmd_registry_push(args) -> int:
+    from .core.persistence import PersistenceError, load_artifact
+    from .serve.registry import RegistryError
+
+    try:
+        artifact = load_artifact(args.model)
+    except (OSError, PersistenceError) as exc:
+        raise SystemExit(f"error: cannot load model: {exc}") from None
+    try:
+        manifest = _open_registry(args.registry).push(args.name, artifact)
+    except RegistryError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(
+        f"pushed {manifest.ref} ({manifest.artifact}, {manifest.kind}/"
+        f"{manifest.feature_set}) sha256 {manifest.content_hash[:12]}"
+    )
+    return 0
+
+
+def _cmd_registry_list(args) -> int:
+    from .reporting.tables import render_table
+
+    manifests = _open_registry(args.registry).list()
+    if not manifests:
+        print(f"registry {args.registry} is empty")
+        return 0
+    rows = [
+        [
+            m.ref,
+            m.artifact,
+            f"{m.kind}/{m.feature_set}",
+            m.processor_name or "-",
+            m.train_size if m.train_size is not None else "-",
+            m.created_at,
+        ]
+        for m in manifests
+    ]
+    print(
+        render_table(
+            ["model", "artifact", "technique", "processor", "train obs", "created"],
+            rows,
+            title=f"Model registry: {args.registry}",
+        )
+    )
+    return 0
+
+
+def _cmd_registry_show(args) -> int:
+    import json
+
+    from .serve.registry import RegistryError
+
+    try:
+        manifest = _open_registry(args.registry).resolve(args.ref)
+    except RegistryError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(json.dumps(manifest.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve.server import PredictionServer
+
+    registry = _open_registry(args.registry)
+    server = PredictionServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        names = registry.names()
+        print(
+            f"serving {len(names)} model(s) {names} from {args.registry} "
+            f"on http://{args.host}:{server.port} "
+            f"(max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms)"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+            print(server.metrics.summary())
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
     return 0
 
 
@@ -398,6 +532,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", choices=["linear", "neural"], default="neural")
     p.add_argument("--features", default="F", help="feature set A-F")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--ensemble", type=int, metavar="N",
+                   help="train a bootstrap ensemble of N members (for "
+                        "uncertainty intervals) instead of a single model")
     p.add_argument("-o", "--output", required=True)
     p.set_defaults(func=_cmd_train)
 
@@ -414,7 +551,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--co-apps", dest="co_apps", default="",
                    help="comma-separated co-runners, e.g. cg,cg,cg")
     p.add_argument("--frequency", type=float, help="P-state GHz (default fastest)")
+    p.add_argument("--interval", action="store_true",
+                   help="also print the ensemble mean +/- disagreement band "
+                        "(needs an artifact from 'train --ensemble')")
     p.set_defaults(func=_cmd_predict)
+
+    p = sub.add_parser(
+        "serve", help="serve registry models over HTTP (asyncio, micro-batched)"
+    )
+    p.add_argument("--registry", required=True, help="registry directory")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8391)
+    p.add_argument("--max-batch", dest="max_batch", type=int, default=32,
+                   help="micro-batch flush size (1 disables coalescing)")
+    p.add_argument("--max-wait-ms", dest="max_wait_ms", type=float, default=2.0,
+                   help="micro-batch flush deadline in milliseconds")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "registry", help="manage the versioned model registry"
+    )
+    reg_sub = p.add_subparsers(dest="registry_command", required=True)
+
+    rp = reg_sub.add_parser("push", help="push a trained model JSON as a new version")
+    rp.add_argument("--registry", required=True, help="registry directory")
+    rp.add_argument("--name", required=True, help="model name (bare, no @version)")
+    rp.add_argument("--model", required=True, help="artifact JSON from 'train'")
+    rp.set_defaults(func=_cmd_registry_push)
+
+    rl = reg_sub.add_parser("list", help="list every registered model version")
+    rl.add_argument("--registry", required=True, help="registry directory")
+    rl.set_defaults(func=_cmd_registry_list)
+
+    rs = reg_sub.add_parser("show", help="print one manifest as JSON")
+    rs.add_argument("ref", help="model reference: name or name@version")
+    rs.add_argument("--registry", required=True, help="registry directory")
+    rs.set_defaults(func=_cmd_registry_show)
 
     p = sub.add_parser("table", help="regenerate a paper table (1-6)")
     p.add_argument("number", type=int)

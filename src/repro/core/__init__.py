@@ -32,9 +32,17 @@ from .neural import NeuralNetworkModel, default_hidden_units
 from .pca import PCA, rank_features
 from .persistence import (
     PersistenceError,
+    artifact_from_dict,
+    artifact_to_dict,
+    ensemble_from_dict,
+    ensemble_to_dict,
+    load_artifact,
+    load_ensemble,
     load_predictor,
     predictor_from_dict,
     predictor_to_dict,
+    save_artifact,
+    save_ensemble,
     save_predictor,
 )
 from .scg import SCGResult, minimize_scg
@@ -68,13 +76,19 @@ __all__ = [
     "SCGResult",
     "SelectionStep",
     "ValidationResult",
+    "artifact_from_dict",
+    "artifact_to_dict",
     "default_hidden_units",
+    "ensemble_from_dict",
+    "ensemble_to_dict",
     "evaluate_models",
     "feature_matrix",
     "feature_row",
     "features_for",
     "forward_selection",
     "leave_one_group_out",
+    "load_artifact",
+    "load_ensemble",
     "load_predictor",
     "mae",
     "make_model",
@@ -90,5 +104,7 @@ __all__ = [
     "rank_features",
     "repeated_random_subsampling",
     "rmse",
+    "save_artifact",
+    "save_ensemble",
     "save_predictor",
 ]

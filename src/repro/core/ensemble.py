@@ -73,11 +73,23 @@ class EnsemblePredictor:
         self._rng = np.random.default_rng(seed)
         self._members: list | None = None
         self._processor_name: str | None = None
+        self._train_size: int | None = None
 
     @property
     def is_fitted(self) -> bool:
         """Whether ``fit`` has been called."""
         return self._members is not None
+
+    @property
+    def processor_name(self) -> str | None:
+        """Machine the ensemble was trained for (None before fitting)."""
+        return self._processor_name
+
+    @property
+    def train_size(self) -> int | None:
+        """Observations the ensemble was fitted on (None before fitting
+        or for artifacts loaded from disk without provenance)."""
+        return self._train_size
 
     def fit(self, observations: list[CoLocationObservation]) -> "EnsemblePredictor":
         """Train every member on its own bootstrap resample."""
@@ -96,6 +108,7 @@ class EnsemblePredictor:
             members.append(model)
         self._members = members
         self._processor_name = next(iter(machines))
+        self._train_size = len(observations)
         return self
 
     def _check_fitted(self) -> None:
@@ -134,4 +147,25 @@ class EnsemblePredictor:
         self._check_fitted()
         X, _y = feature_matrix(observations, self.feature_set.features)
         all_preds = np.stack([m.predict(X) for m in self._members])
+        return all_preds.mean(axis=0), all_preds.std(axis=0)
+
+    def predict_rows(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Serving-path ``(means, stds)`` over raw feature rows.
+
+        ``X`` is ``(n, k)`` with columns in ``feature_set.features`` order.
+        Every member uses the row-stable kernel and the cross-member
+        reductions are per-column, so each row's interval is bit-identical
+        whether served alone or inside a micro-batch.
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        expected = len(self.feature_set.features)
+        if X.ndim != 2 or X.shape[1] != expected:
+            raise ValueError(
+                f"feature rows must be (n, {expected}) for set "
+                f"{self.feature_set.value}; got {X.shape}"
+            )
+        all_preds = np.stack([m.predict_stable(X) for m in self._members])
         return all_preds.mean(axis=0), all_preds.std(axis=0)

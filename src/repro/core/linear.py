@@ -79,6 +79,25 @@ class LinearModel:
         Z = (X - self._mean) / self._scale
         return Z @ self._weights + self._bias
 
+    def predict_stable(self, X: np.ndarray) -> np.ndarray:
+        """Like :meth:`predict`, but row-stable across batch shapes.
+
+        BLAS matrix products pick different accumulation orders for
+        different operand shapes, so ``predict(X)[i]`` is not guaranteed to
+        equal ``predict(X[i:i+1])[0]`` bit-for-bit.  This variant reduces
+        each row with a shape-independent broadcast-sum, so the prediction
+        for a sample is the same float no matter how many other samples
+        share the call — the property the serving layer's micro-batcher
+        relies on.  Slightly slower than BLAS; use :meth:`predict` for
+        training-time evaluation.
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        Z = (X - self._mean) / self._scale
+        return (Z * self._weights).sum(axis=1) + self._bias
+
     @property
     def coefficients(self) -> np.ndarray:
         """Eq. 1 coefficients in raw feature units."""

@@ -144,11 +144,18 @@ class PerformancePredictor:
         self._rng = np.random.default_rng(seed)
         self._model: RegressionModel | None = None
         self._processor_name: str | None = None
+        self._train_size: int | None = None
 
     @property
     def is_fitted(self) -> bool:
         """Whether ``fit`` has been called."""
         return self._model is not None
+
+    @property
+    def train_size(self) -> int | None:
+        """Observations the predictor was fitted on (None before fitting
+        or for artifacts loaded from disk without provenance)."""
+        return self._train_size
 
     @property
     def processor_name(self) -> str | None:
@@ -173,6 +180,7 @@ class PerformancePredictor:
         model.fit(X, y)
         self._model = model
         self._processor_name = next(iter(machines))
+        self._train_size = len(observations)
         return self
 
     def _check_fitted(self) -> None:
@@ -221,3 +229,22 @@ class PerformancePredictor:
         self._check_fitted()
         X, _y = feature_matrix(observations, self.feature_set.features)
         return self._model.predict(X)
+
+    def predict_rows(self, X: np.ndarray) -> np.ndarray:
+        """Serving-path prediction over raw feature rows.
+
+        ``X`` is ``(n, k)`` with columns in ``feature_set.features`` order.
+        Uses the row-stable kernel, so the prediction for a row is
+        bit-identical whether it is served alone or inside a micro-batch.
+        """
+        self._check_fitted()
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        expected = len(self.feature_set.features)
+        if X.ndim != 2 or X.shape[1] != expected:
+            raise ValueError(
+                f"feature rows must be (n, {expected}) for set "
+                f"{self.feature_set.value}; got {X.shape}"
+            )
+        return self._model.predict_stable(X)

@@ -180,3 +180,24 @@ class NeuralNetworkModel:
         W1, b1, W2, b2 = self._unpack(self._params)  # type: ignore[arg-type]
         out = np.tanh(Z @ W1 + b1) @ W2 + b2
         return out * self._y_scale + self._y_mean
+
+    def predict_stable(self, X: np.ndarray) -> np.ndarray:
+        """Like :meth:`predict`, but row-stable across batch shapes.
+
+        BLAS matmul kernels vary their accumulation order with the operand
+        shapes, so batched and single-row predictions can differ in the
+        last bits.  Here both layers reduce each row with shape-independent
+        broadcast-sums, making a sample's prediction identical no matter
+        the batch it rides in — required by the serving micro-batcher.
+        Slower than :meth:`predict`; fine at serving batch sizes.
+        """
+        if not self.is_fitted:
+            raise RuntimeError("model is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        Z = (X - self._x_mean) / self._x_scale
+        W1, b1, W2, b2 = self._unpack(self._params)  # type: ignore[arg-type]
+        hidden = np.tanh((Z[:, :, None] * W1[None, :, :]).sum(axis=1) + b1)
+        out = (hidden * W2).sum(axis=1) + b2
+        return out * self._y_scale + self._y_mean

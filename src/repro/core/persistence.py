@@ -2,13 +2,17 @@
 
 A resource manager trains once per machine and then predicts for the
 machine's lifetime; the trained artifact must survive process restarts.
-This module serializes the two model families (and the
-:class:`~repro.core.methodology.PerformancePredictor` wrapper) to plain
-JSON — no pickling, so artifacts are portable, diffable, and safe to load
-from untrusted storage.
+This module serializes the two model families (the
+:class:`~repro.core.methodology.PerformancePredictor` wrapper and the
+:class:`~repro.core.ensemble.EnsemblePredictor` bootstrap ensemble) to
+plain JSON — no pickling, so artifacts are portable, diffable, and safe to
+load from untrusted storage.
 
-The format is versioned; loading rejects unknown versions and malformed
-payloads with descriptive errors.
+The format is versioned: version 1 held a single predictor; version 2 adds
+an ``artifact`` discriminator (``"predictor"`` or ``"ensemble"``) so the
+model registry can serve uncertainty intervals.  Writers emit version 2;
+loaders accept both.  Unknown versions and malformed payloads are rejected
+with descriptive errors.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from typing import Any
 
 import numpy as np
 
+from .ensemble import EnsemblePredictor
 from .feature_sets import FeatureSet
 from .linear import LinearModel
 from .methodology import ModelKind, PerformancePredictor
@@ -28,11 +33,22 @@ __all__ = [
     "PersistenceError",
     "save_predictor",
     "load_predictor",
+    "save_ensemble",
+    "load_ensemble",
+    "save_artifact",
+    "load_artifact",
     "predictor_to_dict",
     "predictor_from_dict",
+    "ensemble_to_dict",
+    "ensemble_from_dict",
+    "artifact_to_dict",
+    "artifact_from_dict",
 ]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions this build can read.
+READABLE_VERSIONS = (1, 2)
 
 
 class PersistenceError(ValueError):
@@ -108,58 +124,179 @@ def _neural_from_dict(data: dict) -> NeuralNetworkModel:
     return model
 
 
-def predictor_to_dict(predictor: PerformancePredictor) -> dict:
-    """Serialize a fitted predictor to a JSON-ready dict."""
-    if not predictor.is_fitted:
-        raise PersistenceError("cannot serialize an unfitted predictor")
-    model = predictor._model
+def _model_to_dict(model: Any) -> dict:
     if isinstance(model, LinearModel):
-        payload = _linear_to_dict(model)
-    elif isinstance(model, NeuralNetworkModel):
-        payload = _neural_to_dict(model)
-    else:  # pragma: no cover - no other kinds exist
-        raise PersistenceError(f"unsupported model type {type(model).__name__}")
-    return {
-        "format_version": FORMAT_VERSION,
-        "kind": predictor.kind.value,
-        "feature_set": predictor.feature_set.value,
-        "processor_name": predictor.processor_name,
-        "model": payload,
-    }
+        return _linear_to_dict(model)
+    if isinstance(model, NeuralNetworkModel):
+        return _neural_to_dict(model)
+    raise PersistenceError(  # pragma: no cover - no other kinds exist
+        f"unsupported model type {type(model).__name__}"
+    )
 
 
-def predictor_from_dict(data: dict) -> PerformancePredictor:
-    """Rebuild a fitted predictor from :func:`predictor_to_dict` output."""
+def _model_from_dict(
+    kind: ModelKind, feature_set: FeatureSet, payload: dict
+) -> LinearModel | NeuralNetworkModel:
+    if kind is ModelKind.LINEAR:
+        return _linear_from_dict(payload)
+    model = _neural_from_dict(payload)
+    expected_inputs = len(feature_set.features)
+    if model._shapes[0] != expected_inputs:
+        raise PersistenceError(
+            f"network expects {model._shapes[0]} inputs but feature set "
+            f"{feature_set.value} has {expected_inputs}"
+        )
+    return model
+
+
+def _check_version(data: dict) -> int:
     try:
         version = int(data["format_version"])
     except (KeyError, TypeError, ValueError):
         raise PersistenceError("missing or invalid format_version") from None
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
+        readable = "/".join(str(v) for v in READABLE_VERSIONS)
         raise PersistenceError(
             f"unsupported format version {version}; this build reads "
-            f"{FORMAT_VERSION}"
+            f"{readable}"
         )
+    return version
+
+
+def _artifact_kind(data: dict, version: int) -> str:
+    """The payload's artifact discriminator; v1 payloads are predictors."""
+    if version == 1:
+        return "predictor"
+    artifact = data.get("artifact")
+    if artifact not in ("predictor", "ensemble"):
+        raise PersistenceError(
+            f"format version {version} payload has unknown artifact kind "
+            f"{artifact!r}; expected 'predictor' or 'ensemble'"
+        )
+    return artifact
+
+
+def _common_header(data: dict) -> tuple[ModelKind, FeatureSet]:
     try:
-        kind = ModelKind(data["kind"])
-        feature_set = FeatureSet(data["feature_set"])
-        payload = data["model"]
+        return ModelKind(data["kind"]), FeatureSet(data["feature_set"])
     except (KeyError, ValueError) as exc:
         raise PersistenceError(f"malformed predictor payload: {exc}") from None
+
+
+def _train_size(data: dict) -> int | None:
+    value = data.get("train_size")
+    return int(value) if value is not None else None
+
+
+def predictor_to_dict(predictor: PerformancePredictor) -> dict:
+    """Serialize a fitted predictor to a JSON-ready dict."""
+    if not predictor.is_fitted:
+        raise PersistenceError("cannot serialize an unfitted predictor")
+    return {
+        "format_version": FORMAT_VERSION,
+        "artifact": "predictor",
+        "kind": predictor.kind.value,
+        "feature_set": predictor.feature_set.value,
+        "processor_name": predictor.processor_name,
+        "train_size": predictor.train_size,
+        "model": _model_to_dict(predictor._model),
+    }
+
+
+def predictor_from_dict(data: dict) -> PerformancePredictor:
+    """Rebuild a fitted predictor from :func:`predictor_to_dict` output.
+
+    Accepts both format versions; rejects ensemble payloads (use
+    :func:`ensemble_from_dict` or :func:`artifact_from_dict` for those).
+    """
+    version = _check_version(data)
+    if _artifact_kind(data, version) != "predictor":
+        raise PersistenceError(
+            "payload holds an ensemble, not a single predictor; load it "
+            "with load_ensemble/load_artifact"
+        )
+    kind, feature_set = _common_header(data)
+    try:
+        payload = data["model"]
+    except KeyError as exc:
+        raise PersistenceError(f"malformed predictor payload: {exc}") from None
     predictor = PerformancePredictor(kind, feature_set)
-    if kind is ModelKind.LINEAR:
-        predictor._model = _linear_from_dict(payload)
-    else:
-        model = _neural_from_dict(payload)
-        expected_inputs = len(feature_set.features)
-        if model._shapes[0] != expected_inputs:
-            raise PersistenceError(
-                f"network expects {model._shapes[0]} inputs but feature set "
-                f"{feature_set.value} has {expected_inputs}"
-            )
-        predictor._model = model
+    predictor._model = _model_from_dict(kind, feature_set, payload)
     processor = data.get("processor_name")
     predictor._processor_name = str(processor) if processor is not None else None
+    predictor._train_size = _train_size(data)
     return predictor
+
+
+def ensemble_to_dict(ensemble: EnsemblePredictor) -> dict:
+    """Serialize a fitted bootstrap ensemble to a JSON-ready dict."""
+    if not ensemble.is_fitted:
+        raise PersistenceError("cannot serialize an unfitted ensemble")
+    return {
+        "format_version": FORMAT_VERSION,
+        "artifact": "ensemble",
+        "kind": ensemble.kind.value,
+        "feature_set": ensemble.feature_set.value,
+        "processor_name": ensemble.processor_name,
+        "train_size": ensemble.train_size,
+        "members": [_model_to_dict(m) for m in ensemble._members],
+    }
+
+
+def ensemble_from_dict(data: dict) -> EnsemblePredictor:
+    """Rebuild a fitted ensemble from :func:`ensemble_to_dict` output."""
+    version = _check_version(data)
+    if _artifact_kind(data, version) != "ensemble":
+        raise PersistenceError(
+            "payload holds a single predictor, not an ensemble; load it "
+            "with load_predictor/load_artifact"
+        )
+    kind, feature_set = _common_header(data)
+    payloads = data.get("members")
+    if not isinstance(payloads, list) or len(payloads) < 2:
+        raise PersistenceError(
+            "ensemble payload needs a 'members' list of at least two models"
+        )
+    ensemble = EnsemblePredictor(kind, feature_set, n_members=len(payloads))
+    ensemble._members = [
+        _model_from_dict(kind, feature_set, p) for p in payloads
+    ]
+    processor = data.get("processor_name")
+    ensemble._processor_name = str(processor) if processor is not None else None
+    ensemble._train_size = _train_size(data)
+    return ensemble
+
+
+def artifact_to_dict(
+    artifact: PerformancePredictor | EnsemblePredictor,
+) -> dict:
+    """Serialize either artifact kind (dispatches on type)."""
+    if isinstance(artifact, EnsemblePredictor):
+        return ensemble_to_dict(artifact)
+    if isinstance(artifact, PerformancePredictor):
+        return predictor_to_dict(artifact)
+    raise PersistenceError(
+        f"cannot serialize a {type(artifact).__name__}; expected a "
+        f"PerformancePredictor or EnsemblePredictor"
+    )
+
+
+def artifact_from_dict(data: dict) -> PerformancePredictor | EnsemblePredictor:
+    """Rebuild whichever artifact kind the payload holds."""
+    version = _check_version(data)
+    if _artifact_kind(data, version) == "ensemble":
+        return ensemble_from_dict(data)
+    return predictor_from_dict(data)
+
+
+def _load_json(path: str | Path) -> dict:
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"not valid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise PersistenceError("artifact payload must be a JSON object")
+    return data
 
 
 def save_predictor(predictor: PerformancePredictor, path: str | Path) -> None:
@@ -169,8 +306,26 @@ def save_predictor(predictor: PerformancePredictor, path: str | Path) -> None:
 
 def load_predictor(path: str | Path) -> PerformancePredictor:
     """Read a predictor written by :func:`save_predictor`."""
-    try:
-        data = json.loads(Path(path).read_text())
-    except json.JSONDecodeError as exc:
-        raise PersistenceError(f"not valid JSON: {exc}") from None
-    return predictor_from_dict(data)
+    return predictor_from_dict(_load_json(path))
+
+
+def save_ensemble(ensemble: EnsemblePredictor, path: str | Path) -> None:
+    """Write a fitted ensemble to a JSON file."""
+    Path(path).write_text(json.dumps(ensemble_to_dict(ensemble), indent=2))
+
+
+def load_ensemble(path: str | Path) -> EnsemblePredictor:
+    """Read an ensemble written by :func:`save_ensemble`."""
+    return ensemble_from_dict(_load_json(path))
+
+
+def save_artifact(
+    artifact: PerformancePredictor | EnsemblePredictor, path: str | Path
+) -> None:
+    """Write either artifact kind to a JSON file."""
+    Path(path).write_text(json.dumps(artifact_to_dict(artifact), indent=2))
+
+
+def load_artifact(path: str | Path) -> PerformancePredictor | EnsemblePredictor:
+    """Read either artifact kind from a JSON file."""
+    return artifact_from_dict(_load_json(path))

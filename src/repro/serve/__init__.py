@@ -1,0 +1,40 @@
+"""Online prediction serving: registry, micro-batching, HTTP, metrics.
+
+The paper's models exist to be consumed by a resource manager deciding
+placements *online*; this package turns trained artifacts into a
+long-running, observable prediction service:
+
+* :mod:`~repro.serve.registry` — a versioned on-disk model registry
+  (``name@version``) with content-hash integrity checking;
+* :mod:`~repro.serve.batcher` — a micro-batching queue that coalesces
+  concurrent requests into one vectorized predict call;
+* :mod:`~repro.serve.server` — an asyncio HTTP server exposing
+  ``/v1/predict``, ``/v1/models``, ``/healthz``, and ``/metrics``;
+* :mod:`~repro.serve.metrics` — request/error counters and latency and
+  batch-size histograms in Prometheus text exposition format;
+* :mod:`~repro.serve.client` — a small blocking client for tests and
+  load generators.
+
+Everything here is standard library + existing ``repro`` modules; there
+are no third-party serving dependencies.
+"""
+
+from .batcher import BatcherStats, MicroBatcher
+from .client import ClientError, PredictionClient
+from .metrics import LatencyHistogram, ServingMetrics
+from .registry import ModelManifest, ModelRegistry, RegistryError
+from .server import PredictionServer, ServerThread
+
+__all__ = [
+    "BatcherStats",
+    "ClientError",
+    "LatencyHistogram",
+    "MicroBatcher",
+    "ModelManifest",
+    "ModelRegistry",
+    "PredictionClient",
+    "PredictionServer",
+    "RegistryError",
+    "ServerThread",
+    "ServingMetrics",
+]

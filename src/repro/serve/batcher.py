@@ -1,0 +1,169 @@
+"""Micro-batching for the prediction hot path.
+
+One HTTP request carries one (or a few) feature rows, but the underlying
+models are vectorized: predicting 32 rows in one call costs barely more
+than predicting one.  The :class:`MicroBatcher` exploits that by queueing
+concurrent requests for the same model and flushing them as a single
+``(n, k)`` matrix through one predict call, whichever comes first of
+
+* the batch reaching ``max_batch`` rows, or
+* the oldest queued row waiting ``max_wait_ms`` milliseconds.
+
+Correctness contract: because the serving predictors reduce each row with
+shape-stable kernels (``predict_stable``), a row's prediction is
+bit-identical whether it is flushed alone or with 63 neighbours — batching
+changes throughput, never results.  ``tests/serve/test_batcher.py`` pins
+that with exact float equality.
+
+The batcher is event-loop-confined: all methods must be called from the
+loop that created it (the server guarantees this); the synchronous predict
+function runs inline on the loop, which is fine at model sizes where a
+batched call is tens of microseconds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+#: predict_fn: (n, k) matrix -> (n,) array, or a tuple of (n,) arrays
+#: (ensembles return (means, stds)).
+PredictFn = Callable[[np.ndarray], "np.ndarray | tuple[np.ndarray, ...]"]
+
+
+@dataclass
+class BatcherStats:
+    """Flush accounting for one batcher (merged into /metrics)."""
+
+    rows: int = 0
+    batches: int = 0
+    size_flushes: int = 0      # flushed because the batch filled up
+    deadline_flushes: int = 0  # flushed because max_wait_ms elapsed
+    drain_flushes: int = 0     # flushed by shutdown drain
+    flush_reasons: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average rows per flush (0.0 before the first flush)."""
+        return self.rows / self.batches if self.batches else 0.0
+
+    def record_flush(self, size: int, reason: str) -> None:
+        """Count one flush of ``size`` rows for ``reason``."""
+        self.rows += size
+        self.batches += 1
+        if reason == "size":
+            self.size_flushes += 1
+        elif reason == "deadline":
+            self.deadline_flushes += 1
+        elif reason == "drain":
+            self.drain_flushes += 1
+        self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+
+
+class MicroBatcher:
+    """Coalesce concurrent predict calls into vectorized batches.
+
+    Parameters
+    ----------
+    predict_fn:
+        Vectorized prediction over an ``(n, k)`` matrix.  May return one
+        array (point predictors) or a tuple of arrays (ensembles return
+        means and stds); :meth:`submit` resolves to the row's scalar or
+        tuple of scalars respectively.
+    max_batch:
+        Flush as soon as this many rows are queued.  ``1`` disables
+        coalescing (every request is its own batch) — the baseline the
+        throughput bench compares against.
+    max_wait_ms:
+        Deadline for the *oldest* queued row; bounds the latency cost a
+        lone request pays waiting for company.
+    on_flush:
+        Optional callback ``(batch_size, reason)`` — the server uses it
+        to feed the batch-size histogram.
+    """
+
+    def __init__(
+        self,
+        predict_fn: PredictFn,
+        *,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        on_flush: Callable[[int, str], None] | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0.0:
+            raise ValueError("max_wait_ms must be >= 0")
+        self.predict_fn = predict_fn
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.on_flush = on_flush
+        self.stats = BatcherStats()
+        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        self._timer: asyncio.TimerHandle | None = None
+
+    @property
+    def pending(self) -> int:
+        """Rows currently queued and not yet flushed."""
+        return len(self._pending)
+
+    async def submit(self, row: np.ndarray):
+        """Queue one feature row; resolves to its prediction.
+
+        Returns a float for point predictors, or a tuple of floats for
+        tuple-returning predict functions (e.g. ``(mean, std)``).
+        Exceptions raised by ``predict_fn`` propagate to every request in
+        the affected batch.
+        """
+        row = np.asarray(row, dtype=float)
+        if row.ndim != 1:
+            raise ValueError(f"submit takes one 1-D feature row; got {row.shape}")
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((row, future))
+        if len(self._pending) >= self.max_batch:
+            self._flush("size")
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_wait_ms / 1000.0, self._flush, "deadline"
+            )
+        return await future
+
+    def _flush(self, reason: str) -> None:
+        """Run one batch through ``predict_fn`` and resolve its futures."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        rows = np.stack([row for row, _future in batch])
+        self.stats.record_flush(len(batch), reason)
+        if self.on_flush is not None:
+            self.on_flush(len(batch), reason)
+        try:
+            result = self.predict_fn(rows)
+        except Exception as exc:  # noqa: BLE001 - forwarded to awaiters
+            for _row, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for i, (_row, future) in enumerate(batch):
+            if future.done():  # cancelled awaiter; nothing to deliver
+                continue
+            if isinstance(result, tuple):
+                future.set_result(tuple(float(part[i]) for part in result))
+            else:
+                future.set_result(float(result[i]))
+
+    async def drain(self) -> None:
+        """Flush anything pending immediately (graceful shutdown)."""
+        self._flush("drain")
+        # Give resolved futures a tick so awaiters observe their results
+        # before the server closes connections.
+        await asyncio.sleep(0)

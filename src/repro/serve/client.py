@@ -1,0 +1,156 @@
+"""Blocking HTTP client for the prediction service.
+
+Used by the test suite and the closed-loop load generator
+(``benchmarks/bench_serve_throughput.py``); a resource manager embedding
+the models in-process should call
+:meth:`~repro.core.methodology.PerformancePredictor.predict_time`
+directly instead.  Built on :mod:`http.client` with a persistent
+keep-alive connection per client instance, so each worker thread owns one
+client and one TCP connection — the standard closed-loop load-generator
+shape.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any
+
+__all__ = ["ClientError", "PredictionClient"]
+
+
+class ClientError(RuntimeError):
+    """Raised when the server answers with a non-2xx status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class PredictionClient:
+    """One keep-alive connection to a :class:`~repro.serve.server.PredictionServer`.
+
+    Not thread-safe: give each worker thread its own instance.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 10.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------ plumbing
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._conn.connect()
+            # Small keep-alive POSTs must not sit in Nagle's buffer.
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def close(self) -> None:
+        """Close the underlying connection (reopened on next use)."""
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "PredictionClient":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, bytes]:
+        payload = json.dumps(body).encode() if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                return response.status, response.read()
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                # Stale keep-alive connection; reconnect once.
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> Any:
+        status, raw = self._request(method, path, body)
+        try:
+            data = json.loads(raw.decode() or "null")
+        except json.JSONDecodeError:
+            data = None
+        if status >= 400:
+            message = (
+                data.get("error", raw.decode(errors="replace"))
+                if isinstance(data, dict)
+                else raw.decode(errors="replace")
+            )
+            raise ClientError(status, message)
+        return data
+
+    # ------------------------------------------------------------ endpoints
+    def healthz(self) -> dict:
+        """Liveness check: the parsed ``/healthz`` body."""
+        return self._json("GET", "/healthz")
+
+    def models(self) -> list[dict]:
+        """Every registered manifest, as dicts."""
+        return self._json("GET", "/v1/models")["models"]
+
+    def predict(
+        self, features: dict, *, model: str, interval: bool = False
+    ) -> dict:
+        """Predict one placement; returns the full response payload.
+
+        ``features`` maps Table I feature names (the model's feature set)
+        to values.  With ``interval=True`` (ensemble models only) the
+        payload also carries ``std`` and ``interval``.
+        """
+        path = "/v1/predict" + ("?interval=1" if interval else "")
+        return self._json(
+            "POST", path, {"model": model, "features": features}
+        )
+
+    def predict_batch(
+        self, instances: list[dict], *, model: str, interval: bool = False
+    ) -> dict:
+        """Predict many placements in one request body."""
+        path = "/v1/predict" + ("?interval=1" if interval else "")
+        return self._json(
+            "POST", path, {"model": model, "instances": instances}
+        )
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition from ``/metrics``."""
+        status, raw = self._request("GET", "/metrics")
+        if status >= 400:
+            raise ClientError(status, raw.decode(errors="replace"))
+        return raw.decode()
+
+    def metrics(self) -> dict[str, float]:
+        """Parsed ``/metrics`` samples: ``{'name{labels}': value}``."""
+        samples: dict[str, float] = {}
+        for line in self.metrics_text().splitlines():
+            if not line or line.startswith("#"):
+                continue
+            key, _sep, value = line.rpartition(" ")
+            try:
+                samples[key] = float(value)
+            except ValueError:
+                continue
+        return samples

@@ -1,0 +1,308 @@
+"""Request-path observability for the prediction service.
+
+Mirrors the :class:`~repro.sim.solve_cache.EngineStats` pattern — a plain
+mutable record with ``record_*`` methods, ``merge``/``reset``, and a
+human-readable ``summary()`` — extended with the serving-specific parts:
+per-endpoint/status request counters, error counters, batch-size and
+latency histograms with p50/p95/p99, and the model-cache hit rate.
+
+:meth:`ServingMetrics.render_prometheus` renders everything in the
+Prometheus text exposition format (version 0.0.4), so ``GET /metrics``
+can be scraped by a stock Prometheus server; no client library is needed
+for the text format.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["LatencyHistogram", "ServingMetrics"]
+
+#: Bucket upper bounds (seconds) for the latency histogram exposition.
+LATENCY_BUCKETS_S = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+#: Bucket upper bounds (requests) for the batch-size histogram.
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class LatencyHistogram:
+    """Streaming histogram with exact percentiles over retained samples.
+
+    Counters (``count``/``total``/bucket counts) are exact for the full
+    stream; percentile queries sort the retained sample window (the most
+    recent ``max_samples``), which covers any bounded serving test or
+    bench run while capping memory for long-lived servers.
+    """
+
+    buckets: tuple[float, ...] = LATENCY_BUCKETS_S
+    max_samples: int = 100_000
+    count: int = 0
+    total: float = 0.0
+    bucket_counts: list[int] = field(default_factory=list)
+    _samples: list[float] = field(default_factory=list)
+    _next_slot: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation (seconds, batch size, ...)."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+        else:
+            self.bucket_counts[-1] += 1
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:  # ring buffer: keep the most recent window
+            self._samples[self._next_slot] = value
+            self._next_slot = (self._next_slot + 1) % self.max_samples
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the full stream (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the retained window.
+
+        ``p`` in [0, 100]; returns ``nan`` when nothing was observed.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self._samples:
+            return math.nan
+        ordered = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram (with identical buckets) into this one."""
+        if other.buckets != self.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        self.count += other.count
+        self.total += other.total
+        for i, n in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += n
+        for v in other._samples:
+            if len(self._samples) < self.max_samples:
+                self._samples.append(v)
+            else:
+                self._samples[self._next_slot] = v
+                self._next_slot = (self._next_slot + 1) % self.max_samples
+
+    def reset(self) -> None:
+        """Zero every counter and drop retained samples."""
+        self.count = 0
+        self.total = 0.0
+        self.bucket_counts = [0] * (len(self.buckets) + 1)
+        self._samples = []
+        self._next_slot = 0
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly float formatting (no exponent surprises)."""
+    if value != value:  # NaN
+        return "NaN"
+    return repr(float(value))
+
+
+def _labels(**labels: str) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + body + "}"
+
+
+class ServingMetrics:
+    """All request-path counters and histograms for one server.
+
+    Single-threaded by design: the server mutates it only from its event
+    loop, so no locking is needed.  The blocking client may *read* a
+    rendered snapshot at any time via ``GET /metrics``.
+    """
+
+    def __init__(self) -> None:
+        #: (endpoint, status code) -> served request count.
+        self.requests_total: dict[tuple[str, int], int] = {}
+        #: error reason -> count (bad_request, unknown_model, internal, ...).
+        self.errors_total: dict[str, int] = {}
+        #: predictions returned (a batch body counts each instance).
+        self.predictions_total = 0
+        #: resident-model cache hits / misses on /v1/predict.
+        self.model_cache_hits = 0
+        self.model_cache_misses = 0
+        #: end-to-end request handling latency, seconds.
+        self.latency = LatencyHistogram()
+        #: rows per flushed micro-batch.
+        self.batch_sizes = LatencyHistogram(buckets=tuple(float(b) for b in BATCH_BUCKETS))
+
+    # ------------------------------------------------------------ record
+    def record_request(self, endpoint: str, status: int, seconds: float) -> None:
+        """Count one handled HTTP request and its wall latency."""
+        key = (endpoint, int(status))
+        self.requests_total[key] = self.requests_total.get(key, 0) + 1
+        self.latency.observe(seconds)
+
+    def record_error(self, reason: str) -> None:
+        """Count one failed request by reason."""
+        self.errors_total[reason] = self.errors_total.get(reason, 0) + 1
+
+    def record_predictions(self, n: int) -> None:
+        """Count ``n`` prediction values returned to clients."""
+        self.predictions_total += int(n)
+
+    def record_batch(self, size: int) -> None:
+        """Count one flushed micro-batch of ``size`` rows."""
+        self.batch_sizes.observe(float(size))
+
+    def record_model_cache(self, hit: bool) -> None:
+        """Count one resident-model cache lookup."""
+        if hit:
+            self.model_cache_hits += 1
+        else:
+            self.model_cache_misses += 1
+
+    # ------------------------------------------------------- derived
+    @property
+    def request_count(self) -> int:
+        """Total HTTP requests across endpoints and statuses."""
+        return sum(self.requests_total.values())
+
+    @property
+    def model_cache_hit_rate(self) -> float:
+        """Fraction of model lookups served from memory (0.0 when idle)."""
+        total = self.model_cache_hits + self.model_cache_misses
+        return self.model_cache_hits / total if total else 0.0
+
+    def merge(self, other: "ServingMetrics") -> None:
+        """Fold another record (e.g. a drained worker's) into this one."""
+        for key, n in other.requests_total.items():
+            self.requests_total[key] = self.requests_total.get(key, 0) + n
+        for key, n in other.errors_total.items():
+            self.errors_total[key] = self.errors_total.get(key, 0) + n
+        self.predictions_total += other.predictions_total
+        self.model_cache_hits += other.model_cache_hits
+        self.model_cache_misses += other.model_cache_misses
+        self.latency.merge(other.latency)
+        self.batch_sizes.merge(other.batch_sizes)
+
+    def reset(self) -> None:
+        """Zero every counter and histogram."""
+        self.requests_total = {}
+        self.errors_total = {}
+        self.predictions_total = 0
+        self.model_cache_hits = 0
+        self.model_cache_misses = 0
+        self.latency.reset()
+        self.batch_sizes.reset()
+
+    # ------------------------------------------------------ rendering
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition for ``GET /metrics``."""
+        lines: list[str] = []
+
+        lines.append("# HELP repro_serve_requests_total HTTP requests handled.")
+        lines.append("# TYPE repro_serve_requests_total counter")
+        for (endpoint, status), n in sorted(self.requests_total.items()):
+            lines.append(
+                "repro_serve_requests_total"
+                f"{_labels(endpoint=endpoint, status=str(status))} {n}"
+            )
+
+        lines.append("# HELP repro_serve_errors_total Failed requests by reason.")
+        lines.append("# TYPE repro_serve_errors_total counter")
+        for reason, n in sorted(self.errors_total.items()):
+            lines.append(f"repro_serve_errors_total{_labels(reason=reason)} {n}")
+
+        lines.append(
+            "# HELP repro_serve_predictions_total Prediction values returned."
+        )
+        lines.append("# TYPE repro_serve_predictions_total counter")
+        lines.append(f"repro_serve_predictions_total {self.predictions_total}")
+
+        lines.append(
+            "# HELP repro_serve_model_cache_hits_total Resident-model cache hits."
+        )
+        lines.append("# TYPE repro_serve_model_cache_hits_total counter")
+        lines.append(f"repro_serve_model_cache_hits_total {self.model_cache_hits}")
+        lines.append(
+            "# HELP repro_serve_model_cache_misses_total Resident-model cache misses."
+        )
+        lines.append("# TYPE repro_serve_model_cache_misses_total counter")
+        lines.append(
+            f"repro_serve_model_cache_misses_total {self.model_cache_misses}"
+        )
+
+        lines.extend(
+            self._render_histogram(
+                "repro_serve_request_latency_seconds",
+                "End-to-end request handling latency.",
+                self.latency,
+            )
+        )
+        lines.extend(
+            self._render_histogram(
+                "repro_serve_batch_size",
+                "Rows per flushed micro-batch.",
+                self.batch_sizes,
+            )
+        )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_histogram(
+        name: str, help_text: str, hist: LatencyHistogram
+    ) -> list[str]:
+        lines = [
+            f"# HELP {name} {help_text}",
+            f"# TYPE {name} histogram",
+        ]
+        cumulative = 0
+        for bound, n in zip(hist.buckets, hist.bucket_counts):
+            cumulative += n
+            lines.append(
+                f"{name}_bucket{_labels(le=_fmt(bound))} {cumulative}"
+            )
+        lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
+        lines.append(f"{name}_sum {_fmt(hist.total)}")
+        lines.append(f"{name}_count {hist.count}")
+        # Quantile gauges (summary-style convenience for dashboards/tests).
+        for p, label in ((50, "p50"), (95, "p95"), (99, "p99")):
+            lines.append(
+                f"{name}_{label} {_fmt(hist.percentile(p))}"
+            )
+        return lines
+
+    def summary(self) -> str:
+        """Human-readable one-stop summary (EngineStats style)."""
+        errors = sum(self.errors_total.values())
+        lines = [
+            f"serving stats: {self.request_count} requests, "
+            f"{self.predictions_total} predictions, {errors} errors, "
+            f"{100.0 * self.model_cache_hit_rate:.1f}% model cache hit rate"
+        ]
+        if self.latency.count:
+            lines.append(
+                "request latency: "
+                f"p50 {1e3 * self.latency.percentile(50):.3f} ms | "
+                f"p95 {1e3 * self.latency.percentile(95):.3f} ms | "
+                f"p99 {1e3 * self.latency.percentile(99):.3f} ms"
+            )
+        if self.batch_sizes.count:
+            lines.append(
+                f"micro-batches: {self.batch_sizes.count} flushed, "
+                f"mean size {self.batch_sizes.mean:.2f}, "
+                f"max bucket p99 {self.batch_sizes.percentile(99):.0f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,549 @@
+"""Asyncio HTTP server for online placement predictions.
+
+A deliberately small HTTP/1.1 implementation on ``asyncio`` streams — no
+third-party web framework, matching the repo's stdlib+numpy/scipy
+dependency budget.  Endpoints:
+
+* ``POST /v1/predict`` — single (``{"model", "features"}``) and batch
+  (``{"model", "instances"}``) bodies; ``?interval=1`` (or
+  ``"interval": true``) returns mean ± disagreement band from a served
+  ensemble;
+* ``GET /v1/models`` — every registered manifest;
+* ``GET /healthz`` — liveness;
+* ``GET /metrics`` — Prometheus text exposition
+  (:mod:`~repro.serve.metrics`).
+
+Requests for the same model are coalesced by a per-model
+:class:`~repro.serve.batcher.MicroBatcher`; loaded artifacts are kept in
+a small LRU so the registry (and its integrity hashing) is only touched
+on first use per version.  ``stop()`` is graceful: the listener closes,
+queued batches drain, and in-flight requests finish before connections
+are torn down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from .batcher import MicroBatcher
+from .metrics import ServingMetrics
+from .registry import ModelManifest, ModelRegistry, RegistryError
+
+__all__ = ["PredictionServer", "ServerThread"]
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Endpoints that get their own metrics label; anything else is "other"
+#: so a scanner cannot blow up label cardinality.
+_KNOWN_ENDPOINTS = ("/v1/predict", "/v1/models", "/healthz", "/metrics")
+
+
+class _HTTPError(Exception):
+    """Internal: maps a handler failure to (status, reason, message)."""
+
+    def __init__(self, status: int, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+        self.message = message
+
+
+@dataclass
+class _Request:
+    method: str
+    path: str
+    query: dict[str, list[str]]
+    headers: dict[str, str]
+    body: bytes
+
+
+class _ResidentModel:
+    """One loaded artifact with its manifest and micro-batcher."""
+
+    def __init__(self, artifact, manifest: ModelManifest, batcher: MicroBatcher):
+        self.artifact = artifact
+        self.manifest = manifest
+        self.batcher = batcher
+        self.feature_names = tuple(
+            f.value for f in artifact.feature_set.features
+        )
+        self.feature_name_set = frozenset(self.feature_names)
+
+    @property
+    def is_ensemble(self) -> bool:
+        return self.manifest.artifact == "ensemble"
+
+
+class PredictionServer:
+    """Serve predictions from a :class:`~repro.serve.registry.ModelRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        Source of artifacts; resolved lazily per request.
+    host, port:
+        Bind address; port ``0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    max_batch, max_wait_ms:
+        Micro-batching knobs, applied to every served model.
+    model_cache_size:
+        Resident-model LRU capacity (distinct ``name@version`` entries).
+    metrics:
+        Optional shared :class:`~repro.serve.metrics.ServingMetrics`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        model_cache_size: int = 8,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        if model_cache_size < 1:
+            raise ValueError("model_cache_size must be >= 1")
+        self.registry = registry
+        self.host = host
+        self._requested_port = port
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.model_cache_size = model_cache_size
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self._server: asyncio.AbstractServer | None = None
+        self._resident: OrderedDict[str, _ResidentModel] = OrderedDict()
+        # Bare-name -> (dir mtime_ns, version): skips re-listing the
+        # registry per request while still seeing new pushes (a push
+        # creates a version dir, which bumps the name dir's mtime).
+        self._latest: dict[str, tuple[int, int]] = {}
+        self._active_requests = 0
+        self._closing = False
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # ----------------------------------------------------------- lifecycle
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        self._closing = False
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+
+    async def stop(self, *, drain_timeout_s: float = 5.0) -> None:
+        """Graceful shutdown: drain queued batches, finish in-flight work."""
+        if self._server is None:
+            return
+        self._closing = True
+        self._server.close()
+        await self._server.wait_closed()
+        for resident in list(self._resident.values()):
+            await resident.batcher.drain()
+        deadline = time.monotonic() + drain_timeout_s
+        while self._active_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.005)
+        for writer in list(self._writers):
+            writer.close()
+        self._server = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:  # graceful exit path
+            pass
+
+    # ------------------------------------------------------------- models
+    def _resident_model(self, ref: str) -> _ResidentModel:
+        """Resolve a reference to a loaded model, LRU-caching residents."""
+        name, version = self.registry.parse_ref(ref)
+        if version is None:
+            # A bare name floats with the registry: resolve the current
+            # latest version, then hit the resident cache on its pin.
+            version = self._latest_version(name)
+        key = f"{name}@{version}"
+        resident = self._resident.get(key)
+        if resident is not None:
+            self._resident.move_to_end(key)
+            self.metrics.record_model_cache(hit=True)
+            return resident
+        self.metrics.record_model_cache(hit=False)
+        artifact, manifest = self.registry.get(key)
+        if manifest.artifact == "ensemble":
+            predict_fn = artifact.predict_rows          # (means, stds)
+        else:
+            predict_fn = artifact.predict_rows          # (n,) array
+        batcher = MicroBatcher(
+            predict_fn,
+            max_batch=self.max_batch,
+            max_wait_ms=self.max_wait_ms,
+            on_flush=lambda size, _reason: self.metrics.record_batch(size),
+        )
+        resident = _ResidentModel(artifact, manifest, batcher)
+        self._resident[key] = resident
+        while len(self._resident) > self.model_cache_size:
+            _evicted_key, evicted = self._resident.popitem(last=False)
+            evicted.batcher._flush("drain")  # resolve any queued rows
+        return resident
+
+    def _latest_version(self, name: str) -> int:
+        """Latest version of ``name``, cached against the name dir's mtime."""
+        try:
+            mtime_ns = os.stat(self.registry.root / name).st_mtime_ns
+        except OSError:
+            self._latest.pop(name, None)
+            return self.registry.resolve(name).version  # raises RegistryError
+        cached = self._latest.get(name)
+        if cached is not None and cached[0] == mtime_ns:
+            return cached[1]
+        version = self.registry.resolve(name).version
+        self._latest[name] = (mtime_ns, version)
+        return version
+
+    # ------------------------------------------------------------ requests
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while not self._closing:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                self._active_requests += 1
+                try:
+                    keep_alive = await self._dispatch(request, writer)
+                finally:
+                    self._active_requests -= 1
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+        ):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader) -> _Request | None:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            if not exc.partial:
+                return None  # clean EOF between requests
+            raise
+        if len(head) > _MAX_HEADER_BYTES:
+            raise asyncio.LimitOverrunError("header section too large", 0)
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            raise asyncio.IncompleteReadError(head, None)
+        method, target, _version = parts
+        split = urlsplit(target)
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            key, _sep, value = line.partition(":")
+            headers[key.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY_BYTES:
+            raise asyncio.LimitOverrunError("body too large", 0)
+        body = await reader.readexactly(length) if length else b""
+        return _Request(
+            method=method.upper(),
+            path=split.path,
+            query=parse_qs(split.query) if split.query else {},
+            headers=headers,
+            body=body,
+        )
+
+    async def _dispatch(
+        self, request: _Request, writer: asyncio.StreamWriter
+    ) -> bool:
+        started = time.perf_counter()
+        endpoint = request.path if request.path in _KNOWN_ENDPOINTS else "other"
+        try:
+            status, content_type, payload = await self._route(request)
+        except _HTTPError as exc:
+            status = exc.status
+            content_type = "application/json"
+            payload = json.dumps({"error": exc.message}).encode()
+            self.metrics.record_error(exc.reason)
+        except Exception as exc:  # noqa: BLE001 - report, don't kill the loop
+            status = 500
+            content_type = "application/json"
+            payload = json.dumps({"error": f"internal error: {exc}"}).encode()
+            self.metrics.record_error("internal")
+        keep_alive = (
+            request.headers.get("connection", "keep-alive").lower() != "close"
+            and not self._closing
+        )
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()
+        self.metrics.record_request(
+            endpoint, status, time.perf_counter() - started
+        )
+        return keep_alive
+
+    async def _route(self, request: _Request) -> tuple[int, str, bytes]:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            self._require(method, "GET")
+            body = {"status": "ok", "models": len(self.registry.names())}
+            return 200, "application/json", json.dumps(body).encode()
+        if path == "/metrics":
+            self._require(method, "GET")
+            text = self.metrics.render_prometheus()
+            return 200, "text/plain; version=0.0.4", text.encode()
+        if path == "/v1/models":
+            self._require(method, "GET")
+            body = {"models": [m.to_dict() for m in self.registry.list()]}
+            return 200, "application/json", json.dumps(body).encode()
+        if path == "/v1/predict":
+            self._require(method, "POST")
+            return await self._predict(request)
+        raise _HTTPError(404, "not_found", f"no route for {path}")
+
+    @staticmethod
+    def _require(method: str, expected: str) -> None:
+        if method != expected:
+            raise _HTTPError(
+                405, "method_not_allowed", f"use {expected} for this endpoint"
+            )
+
+    # ------------------------------------------------------------- predict
+    async def _predict(self, request: _Request) -> tuple[int, str, bytes]:
+        try:
+            body = json.loads(request.body.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise _HTTPError(
+                400, "bad_request", f"body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "bad_request", "body must be a JSON object")
+        ref = body.get("model")
+        if not isinstance(ref, str) or not ref:
+            raise _HTTPError(
+                400, "bad_request", "body needs a 'model' reference "
+                "('name' or 'name@version')"
+            )
+        single = "features" in body
+        if single == ("instances" in body):
+            raise _HTTPError(
+                400, "bad_request",
+                "body needs exactly one of 'features' (single) or "
+                "'instances' (batch)",
+            )
+        interval = bool(body.get("interval")) or (
+            request.query.get("interval", ["0"])[0] not in ("", "0", "false")
+        )
+        try:
+            resident = self._resident_model(ref)
+        except RegistryError as exc:
+            raise _HTTPError(404, "unknown_model", str(exc)) from None
+        if interval and not resident.is_ensemble:
+            raise _HTTPError(
+                400, "bad_request",
+                f"{resident.manifest.ref} is a point predictor; "
+                f"intervals need an ensemble artifact",
+            )
+        instances = [body["features"]] if single else body["instances"]
+        if not isinstance(instances, list) or not instances:
+            raise _HTTPError(
+                400, "bad_request", "'instances' must be a non-empty list"
+            )
+        rows = [self._feature_row(resident, inst) for inst in instances]
+        if len(rows) == 1:
+            results = [await resident.batcher.submit(rows[0])]
+        else:
+            results = await asyncio.gather(
+                *(resident.batcher.submit(row) for row in rows)
+            )
+        self.metrics.record_predictions(len(results))
+        payload: dict = {"model": resident.manifest.ref}
+        if resident.is_ensemble:
+            means = [r[0] for r in results]
+            stds = [r[1] for r in results]
+            if single:
+                payload["prediction"] = means[0]
+                if interval:
+                    payload["std"] = stds[0]
+                    payload["interval"] = [
+                        means[0] - 2.0 * stds[0], means[0] + 2.0 * stds[0]
+                    ]
+            else:
+                payload["predictions"] = means
+                if interval:
+                    payload["stds"] = stds
+                    payload["intervals"] = [
+                        [m - 2.0 * s, m + 2.0 * s]
+                        for m, s in zip(means, stds)
+                    ]
+        else:
+            if single:
+                payload["prediction"] = results[0]
+            else:
+                payload["predictions"] = list(results)
+        return (
+            200,
+            "application/json",
+            json.dumps(payload, separators=(",", ":")).encode(),
+        )
+
+    @staticmethod
+    def _feature_row(resident: _ResidentModel, features) -> np.ndarray:
+        if not isinstance(features, dict):
+            raise _HTTPError(
+                400, "bad_request",
+                "each instance must be an object of feature name -> value",
+            )
+        names = resident.feature_names
+        unknown = sorted(set(features) - resident.feature_name_set)
+        if unknown:
+            raise _HTTPError(
+                400, "bad_request",
+                f"unknown feature(s) {unknown}; model "
+                f"{resident.manifest.ref} expects {list(names)}",
+            )
+        values = []
+        for name in names:
+            if name not in features:
+                raise _HTTPError(
+                    400, "bad_request",
+                    f"missing feature {name!r}; model "
+                    f"{resident.manifest.ref} expects {list(names)}",
+                )
+            value = features[name]
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise _HTTPError(
+                    400, "bad_request",
+                    f"feature {name!r} must be a number; got {value!r}",
+                )
+            values.append(float(value))
+        return np.array(values)
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+}
+
+
+class ServerThread:
+    """Run a :class:`PredictionServer` on a background event loop.
+
+    For synchronous callers — tests, the throughput bench — that need a
+    live server next to blocking client code::
+
+        with ServerThread(registry, max_batch=32) as handle:
+            client = PredictionClient("127.0.0.1", handle.port)
+            ...
+
+    Exit performs the graceful ``stop()`` (drains batches) and joins the
+    thread.
+    """
+
+    def __init__(self, registry: ModelRegistry, **server_kwargs) -> None:
+        self.server = PredictionServer(registry, **server_kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self) -> "ServerThread":
+        """Start the loop thread and wait until the server is bound."""
+        if self._thread is not None:
+            raise RuntimeError("server thread is already running")
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            self._loop = loop
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.server.start())
+            except BaseException as exc:  # noqa: BLE001 - report to starter
+                failure.append(exc)
+                started.set()
+                loop.close()
+                return
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        started.wait(timeout=10.0)
+        if failure:
+            self._thread.join(timeout=1.0)
+            self._thread = None
+            raise failure[0]
+        return self
+
+    def stop(self) -> None:
+        """Gracefully stop the server and join the loop thread."""
+        if self._thread is None or self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
+        try:
+            future.result(timeout=10.0)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc_info) -> None:
+        self.stop()

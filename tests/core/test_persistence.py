@@ -5,14 +5,24 @@ import json
 import numpy as np
 import pytest
 
+from repro.core.ensemble import EnsemblePredictor
 from repro.core.feature_sets import FeatureSet
 from repro.core.methodology import ModelKind, PerformancePredictor
 from repro.core.persistence import (
     FORMAT_VERSION,
+    READABLE_VERSIONS,
     PersistenceError,
+    artifact_from_dict,
+    artifact_to_dict,
+    ensemble_from_dict,
+    ensemble_to_dict,
+    load_artifact,
+    load_ensemble,
     load_predictor,
     predictor_from_dict,
     predictor_to_dict,
+    save_artifact,
+    save_ensemble,
     save_predictor,
 )
 
@@ -107,3 +117,106 @@ class TestValidation:
         path.write_text("{not json")
         with pytest.raises(PersistenceError, match="not valid JSON"):
             load_predictor(path)
+
+
+@pytest.fixture(scope="module")
+def fitted_ensemble(small_dataset):
+    ensemble = EnsemblePredictor(
+        ModelKind.LINEAR, FeatureSet.D, n_members=3, seed=5
+    )
+    ensemble.fit(list(small_dataset))
+    return ensemble
+
+
+class TestEnsemblePersistence:
+    def test_roundtrip_bit_identical(self, fitted_ensemble, small_dataset):
+        restored = ensemble_from_dict(ensemble_to_dict(fitted_ensemble))
+        obs = list(small_dataset)
+        means0, stds0 = fitted_ensemble.predict_observations(obs)
+        means1, stds1 = restored.predict_observations(obs)
+        np.testing.assert_array_equal(means1, means0)
+        np.testing.assert_array_equal(stds1, stds0)
+
+    def test_file_roundtrip(self, fitted_ensemble, tmp_path):
+        path = tmp_path / "ensemble.json"
+        save_ensemble(fitted_ensemble, path)
+        restored = load_ensemble(path)
+        assert restored.n_members == fitted_ensemble.n_members
+        assert restored.kind is fitted_ensemble.kind
+        assert restored.feature_set is fitted_ensemble.feature_set
+
+    def test_metadata_preserved(self, fitted_ensemble):
+        data = ensemble_to_dict(fitted_ensemble)
+        assert data["artifact"] == "ensemble"
+        assert data["format_version"] == FORMAT_VERSION
+        restored = ensemble_from_dict(data)
+        assert restored.processor_name == fitted_ensemble.processor_name
+        assert restored.train_size == fitted_ensemble.train_size
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(PersistenceError, match="unfitted"):
+            ensemble_to_dict(EnsemblePredictor(n_members=3))
+
+    def test_single_member_payload_rejected(self, fitted_ensemble):
+        data = ensemble_to_dict(fitted_ensemble)
+        data["members"] = data["members"][:1]
+        with pytest.raises(PersistenceError, match="at least two"):
+            ensemble_from_dict(data)
+
+    def test_cross_loading_rejected(self, fitted_ensemble, fitted_predictor):
+        with pytest.raises(PersistenceError, match="not a single predictor"):
+            predictor_from_dict(ensemble_to_dict(fitted_ensemble))
+        with pytest.raises(PersistenceError, match="not an ensemble"):
+            ensemble_from_dict(predictor_to_dict(fitted_predictor))
+
+
+class TestArtifactDispatch:
+    def test_dispatch_on_type(self, fitted_predictor, fitted_ensemble):
+        assert artifact_to_dict(fitted_predictor)["artifact"] == "predictor"
+        assert artifact_to_dict(fitted_ensemble)["artifact"] == "ensemble"
+
+    def test_dispatch_on_payload(self, fitted_predictor, fitted_ensemble):
+        restored = artifact_from_dict(artifact_to_dict(fitted_predictor))
+        assert isinstance(restored, PerformancePredictor)
+        restored = artifact_from_dict(artifact_to_dict(fitted_ensemble))
+        assert isinstance(restored, EnsemblePredictor)
+
+    def test_file_dispatch(self, fitted_predictor, fitted_ensemble, tmp_path):
+        p_path, e_path = tmp_path / "p.json", tmp_path / "e.json"
+        save_artifact(fitted_predictor, p_path)
+        save_artifact(fitted_ensemble, e_path)
+        assert isinstance(load_artifact(p_path), PerformancePredictor)
+        assert isinstance(load_artifact(e_path), EnsemblePredictor)
+
+    def test_foreign_type_rejected(self):
+        with pytest.raises(PersistenceError, match="cannot serialize"):
+            artifact_to_dict(object())
+
+
+class TestFormatVersions:
+    def test_writers_emit_current_version(self, fitted_predictor):
+        assert predictor_to_dict(fitted_predictor)["format_version"] == 2
+
+    def test_v1_payload_still_loads(self, fitted_predictor, small_dataset):
+        """A pre-registry artifact (no 'artifact' key) must keep loading."""
+        data = predictor_to_dict(fitted_predictor)
+        data["format_version"] = 1
+        del data["artifact"]
+        del data["train_size"]
+        restored = predictor_from_dict(data)
+        obs = list(small_dataset)
+        np.testing.assert_array_equal(
+            restored.predict_observations(obs),
+            fitted_predictor.predict_observations(obs),
+        )
+        assert restored.train_size is None
+
+    def test_v2_requires_artifact_key(self, fitted_predictor):
+        data = predictor_to_dict(fitted_predictor)
+        del data["artifact"]
+        with pytest.raises(PersistenceError, match="unknown artifact kind"):
+            predictor_from_dict(data)
+
+    def test_readable_versions_contract(self):
+        assert FORMAT_VERSION in READABLE_VERSIONS
+        assert 1 in READABLE_VERSIONS

@@ -45,23 +45,40 @@ class TestInspectionCommands:
             main(["baseline", "--app", "doom"])
 
 
-class TestPipelineCommands:
-    @pytest.fixture(scope="class")
-    def dataset_csv(self, tmp_path_factory):
-        path = tmp_path_factory.mktemp("cli") / "data.csv"
-        code = main(
-            [
-                "collect",
-                "--machine", "e5649",
-                "-o", str(path),
-                "--targets", "canneal,sp,ep",
-                "--co-apps", "cg,ep",
-                "--counts", "1,3,5",
-            ]
-        )
-        assert code == 0
-        return path
+@pytest.fixture(scope="module")
+def dataset_csv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "data.csv"
+    code = main(
+        [
+            "collect",
+            "--machine", "e5649",
+            "-o", str(path),
+            "--targets", "canneal,sp,ep",
+            "--co-apps", "cg,ep",
+            "--counts", "1,3,5",
+        ]
+    )
+    assert code == 0
+    return path
 
+
+@pytest.fixture(scope="module")
+def model_json(dataset_csv, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "model.json"
+    code = main(
+        [
+            "train",
+            "--data", str(dataset_csv),
+            "--model", "linear",
+            "--features", "d",
+            "-o", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestPipelineCommands:
     def test_collect_output(self, dataset_csv, capsys):
         text = dataset_csv.read_text()
         # 6 pstates x 3 targets x 2 co-apps x 3 counts = 108 rows (+header)
@@ -99,21 +116,6 @@ class TestPipelineCommands:
         assert "hit rate" in out
         # Any worker count must reproduce the serial dataset bit-for-bit.
         assert path.read_text() == dataset_csv.read_text()
-
-    @pytest.fixture(scope="class")
-    def model_json(self, dataset_csv, tmp_path_factory):
-        path = tmp_path_factory.mktemp("cli") / "model.json"
-        code = main(
-            [
-                "train",
-                "--data", str(dataset_csv),
-                "--model", "linear",
-                "--features", "d",
-                "-o", str(path),
-            ]
-        )
-        assert code == 0
-        return path
 
     def test_train_output(self, model_json, capsys):
         payload = json.loads(model_json.read_text())
@@ -170,6 +172,122 @@ class TestPipelineCommands:
         out = capsys.readouterr().out
         assert "linear" in out and "neural" in out
         assert out.count("\n") >= 14  # 12 model rows + header
+
+
+class TestServingCommands:
+    @pytest.fixture(scope="class")
+    def ensemble_json(self, dataset_csv, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "ensemble.json"
+        code = main(
+            [
+                "train",
+                "--data", str(dataset_csv),
+                "--model", "linear",
+                "--features", "d",
+                "--ensemble", "3",
+                "-o", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def registry_dir(self, ensemble_json, model_json, tmp_path_factory):
+        registry = tmp_path_factory.mktemp("cli") / "registry"
+        assert main(
+            ["registry", "push", "--registry", str(registry),
+             "--name", "band", "--model", str(ensemble_json)]
+        ) == 0
+        assert main(
+            ["registry", "push", "--registry", str(registry),
+             "--name", "point", "--model", str(model_json)]
+        ) == 0
+        return registry
+
+    def test_train_ensemble_output(self, ensemble_json, capsys):
+        payload = json.loads(ensemble_json.read_text())
+        assert payload["artifact"] == "ensemble"
+        assert len(payload["members"]) == 3
+
+    def test_train_ensemble_too_small(self, dataset_csv, tmp_path):
+        with pytest.raises(SystemExit, match="at least 2"):
+            main(
+                ["train", "--data", str(dataset_csv), "--ensemble", "1",
+                 "-o", str(tmp_path / "m.json")]
+            )
+
+    def test_predict_interval(self, ensemble_json, capsys):
+        code = main(
+            [
+                "predict",
+                "--model", str(ensemble_json),
+                "--target", "canneal",
+                "--co-apps", "cg,cg",
+                "--interval",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ensemble disagreement" in out
+        assert "2-sigma band" in out
+
+    def test_predict_interval_needs_ensemble(self, model_json):
+        with pytest.raises(SystemExit, match="needs an ensemble"):
+            main(
+                ["predict", "--model", str(model_json), "--target", "ep",
+                 "--interval"]
+            )
+
+    def test_registry_push_reports_ref(self, registry_dir, model_json, capsys):
+        assert main(
+            ["registry", "push", "--registry", str(registry_dir),
+             "--name", "point", "--model", str(model_json)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pushed point@2" in out
+        assert "sha256" in out
+
+    def test_registry_push_bad_model(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit, match="cannot load model"):
+            main(
+                ["registry", "push", "--registry", str(tmp_path / "r"),
+                 "--name", "m", "--model", str(bad)]
+            )
+
+    def test_registry_list(self, registry_dir, capsys):
+        assert main(["registry", "list", "--registry", str(registry_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "band@1" in out and "point@1" in out
+        assert "ensemble" in out and "predictor" in out
+
+    def test_registry_list_empty(self, tmp_path, capsys):
+        assert main(["registry", "list", "--registry", str(tmp_path / "r")]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_registry_show(self, registry_dir, capsys):
+        assert main(
+            ["registry", "show", "band@1", "--registry", str(registry_dir)]
+        ) == 0
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["name"] == "band"
+        assert manifest["artifact"] == "ensemble"
+        assert len(manifest["content_hash"]) == 64
+
+    def test_registry_show_unknown(self, registry_dir):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["registry", "show", "ghost", "--registry", str(registry_dir)])
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--registry", "/tmp/r"])
+        assert args.port == 8391
+        assert args.max_batch == 32
+        assert args.max_wait_ms == 2.0
+
+    def test_registry_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["registry"])
 
 
 class TestPaperArtifacts:
