@@ -20,7 +20,7 @@ bench-quick:
 # cache-speedup and serving micro-batch regressions in routine checks
 # without the full bench cost.
 bench-smoke:
-	REPRO_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/bench_engine_throughput.py benchmarks/bench_serve_throughput.py -q --benchmark-disable
+	REPRO_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/bench_engine_throughput.py benchmarks/bench_serve_throughput.py benchmarks/bench_validation_throughput.py -q --benchmark-disable
 
 examples:
 	python examples/quickstart.py

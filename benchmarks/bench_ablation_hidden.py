@@ -3,7 +3,11 @@
 Sweeps the hidden width for the feature-set-F network on the 6-core
 dataset, checking the paper's sizing rule sits on the accuracy plateau:
 going below ~10 nodes costs accuracy, going above ~20 buys little.
+Runs on the fast-fit path (batched restarts, parallel repetitions), which
+is bit-identical to the serial loop.
 """
+
+from functools import partial
 
 import numpy as np
 
@@ -24,11 +28,17 @@ def test_ablation_hidden_width(benchmark, ctx, emit):
         rows = []
         for width in WIDTHS:
             result = repeated_random_subsampling(
-                lambda w=width: NeuralNetworkModel(hidden_units=w, n_restarts=1),
+                partial(
+                    NeuralNetworkModel,
+                    hidden_units=width,
+                    n_restarts=1,
+                    batched_restarts=True,
+                ),
                 X,
                 y,
                 repetitions=5,
                 rng=np.random.default_rng(width),
+                workers=ctx.workers,
             )
             rows.append([width, result.mean_test_mpe, result.mean_test_nrmse])
         return rows

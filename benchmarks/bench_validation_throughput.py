@@ -1,0 +1,195 @@
+"""Microbenchmark — the model-fitting pipeline's fast paths.
+
+Not a paper artifact; guards the three properties the fast-fit engine
+exists for:
+
+* ``workers=N`` repeated random sub-sampling returns **bit-identical**
+  :class:`~repro.core.validation.ValidationResult` arrays and is at least
+  3x faster than serial on a multi-core runner (the floor drops to 1.5x
+  under ``REPRO_SMOKE=1``, and the speedup assertion is skipped outright
+  on runners with fewer than four cores, where no fan-out can pay off);
+* ``batched_restarts=True`` advances all SCG restarts as one stacked
+  optimization with bit-identical per-restart losses and restart
+  selection (its speedup is reported, not asserted — it depends on the
+  restart count and problem size);
+* the serial loss keeps allocation out of the hot loop: a warmed
+  workspace call must allocate well under half of a cold call's peak.
+
+Each run appends a point to ``results/BENCH_validation.json`` so the
+numbers form a trajectory across sessions.
+"""
+
+import json
+import os
+import time
+import tracemalloc
+from functools import partial
+
+import numpy as np
+
+from repro.core.feature_sets import FeatureSet
+from repro.core.features import feature_matrix
+from repro.core.fitstats import FitStats
+from repro.core.methodology import ModelKind, make_model
+from repro.core.neural import NeuralNetworkModel
+from repro.core.validation import repeated_random_subsampling
+
+_SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+REPETITIONS = 10 if _SMOKE else 30
+WORKERS = min(os.cpu_count() or 1, 8)
+MIN_SPEEDUP = 1.5 if _SMOKE else 3.0
+MULTI_CORE = WORKERS >= 4
+
+
+def _feature_data(ctx):
+    return feature_matrix(list(ctx.dataset("e5649")), FeatureSet.F.features)
+
+
+def _record(results_dir, **values):
+    """Merge a measurement into the BENCH_validation.json trajectory."""
+    path = results_dir / "BENCH_validation.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload.update(values)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_parallel_validation_speedup(benchmark, ctx, results_dir):
+    """workers=N must match workers=1 bitwise and beat it on wall time."""
+    X, y = _feature_data(ctx)
+    factory = partial(
+        make_model, ModelKind.NEURAL, FeatureSet.F, batched_restarts=True
+    )
+
+    def sweep(workers):
+        stats = FitStats()
+        start = time.perf_counter()
+        result = repeated_random_subsampling(
+            factory,
+            X,
+            y,
+            repetitions=REPETITIONS,
+            rng=np.random.default_rng(2015),
+            workers=workers,
+            stats=stats,
+        )
+        return result, time.perf_counter() - start, stats
+
+    serial, serial_s, serial_stats = sweep(1)
+    parallel, parallel_s, parallel_stats = benchmark.pedantic(
+        lambda: sweep(WORKERS), rounds=1, iterations=1
+    )
+
+    for name in ("train_mpe", "test_mpe", "train_nrmse", "test_nrmse"):
+        assert np.array_equal(getattr(serial, name), getattr(parallel, name)), (
+            f"workers={WORKERS} diverged from serial on {name}"
+        )
+    # Counters are repetition-keyed, so they match exactly too (wall time
+    # is per-process and legitimately differs).
+    assert parallel_stats.fits == serial_stats.fits == REPETITIONS
+    assert parallel_stats.scg_iterations == serial_stats.scg_iterations
+    assert parallel_stats.gradient_evals == serial_stats.gradient_evals
+
+    speedup = serial_s / parallel_s
+    print(
+        f"\nserial   {serial_s:6.2f} s   parallel ({WORKERS} workers) "
+        f"{parallel_s:6.2f} s   speedup {speedup:.2f}x\n"
+        + serial_stats.summary()
+    )
+    _record(
+        results_dir,
+        repetitions=REPETITIONS,
+        workers=WORKERS,
+        serial_s=serial_s,
+        parallel_s=parallel_s,
+        parallel_speedup=speedup,
+        fits=serial_stats.fits,
+        scg_iterations=serial_stats.scg_iterations,
+    )
+    if MULTI_CORE:
+        assert speedup >= MIN_SPEEDUP, (
+            f"parallel validation speedup {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP}x floor on {WORKERS} workers"
+        )
+    else:
+        print(
+            f"only {os.cpu_count()} cpu(s): speedup floor not asserted "
+            f"(bit-identity still checked)"
+        )
+
+
+def test_batched_restart_speedup(benchmark, ctx, results_dir):
+    """Stacked restarts must match the serial loop bitwise; speedup reported."""
+    X, y = _feature_data(ctx)
+    n_restarts = 4 if _SMOKE else 8
+
+    def fit(batched):
+        model = NeuralNetworkModel(
+            hidden_units=20, n_restarts=n_restarts, batched_restarts=batched
+        )
+        return model.fit(X, y, rng=np.random.default_rng(7))
+
+    start = time.perf_counter()
+    serial_model = fit(False)
+    serial_s = time.perf_counter() - start
+    batched_model = benchmark.pedantic(lambda: fit(True), rounds=1, iterations=1)
+    batched_s = batched_model.fit_stats_.wall_time_s
+
+    # The contract is 1e-9 relative on per-restart losses; the matched
+    # accumulation forms actually deliver bitwise equality.
+    rel = np.max(
+        np.abs(serial_model.restart_losses_ - batched_model.restart_losses_)
+        / np.abs(serial_model.restart_losses_)
+    )
+    assert rel <= 1e-9, f"batched restart losses off by {rel:.3e} relative"
+    assert int(np.argmin(serial_model.restart_losses_)) == int(
+        np.argmin(batched_model.restart_losses_)
+    ), "restart selection differs between serial and batched modes"
+    assert np.array_equal(serial_model.predict(X), batched_model.predict(X))
+
+    speedup = serial_s / batched_s
+    print(
+        f"\nserial restarts {serial_s * 1e3:7.1f} ms   "
+        f"batched {batched_s * 1e3:7.1f} ms   speedup {speedup:.2f}x "
+        f"({n_restarts} restarts, max rel loss diff {rel:.1e})"
+    )
+    _record(
+        results_dir,
+        batched_restarts=n_restarts,
+        batched_serial_s=serial_s,
+        batched_s=batched_s,
+        batched_speedup=speedup,
+    )
+
+
+def test_loss_workspace_allocation(ctx, results_dir):
+    """A warmed workspace call must allocate far less than a cold call."""
+    X, y = _feature_data(ctx)
+    model = NeuralNetworkModel(hidden_units=20, n_restarts=1)
+    model.fit(X, y, rng=np.random.default_rng(0))
+    Z = (X - model._x_mean) / model._x_scale
+    t = (y - model._y_mean) / model._y_scale
+    params = model._params
+
+    work: dict = {}
+    model._loss_and_grad(params, Z, t, work)  # warm the buffers
+
+    tracemalloc.start()
+    model._loss_and_grad(params, Z, t, None)  # cold: allocates workspace
+    _, cold_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    model._loss_and_grad(params, Z, t, work)  # warm: reuses buffers
+    _, warm_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    print(
+        f"\nloss+grad allocation: cold {cold_peak / 1e3:.1f} kB, "
+        f"warm {warm_peak / 1e3:.1f} kB per call"
+    )
+    _record(results_dir, loss_cold_bytes=cold_peak, loss_warm_bytes=warm_peak)
+    assert warm_peak < 0.5 * cold_peak, (
+        f"workspace reuse ineffective: warm call allocated {warm_peak} of "
+        f"a cold call's {cold_peak} bytes"
+    )

@@ -6,6 +6,12 @@ matching Section IV-B4) and writes each one under ``benchmarks/results/``.
 
 Set ``REPRO_REPETITIONS`` to trade fidelity for speed (e.g. 10 for a quick
 pass); the qualitative shapes are stable well below 100.
+
+The model evaluations run on the fast-fit path: validation sweeps fan out
+across ``REPRO_WORKERS`` processes (default: the machine's core count,
+capped at 8) and neural fits use batched restarts.  Both paths are
+bit-identical to their serial counterparts, so the reported figures are
+unchanged by either knob.
 """
 
 from __future__ import annotations
@@ -22,7 +28,13 @@ from repro.harness.experiments import ExperimentContext
 def ctx() -> ExperimentContext:
     """Full-fidelity experiment context shared across all benches."""
     repetitions = int(os.environ.get("REPRO_REPETITIONS", "100"))
-    return ExperimentContext(seed=2015, repetitions=repetitions)
+    workers = int(os.environ.get("REPRO_WORKERS", "0")) or (os.cpu_count() or 1)
+    return ExperimentContext(
+        seed=2015,
+        repetitions=repetitions,
+        workers=min(workers, 8),
+        batched_restarts=True,
+    )
 
 
 @pytest.fixture(scope="session")

@@ -45,6 +45,11 @@ def _get_apps(names: list[str]):
         raise SystemExit(f"error: {exc.args[0]}") from None
 
 
+def _check_workers(args) -> None:
+    if getattr(args, "workers", 1) < 1:
+        raise SystemExit("error: --workers must be >= 1")
+
+
 # ------------------------------------------------------------- commands
 
 
@@ -173,6 +178,7 @@ def _cmd_train(args) -> int:
     from .core.persistence import save_artifact
     from .harness.datasets import ObservationDataset
 
+    _check_workers(args)
     try:
         dataset = ObservationDataset.from_csv(args.data)
     except (OSError, ValueError) as exc:
@@ -186,7 +192,11 @@ def _cmd_train(args) -> int:
         if args.ensemble < 2:
             raise SystemExit("error: --ensemble needs at least 2 members")
         artifact = EnsemblePredictor(
-            kind, feature_set, n_members=args.ensemble, seed=args.seed
+            kind,
+            feature_set,
+            n_members=args.ensemble,
+            seed=args.seed,
+            workers=args.workers,
         )
         label = f"{kind.value}/{feature_set.value} x{args.ensemble} ensemble"
     else:
@@ -202,16 +212,24 @@ def _cmd_train(args) -> int:
 
 
 def _cmd_evaluate(args) -> int:
+    from .core.fitstats import FitStats
     from .core.methodology import evaluate_models
     from .harness.datasets import ObservationDataset
     from .reporting.tables import render_table
 
+    _check_workers(args)
     try:
         dataset = ObservationDataset.from_csv(args.data)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"error: cannot read dataset: {exc}") from None
+    fit_stats = FitStats()
     evaluations = evaluate_models(
-        list(dataset), repetitions=args.repetitions, seed=args.seed
+        list(dataset),
+        repetitions=args.repetitions,
+        seed=args.seed,
+        workers=args.workers,
+        batched_restarts=args.batched_restarts,
+        stats=fit_stats,
     )
     rows = [
         [
@@ -234,6 +252,8 @@ def _cmd_evaluate(args) -> int:
             ),
         )
     )
+    if args.stats:
+        print(fit_stats.summary())
     return 0
 
 
@@ -394,7 +414,10 @@ def _cmd_table(args) -> int:
     from .harness import experiments
     from .reporting.tables import render_table
 
-    ctx = experiments.ExperimentContext(repetitions=args.repetitions)
+    _check_workers(args)
+    ctx = experiments.ExperimentContext(
+        repetitions=args.repetitions, workers=args.workers
+    )
     renderers = {
         1: lambda: render_table(
             ["Feature name", "aspect measured"], experiments.table1_rows(),
@@ -461,7 +484,10 @@ def _cmd_figure(args) -> int:
     from .harness import experiments
     from .reporting.figures import render_distributions, render_series, summarize
 
-    ctx = experiments.ExperimentContext(repetitions=args.repetitions)
+    _check_workers(args)
+    ctx = experiments.ExperimentContext(
+        repetitions=args.repetitions, workers=args.workers
+    )
     spec = {
         1: ("e5649", "mpe", "Figure 1: MPE, 6-core"),
         2: ("e5-2697v2", "mpe", "Figure 2: MPE, 12-core"),
@@ -532,6 +558,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", choices=["linear", "neural"], default="neural")
     p.add_argument("--features", default="F", help="feature set A-F")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for ensemble member fitting; "
+                        "any count trains the identical ensemble")
     p.add_argument("--ensemble", type=int, metavar="N",
                    help="train a bootstrap ensemble of N members (for "
                         "uncertainty intervals) instead of a single model")
@@ -542,6 +571,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--data", required=True)
     p.add_argument("--repetitions", type=int, default=25)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for the validation sweeps; "
+                        "any count yields identical results")
+    p.add_argument("--batched-restarts", dest="batched_restarts",
+                   action="store_true",
+                   help="stacked multi-restart SCG fast path for neural fits "
+                        "(bit-identical to the serial restart loop)")
+    p.add_argument("--stats", action="store_true",
+                   help="print fit statistics after the grid")
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("predict", help="predict a placement from a saved model")
@@ -591,11 +629,15 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("table", help="regenerate a paper table (1-6)")
     p.add_argument("number", type=int)
     p.add_argument("--repetitions", type=int, default=25)
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for the validation sweeps")
     p.set_defaults(func=_cmd_table)
 
     p = sub.add_parser("figure", help="regenerate a paper figure (1-5)")
     p.add_argument("number", type=int)
     p.add_argument("--repetitions", type=int, default=10)
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for the validation sweeps")
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser(

@@ -9,8 +9,9 @@ III-B), and the end-to-end methodology/predictor API.
 from .classinfo import ClassProfiles, predict_time_from_classes
 from .ensemble import EnsemblePredictor, PredictionInterval
 from .feature_sets import FEATURE_SETS, FeatureSet, features_for
+from .fitstats import FitStats
 from .importance import FeatureImportance, permutation_importance
-from .selection import SelectionStep, forward_selection
+from .selection import SelectionStep, forward_selection, rank_feature_sets
 from .features import (
     FEATURE_DESCRIPTIONS,
     CoLocationObservation,
@@ -45,7 +46,7 @@ from .persistence import (
     save_ensemble,
     save_predictor,
 )
-from .scg import SCGResult, minimize_scg
+from .scg import BatchedSCGResult, SCGResult, minimize_scg, minimize_scg_batched
 from .validation import (
     GroupValidationResult,
     RegressionModel,
@@ -55,6 +56,7 @@ from .validation import (
 )
 
 __all__ = [
+    "BatchedSCGResult",
     "ClassProfiles",
     "CoLocationObservation",
     "EnsemblePredictor",
@@ -63,6 +65,7 @@ __all__ = [
     "Feature",
     "FeatureImportance",
     "FeatureSet",
+    "FitStats",
     "GroupValidationResult",
     "LinearModel",
     "ModelEvaluation",
@@ -93,6 +96,7 @@ __all__ = [
     "mae",
     "make_model",
     "minimize_scg",
+    "minimize_scg_batched",
     "mpe",
     "nrmse",
     "observation_from_profiles",
@@ -101,6 +105,7 @@ __all__ = [
     "predict_time_from_classes",
     "predictor_from_dict",
     "predictor_to_dict",
+    "rank_feature_sets",
     "rank_features",
     "repeated_random_subsampling",
     "rmse",

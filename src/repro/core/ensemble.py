@@ -14,6 +14,7 @@ scheduler needs before trusting an exotic placement.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,9 +22,36 @@ import numpy as np
 from ..counters.hpcrun import FlatProfile
 from .feature_sets import FeatureSet
 from .features import CoLocationObservation, feature_matrix, feature_row
+from .fitstats import FitStats
 from .methodology import ModelKind, make_model
+from .validation import _spawn_streams
 
 __all__ = ["PredictionInterval", "EnsemblePredictor"]
+
+
+# Worker-process state for parallel member fitting: the model recipe and
+# the dataset ship once per worker via the pool initializer.
+_MEMBER_POOL: tuple | None = None
+
+
+def _init_member_pool(kind, feature_set, batched_restarts, X, y) -> None:
+    global _MEMBER_POOL
+    _MEMBER_POOL = (kind, feature_set, batched_restarts, X, y)
+
+
+def _fit_member(task):
+    pool_state = _MEMBER_POOL
+    assert pool_state is not None, "member pool used before initialization"
+    kind, feature_set, batched_restarts, X, y = pool_state
+    idx, rng = task
+    model = make_model(
+        kind, feature_set, rng=rng, batched_restarts=batched_restarts
+    )
+    model.fit(X[idx], y[idx])
+    # make_model binds rng into fit via a per-instance closure, which
+    # cannot pickle back to the parent; the model is fitted, so drop it.
+    vars(model).pop("fit", None)
+    return model
 
 
 @dataclass(frozen=True)
@@ -55,6 +83,13 @@ class EnsemblePredictor:
         Ensemble size; 5–10 gives stable spread estimates.
     seed:
         Root seed for resampling and member initialization.
+    workers:
+        Process-pool width for member fitting.  Members get
+        SeedSequence-spawned per-member streams (resamples are drawn up
+        front from the root generator), so any worker count produces the
+        identical ensemble.
+    batched_restarts:
+        Fit neural members on the stacked multi-restart SCG fast path.
     """
 
     def __init__(
@@ -64,16 +99,23 @@ class EnsemblePredictor:
         *,
         n_members: int = 5,
         seed: int = 0,
+        workers: int = 1,
+        batched_restarts: bool = False,
     ) -> None:
         if n_members < 2:
             raise ValueError("an ensemble needs at least two members")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self.kind = kind
         self.feature_set = feature_set
         self.n_members = n_members
+        self.workers = workers
+        self.batched_restarts = bool(batched_restarts)
         self._rng = np.random.default_rng(seed)
         self._members: list | None = None
         self._processor_name: str | None = None
         self._train_size: int | None = None
+        self.fit_stats_: FitStats | None = None
 
     @property
     def is_fitted(self) -> bool:
@@ -100,12 +142,46 @@ class EnsemblePredictor:
             )
         X, y = feature_matrix(observations, self.feature_set.features)
         n = X.shape[0]
-        members = []
-        for _ in range(self.n_members):
-            idx = self._rng.integers(0, n, size=n)
-            model = make_model(self.kind, self.feature_set, rng=self._rng)
-            model.fit(X[idx], y[idx])
-            members.append(model)
+        # All bootstrap resamples come off the root stream up front and
+        # each member's initialization gets its own spawned child stream,
+        # so the ensemble is identical for any ``workers`` count.
+        resamples = [
+            self._rng.integers(0, n, size=n) for _ in range(self.n_members)
+        ]
+        member_rngs = _spawn_streams(self._rng, self.n_members)
+        tasks = list(zip(resamples, member_rngs))
+        if self.workers == 1:
+            members = []
+            for idx, member_rng in tasks:
+                model = make_model(
+                    self.kind,
+                    self.feature_set,
+                    rng=member_rng,
+                    batched_restarts=self.batched_restarts,
+                )
+                model.fit(X[idx], y[idx])
+                members.append(model)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, self.n_members),
+                initializer=_init_member_pool,
+                initargs=(
+                    self.kind,
+                    self.feature_set,
+                    self.batched_restarts,
+                    X,
+                    y,
+                ),
+            ) as pool:
+                members = list(pool.map(_fit_member, tasks))
+        aggregate = FitStats()
+        for member in members:
+            member_stats = getattr(member, "fit_stats_", None)
+            if isinstance(member_stats, FitStats):
+                aggregate.merge(member_stats)
+            else:
+                aggregate.record_fit()
+        self.fit_stats_ = aggregate
         self._members = members
         self._processor_name = next(iter(machines))
         self._train_size = len(observations)

@@ -1,0 +1,115 @@
+"""Observability counters for the model-fitting pipeline.
+
+The Figures 1–4 grid is 100 random 70/30 splits x 12 models x 2 machines,
+and every neural fit multiplies that by SCG restarts — the fitting half of
+the methodology is where the bench wall-time goes.  :class:`FitStats` is
+the fitting counterpart of the simulation layer's
+:class:`~repro.sim.solve_cache.EngineStats`: a mergeable record of fits,
+restarts, SCG iterations, gradient evaluations, and wall time, carried
+per-fit by :class:`~repro.core.neural.NeuralNetworkModel` (``fit_stats_``),
+accumulated per-model-instance (``stats``), and aggregated across
+repetitions by the validation protocols (``ValidationResult.fit_stats``).
+
+The validation layer's process-parallel path returns one record per
+repetition and merges them **in repetition order**, so every count (though
+not wall time, which is measured per process) is identical no matter how
+many workers ran the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FitStats"]
+
+
+@dataclass
+class FitStats:
+    """Running counters for model fitting.
+
+    Attributes
+    ----------
+    fits:
+        Completed ``fit`` calls (one per repetition/fold/restart group).
+    restarts:
+        Independent weight initializations optimized (equals ``fits`` for
+        deterministic models, ``fits * n_restarts`` for neural fits).
+    scg_iterations:
+        SCG iterations advanced, summed over restarts.  In batched-restart
+        mode each member's iterations are counted individually, so the
+        total is comparable with the serial path.
+    function_evals / gradient_evals:
+        Loss / gradient evaluations (evaluated jointly by the neural loss,
+        so the two usually match).
+    wall_time_s:
+        Wall-clock seconds spent inside ``fit``.  Under process-parallel
+        validation this sums per-worker time, which can exceed elapsed
+        time — that surplus *is* the parallel speedup.
+    """
+
+    fits: int = 0
+    restarts: int = 0
+    scg_iterations: int = 0
+    function_evals: int = 0
+    gradient_evals: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def iterations_per_fit(self) -> float:
+        """Mean SCG iterations per fit (0.0 when idle)."""
+        return self.scg_iterations / self.fits if self.fits else 0.0
+
+    @property
+    def fits_per_second(self) -> float:
+        """Fit throughput against accumulated fit wall time (0.0 when idle)."""
+        return self.fits / self.wall_time_s if self.wall_time_s > 0.0 else 0.0
+
+    def record_fit(
+        self,
+        *,
+        restarts: int = 1,
+        scg_iterations: int = 0,
+        function_evals: int = 0,
+        gradient_evals: int = 0,
+        wall_time_s: float = 0.0,
+    ) -> None:
+        """Count one completed ``fit`` call."""
+        self.fits += 1
+        self.restarts += restarts
+        self.scg_iterations += scg_iterations
+        self.function_evals += function_evals
+        self.gradient_evals += gradient_evals
+        self.wall_time_s += wall_time_s
+
+    def merge(self, other: "FitStats") -> None:
+        """Fold another record (e.g. a worker process's) into this one."""
+        self.fits += other.fits
+        self.restarts += other.restarts
+        self.scg_iterations += other.scg_iterations
+        self.function_evals += other.function_evals
+        self.gradient_evals += other.gradient_evals
+        self.wall_time_s += other.wall_time_s
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.fits = 0
+        self.restarts = 0
+        self.scg_iterations = 0
+        self.function_evals = 0
+        self.gradient_evals = 0
+        self.wall_time_s = 0.0
+
+    def summary(self) -> str:
+        """Human-readable one-stop summary (used by the CLI and benches)."""
+        lines = [
+            f"fit stats: {self.fits} fits, {self.restarts} restarts, "
+            f"{self.scg_iterations} SCG iterations, "
+            f"{self.gradient_evals} gradient evals"
+        ]
+        if self.wall_time_s > 0.0:
+            lines.append(
+                f"fit wall time: {self.wall_time_s:.3f} s "
+                f"({self.fits_per_second:.1f} fits/s, "
+                f"{self.iterations_per_fit:.1f} iterations/fit)"
+            )
+        return "\n".join(lines)

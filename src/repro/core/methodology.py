@@ -15,12 +15,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
 from ..counters.hpcrun import FlatProfile
 from .feature_sets import FeatureSet
 from .features import CoLocationObservation, feature_matrix, feature_row
+from .fitstats import FitStats
 from .linear import LinearModel
 from .neural import NeuralNetworkModel, default_hidden_units
 from .validation import RegressionModel, ValidationResult, repeated_random_subsampling
@@ -49,18 +51,23 @@ def make_model(
     feature_set: FeatureSet,
     *,
     rng: np.random.Generator | None = None,
+    batched_restarts: bool = False,
 ) -> RegressionModel:
     """Instantiate one unfitted model of the paper's 12-model grid.
 
     The neural variant sizes its hidden layer from the feature count
     (Section III-D's "ten to twenty nodes depending on the model feature
     set").  ``rng`` seeds the network initialization; linear models are
-    deterministic and ignore it.
+    deterministic and ignore it, as they do ``batched_restarts`` (the
+    neural fast path; see :mod:`repro.core.neural`).
     """
     if kind is ModelKind.LINEAR:
         return LinearModel()
     n_features = len(feature_set.features)
-    model = NeuralNetworkModel(hidden_units=default_hidden_units(n_features))
+    model = NeuralNetworkModel(
+        hidden_units=default_hidden_units(n_features),
+        batched_restarts=batched_restarts,
+    )
     if rng is not None:
         # Bind the rng into fit so the validation protocol (fit(X, y))
         # stays uniform across model kinds.
@@ -95,13 +102,21 @@ def evaluate_models(
     repetitions: int = 100,
     test_fraction: float = 0.3,
     seed: int = 0,
+    workers: int = 1,
+    batched_restarts: bool = False,
+    stats: FitStats | None = None,
 ) -> list[ModelEvaluation]:
     """Run the paper's full model evaluation over one machine's dataset.
 
     Returns one :class:`ModelEvaluation` per (kind, feature set) pair —
     twelve by default, matching Section V-A.  Each pair gets an
-    independent, deterministic RNG stream, so results do not depend on
-    evaluation order.
+    independent, deterministic RNG stream (split permutations plus one
+    spawned fit stream per repetition), so results do not depend on
+    evaluation order or on ``workers`` — ``workers=N`` fans the
+    repetitions across a process pool with bit-identical output.
+    ``batched_restarts`` switches neural fits to the stacked multi-restart
+    SCG fast path; ``stats`` (optional, shared) accumulates every fit's
+    :class:`~repro.core.fitstats.FitStats`.
     """
     evaluations = []
     for kind in kinds:
@@ -109,12 +124,14 @@ def evaluate_models(
             X, y = feature_matrix(observations, fs.features)
             rng = np.random.default_rng([seed, ord(kind.value[0]), ord(fs.value)])
             result = repeated_random_subsampling(
-                lambda: make_model(kind, fs, rng=rng),
+                partial(make_model, kind, fs, batched_restarts=batched_restarts),
                 X,
                 y,
                 test_fraction=test_fraction,
                 repetitions=repetitions,
                 rng=rng,
+                workers=workers,
+                stats=stats,
             )
             evaluations.append(ModelEvaluation(kind=kind, feature_set=fs, result=result))
     return evaluations

@@ -15,10 +15,11 @@ from typing import Callable
 
 import numpy as np
 
+from .feature_sets import FeatureSet
 from .features import CoLocationObservation, Feature, feature_matrix
 from .validation import RegressionModel, repeated_random_subsampling
 
-__all__ = ["SelectionStep", "forward_selection"]
+__all__ = ["SelectionStep", "forward_selection", "rank_feature_sets"]
 
 
 @dataclass(frozen=True)
@@ -39,16 +40,19 @@ def forward_selection(
     repetitions: int = 10,
     test_fraction: float = 0.3,
     rng: np.random.Generator | None = None,
+    workers: int = 1,
 ) -> list[SelectionStep]:
     """Greedily grow a feature set by cross-validated MPE.
 
     Parameters
     ----------
     make_model:
-        Fresh-model factory (same protocol as the validator).  Note the
-        model is refit many times — ``O(max_features * |candidates| *
-        repetitions)`` fits — so cheap models (linear) or reduced
-        repetitions are advisable for the neural family.
+        Fresh-model factory (same protocol as the validator).  The model
+        is refit many times — ``O(max_features * |candidates| *
+        repetitions)`` fits — but ``workers=N`` amortizes the cost by
+        fanning each candidate's repetitions across a process pool, which
+        makes even neural selection at full repetitions practical;
+        neural factories should also enable ``batched_restarts``.
     observations:
         The dataset searched over.
     candidates:
@@ -61,6 +65,9 @@ def forward_selection(
     rng:
         Split randomness; each candidate evaluation gets a child stream so
         scores are comparable within a round.
+    workers:
+        Process-pool width for each candidate's validation sweep; scores
+        are bit-identical to ``workers=1`` (picklable factories only).
 
     Returns
     -------
@@ -76,6 +83,8 @@ def forward_selection(
         raise ValueError(
             f"max_features must be in [1, {len(candidates)}], got {max_features}"
         )
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     if rng is None:
         rng = np.random.default_rng(0)
 
@@ -95,6 +104,7 @@ def forward_selection(
                 test_fraction=test_fraction,
                 repetitions=repetitions,
                 rng=np.random.default_rng(int(seed)),
+                workers=workers,
             )
             scores.append(result.mean_test_mpe)
         best_idx = int(np.argmin(scores))
@@ -108,3 +118,50 @@ def forward_selection(
             )
         )
     return steps
+
+
+def rank_feature_sets(
+    make_model: Callable[[], RegressionModel],
+    observations: list[CoLocationObservation],
+    *,
+    feature_sets: tuple[FeatureSet, ...] = tuple(FeatureSet),
+    repetitions: int = 10,
+    test_fraction: float = 0.3,
+    rng: np.random.Generator | None = None,
+    workers: int = 1,
+) -> list[tuple[FeatureSet, float]]:
+    """Rank Table II's feature sets by cross-validated test MPE.
+
+    The whole-set counterpart of :func:`forward_selection`: instead of
+    growing a set feature-by-feature, score each predefined set with
+    repeated random sub-sampling and sort ascending by mean test MPE.
+    Each set gets a child seed drawn from ``rng`` in ``feature_sets``
+    order, so the ranking is deterministic and ``workers`` only changes
+    wall time (one validation sweep per set fans its repetitions across
+    the pool, same contract as the validator).
+
+    Returns ``(feature_set, mean_test_mpe)`` pairs, best first; ties keep
+    ``feature_sets`` order (`sorted` is stable).
+    """
+    if not feature_sets:
+        raise ValueError("need at least one feature set to rank")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng(0)
+
+    seeds = rng.integers(0, 2**31, size=len(feature_sets))
+    scored = []
+    for fs, seed in zip(feature_sets, seeds):
+        X, y = feature_matrix(observations, fs.features)
+        result = repeated_random_subsampling(
+            make_model,
+            X,
+            y,
+            test_fraction=test_fraction,
+            repetitions=repetitions,
+            rng=np.random.default_rng(int(seed)),
+            workers=workers,
+        )
+        scored.append((fs, result.mean_test_mpe))
+    return sorted(scored, key=lambda pair: pair[1])

@@ -8,15 +8,39 @@ and repeat one hundred times with fresh random splits; report the averages.
 The per-partition spread is also reported — the paper notes each model's
 partition errors varied by "at most a quarter of a percent", i.e. tight
 confidence intervals, and the reproduction's benches check the same.
+
+Repetitions (and leave-one-group-out folds) are independent, so both
+protocols accept ``workers=N`` to fan fits across a process pool — the
+fitting counterpart of the collection layer's ``map_scenarios``.  The same
+two rules keep ``workers=N`` bit-identical to ``workers=1``:
+
+* **Stable split stream.**  Every split permutation is drawn up front from
+  the caller's ``rng`` in repetition order, exactly as the serial loop
+  always has, so the partitions are identical in both modes (and identical
+  to historical serial runs).
+* **Per-repetition fit streams.**  A model factory that accepts an ``rng``
+  keyword receives one SeedSequence-spawned child generator per repetition
+  (keyed by repetition index, independent of draw position), so a
+  repetition's fit randomness never depends on which process ran it or on
+  how many fits preceded it.  Factories without an ``rng`` parameter are
+  called with no arguments, as before.
+
+Each protocol aggregates a :class:`~repro.core.fitstats.FitStats` record
+across repetitions (merged in repetition order, so every count is
+worker-independent; wall time sums per-process fit time).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import inspect
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
 import numpy as np
 
+from .fitstats import FitStats
 from .metrics import mpe, nrmse
 
 __all__ = [
@@ -36,6 +60,133 @@ class RegressionModel(Protocol):
     def predict(self, X: np.ndarray) -> np.ndarray: ...
 
 
+def _accepts_rng(factory: Callable) -> bool:
+    """Whether a model factory declares an ``rng`` parameter.
+
+    Factories that do (e.g. ``functools.partial(make_model, kind, fs)``
+    from the methodology layer) receive one spawned child generator per
+    repetition; plain zero-argument factories are called as before.
+    """
+    try:
+        params = inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        return False
+    return "rng" in params
+
+
+def _spawn_streams(
+    rng: np.random.Generator, count: int
+) -> list[np.random.Generator]:
+    """One child generator per repetition (same scheme as the harness).
+
+    Children derive from the generator's SeedSequence spawn counter, not
+    its draw position, so the i-th child is fixed no matter how many
+    values (e.g. split permutations) were drawn in between.
+    """
+    try:
+        return list(rng.spawn(count))
+    except TypeError:  # bit generator built without a seed sequence
+        root = np.random.SeedSequence(int(rng.integers(2**63)))
+        return [np.random.default_rng(child) for child in root.spawn(count)]
+
+
+def _fit_and_score(
+    make_model: Callable,
+    X: np.ndarray,
+    y: np.ndarray,
+    train_idx: np.ndarray,
+    test_idx: np.ndarray,
+    fit_rng: np.random.Generator | None,
+    stats: FitStats,
+) -> tuple[float, float, float, float]:
+    """Train one fresh model on a split and score both partitions."""
+    started = time.perf_counter()
+    model = make_model(rng=fit_rng) if fit_rng is not None else make_model()
+    model.fit(X[train_idx], y[train_idx])
+    elapsed = time.perf_counter() - started
+    fit_stats = getattr(model, "fit_stats_", None)
+    if isinstance(fit_stats, FitStats):
+        stats.merge(fit_stats)
+    else:
+        stats.record_fit(wall_time_s=elapsed)
+    pred_train = model.predict(X[train_idx])
+    pred_test = model.predict(X[test_idx])
+    return (
+        mpe(pred_train, y[train_idx]),
+        mpe(pred_test, y[test_idx]),
+        nrmse(pred_train, y[train_idx]),
+        nrmse(pred_test, y[test_idx]),
+    )
+
+
+# Worker-process state for the validation pool: the dataset and factory are
+# shipped once per worker via the pool initializer, not per task.
+_FIT_POOL: tuple | None = None
+
+
+def _init_fit_pool(make_model: Callable, X: np.ndarray, y: np.ndarray) -> None:
+    global _FIT_POOL
+    _FIT_POOL = (make_model, X, y)
+
+
+def _run_fit_chunk(chunk):
+    pool_state = _FIT_POOL
+    assert pool_state is not None, "fit pool used before initialization"
+    make_model, X, y = pool_state
+    stats = FitStats()
+    results = [
+        (index, _fit_and_score(make_model, X, y, train_idx, test_idx, fit_rng, stats))
+        for index, train_idx, test_idx, fit_rng in chunk
+    ]
+    return results, stats
+
+
+def _map_splits(
+    make_model: Callable,
+    X: np.ndarray,
+    y: np.ndarray,
+    splits: list,
+    fit_rngs: list,
+    stats: FitStats,
+    workers: int,
+    *,
+    chunks_per_worker: int = 4,
+) -> list[tuple[float, float, float, float]]:
+    """Score every ``(train_idx, test_idx)`` split, in order.
+
+    ``workers=1`` runs inline; otherwise splits are chunked across a
+    process pool, results are reassembled in split order, and each chunk's
+    :class:`FitStats` is merged back in chunk order — both of which keep
+    the parallel path's outputs and counters identical to serial.
+    """
+    tasks = [
+        (index, train_idx, test_idx, fit_rngs[index])
+        for index, (train_idx, test_idx) in enumerate(splits)
+    ]
+    if workers == 1 or len(tasks) <= 1:
+        return [
+            _fit_and_score(make_model, X, y, train_idx, test_idx, fit_rng, stats)
+            for _, train_idx, test_idx, fit_rng in tasks
+        ]
+    n_chunks = min(len(tasks), workers * chunks_per_worker)
+    chunk_size = -(-len(tasks) // n_chunks)
+    chunks = [
+        tasks[start : start + chunk_size]
+        for start in range(0, len(tasks), chunk_size)
+    ]
+    results: list = [None] * len(tasks)
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_fit_pool,
+        initargs=(make_model, X, y),
+    ) as pool:
+        for chunk_results, chunk_stats in pool.map(_run_fit_chunk, chunks):
+            stats.merge(chunk_stats)
+            for index, row in chunk_results:
+                results[index] = row
+    return results
+
+
 @dataclass(frozen=True)
 class ValidationResult:
     """Per-repetition error arrays plus their summary statistics."""
@@ -44,6 +195,7 @@ class ValidationResult:
     test_mpe: np.ndarray
     train_nrmse: np.ndarray
     test_nrmse: np.ndarray
+    fit_stats: FitStats | None = field(default=None, compare=False)
 
     @property
     def repetitions(self) -> int:
@@ -84,13 +236,19 @@ def repeated_random_subsampling(
     test_fraction: float = 0.3,
     repetitions: int = 100,
     rng: np.random.Generator | None = None,
+    workers: int = 1,
+    stats: FitStats | None = None,
 ) -> ValidationResult:
     """Estimate a model family's accuracy by repeated random splits.
 
     Parameters
     ----------
     make_model:
-        Factory producing a fresh, unfitted model per repetition.
+        Factory producing a fresh, unfitted model per repetition.  A
+        factory declaring an ``rng`` parameter receives one spawned child
+        generator per repetition (see the module docstring); with
+        ``workers > 1`` it must also be picklable — a module-level
+        function or :func:`functools.partial`, not a lambda.
     X, y:
         The full dataset; each repetition withholds ``test_fraction`` of
         the rows (at least two so NRMSE is defined on the test partition,
@@ -101,6 +259,12 @@ def repeated_random_subsampling(
         Number of random partitions; the paper uses 100.
     rng:
         Split randomness (seeded for reproducibility).
+    workers:
+        Process-pool width; repetitions fan out across workers with
+        results bit-identical to ``workers=1``.
+    stats:
+        Optional shared :class:`FitStats` that additionally accumulates
+        the aggregate recorded on the returned result.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float).ravel()
@@ -116,32 +280,36 @@ def repeated_random_subsampling(
         raise ValueError("test fraction must be in (0, 1)")
     if repetitions < 1:
         raise ValueError("need at least one repetition")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
     if rng is None:
         rng = np.random.default_rng(0)
 
     # A 1-sample test split always has zero range, which makes NRMSE
     # undefined; keep both partitions at >= 2 rows.
     n_test = min(max(int(round(n * test_fraction)), 2), n - 2)
-    train_mpe = np.empty(repetitions)
-    test_mpe = np.empty(repetitions)
-    train_nrmse = np.empty(repetitions)
-    test_nrmse = np.empty(repetitions)
-    for rep in range(repetitions):
+    # Permutations are drawn up front, in repetition order — the same
+    # stream positions the historical serial loop consumed.
+    splits = []
+    for _ in range(repetitions):
         perm = rng.permutation(n)
-        test_idx, train_idx = perm[:n_test], perm[n_test:]
-        model = make_model()
-        model.fit(X[train_idx], y[train_idx])
-        pred_train = model.predict(X[train_idx])
-        pred_test = model.predict(X[test_idx])
-        train_mpe[rep] = mpe(pred_train, y[train_idx])
-        test_mpe[rep] = mpe(pred_test, y[test_idx])
-        train_nrmse[rep] = nrmse(pred_train, y[train_idx])
-        test_nrmse[rep] = nrmse(pred_test, y[test_idx])
+        splits.append((perm[n_test:], perm[:n_test]))  # (train, test)
+    if _accepts_rng(make_model):
+        fit_rngs: list = _spawn_streams(rng, repetitions)
+    else:
+        fit_rngs = [None] * repetitions
+
+    aggregate = FitStats()
+    rows = _map_splits(make_model, X, y, splits, fit_rngs, aggregate, workers)
+    scores = np.asarray(rows)
+    if stats is not None:
+        stats.merge(aggregate)
     return ValidationResult(
-        train_mpe=train_mpe,
-        test_mpe=test_mpe,
-        train_nrmse=train_nrmse,
-        test_nrmse=test_nrmse,
+        train_mpe=scores[:, 0],
+        test_mpe=scores[:, 1],
+        train_nrmse=scores[:, 2],
+        test_nrmse=scores[:, 3],
+        fit_stats=aggregate,
     )
 
 
@@ -151,6 +319,7 @@ class GroupValidationResult:
 
     group_test_mpe: dict
     group_test_nrmse: dict
+    fit_stats: FitStats | None = field(default=None, compare=False)
 
     @property
     def groups(self) -> list:
@@ -173,6 +342,10 @@ def leave_one_group_out(
     X: np.ndarray,
     y: np.ndarray,
     groups: list,
+    *,
+    workers: int = 1,
+    rng: np.random.Generator | None = None,
+    stats: FitStats | None = None,
 ) -> GroupValidationResult:
     """Leave-one-group-out cross-validation.
 
@@ -185,12 +358,22 @@ def leave_one_group_out(
     Parameters
     ----------
     make_model:
-        Fresh-model factory per fold.
+        Fresh-model factory per fold (picklable when ``workers > 1``; an
+        ``rng``-accepting factory gets one spawned stream per fold).
     X, y:
         The full dataset.
     groups:
         One hashable label per row; folds are the distinct labels, in
         first-seen order.
+    workers:
+        Process-pool width; folds fan out with results identical to
+        ``workers=1``.
+    rng:
+        Root generator for per-fold fit streams (only consulted for
+        ``rng``-accepting factories; defaults to a fixed seed).
+    stats:
+        Optional shared :class:`FitStats` that additionally accumulates
+        the aggregate recorded on the returned result.
     """
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float).ravel()
@@ -213,16 +396,29 @@ def leave_one_group_out(
                 f"a singleton held-out group — every group needs >= 2 rows"
             )
 
-    group_mpe: dict = {}
-    group_nrmse: dict = {}
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+
+    indices = np.arange(y.size)
+    splits = []
     for g in distinct:
         test_mask = labels == g
-        train_mask = ~test_mask
-        model = make_model()
-        model.fit(X[train_mask], y[train_mask])
-        pred = model.predict(X[test_mask])
-        group_mpe[g] = mpe(pred, y[test_mask])
-        group_nrmse[g] = nrmse(pred, y[test_mask])
+        splits.append((indices[~test_mask], indices[test_mask]))
+    if _accepts_rng(make_model):
+        if rng is None:
+            rng = np.random.default_rng(0)
+        fit_rngs: list = _spawn_streams(rng, len(distinct))
+    else:
+        fit_rngs = [None] * len(distinct)
+
+    aggregate = FitStats()
+    rows = _map_splits(make_model, X, y, splits, fit_rngs, aggregate, workers)
+    if stats is not None:
+        stats.merge(aggregate)
+    group_mpe = {g: rows[i][1] for i, g in enumerate(distinct)}
+    group_nrmse = {g: rows[i][3] for i, g in enumerate(distinct)}
     return GroupValidationResult(
-        group_test_mpe=group_mpe, group_test_nrmse=group_nrmse
+        group_test_mpe=group_mpe,
+        group_test_nrmse=group_nrmse,
+        fit_stats=aggregate,
     )

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..core.feature_sets import FEATURE_SETS, FeatureSet
 from ..core.features import FEATURE_DESCRIPTIONS, Feature
+from ..core.fitstats import FitStats
 from ..core.methodology import (
     ModelEvaluation,
     ModelKind,
@@ -57,11 +58,28 @@ class ExperimentContext:
     repetitions:
         Random sub-sampling repetitions for the model evaluations; the
         paper uses 100.  Lower values trade headline fidelity for runtime.
+    workers:
+        Process-pool width for the validation sweeps inside
+        :func:`~repro.core.methodology.evaluate_models`; results are
+        bit-identical for any count.
+    batched_restarts:
+        Fit neural models on the stacked multi-restart SCG fast path
+        (bit-identical to the serial restart loop).
     """
 
-    def __init__(self, *, seed: int = 2015, repetitions: int = 100) -> None:
+    def __init__(
+        self,
+        *,
+        seed: int = 2015,
+        repetitions: int = 100,
+        workers: int = 1,
+        batched_restarts: bool = False,
+    ) -> None:
         self.seed = seed
         self.repetitions = repetitions
+        self.workers = workers
+        self.batched_restarts = batched_restarts
+        self.fit_stats = FitStats()
         self._engines: dict[str, SimulationEngine] = {}
         self._baselines: dict[str, BaselineTable] = {}
         self._datasets: dict[str, ObservationDataset] = {}
@@ -107,6 +125,9 @@ class ExperimentContext:
                 list(self.dataset(key)),
                 repetitions=self.repetitions,
                 seed=self.seed,
+                workers=self.workers,
+                batched_restarts=self.batched_restarts,
+                stats=self.fit_stats,
             )
         return self._evaluations[key]
 

@@ -93,6 +93,8 @@ class TestEnsemblePredictor:
     def test_validation(self, small_dataset, baselines_6core, engine_12core):
         with pytest.raises(ValueError, match="two members"):
             EnsemblePredictor(n_members=1)
+        with pytest.raises(ValueError, match="workers"):
+            EnsemblePredictor(n_members=2, workers=0)
         ens = EnsemblePredictor(ModelKind.LINEAR, FeatureSet.B, n_members=2)
         with pytest.raises(RuntimeError, match="not fitted"):
             ens.predict_interval(baselines_6core.get("ep", 2.53), [])
@@ -100,3 +102,31 @@ class TestEnsemblePredictor:
         foreign = hpcrun_flat(engine_12core, get_application("ep"))
         with pytest.raises(ValueError, match="trained on"):
             ens.predict_interval(foreign, [])
+
+
+class TestParallelFit:
+    def test_workers_train_the_identical_ensemble(
+        self, small_dataset, baselines_6core
+    ):
+        """Resamples and member streams are pre-drawn from the ensemble
+        seed, so pool-trained members equal serially trained ones."""
+
+        def build(workers):
+            ens = EnsemblePredictor(
+                ModelKind.NEURAL, FeatureSet.C, n_members=3, seed=4,
+                workers=workers, batched_restarts=True,
+            )
+            return ens.fit(list(small_dataset))
+
+        target = baselines_6core.get("sp", 2.53)
+        co = [baselines_6core.get("cg", 2.53)] * 2
+        serial = build(1).predict_interval(target, co)
+        parallel = build(3).predict_interval(target, co)
+        assert serial.member_predictions == parallel.member_predictions
+        assert serial.mean_s == parallel.mean_s
+
+    def test_fit_stats_aggregated_over_members(self, ensemble):
+        stats = ensemble.fit_stats_
+        assert stats.fits == 4
+        assert stats.restarts >= 4
+        assert stats.scg_iterations > 0

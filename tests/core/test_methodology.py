@@ -78,6 +78,38 @@ class TestEvaluateModels:
             assert 0.0 <= e.result.mean_test_mpe < 100.0
             assert 0.0 <= e.result.mean_test_nrmse < 100.0
 
+    def test_workers_do_not_change_results(self, small_dataset):
+        def run(workers):
+            return evaluate_models(
+                list(small_dataset),
+                kinds=(ModelKind.NEURAL,),
+                feature_sets=(FeatureSet.C,),
+                repetitions=3,
+                seed=9,
+                workers=workers,
+                batched_restarts=True,
+            )
+
+        serial, parallel = run(1), run(2)
+        for a, b in zip(serial, parallel):
+            np.testing.assert_array_equal(a.result.test_mpe, b.result.test_mpe)
+            np.testing.assert_array_equal(
+                a.result.test_nrmse, b.result.test_nrmse
+            )
+
+    def test_shared_stats_accumulate(self, small_dataset):
+        from repro.core.fitstats import FitStats
+
+        stats = FitStats()
+        evals = evaluate_models(
+            list(small_dataset),
+            kinds=(ModelKind.LINEAR,),
+            feature_sets=(FeatureSet.A, FeatureSet.B),
+            repetitions=2,
+            stats=stats,
+        )
+        assert stats.fits == sum(e.result.repetitions for e in evals) == 4
+
 
 class TestPerformancePredictor:
     def test_fit_predict_time(self, small_dataset, engine_6core, baselines_6core):

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.fitstats import FitStats
 from repro.core.neural import NeuralNetworkModel, default_hidden_units
 
 
@@ -133,6 +134,8 @@ class TestValidation:
             NeuralNetworkModel(l2=-1.0)
         with pytest.raises(ValueError):
             NeuralNetworkModel(n_restarts=0)
+        with pytest.raises(ValueError):
+            NeuralNetworkModel(max_iterations=0)
 
     def test_fit_shape_validation(self, rng):
         model = NeuralNetworkModel()
@@ -142,3 +145,87 @@ class TestValidation:
             model.fit(np.zeros((5, 2)), np.zeros(3))
         with pytest.raises(ValueError, match="two training samples"):
             model.fit(np.zeros((1, 2)), np.zeros(1))
+
+
+class TestBatchedRestarts:
+    def test_bitwise_identical_to_serial(self, rng):
+        """Batched multi-restart fitting reproduces the serial path exactly."""
+        X = rng.normal(size=(80, 3))
+        y = np.sin(X[:, 0]) - 2.0 * X[:, 1] + X[:, 2] ** 2
+        for seed in (0, 7, 42):
+            serial = NeuralNetworkModel(hidden_units=8, n_restarts=4).fit(
+                X, y, rng=np.random.default_rng(seed)
+            )
+            batched = NeuralNetworkModel(
+                hidden_units=8, n_restarts=4, batched_restarts=True
+            ).fit(X, y, rng=np.random.default_rng(seed))
+            np.testing.assert_array_equal(
+                serial.restart_losses_, batched.restart_losses_
+            )
+            assert serial.training_loss_ == batched.training_loss_
+            assert (
+                np.argmin(serial.restart_losses_)
+                == np.argmin(batched.restart_losses_)
+            )
+            np.testing.assert_array_equal(
+                serial.predict(X), batched.predict(X)
+            )
+
+    def test_restart_losses_recorded(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = X.sum(axis=1)
+        model = NeuralNetworkModel(hidden_units=4, n_restarts=3).fit(
+            X, y, rng=rng
+        )
+        assert model.restart_losses_.shape == (3,)
+        assert model.training_loss_ == model.restart_losses_.min()
+
+    def test_all_restarts_diverged_is_descriptive(self):
+        model = NeuralNetworkModel(hidden_units=2, n_restarts=2)
+        with pytest.raises(RuntimeError, match="restart"):
+            model._select_best(np.array([float("nan"), float("inf")]))
+
+    def test_select_best_skips_non_finite(self):
+        model = NeuralNetworkModel(hidden_units=2)
+        losses = np.array([np.nan, 3.0, np.inf, 1.0, 2.0])
+        assert model._select_best(losses) == 3
+
+
+class TestFitStatsIntegration:
+    def test_fit_records_stats(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = X.sum(axis=1)
+        model = NeuralNetworkModel(hidden_units=4, n_restarts=3).fit(
+            X, y, rng=rng
+        )
+        stats = model.fit_stats_
+        assert stats.fits == 1
+        assert stats.restarts == 3
+        assert stats.scg_iterations > 0
+        assert stats.gradient_evals > 0
+        assert stats.wall_time_s > 0.0
+
+    def test_shared_stats_accumulate_across_fits(self, rng):
+        X = rng.normal(size=(40, 2))
+        y = X.sum(axis=1)
+        shared = FitStats()
+        model = NeuralNetworkModel(hidden_units=4, stats=shared)
+        model.fit(X, y, rng=np.random.default_rng(0))
+        model.fit(X, y, rng=np.random.default_rng(1))
+        assert shared.fits == 2
+        assert shared.scg_iterations >= model.fit_stats_.scg_iterations
+
+    def test_batched_and_serial_count_same_iterations(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = np.sin(X[:, 0]) + X[:, 1]
+        serial = NeuralNetworkModel(hidden_units=5, n_restarts=3).fit(
+            X, y, rng=np.random.default_rng(5)
+        )
+        batched = NeuralNetworkModel(
+            hidden_units=5, n_restarts=3, batched_restarts=True
+        ).fit(X, y, rng=np.random.default_rng(5))
+        assert (
+            serial.fit_stats_.scg_iterations
+            == batched.fit_stats_.scg_iterations
+        )
+        assert serial.fit_stats_.restarts == batched.fit_stats_.restarts

@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.core.feature_sets import FeatureSet
 from repro.core.features import Feature
 from repro.core.linear import LinearModel
-from repro.core.selection import forward_selection
+from repro.core.selection import forward_selection, rank_feature_sets
 
 
 class TestForwardSelection:
@@ -71,3 +72,63 @@ class TestForwardSelection:
             forward_selection(
                 LinearModel, list(small_dataset), max_features=9
             )
+        with pytest.raises(ValueError, match="workers"):
+            forward_selection(
+                LinearModel, list(small_dataset), workers=0
+            )
+
+    def test_workers_do_not_change_trajectory(self, small_dataset):
+        def run(workers):
+            return forward_selection(
+                LinearModel, list(small_dataset), repetitions=3,
+                max_features=3, rng=np.random.default_rng(7),
+                workers=workers,
+            )
+
+        serial, parallel = run(1), run(2)
+        assert [s.added for s in serial] == [s.added for s in parallel]
+        assert [s.test_mpe for s in serial] == [s.test_mpe for s in parallel]
+
+
+class TestRankFeatureSets:
+    def test_ranks_every_set_best_first(self, small_dataset):
+        ranking = rank_feature_sets(
+            LinearModel, list(small_dataset), repetitions=3,
+            rng=np.random.default_rng(1),
+        )
+        assert [fs for fs, _ in ranking] != []
+        assert {fs for fs, _ in ranking} == set(FeatureSet)
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores)
+        assert all(np.isfinite(scores))
+
+    def test_deterministic_given_rng(self, small_dataset):
+        def run():
+            return rank_feature_sets(
+                LinearModel, list(small_dataset), repetitions=3,
+                rng=np.random.default_rng(4),
+            )
+
+        assert run() == run()
+
+    def test_workers_do_not_change_ranking(self, small_dataset):
+        def run(workers):
+            return rank_feature_sets(
+                LinearModel, list(small_dataset),
+                feature_sets=(FeatureSet.A, FeatureSet.C, FeatureSet.F),
+                repetitions=3, rng=np.random.default_rng(4),
+                workers=workers,
+            )
+
+        assert run(1) == run(2)
+
+    def test_restricted_sets_and_validation(self, small_dataset):
+        ranking = rank_feature_sets(
+            LinearModel, list(small_dataset),
+            feature_sets=(FeatureSet.B, FeatureSet.D), repetitions=2,
+        )
+        assert {fs for fs, _ in ranking} == {FeatureSet.B, FeatureSet.D}
+        with pytest.raises(ValueError, match="feature set"):
+            rank_feature_sets(LinearModel, list(small_dataset), feature_sets=())
+        with pytest.raises(ValueError, match="workers"):
+            rank_feature_sets(LinearModel, list(small_dataset), workers=0)
