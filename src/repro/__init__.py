@@ -30,6 +30,7 @@ from . import (
     harness,
     machine,
     memsys,
+    obs,
     reporting,
     sched,
     serve,
@@ -48,6 +49,7 @@ __all__ = [
     "harness",
     "machine",
     "memsys",
+    "obs",
     "reporting",
     "sched",
     "serve",

@@ -11,7 +11,14 @@ Exposes the full workflow without writing any Python:
 * ``registry`` — push/list/show versioned models in an on-disk registry,
 * ``serve`` — run the micro-batched asyncio prediction service,
 * ``table`` / ``figure`` — regenerate a paper table or figure,
-* ``report`` — collate benchmark artifacts into one reproduction report.
+* ``report`` — collate benchmark artifacts into one reproduction report,
+* ``obs summary`` — aggregate + span tree view of a captured trace.
+
+``collect``, ``train``, ``evaluate``, and ``serve`` accept ``--trace
+PATH``: the run records :mod:`repro.obs` spans and writes them as Chrome
+trace-event JSON on exit (open in Perfetto, or inspect with
+``repro obs summary PATH``).  Without the flag the null tracer stays
+installed and instrumentation is a no-op.
 
 Every command prints plain text and exits nonzero on user error, so the
 CLI composes with shell pipelines.
@@ -410,6 +417,17 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_obs_summary(args) -> int:
+    from .obs.summary import load_trace, render_summary
+
+    try:
+        events = load_trace(args.trace)
+        print(render_summary(events, top=args.top, tree_spans=args.tree_spans))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+    return 0
+
+
 def _cmd_table(args) -> int:
     from .harness import experiments
     from .reporting.tables import render_table
@@ -551,6 +569,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable steady-state solve memoization")
     p.add_argument("--stats", action="store_true",
                    help="print engine solve/cache statistics after collection")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record a Chrome trace of the sweep to PATH")
     p.set_defaults(func=_cmd_collect)
 
     p = sub.add_parser("train", help="train a model from a dataset CSV")
@@ -565,6 +585,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="train a bootstrap ensemble of N members (for "
                         "uncertainty intervals) instead of a single model")
     p.add_argument("-o", "--output", required=True)
+    p.add_argument("--trace", metavar="PATH",
+                   help="record a Chrome trace of the fit to PATH")
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("evaluate", help="12-model accuracy grid for a dataset")
@@ -580,6 +602,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(bit-identical to the serial restart loop)")
     p.add_argument("--stats", action="store_true",
                    help="print fit statistics after the grid")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record a Chrome trace of the grid to PATH")
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("predict", help="predict a placement from a saved model")
@@ -604,6 +628,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="micro-batch flush size (1 disables coalescing)")
     p.add_argument("--max-wait-ms", dest="max_wait_ms", type=float, default=2.0,
                    help="micro-batch flush deadline in milliseconds")
+    p.add_argument("--trace", metavar="PATH",
+                   help="record request/batcher spans, written to PATH "
+                        "when the server stops")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -647,13 +674,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", help="write to a file instead of stdout")
     p.set_defaults(func=_cmd_report)
 
+    p = sub.add_parser("obs", help="observability utilities")
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    op = obs_sub.add_parser(
+        "summary", help="aggregate + span-tree view of a captured trace"
+    )
+    op.add_argument("trace", help="Chrome trace JSON written by --trace")
+    op.add_argument("--top", type=int, default=15,
+                    help="rows in the by-name aggregate table")
+    op.add_argument("--tree-spans", dest="tree_spans", type=int, default=120,
+                    help="max spans printed across the span trees")
+    op.set_defaults(func=_cmd_obs_summary)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path or args.command == "obs":
+        return args.func(args)
+    # --trace: record spans for the whole command, export on the way out
+    # (including error exits, so partial runs still leave a trace).
+    from .obs.trace import disable, enable
+
+    tracer = enable(service=args.command)
+    try:
+        return args.func(args)
+    finally:
+        spans = tracer.export_chrome(trace_path)
+        print(f"wrote {spans} trace span(s) to {trace_path}")
+        disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -9,7 +9,7 @@ III-B), and the end-to-end methodology/predictor API.
 from .classinfo import ClassProfiles, predict_time_from_classes
 from .ensemble import EnsemblePredictor, PredictionInterval
 from .feature_sets import FEATURE_SETS, FeatureSet, features_for
-from .fitstats import FitStats
+from .fitstats import GLOBAL_FIT_STATS, FitStats
 from .importance import FeatureImportance, permutation_importance
 from .selection import SelectionStep, forward_selection, rank_feature_sets
 from .features import (
@@ -66,6 +66,7 @@ __all__ = [
     "FeatureImportance",
     "FeatureSet",
     "FitStats",
+    "GLOBAL_FIT_STATS",
     "GroupValidationResult",
     "LinearModel",
     "ModelEvaluation",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["FitStats"]
+__all__ = ["FitStats", "GLOBAL_FIT_STATS"]
 
 
 @dataclass
@@ -113,3 +113,10 @@ class FitStats:
                 f"{self.iterations_per_fit:.1f} iterations/fit)"
             )
         return "\n".join(lines)
+
+
+#: Process-wide aggregate across every model fit in this process.  Neural
+#: fits feed it directly; the validation layer's process-parallel path
+#: folds worker chunk records in, so one scrape of the metrics registry
+#: (:mod:`repro.obs`) sees the whole run.
+GLOBAL_FIT_STATS = FitStats()

@@ -35,7 +35,8 @@ import time
 
 import numpy as np
 
-from .fitstats import FitStats
+from ..obs.trace import get_tracer
+from .fitstats import GLOBAL_FIT_STATS, FitStats
 from .scg import minimize_scg, minimize_scg_batched
 
 __all__ = ["NeuralNetworkModel", "default_hidden_units"]
@@ -313,45 +314,62 @@ class NeuralNetworkModel:
 
         W0 = self._draw_initializations(rng, d, h)
         record = FitStats()
-        if self.batched_restarts:
-            bwork: dict = {}
-            result = minimize_scg_batched(
-                lambda P: self._loss_and_grad_batched(P, Z, t, bwork),
-                W0,
-                max_iterations=self.max_iterations,
-            )
-            losses = result.fun
-            best = self._select_best(losses)
-            best_params = result.x[best]
-            record.record_fit(
-                restarts=self.n_restarts,
-                scg_iterations=int(result.iterations.sum()),
-                function_evals=result.function_evals,
-                gradient_evals=result.gradient_evals,
-                wall_time_s=time.perf_counter() - started,
-            )
-        else:
-            work: dict = {}
-            objective = lambda p: self._loss_and_grad(p, Z, t, work)  # noqa: E731
-            results = [
-                minimize_scg(objective, w0, max_iterations=self.max_iterations)
-                for w0 in W0
-            ]
-            losses = np.array([res.fun for res in results])
-            best = self._select_best(losses)
-            best_params = results[best].x
-            record.record_fit(
-                restarts=self.n_restarts,
-                scg_iterations=sum(res.iterations for res in results),
-                function_evals=sum(res.function_evals for res in results),
-                gradient_evals=sum(res.gradient_evals for res in results),
-                wall_time_s=time.perf_counter() - started,
-            )
+        tracer = get_tracer()
+        with tracer.span(
+            "fit.neural",
+            samples=X.shape[0],
+            features=d,
+            hidden=h,
+            restarts=self.n_restarts,
+            batched=self.batched_restarts,
+        ) as fit_span:
+            if self.batched_restarts:
+                bwork: dict = {}
+                with tracer.span("fit.scg_batched") as span:
+                    result = minimize_scg_batched(
+                        lambda P: self._loss_and_grad_batched(P, Z, t, bwork),
+                        W0,
+                        max_iterations=self.max_iterations,
+                    )
+                    span.set(iterations=int(result.iterations.sum()))
+                losses = result.fun
+                best = self._select_best(losses)
+                best_params = result.x[best]
+                record.record_fit(
+                    restarts=self.n_restarts,
+                    scg_iterations=int(result.iterations.sum()),
+                    function_evals=result.function_evals,
+                    gradient_evals=result.gradient_evals,
+                    wall_time_s=time.perf_counter() - started,
+                )
+            else:
+                work: dict = {}
+                objective = lambda p: self._loss_and_grad(p, Z, t, work)  # noqa: E731
+                results = []
+                for restart, w0 in enumerate(W0):
+                    with tracer.span("fit.scg_restart", restart=restart) as span:
+                        res = minimize_scg(
+                            objective, w0, max_iterations=self.max_iterations
+                        )
+                        span.set(iterations=res.iterations, loss=res.fun)
+                    results.append(res)
+                losses = np.array([res.fun for res in results])
+                best = self._select_best(losses)
+                best_params = results[best].x
+                record.record_fit(
+                    restarts=self.n_restarts,
+                    scg_iterations=sum(res.iterations for res in results),
+                    function_evals=sum(res.function_evals for res in results),
+                    gradient_evals=sum(res.gradient_evals for res in results),
+                    wall_time_s=time.perf_counter() - started,
+                )
+            fit_span.set(loss=float(losses[best]))
         self._params = best_params
         self.training_loss_ = float(losses[best])
         self.restart_losses_ = losses
         self.fit_stats_ = record
         self.stats.merge(record)
+        GLOBAL_FIT_STATS.merge(record)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:

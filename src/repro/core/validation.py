@@ -40,7 +40,8 @@ from typing import Callable, Protocol
 
 import numpy as np
 
-from .fitstats import FitStats
+from ..obs.trace import get_tracer
+from .fitstats import GLOBAL_FIT_STATS, FitStats
 from .metrics import mpe, nrmse
 
 __all__ = [
@@ -108,7 +109,11 @@ def _fit_and_score(
     if isinstance(fit_stats, FitStats):
         stats.merge(fit_stats)
     else:
+        # Models without their own record (e.g. the linear model) still
+        # count: once here, once in the process-wide aggregate.  (Neural
+        # fits feed the global from inside ``fit`` instead.)
         stats.record_fit(wall_time_s=elapsed)
+        GLOBAL_FIT_STATS.record_fit(wall_time_s=elapsed)
     pred_train = model.predict(X[train_idx])
     pred_test = model.predict(X[test_idx])
     return (
@@ -163,11 +168,17 @@ def _map_splits(
         (index, train_idx, test_idx, fit_rngs[index])
         for index, (train_idx, test_idx) in enumerate(splits)
     ]
+    tracer = get_tracer()
     if workers == 1 or len(tasks) <= 1:
-        return [
-            _fit_and_score(make_model, X, y, train_idx, test_idx, fit_rng, stats)
-            for _, train_idx, test_idx, fit_rng in tasks
-        ]
+        rows = []
+        for index, train_idx, test_idx, fit_rng in tasks:
+            with tracer.span("validation.repetition", repetition=index):
+                rows.append(
+                    _fit_and_score(
+                        make_model, X, y, train_idx, test_idx, fit_rng, stats
+                    )
+                )
+        return rows
     n_chunks = min(len(tasks), workers * chunks_per_worker)
     chunk_size = -(-len(tasks) // n_chunks)
     chunks = [
@@ -182,6 +193,9 @@ def _map_splits(
     ) as pool:
         for chunk_results, chunk_stats in pool.map(_run_fit_chunk, chunks):
             stats.merge(chunk_stats)
+            # Worker processes fed their own (discarded) global aggregate;
+            # fold the chunk's counters into this process's record instead.
+            GLOBAL_FIT_STATS.merge(chunk_stats)
             for index, row in chunk_results:
                 results[index] = row
     return results
@@ -300,7 +314,15 @@ def repeated_random_subsampling(
         fit_rngs = [None] * repetitions
 
     aggregate = FitStats()
-    rows = _map_splits(make_model, X, y, splits, fit_rngs, aggregate, workers)
+    with get_tracer().span(
+        "validation.subsampling",
+        repetitions=repetitions,
+        samples=n,
+        workers=workers,
+    ):
+        rows = _map_splits(
+            make_model, X, y, splits, fit_rngs, aggregate, workers
+        )
     scores = np.asarray(rows)
     if stats is not None:
         stats.merge(aggregate)
@@ -412,7 +434,15 @@ def leave_one_group_out(
         fit_rngs = [None] * len(distinct)
 
     aggregate = FitStats()
-    rows = _map_splits(make_model, X, y, splits, fit_rngs, aggregate, workers)
+    with get_tracer().span(
+        "validation.leave_one_group_out",
+        folds=len(distinct),
+        samples=int(y.size),
+        workers=workers,
+    ):
+        rows = _map_splits(
+            make_model, X, y, splits, fit_rngs, aggregate, workers
+        )
     if stats is not None:
         stats.merge(aggregate)
     group_mpe = {g: rows[i][1] for i, g in enumerate(distinct)}

@@ -32,6 +32,7 @@ import numpy as np
 from ..core.features import observation_from_profiles
 from ..machine.processor import PROCESSOR_CATALOG, MulticoreProcessor
 from ..machine.pstates import PState
+from ..obs.trace import get_tracer
 from ..sim.engine import SimulationEngine
 from ..workloads.app import ApplicationSpec
 from ..workloads.suite import TRAINING_CO_APP_NAMES, all_applications, get_application
@@ -98,8 +99,19 @@ def setup_for(processor: MulticoreProcessor) -> TrainingSetup:
 def _run_scenario(engine: SimulationEngine, payload) -> float:
     """One Table V cell: the target's noisy co-located execution time."""
     target, co_app, count, pstate, rng = payload
-    run = engine.run(target, [co_app] * count, pstate=pstate, rng=rng)
-    return run.target.execution_time_s
+    tracer = get_tracer()
+    if not tracer.enabled:
+        run = engine.run(target, [co_app] * count, pstate=pstate, rng=rng)
+        return run.target.execution_time_s
+    with tracer.span(
+        "collect.scenario",
+        target=target.name,
+        co_app=co_app.name,
+        count=count,
+        frequency_ghz=pstate.frequency_ghz,
+    ):
+        run = engine.run(target, [co_app] * count, pstate=pstate, rng=rng)
+        return run.target.execution_time_s
 
 
 def _scenario_payloads(
@@ -174,10 +186,16 @@ def collect_training_data(
         for co_app in co_apps
         for count in counts
     ]
-    times = map_scenarios(
-        engine, _run_scenario, _scenario_payloads(scenarios, rng),
+    with get_tracer().span(
+        "collect.dataset",
+        processor=engine.processor.name,
+        scenarios=len(scenarios),
         workers=workers,
-    )
+    ):
+        times = map_scenarios(
+            engine, _run_scenario, _scenario_payloads(scenarios, rng),
+            workers=workers,
+        )
     dataset = ObservationDataset(processor_name=engine.processor.name)
     for (target, co_app, count, pstate), time_s in zip(scenarios, times):
         dataset.add(
@@ -238,10 +256,17 @@ def collect_random_training_data(
         co_app = co_apps[rng.integers(len(co_apps))]
         count = int(rng.integers(1, max_count + 1))
         scenarios.append((target, co_app, count, pstate))
-    times = map_scenarios(
-        engine, _run_scenario, _scenario_payloads(scenarios, rng),
+    with get_tracer().span(
+        "collect.dataset",
+        processor=engine.processor.name,
+        scenarios=len(scenarios),
         workers=workers,
-    )
+        sampling="random",
+    ):
+        times = map_scenarios(
+            engine, _run_scenario, _scenario_payloads(scenarios, rng),
+            workers=workers,
+        )
     dataset = ObservationDataset(processor_name=engine.processor.name)
     for (target, co_app, count, pstate), time_s in zip(scenarios, times):
         dataset.add(

@@ -27,8 +27,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from ..obs.trace import get_tracer
 from ..sim.engine import SimulationEngine
-from ..sim.solve_cache import EngineStats
+from ..sim.solve_cache import GLOBAL_ENGINE_STATS, EngineStats
 
 __all__ = ["map_scenarios", "spawn_streams"]
 
@@ -99,8 +100,12 @@ def map_scenarios(
     if workers < 1:
         raise ValueError("workers must be >= 1")
     payloads = list(payloads)
+    tracer = get_tracer()
     if workers == 1 or len(payloads) <= 1:
-        return [func(engine, payload) for payload in payloads]
+        with tracer.span(
+            "harness.map_scenarios", payloads=len(payloads), workers=1
+        ):
+            return [func(engine, payload) for payload in payloads]
     indexed = list(enumerate(payloads))
     n_chunks = min(len(indexed), workers * chunks_per_worker)
     chunk_size = -(-len(indexed) // n_chunks)
@@ -109,13 +114,23 @@ def map_scenarios(
         for start in range(0, len(indexed), chunk_size)
     ]
     results: list = [None] * len(payloads)
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_init_worker, initargs=(engine,)
-    ) as pool:
-        for chunk_results, stats in pool.map(
-            _run_chunk, [(func, chunk) for chunk in chunks]
-        ):
-            engine.stats.merge(stats)
-            for index, value in chunk_results:
-                results[index] = value
+    with tracer.span(
+        "harness.map_scenarios",
+        payloads=len(payloads),
+        workers=workers,
+        chunks=len(chunks),
+    ):
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(engine,)
+        ) as pool:
+            for chunk_results, stats in pool.map(
+                _run_chunk, [(func, chunk) for chunk in chunks]
+            ):
+                engine.stats.merge(stats)
+                # Worker processes fed their *own* global aggregate, which
+                # dies with the worker — fold the chunk's counters into the
+                # caller's process-wide record here instead.
+                GLOBAL_ENGINE_STATS.merge(stats)
+                for index, value in chunk_results:
+                    results[index] = value
     return results

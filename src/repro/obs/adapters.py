@@ -1,0 +1,131 @@
+"""Bridges from the pre-existing stats records into the one registry.
+
+The simulator, the fitting engine, and the serving layer each kept their
+own observability record long before ``repro.obs`` existed —
+:class:`~repro.sim.solve_cache.EngineStats`,
+:class:`~repro.core.fitstats.FitStats`, and
+:class:`~repro.serve.metrics.ServingMetrics`.  Rather than rewrite them,
+each gets an *adapter*: a render callable that reads the record at scrape
+time and emits conformant Prometheus text.  Registering all three on one
+:class:`~repro.obs.registry.MetricsRegistry` is what lets a single
+``GET /metrics`` scrape see simulation, fitting, and serving together.
+
+The engine and fit adapters read the process-global aggregates
+(``GLOBAL_ENGINE_STATS`` / ``GLOBAL_FIT_STATS``) that every engine solve
+and model fit also feeds; imports are deferred to scrape time so this
+module never drags the simulator into processes that only serve models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .registry import MetricsRegistry, format_value
+
+__all__ = [
+    "engine_stats_exposition",
+    "fit_stats_exposition",
+    "install_default_sources",
+    "render_engine_stats",
+    "render_fit_stats",
+]
+
+#: Fixed-point iteration bucket bounds for the engine histogram.
+ENGINE_ITERATION_BUCKETS = (25, 50, 100, 200, 400, 600)
+
+
+def render_engine_stats(stats) -> str:
+    """One :class:`EngineStats` record as Prometheus text."""
+    lines = [
+        "# HELP repro_engine_solves_total Fixed-point solves performed.",
+        "# TYPE repro_engine_solves_total counter",
+        f"repro_engine_solves_total {stats.solves}",
+        "# HELP repro_engine_cache_hits_total Steady-state cache hits.",
+        "# TYPE repro_engine_cache_hits_total counter",
+        f"repro_engine_cache_hits_total {stats.cache_hits}",
+        "# HELP repro_engine_cache_misses_total Steady-state cache misses.",
+        "# TYPE repro_engine_cache_misses_total counter",
+        f"repro_engine_cache_misses_total {stats.cache_misses}",
+        "# HELP repro_engine_convergence_failures_total Solves that failed "
+        "to converge.",
+        "# TYPE repro_engine_convergence_failures_total counter",
+        f"repro_engine_convergence_failures_total {stats.convergence_failures}",
+        "# HELP repro_engine_solve_iterations Fixed-point iterations per "
+        "solve.",
+        "# TYPE repro_engine_solve_iterations histogram",
+    ]
+    cumulative = 0
+    total = sum(stats.iteration_counts.values())
+    weighted = sum(i * n for i, n in stats.iteration_counts.items())
+    for bound in ENGINE_ITERATION_BUCKETS:
+        cumulative = sum(
+            n for i, n in stats.iteration_counts.items() if i <= bound
+        )
+        lines.append(
+            f'repro_engine_solve_iterations_bucket{{le="{format_value(bound)}"}} '
+            f"{cumulative}"
+        )
+    lines.append(f'repro_engine_solve_iterations_bucket{{le="+Inf"}} {total}')
+    lines.append(f"repro_engine_solve_iterations_sum {weighted}")
+    lines.append(f"repro_engine_solve_iterations_count {total}")
+    return "\n".join(lines)
+
+
+def render_fit_stats(stats) -> str:
+    """One :class:`FitStats` record as Prometheus text."""
+    return "\n".join(
+        [
+            "# HELP repro_fit_fits_total Completed model fit calls.",
+            "# TYPE repro_fit_fits_total counter",
+            f"repro_fit_fits_total {stats.fits}",
+            "# HELP repro_fit_restarts_total SCG weight initializations "
+            "optimized.",
+            "# TYPE repro_fit_restarts_total counter",
+            f"repro_fit_restarts_total {stats.restarts}",
+            "# HELP repro_fit_scg_iterations_total SCG iterations advanced.",
+            "# TYPE repro_fit_scg_iterations_total counter",
+            f"repro_fit_scg_iterations_total {stats.scg_iterations}",
+            "# HELP repro_fit_function_evals_total Loss evaluations.",
+            "# TYPE repro_fit_function_evals_total counter",
+            f"repro_fit_function_evals_total {stats.function_evals}",
+            "# HELP repro_fit_gradient_evals_total Gradient evaluations.",
+            "# TYPE repro_fit_gradient_evals_total counter",
+            f"repro_fit_gradient_evals_total {stats.gradient_evals}",
+            "# HELP repro_fit_wall_seconds_total Wall seconds inside fit "
+            "calls (sums per-process time under parallel validation).",
+            "# TYPE repro_fit_wall_seconds_total counter",
+            f"repro_fit_wall_seconds_total {format_value(stats.wall_time_s)}",
+        ]
+    )
+
+
+def engine_stats_exposition() -> str:
+    """Scrape-time render of the process-global engine aggregate."""
+    from ..sim.solve_cache import GLOBAL_ENGINE_STATS
+
+    return render_engine_stats(GLOBAL_ENGINE_STATS)
+
+
+def fit_stats_exposition() -> str:
+    """Scrape-time render of the process-global fitting aggregate."""
+    from ..core.fitstats import GLOBAL_FIT_STATS
+
+    return render_fit_stats(GLOBAL_FIT_STATS)
+
+
+def install_default_sources(
+    registry: MetricsRegistry,
+    *,
+    serving: Callable[[], str] | None = None,
+) -> MetricsRegistry:
+    """Register the built-in engine and fit sources on ``registry``.
+
+    Pass ``serving`` (typically ``metrics.render_prometheus``) to merge a
+    server's request-path metrics into the same scrape; the prediction
+    server does exactly that for its own registry.
+    """
+    registry.register_source("engine", engine_stats_exposition)
+    registry.register_source("fit", fit_stats_exposition)
+    if serving is not None:
+        registry.register_source("serving", serving)
+    return registry

@@ -1,0 +1,104 @@
+"""Structured JSON logging with automatic trace correlation.
+
+Every record is one JSON object per line — machine-parseable, append-only,
+and safe to interleave from multiple threads — stamped with the active
+trace and span IDs from :mod:`repro.obs.trace`.  That stamp is the whole
+point: a slow serving request's log lines and its spans share a
+``trace_id``, so "what did this request log" is one grep of the log
+against one ID from the trace, instead of timestamp archaeology.
+
+Loggers are cheap named handles over one shared sink (stderr by default;
+swap it with :func:`configure`).  Levels follow syslog-ish convention:
+``debug`` < ``info`` < ``warning`` < ``error``; records below the
+configured threshold are dropped before serialization.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO
+
+from .trace import current_span
+
+__all__ = ["ObsLogger", "configure", "get_logger"]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+_lock = threading.Lock()
+_stream: IO[str] | None = None  # None -> sys.stderr at emit time
+_threshold = _LEVELS["info"]
+_loggers: dict[str, "ObsLogger"] = {}
+
+
+def configure(
+    stream: IO[str] | None = None, *, level: str = "info"
+) -> None:
+    """Set the shared sink and minimum level for every logger.
+
+    ``stream=None`` restores the default (``sys.stderr`` resolved at emit
+    time, so pytest capture and redirection keep working).
+    """
+    global _stream, _threshold
+    if level not in _LEVELS:
+        raise ValueError(f"unknown log level {level!r}; use {sorted(_LEVELS)}")
+    with _lock:
+        _stream = stream
+        _threshold = _LEVELS[level]
+
+
+class ObsLogger:
+    """A named handle that emits structured JSON lines."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        if _LEVELS[level] < _threshold:
+            return
+        record: dict = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        span = current_span()
+        if span is not None and span.trace_id:
+            record["trace_id"] = span.trace_id
+            record["span_id"] = span.span_id
+        for key, value in fields.items():
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                record[key] = value
+            else:
+                record[key] = repr(value)
+        line = json.dumps(record, separators=(",", ":"))
+        with _lock:
+            stream = _stream if _stream is not None else sys.stderr
+            stream.write(line + "\n")
+
+    def debug(self, event: str, **fields) -> None:
+        """Emit a ``debug`` record."""
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        """Emit an ``info`` record."""
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        """Emit a ``warning`` record."""
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        """Emit an ``error`` record."""
+        self._emit("error", event, fields)
+
+
+def get_logger(name: str) -> ObsLogger:
+    """The (cached) logger for ``name``."""
+    with _lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = ObsLogger(name)
+        return logger

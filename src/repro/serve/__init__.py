@@ -13,14 +13,21 @@ long-running, observable prediction service:
 * :mod:`~repro.serve.metrics` — request/error counters and latency and
   batch-size histograms in Prometheus text exposition format;
 * :mod:`~repro.serve.client` — a small blocking client for tests and
-  load generators.
+  load generators, with a label-aware Prometheus parser.
+
+The server threads through :mod:`repro.obs`: each
+:class:`~repro.serve.server.PredictionServer` owns a merged metrics
+registry (serving + engine + fitting + batcher backlog behind one
+``GET /metrics``), requests carry/echo ``X-Request-Id`` and become
+``serve.request`` trace spans, and the micro-batcher records per-phase
+latencies (queue, batch_wait, predict, serialize).
 
 Everything here is standard library + existing ``repro`` modules; there
 are no third-party serving dependencies.
 """
 
 from .batcher import BatcherStats, MicroBatcher
-from .client import ClientError, PredictionClient
+from .client import ClientError, PredictionClient, parse_prometheus
 from .metrics import LatencyHistogram, ServingMetrics
 from .registry import ModelManifest, ModelRegistry, RegistryError
 from .server import PredictionServer, ServerThread
@@ -37,4 +44,5 @@ __all__ = [
     "RegistryError",
     "ServerThread",
     "ServingMetrics",
+    "parse_prometheus",
 ]

@@ -24,10 +24,13 @@ batched call is tens of microseconds.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
+
+from ..obs.trace import current_span, get_tracer
 
 __all__ = ["BatcherStats", "MicroBatcher"]
 
@@ -45,6 +48,10 @@ class BatcherStats:
     size_flushes: int = 0      # flushed because the batch filled up
     deadline_flushes: int = 0  # flushed because max_wait_ms elapsed
     drain_flushes: int = 0     # flushed by shutdown drain
+    #: Rows rejected by admission control.  Always 0 today — the batcher
+    #: never sheds — but the counter is exported (``repro_serve_shed_total``)
+    #: so dashboards and alerts can be built before load shedding lands.
+    shed: int = 0
     flush_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -63,6 +70,10 @@ class BatcherStats:
         elif reason == "drain":
             self.drain_flushes += 1
         self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
+
+    def record_shed(self, rows: int = 1) -> None:
+        """Count rows rejected by (future) admission control."""
+        self.shed += int(rows)
 
 
 class MicroBatcher:
@@ -85,6 +96,10 @@ class MicroBatcher:
     on_flush:
         Optional callback ``(batch_size, reason)`` — the server uses it
         to feed the batch-size histogram.
+    on_phase:
+        Optional callback ``(phase, seconds)`` — fed one ``"batch_wait"``
+        observation per flushed row (submit to flush start) and one
+        ``"predict"`` observation per flush (the vectorized call itself).
     """
 
     def __init__(
@@ -94,6 +109,7 @@ class MicroBatcher:
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
         on_flush: Callable[[int, str], None] | None = None,
+        on_phase: Callable[[str, float], None] | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -103,8 +119,10 @@ class MicroBatcher:
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.on_flush = on_flush
+        self.on_phase = on_phase
         self.stats = BatcherStats()
-        self._pending: list[tuple[np.ndarray, asyncio.Future]] = []
+        # (row, future, submit perf_counter time, submitting request span).
+        self._pending: list[tuple[np.ndarray, asyncio.Future, float, object]] = []
         self._timer: asyncio.TimerHandle | None = None
 
     @property
@@ -125,7 +143,8 @@ class MicroBatcher:
             raise ValueError(f"submit takes one 1-D feature row; got {row.shape}")
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((row, future))
+        parent = current_span() if get_tracer().enabled else None
+        self._pending.append((row, future, time.perf_counter(), parent))
         if len(self._pending) >= self.max_batch:
             self._flush("size")
         elif self._timer is None:
@@ -142,18 +161,48 @@ class MicroBatcher:
         if not self._pending:
             return
         batch, self._pending = self._pending, []
-        rows = np.stack([row for row, _future in batch])
+        rows = np.stack([row for row, _future, _t, _span in batch])
         self.stats.record_flush(len(batch), reason)
         if self.on_flush is not None:
             self.on_flush(len(batch), reason)
+        tracer = get_tracer()
+        flush_started = time.perf_counter()
+        if self.on_phase is not None:
+            for _row, _future, submitted, _span in batch:
+                self.on_phase("batch_wait", flush_started - submitted)
+        if tracer.enabled:
+            # Each row's wait is only known now — record it retroactively,
+            # parented to the request span that submitted the row.
+            for _row, _future, submitted, span in batch:
+                tracer.record_span(
+                    "serve.batch_wait",
+                    start=submitted,
+                    end=flush_started,
+                    parent=span,
+                    reason=reason,
+                )
         try:
             result = self.predict_fn(rows)
         except Exception as exc:  # noqa: BLE001 - forwarded to awaiters
-            for _row, future in batch:
+            for _row, future, _t, _span in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for i, (_row, future) in enumerate(batch):
+        predict_done = time.perf_counter()
+        if self.on_phase is not None:
+            self.on_phase("predict", predict_done - flush_started)
+        if tracer.enabled:
+            # One vectorized call serves the whole batch; the span joins
+            # the first submitter's trace and carries the batch size.
+            tracer.record_span(
+                "serve.predict",
+                start=flush_started,
+                end=predict_done,
+                parent=batch[0][3],
+                batch_size=len(batch),
+                reason=reason,
+            )
+        for i, (_row, future, _t, _span) in enumerate(batch):
             if future.done():  # cancelled awaiter; nothing to deliver
                 continue
             if isinstance(result, tuple):

@@ -17,7 +17,12 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..obs.registry import escape_label_value
+
 __all__ = ["LatencyHistogram", "ServingMetrics"]
+
+#: Request phases recorded by the server, in pipeline order.
+REQUEST_PHASES = ("queue", "batch_wait", "predict", "serialize")
 
 #: Bucket upper bounds (seconds) for the latency histogram exposition.
 LATENCY_BUCKETS_S = (
@@ -120,7 +125,9 @@ def _fmt(value: float) -> str:
 def _labels(**labels: str) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{k}="{escape_label_value(str(v))}"' for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 
@@ -146,6 +153,9 @@ class ServingMetrics:
         self.latency = LatencyHistogram()
         #: rows per flushed micro-batch.
         self.batch_sizes = LatencyHistogram(buckets=tuple(float(b) for b in BATCH_BUCKETS))
+        #: request phase -> time spent in that phase, seconds (see
+        #: :data:`REQUEST_PHASES` for the pipeline order).
+        self.phase_latency: dict[str, LatencyHistogram] = {}
 
     # ------------------------------------------------------------ record
     def record_request(self, endpoint: str, status: int, seconds: float) -> None:
@@ -165,6 +175,13 @@ class ServingMetrics:
     def record_batch(self, size: int) -> None:
         """Count one flushed micro-batch of ``size`` rows."""
         self.batch_sizes.observe(float(size))
+
+    def record_phase(self, phase: str, seconds: float) -> None:
+        """Record time one request spent in one pipeline phase."""
+        hist = self.phase_latency.get(phase)
+        if hist is None:
+            hist = self.phase_latency[phase] = LatencyHistogram()
+        hist.observe(seconds)
 
     def record_model_cache(self, hit: bool) -> None:
         """Count one resident-model cache lookup."""
@@ -196,6 +213,11 @@ class ServingMetrics:
         self.model_cache_misses += other.model_cache_misses
         self.latency.merge(other.latency)
         self.batch_sizes.merge(other.batch_sizes)
+        for phase, hist in other.phase_latency.items():
+            mine = self.phase_latency.get(phase)
+            if mine is None:
+                mine = self.phase_latency[phase] = LatencyHistogram()
+            mine.merge(hist)
 
     def reset(self) -> None:
         """Zero every counter and histogram."""
@@ -206,6 +228,7 @@ class ServingMetrics:
         self.model_cache_misses = 0
         self.latency.reset()
         self.batch_sizes.reset()
+        self.phase_latency = {}
 
     # ------------------------------------------------------ rendering
     def render_prometheus(self) -> str:
@@ -258,30 +281,71 @@ class ServingMetrics:
                 self.batch_sizes,
             )
         )
+        lines.extend(self._render_phases())
         return "\n".join(lines) + "\n"
 
-    @staticmethod
+    def _render_phases(self) -> list[str]:
+        """The per-phase latency family (one histogram per phase label)."""
+        name = "repro_serve_phase_latency_seconds"
+        lines = [
+            f"# HELP {name} Time each request spent per pipeline phase "
+            "(queue, batch_wait, predict, serialize).",
+            f"# TYPE {name} histogram",
+        ]
+        phases = sorted(self.phase_latency)
+        for phase in phases:
+            lines.extend(
+                self._histogram_samples(
+                    name, self.phase_latency[phase], phase=phase
+                )
+            )
+        for p, label in ((50, "p50"), (95, "p95"), (99, "p99")):
+            lines.append(
+                f"# HELP {name}_{label} Phase latency percentile "
+                f"(over the retained sample window)."
+            )
+            lines.append(f"# TYPE {name}_{label} gauge")
+            for phase in phases:
+                value = self.phase_latency[phase].percentile(p)
+                lines.append(f"{name}_{label}{_labels(phase=phase)} {_fmt(value)}")
+        return lines
+
+    @classmethod
     def _render_histogram(
-        name: str, help_text: str, hist: LatencyHistogram
+        cls, name: str, help_text: str, hist: LatencyHistogram
     ) -> list[str]:
         lines = [
             f"# HELP {name} {help_text}",
             f"# TYPE {name} histogram",
         ]
+        lines.extend(cls._histogram_samples(name, hist))
+        # Quantile gauges (summary-style convenience for dashboards/tests).
+        for p, label in ((50, "p50"), (95, "p95"), (99, "p99")):
+            lines.append(
+                f"# HELP {name}_{label} Percentile of {name} "
+                f"(over the retained sample window)."
+            )
+            lines.append(f"# TYPE {name}_{label} gauge")
+            lines.append(
+                f"{name}_{label} {_fmt(hist.percentile(p))}"
+            )
+        return lines
+
+    @staticmethod
+    def _histogram_samples(
+        name: str, hist: LatencyHistogram, **labels: str
+    ) -> list[str]:
+        """Bucket/sum/count sample lines for one (possibly labelled) series."""
+        lines = []
         cumulative = 0
         for bound, n in zip(hist.buckets, hist.bucket_counts):
             cumulative += n
             lines.append(
-                f"{name}_bucket{_labels(le=_fmt(bound))} {cumulative}"
+                f"{name}_bucket{_labels(le=_fmt(bound), **labels)} {cumulative}"
             )
-        lines.append(f'{name}_bucket{{le="+Inf"}} {hist.count}')
-        lines.append(f"{name}_sum {_fmt(hist.total)}")
-        lines.append(f"{name}_count {hist.count}")
-        # Quantile gauges (summary-style convenience for dashboards/tests).
-        for p, label in ((50, "p50"), (95, "p95"), (99, "p99")):
-            lines.append(
-                f"{name}_{label} {_fmt(hist.percentile(p))}"
-            )
+        lines.append(f'{name}_bucket{_labels(le="+Inf", **labels)} {hist.count}')
+        lines.append(f"{name}_sum{_labels(**labels)} {_fmt(hist.total)}")
+        lines.append(f"{name}_count{_labels(**labels)} {hist.count}")
         return lines
 
     def summary(self) -> str:

@@ -34,6 +34,9 @@ from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
+from ..obs.adapters import install_default_sources
+from ..obs.registry import MetricsRegistry, escape_label_value
+from ..obs.trace import get_tracer
 from .batcher import MicroBatcher
 from .metrics import ServingMetrics
 from .registry import ModelManifest, ModelRegistry, RegistryError
@@ -122,6 +125,14 @@ class PredictionServer:
         self.max_wait_ms = max_wait_ms
         self.model_cache_size = model_cache_size
         self.metrics = metrics if metrics is not None else ServingMetrics()
+        # Per-server metrics registry: one GET /metrics scrape merges the
+        # request-path metrics with the process-wide engine and fitting
+        # aggregates plus the per-model batcher backlog.  Private (not the
+        # obs default) so several servers in one process stay independent.
+        self.obs_registry = install_default_sources(
+            MetricsRegistry(), serving=self.metrics.render_prometheus
+        )
+        self.obs_registry.register_source("batcher", self._render_batcher_metrics)
         self._server: asyncio.AbstractServer | None = None
         self._resident: OrderedDict[str, _ResidentModel] = OrderedDict()
         # Bare-name -> (dir mtime_ns, version): skips re-listing the
@@ -174,6 +185,30 @@ class PredictionServer:
         except asyncio.CancelledError:  # graceful exit path
             pass
 
+    # ------------------------------------------------------------- metrics
+    def _render_batcher_metrics(self) -> str:
+        """Backlog gauge and shed counter across resident models."""
+        lines = [
+            "# HELP repro_serve_batcher_backlog Rows queued in each "
+            "resident model's micro-batcher, sampled at scrape time.",
+            "# TYPE repro_serve_batcher_backlog gauge",
+        ]
+        shed = 0
+        for key, resident in self._resident.items():
+            lines.append(
+                "repro_serve_batcher_backlog"
+                f'{{model="{escape_label_value(key)}"}} '
+                f"{resident.batcher.pending}"
+            )
+            shed += resident.batcher.stats.shed
+        lines.append(
+            "# HELP repro_serve_shed_total Rows rejected by admission "
+            "control (always 0 until load shedding lands)."
+        )
+        lines.append("# TYPE repro_serve_shed_total counter")
+        lines.append(f"repro_serve_shed_total {shed}")
+        return "\n".join(lines)
+
     # ------------------------------------------------------------- models
     def _resident_model(self, ref: str) -> _ResidentModel:
         """Resolve a reference to a loaded model, LRU-caching residents."""
@@ -199,6 +234,7 @@ class PredictionServer:
             max_batch=self.max_batch,
             max_wait_ms=self.max_wait_ms,
             on_flush=lambda size, _reason: self.metrics.record_batch(size),
+            on_phase=self.metrics.record_phase,
         )
         resident = _ResidentModel(artifact, manifest, batcher)
         self._resident[key] = resident
@@ -291,31 +327,46 @@ class PredictionServer:
     ) -> bool:
         started = time.perf_counter()
         endpoint = request.path if request.path in _KNOWN_ENDPOINTS else "other"
-        try:
-            status, content_type, payload = await self._route(request)
-        except _HTTPError as exc:
-            status = exc.status
-            content_type = "application/json"
-            payload = json.dumps({"error": exc.message}).encode()
-            self.metrics.record_error(exc.reason)
-        except Exception as exc:  # noqa: BLE001 - report, don't kill the loop
-            status = 500
-            content_type = "application/json"
-            payload = json.dumps({"error": f"internal error: {exc}"}).encode()
-            self.metrics.record_error("internal")
-        keep_alive = (
-            request.headers.get("connection", "keep-alive").lower() != "close"
-            and not self._closing
+        # Accept a client-supplied correlation id; mint one otherwise.  The
+        # id is echoed in the response and stamped on the request span, so
+        # a client, the trace, and the logs can all meet on one value.
+        request_id = (
+            request.headers.get("x-request-id", "").strip()
+            or os.urandom(8).hex()
         )
-        head = (
-            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(payload)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"\r\n"
-        )
-        writer.write(head.encode("latin-1") + payload)
-        await writer.drain()
+        with get_tracer().span(
+            "serve.request",
+            endpoint=endpoint,
+            method=request.method,
+            request_id=request_id,
+        ) as span:
+            try:
+                status, content_type, payload = await self._route(request)
+            except _HTTPError as exc:
+                status = exc.status
+                content_type = "application/json"
+                payload = json.dumps({"error": exc.message}).encode()
+                self.metrics.record_error(exc.reason)
+            except Exception as exc:  # noqa: BLE001 - report, don't kill the loop
+                status = 500
+                content_type = "application/json"
+                payload = json.dumps({"error": f"internal error: {exc}"}).encode()
+                self.metrics.record_error("internal")
+            span.set(status=status)
+            keep_alive = (
+                request.headers.get("connection", "keep-alive").lower() != "close"
+                and not self._closing
+            )
+            head = (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"X-Request-Id: {_header_safe(request_id)}\r\n"
+                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+                f"\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
         self.metrics.record_request(
             endpoint, status, time.perf_counter() - started
         )
@@ -329,7 +380,10 @@ class PredictionServer:
             return 200, "application/json", json.dumps(body).encode()
         if path == "/metrics":
             self._require(method, "GET")
-            text = self.metrics.render_prometheus()
+            # The merged registry: serving + engine + fitting + batcher
+            # backlog, one scrape (the serving source is this server's own
+            # ServingMetrics).
+            text = self.obs_registry.render()
             return 200, "text/plain; version=0.0.4", text.encode()
         if path == "/v1/models":
             self._require(method, "GET")
@@ -349,6 +403,7 @@ class PredictionServer:
 
     # ------------------------------------------------------------- predict
     async def _predict(self, request: _Request) -> tuple[int, str, bytes]:
+        entered = time.perf_counter()
         try:
             body = json.loads(request.body.decode() or "{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
@@ -389,12 +444,17 @@ class PredictionServer:
                 400, "bad_request", "'instances' must be a non-empty list"
             )
         rows = [self._feature_row(resident, inst) for inst in instances]
+        # Phase breakdown: "queue" is everything before the batcher sees
+        # the rows (parse, validate, model resolve); the batcher itself
+        # records "batch_wait" and "predict"; "serialize" follows below.
+        self.metrics.record_phase("queue", time.perf_counter() - entered)
         if len(rows) == 1:
             results = [await resident.batcher.submit(rows[0])]
         else:
             results = await asyncio.gather(
                 *(resident.batcher.submit(row) for row in rows)
             )
+        serialize_started = time.perf_counter()
         self.metrics.record_predictions(len(results))
         payload: dict = {"model": resident.manifest.ref}
         if resident.is_ensemble:
@@ -420,11 +480,11 @@ class PredictionServer:
                 payload["prediction"] = results[0]
             else:
                 payload["predictions"] = list(results)
-        return (
-            200,
-            "application/json",
-            json.dumps(payload, separators=(",", ":")).encode(),
+        encoded = json.dumps(payload, separators=(",", ":")).encode()
+        self.metrics.record_phase(
+            "serialize", time.perf_counter() - serialize_started
         )
+        return 200, "application/json", encoded
 
     @staticmethod
     def _feature_row(resident: _ResidentModel, features) -> np.ndarray:
@@ -466,6 +526,12 @@ _STATUS_TEXT = {
     405: "Method Not Allowed",
     500: "Internal Server Error",
 }
+
+
+def _header_safe(value: str, max_len: int = 128) -> str:
+    """A client-supplied value made safe to echo in a response header."""
+    cleaned = "".join(c for c in value if 32 <= ord(c) < 127)
+    return cleaned[:max_len] or "invalid"
 
 
 class ServerThread:

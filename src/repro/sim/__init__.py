@@ -13,7 +13,13 @@ from .engine import (
     SimulationEngine,
     SteadyState,
 )
-from .solve_cache import EngineStats, SolveCache, app_signature, solve_key
+from .solve_cache import (
+    GLOBAL_ENGINE_STATS,
+    EngineStats,
+    SolveCache,
+    app_signature,
+    solve_key,
+)
 from .timesliced import SliceRecord, TimeSlicedResult, TimeSlicedSimulator
 from .tracesim import TraceCompetitor, TraceSharingResult, simulate_trace_sharing
 
@@ -23,6 +29,7 @@ __all__ = [
     "ColocationScenario",
     "ConvergenceError",
     "EngineStats",
+    "GLOBAL_ENGINE_STATS",
     "SimulationEngine",
     "SliceRecord",
     "SolveCache",

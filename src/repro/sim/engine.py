@@ -40,8 +40,9 @@ from ..cache.sharing import waterfill
 from ..machine.pstates import PState
 from ..machine.processor import MulticoreProcessor
 from ..memsys.dram import DRAMModel
+from ..obs.trace import get_tracer
 from ..workloads.app import ApplicationSpec, PhasedApplication
-from .solve_cache import EngineStats, SolveCache, solve_key
+from .solve_cache import GLOBAL_ENGINE_STATS, EngineStats, SolveCache, solve_key
 
 __all__ = [
     "AppRun",
@@ -304,8 +305,30 @@ class SimulationEngine:
         When the engine has a :class:`SolveCache`, solves are memoized on
         ``(processor, frequency, per-app behaviour, pinned occupancies)``
         and repeated scenarios are served from the cache bit-exactly.
-        Every call is tallied in :attr:`stats`.
+        Every call is tallied in :attr:`stats` and in the process-wide
+        :data:`~repro.sim.solve_cache.GLOBAL_ENGINE_STATS`; when tracing
+        is enabled each call becomes an ``engine.solve`` span.
         """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve_steady_state(apps, pstate, fixed_occupancies)
+        hits_before = self.stats.cache_hits
+        with tracer.span("engine.solve", processor=self.processor.name) as span:
+            state = self._solve_steady_state(apps, pstate, fixed_occupancies)
+            span.set(
+                apps=len(state.apps),
+                cache_hit=self.stats.cache_hits > hits_before,
+                iterations=state.iterations,
+                frequency_ghz=state.pstate.frequency_ghz,
+            )
+            return state
+
+    def _solve_steady_state(
+        self,
+        apps: tuple[ApplicationSpec, ...] | list[ApplicationSpec],
+        pstate: PState | None,
+        fixed_occupancies: np.ndarray | None,
+    ) -> "SteadyState":
         apps = tuple(apps)
         if not apps:
             raise ValueError("need at least one application")
@@ -336,16 +359,20 @@ class SimulationEngine:
             cached = self.cache.get(key)
             if cached is not None:
                 self.stats.record_hit()
+                GLOBAL_ENGINE_STATS.record_hit()
                 # Re-label with the requested apps/pstate: the cache keys on
                 # behaviour only, so names and run lengths may differ.
                 return replace(cached, apps=apps, pstate=pstate)
             self.stats.record_miss()
+            GLOBAL_ENGINE_STATS.record_miss()
         try:
             state = self._solve_fixed_point(apps, pstate, alloc)
         except ConvergenceError:
             self.stats.record_failure()
+            GLOBAL_ENGINE_STATS.record_failure()
             raise
         self.stats.record_solve(state.iterations)
+        GLOBAL_ENGINE_STATS.record_solve(state.iterations)
         if key is not None:
             self.cache.put(key, state)
         return state

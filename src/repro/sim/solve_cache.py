@@ -31,7 +31,13 @@ import numpy as np
 
 from ..workloads.app import ApplicationSpec
 
-__all__ = ["EngineStats", "SolveCache", "app_signature", "solve_key"]
+__all__ = [
+    "EngineStats",
+    "GLOBAL_ENGINE_STATS",
+    "SolveCache",
+    "app_signature",
+    "solve_key",
+]
 
 
 def app_signature(app: ApplicationSpec) -> tuple:
@@ -233,3 +239,10 @@ class EngineStats:
             body = " | ".join(f"{span}: {n}" for span, n in histogram.items())
             lines.append(f"fixed-point iterations: {body}")
         return "\n".join(lines)
+
+
+#: Process-wide aggregate across every engine in this process.  Each solve
+#: feeds both its engine's own ``stats`` and this record; the parallel
+#: layers fold worker-process chunk stats in so one scrape of the metrics
+#: registry (:mod:`repro.obs`) sees the whole run.
+GLOBAL_ENGINE_STATS = EngineStats()

@@ -1,0 +1,32 @@
+"""Fixtures for the observability tests.
+
+The tracer and log sink are process globals, so every fixture that
+installs one restores the previous state afterwards — tests stay isolated
+no matter their order.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs.log import configure
+from repro.obs.trace import disable, enable
+
+
+@pytest.fixture
+def tracer():
+    """A fresh recording tracer installed for the test, removed after."""
+    installed = enable(service="test")
+    yield installed
+    disable()
+
+
+@pytest.fixture
+def log_sink():
+    """Capture structured log output in a StringIO for the test."""
+    sink = io.StringIO()
+    configure(sink, level="debug")
+    yield sink
+    configure(None, level="info")

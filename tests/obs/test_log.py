@@ -1,0 +1,67 @@
+"""Structured JSON logging: one object per line, trace-correlated."""
+
+import json
+
+import pytest
+
+from repro.obs.log import configure, get_logger
+
+
+def _records(sink):
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestEmission:
+    def test_record_shape(self, log_sink):
+        get_logger("collect").info("scenario_done", scenario=3, apps="cg,lu")
+        (record,) = _records(log_sink)
+        assert record["level"] == "info"
+        assert record["logger"] == "collect"
+        assert record["event"] == "scenario_done"
+        assert record["scenario"] == 3
+        assert record["apps"] == "cg,lu"
+        assert isinstance(record["ts"], float)
+
+    def test_non_primitive_fields_reprd(self, log_sink):
+        get_logger("t").info("payload", data={"a": [1]})
+        (record,) = _records(log_sink)
+        assert record["data"] == repr({"a": [1]})
+
+    def test_logger_handles_are_cached(self):
+        assert get_logger("same") is get_logger("same")
+
+    def test_all_levels_emit(self, log_sink):
+        logger = get_logger("levels")
+        logger.debug("d")
+        logger.info("i")
+        logger.warning("w")
+        logger.error("e")
+        assert [r["level"] for r in _records(log_sink)] == [
+            "debug", "info", "warning", "error",
+        ]
+
+
+class TestFiltering:
+    def test_below_threshold_dropped(self, log_sink):
+        configure(log_sink, level="warning")
+        logger = get_logger("filtered")
+        logger.debug("quiet")
+        logger.info("quiet")
+        logger.warning("loud")
+        assert [r["event"] for r in _records(log_sink)] == ["loud"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure(None, level="loudest")
+
+
+class TestTraceCorrelation:
+    def test_records_stamped_inside_span(self, log_sink, tracer):
+        logger = get_logger("serve")
+        logger.info("outside")
+        with tracer.span("serve.request") as span:
+            logger.info("inside")
+        outside, inside = _records(log_sink)
+        assert "trace_id" not in outside
+        assert inside["trace_id"] == span.trace_id
+        assert inside["span_id"] == span.span_id

@@ -1,0 +1,162 @@
+"""Tracing core: span lifecycle, context propagation, Chrome export."""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.trace import (
+    NullTracer,
+    Tracer,
+    current_span,
+    current_trace_id,
+    disable,
+    enable,
+    get_tracer,
+    set_tracer,
+)
+
+
+class TestNullTracer:
+    def test_default_tracer_is_disabled(self):
+        tracer = get_tracer()
+        assert isinstance(tracer, NullTracer)
+        assert not tracer.enabled
+        assert len(tracer) == 0
+        assert tracer.spans() == []
+
+    def test_span_is_shared_noop(self):
+        tracer = NullTracer()
+        a = tracer.span("anything", key="value")
+        b = tracer.span("else")
+        assert a is b  # one shared instance: zero allocation per call
+        with a as span:
+            assert span.set(more=1) is span
+        assert a.attributes == {}
+
+    def test_record_span_discards(self):
+        tracer = NullTracer()
+        assert tracer.record_span("late", start=0.0, end=1.0) is None
+
+
+class TestRecordingTracer:
+    def test_nesting_links_parent_and_trace(self, tracer):
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            assert current_trace_id() == outer.trace_id
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+            with tracer.span("sibling") as sibling:
+                assert sibling.parent_id == outer.span_id
+        assert current_span() is None
+        assert current_trace_id() is None
+        assert [s.name for s in tracer.spans()] == ["inner", "sibling", "outer"]
+
+    def test_sequential_roots_get_fresh_traces(self, tracer):
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert first.parent_id is None and second.parent_id is None
+        assert first.trace_id != second.trace_id
+
+    def test_attributes_and_duration(self, tracer):
+        with tracer.span("timed", preset=1) as span:
+            span.set(during="yes")
+            time.sleep(0.002)
+        assert span.attributes == {"preset": 1, "during": "yes"}
+        assert span.duration_s >= 0.002
+        assert span.thread_id == threading.get_ident()
+
+    def test_exception_stamps_error_and_propagates(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.attributes["error"] == "ValueError"
+
+    def test_async_task_inherits_active_span(self, tracer):
+        async def scenario():
+            with tracer.span("request") as parent:
+                async def worker():
+                    with tracer.span("work") as child:
+                        return child
+
+                child = await asyncio.ensure_future(worker())
+            return parent, child
+
+        parent, child = asyncio.run(scenario())
+        assert child.parent_id == parent.span_id
+        assert child.trace_id == parent.trace_id
+
+    def test_record_span_retroactive(self, tracer):
+        with tracer.span("request") as parent:
+            pass
+        late = tracer.record_span(
+            "queue_wait", start=10.0, end=10.25, parent=parent, reason="deadline"
+        )
+        assert late.parent_id == parent.span_id
+        assert late.trace_id == parent.trace_id
+        assert late.duration_s == pytest.approx(0.25)
+        assert late.attributes == {"reason": "deadline"}
+        orphan = tracer.record_span("rootless", start=0.0, end=1.0)
+        assert orphan.parent_id is None
+
+    def test_ring_buffer_keeps_most_recent(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(7):
+            tracer.record_span(f"s{i}", start=float(i), end=float(i) + 0.5)
+        assert len(tracer) == 3
+        assert [s.name for s in tracer.spans()] == ["s4", "s5", "s6"]
+        tracer.reset()
+        assert len(tracer) == 0
+
+    def test_max_spans_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestChromeExport:
+    def test_export_roundtrip(self, tracer, tmp_path):
+        with tracer.span("outer", machine="e5649"):
+            with tracer.span("inner", payload=[1, 2]):  # non-primitive attr
+                pass
+        path = tmp_path / "trace.json"
+        exported = tracer.export_chrome(path)
+        assert exported == len(tracer) == 2
+
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        meta, *spans = events
+        assert meta["ph"] == "M" and meta["args"]["name"] == "test"
+        assert [e["name"] for e in spans] == ["inner", "outer"]
+        for event in spans:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+            assert event["args"]["span_id"]
+        inner, outer = spans
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert inner["args"]["trace_id"] == outer["args"]["trace_id"]
+        assert inner["args"]["payload"] == "[1, 2]"  # repr()d, not dropped
+        assert inner["cat"] == "inner"
+        assert outer["args"]["machine"] == "e5649"
+
+
+class TestInstallation:
+    def test_enable_installs_and_disable_removes(self):
+        tracer = enable(service="install-test")
+        try:
+            assert get_tracer() is tracer
+            assert tracer.enabled
+        finally:
+            disable()
+        assert isinstance(get_tracer(), NullTracer)
+
+    def test_set_tracer_returns_previous(self):
+        original = get_tracer()
+        replacement = NullTracer()
+        assert set_tracer(replacement) is original
+        assert set_tracer(original) is replacement

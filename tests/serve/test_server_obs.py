@@ -1,0 +1,126 @@
+"""Observability on the serving request path.
+
+Covers the :mod:`repro.obs` integration the server threads through:
+``X-Request-Id`` accept/echo, per-phase latency metrics, the batcher
+backlog gauge and shed counter, the merged three-source ``/metrics``
+scrape, and ``serve.request`` spans when tracing is enabled.
+"""
+
+import pytest
+
+from repro.obs.trace import disable, enable
+from repro.serve.client import PredictionClient
+from repro.serve.server import ServerThread, _header_safe
+
+
+@pytest.fixture
+def server(populated_registry):
+    with ServerThread(populated_registry, max_batch=8, max_wait_ms=1.0) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    with PredictionClient("127.0.0.1", server.port) as c:
+        yield c
+
+
+class TestRequestId:
+    def test_client_id_echoed(self, client, feature_dicts):
+        client.predict(feature_dicts[0], model="point", request_id="req-abc-123")
+        assert client.last_request_id == "req-abc-123"
+
+    def test_server_mints_when_absent(self, client, feature_dicts):
+        client.predict(feature_dicts[0], model="point")
+        first = client.last_request_id
+        client.predict(feature_dicts[0], model="point")
+        second = client.last_request_id
+        assert first and second and first != second
+        int(first, 16)  # server-minted ids are hex
+
+    def test_echoed_on_every_endpoint(self, client):
+        client._json("GET", "/healthz", headers={"X-Request-Id": "health-1"})
+        assert client.last_request_id == "health-1"
+
+    def test_header_safe_sanitizes(self):
+        assert _header_safe("plain-id-42") == "plain-id-42"
+        assert _header_safe("evil\r\nInjected: yes") == "evilInjected: yes"
+        assert _header_safe("\r\n\x00") == "invalid"
+        assert len(_header_safe("x" * 500)) == 128
+
+
+class TestPhaseMetrics:
+    def test_all_four_phases_recorded(self, client, feature_dicts):
+        client.predict_batch(feature_dicts[:4], model="point")
+        samples = client.metrics()
+        for phase in ("queue", "batch_wait", "predict", "serialize"):
+            key = f'repro_serve_phase_latency_seconds_count{{phase="{phase}"}}'
+            assert samples[key] >= 1.0, f"phase {phase} never observed"
+
+    def test_batch_wait_counts_rows_predict_counts_flushes(
+        self, client, feature_dicts
+    ):
+        client.predict_batch(feature_dicts[:5], model="point")
+        samples = client.metrics()
+        waits = samples['repro_serve_phase_latency_seconds_count{phase="batch_wait"}']
+        predicts = samples['repro_serve_phase_latency_seconds_count{phase="predict"}']
+        assert waits >= 5.0       # one observation per queued row
+        assert predicts < waits   # one observation per vectorized flush
+
+
+class TestBatcherMetrics:
+    def test_backlog_gauge_per_resident_model(self, client, feature_dicts):
+        client.predict(feature_dicts[0], model="point")
+        client.predict(feature_dicts[0], model="band")
+        samples = client.metrics()
+        assert samples['repro_serve_batcher_backlog{model="point@1"}'] == 0.0
+        assert samples['repro_serve_batcher_backlog{model="band@1"}'] == 0.0
+
+    def test_shed_counter_exported_and_zero(self, client, feature_dicts):
+        client.predict(feature_dicts[0], model="point")
+        assert client.metrics()["repro_serve_shed_total"] == 0.0
+
+
+class TestMergedScrape:
+    def test_single_scrape_covers_all_three_sources(self, client, feature_dicts):
+        client.predict(feature_dicts[0], model="point")
+        text = client.metrics_text()
+        assert "repro_engine_solves_total" in text   # simulation source
+        assert "repro_fit_fits_total" in text        # fitting source
+        samples = client.metrics()
+        assert (
+            samples['repro_serve_requests_total{endpoint="/v1/predict",status="200"}']
+            >= 1.0
+        )
+
+    def test_servers_keep_private_registries(self, populated_registry):
+        with ServerThread(populated_registry) as a, ServerThread(
+            populated_registry
+        ) as b:
+            assert a.server.obs_registry is not b.server.obs_registry
+
+
+class TestRequestSpans:
+    def test_request_span_carries_id_and_children(self, client, feature_dicts):
+        tracer = enable(service="test-serve")
+        try:
+            client.predict(
+                feature_dicts[0], model="point", request_id="traced-req-7"
+            )
+            spans = tracer.spans()
+        finally:
+            disable()
+        (request,) = [
+            s for s in spans
+            if s.name == "serve.request"
+            and s.attributes.get("request_id") == "traced-req-7"
+        ]
+        assert request.attributes["endpoint"] == "/v1/predict"
+        assert request.attributes["status"] == 200
+        children = [s for s in spans if s.parent_id == request.span_id]
+        assert "serve.batch_wait" in {s.name for s in children}
+        predicts = [
+            s for s in spans
+            if s.name == "serve.predict" and s.trace_id == request.trace_id
+        ]
+        assert predicts and predicts[0].attributes["batch_size"] >= 1

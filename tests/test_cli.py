@@ -335,3 +335,54 @@ class TestReport:
         empty.mkdir()
         with pytest.raises(SystemExit, match="no artifacts"):
             main(["report", "--results", str(empty)])
+
+
+class TestObsCommands:
+    def _write_trace(self, tmp_path):
+        from repro.obs.trace import Tracer
+
+        tracer = Tracer(service="cli-test")
+        with tracer.span("outer", machine="e5649"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        tracer.export_chrome(path)
+        return path
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["obs"])
+
+    def test_summary_renders_tree(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        assert main(["obs", "summary", str(path), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary: 2 spans" in out
+        assert "machine=e5649" in out
+
+    def test_summary_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="error:"):
+            main(["obs", "summary", str(tmp_path / "absent.json")])
+
+    def test_summary_rejects_non_trace(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"traceEvents": []}')
+        with pytest.raises(SystemExit, match="no complete-span"):
+            main(["obs", "summary", str(bogus)])
+
+    def test_trace_flag_exports_and_uninstalls(self, tmp_path, capsys):
+        from repro.obs.trace import NullTracer, get_tracer
+
+        trace_path = tmp_path / "collect.json"
+        assert main([
+            "collect", "--machine", "e5649",
+            "--targets", "ep", "--co-apps", "ep", "--counts", "1",
+            "-o", str(tmp_path / "ds.csv"),
+            "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"trace span(s) to {trace_path}" in out
+        assert isinstance(get_tracer(), NullTracer)
+        payload = json.loads(trace_path.read_text())
+        names = {e["name"] for e in payload["traceEvents"] if e.get("ph") == "X"}
+        assert "collect.dataset" in names and "engine.solve" in names

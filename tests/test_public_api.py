@@ -20,6 +20,7 @@ SUBPACKAGES = [
     "harness",
     "machine",
     "memsys",
+    "obs",
     "reporting",
     "sched",
     "sim",
