@@ -8,8 +8,13 @@ Exposes the full workflow without writing any Python:
 * ``train`` — fit a model on a dataset and save it as JSON,
 * ``evaluate`` — the 12-model accuracy grid for a dataset,
 * ``predict`` — predict a placement's time from a saved model,
-* ``registry`` — push/list/show versioned models in an on-disk registry,
-* ``serve`` — run the micro-batched asyncio prediction service,
+* ``registry`` — push/list/show versioned models in a local or remote
+  registry, plus ``serve`` (the HTTP artifact service), ``gc`` (prune
+  old versions), ``tombstone`` (block a bad version without deleting
+  it), and ``pull`` (warm the local blob cache),
+* ``serve`` — run the micro-batched asyncio prediction service from a
+  local registry directory or a remote registry (``--registry-url``),
+  with optional admission control and hot-reload,
 * ``table`` / ``figure`` — regenerate a paper table or figure,
 * ``report`` — collate benchmark artifacts into one reproduction report,
 * ``obs summary`` — aggregate + span tree view of a captured trace.
@@ -317,21 +322,49 @@ def _cmd_predict(args) -> int:
 
 
 def _open_registry(path: str):
-    from .serve.registry import ModelRegistry
+    from .registry.local import ModelRegistry
 
     return ModelRegistry(path)
 
 
+def _open_backend(args):
+    """Local directory or remote registry, from --registry/--registry-url."""
+    url = getattr(args, "registry_url", None)
+    path = getattr(args, "registry", None)
+    if url and path:
+        raise SystemExit(
+            "error: pass either --registry DIR or --registry-url URL, not both"
+        )
+    if url:
+        cache = getattr(args, "cache", None)
+        if not cache:
+            raise SystemExit(
+                "error: --registry-url needs --cache DIR for the local "
+                "content-addressed blob cache"
+            )
+        from .registry.client import HttpBackend
+        from .registry.local import RegistryError
+
+        try:
+            return HttpBackend(url, cache, token=getattr(args, "token", None))
+        except RegistryError as exc:
+            raise SystemExit(f"error: {exc}") from None
+    if not path:
+        raise SystemExit("error: pass --registry DIR or --registry-url URL")
+    return _open_registry(path)
+
+
 def _cmd_registry_push(args) -> int:
     from .core.persistence import PersistenceError, load_artifact
-    from .serve.registry import RegistryError
+    from .registry.local import RegistryError
 
     try:
         artifact = load_artifact(args.model)
     except (OSError, PersistenceError) as exc:
         raise SystemExit(f"error: cannot load model: {exc}") from None
+    backend = _open_backend(args)
     try:
-        manifest = _open_registry(args.registry).push(args.name, artifact)
+        manifest = backend.push(args.name, artifact)
     except RegistryError as exc:
         raise SystemExit(f"error: {exc}") from None
     print(
@@ -342,11 +375,16 @@ def _cmd_registry_push(args) -> int:
 
 
 def _cmd_registry_list(args) -> int:
+    from .registry.local import RegistryError
     from .reporting.tables import render_table
 
-    manifests = _open_registry(args.registry).list()
+    backend = _open_backend(args)
+    try:
+        manifests = backend.list()
+    except RegistryError as exc:
+        raise SystemExit(f"error: {exc}") from None
     if not manifests:
-        print(f"registry {args.registry} is empty")
+        print(f"registry {backend.describe()} is empty")
         return 0
     rows = [
         [
@@ -363,7 +401,7 @@ def _cmd_registry_list(args) -> int:
         render_table(
             ["model", "artifact", "technique", "processor", "train obs", "created"],
             rows,
-            title=f"Model registry: {args.registry}",
+            title=f"Model registry: {backend.describe()}",
         )
     )
     return 0
@@ -372,13 +410,101 @@ def _cmd_registry_list(args) -> int:
 def _cmd_registry_show(args) -> int:
     import json
 
-    from .serve.registry import RegistryError
+    from .registry.local import RegistryError
 
     try:
-        manifest = _open_registry(args.registry).resolve(args.ref)
+        manifest = _open_backend(args).resolve(args.ref)
     except RegistryError as exc:
         raise SystemExit(f"error: {exc}") from None
     print(json.dumps(manifest.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_registry_serve(args) -> int:
+    import asyncio
+
+    from .registry.server import RegistryServer
+
+    backend = _open_registry(args.registry)
+    server = RegistryServer(
+        backend, host=args.host, port=args.port, token=args.token
+    )
+
+    async def _run() -> None:
+        await server.start()
+        mode = "push enabled" if args.token else "read-only (no --token)"
+        print(
+            f"registry server: {len(backend.names())} model(s) from "
+            f"{args.registry} on http://{args.host}:{server.port} ({mode})"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+            print(server.metrics.summary())
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_registry_gc(args) -> int:
+    from .registry.local import RegistryError
+
+    try:
+        report = _open_registry(args.registry).gc(
+            args.keep, dry_run=args.dry_run
+        )
+    except RegistryError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(report.summary())
+    for ref in report.removed:
+        verb = "would remove" if report.dry_run else "removed"
+        print(f"  {verb} {ref}")
+    return 0
+
+
+def _cmd_registry_tombstone(args) -> int:
+    from .registry.local import RegistryError
+
+    registry = _open_registry(args.registry)
+    try:
+        if args.undo:
+            lifted = registry.untombstone(args.ref)
+            print(
+                f"untombstoned {args.ref}"
+                if lifted
+                else f"{args.ref} was not tombstoned"
+            )
+        else:
+            registry.tombstone(args.ref, reason=args.reason)
+            print(
+                f"tombstoned {args.ref}"
+                + (f" ({args.reason})" if args.reason else "")
+                + "; bytes retained, resolution blocked"
+            )
+    except RegistryError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    return 0
+
+
+def _cmd_registry_pull(args) -> int:
+    from .registry.local import RegistryError
+
+    backend = _open_backend(args)
+    if not getattr(args, "registry_url", None):
+        raise SystemExit("error: pull needs --registry-url (and --cache)")
+    try:
+        _artifact, manifest = backend.get(args.ref)
+    except RegistryError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    print(
+        f"pulled {manifest.ref} ({manifest.artifact}, {manifest.kind}/"
+        f"{manifest.feature_set}) sha256 {manifest.content_hash[:12]}; "
+        f"cached under {backend.cache_dir}"
+    )
     return 0
 
 
@@ -387,22 +513,30 @@ def _cmd_serve(args) -> int:
 
     from .serve.server import PredictionServer
 
-    registry = _open_registry(args.registry)
+    registry = _open_backend(args)
     server = PredictionServer(
         registry,
         host=args.host,
         port=args.port,
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
+        max_backlog=args.max_backlog,
+        hot_reload_s=args.hot_reload,
     )
 
     async def _run() -> None:
         await server.start()
         names = registry.names()
+        extras = ""
+        if args.max_backlog is not None:
+            extras += f", max_backlog={args.max_backlog}"
+        if args.hot_reload is not None:
+            extras += f", hot_reload={args.hot_reload}s"
         print(
-            f"serving {len(names)} model(s) {names} from {args.registry} "
-            f"on http://{args.host}:{server.port} "
-            f"(max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms)"
+            f"serving {len(names)} model(s) {names} from "
+            f"{registry.describe()} on http://{args.host}:{server.port} "
+            f"(max_batch={args.max_batch}, max_wait={args.max_wait_ms}ms"
+            f"{extras})"
         )
         try:
             await server.serve_forever()
@@ -534,6 +668,18 @@ def _cmd_figure(args) -> int:
 # --------------------------------------------------------------- parser
 
 
+def _add_backend_args(parser: argparse.ArgumentParser) -> None:
+    """The shared --registry / --registry-url backend selector."""
+    parser.add_argument("--registry", help="local registry directory")
+    parser.add_argument("--registry-url", dest="registry_url",
+                        help="remote registry server URL "
+                             "(http://host:port; needs --cache)")
+    parser.add_argument("--cache", help="content-addressed blob cache "
+                                        "directory for --registry-url")
+    parser.add_argument("--token", help="bearer token for pushes to a "
+                                        "remote registry")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -621,13 +767,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve", help="serve registry models over HTTP (asyncio, micro-batched)"
     )
-    p.add_argument("--registry", required=True, help="registry directory")
+    _add_backend_args(p)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8391)
     p.add_argument("--max-batch", dest="max_batch", type=int, default=32,
                    help="micro-batch flush size (1 disables coalescing)")
     p.add_argument("--max-wait-ms", dest="max_wait_ms", type=float, default=2.0,
                    help="micro-batch flush deadline in milliseconds")
+    p.add_argument("--max-backlog", dest="max_backlog", type=int, default=None,
+                   help="per-model admission bound: shed requests with 429 "
+                        "once this many rows are queued (default: never shed)")
+    p.add_argument("--hot-reload", dest="hot_reload", type=float, default=None,
+                   metavar="SECONDS",
+                   help="poll the registry for new latest versions every "
+                        "SECONDS, pre-warming the resident-model cache")
     p.add_argument("--trace", metavar="PATH",
                    help="record request/batcher spans, written to PATH "
                         "when the server stops")
@@ -639,19 +792,56 @@ def build_parser() -> argparse.ArgumentParser:
     reg_sub = p.add_subparsers(dest="registry_command", required=True)
 
     rp = reg_sub.add_parser("push", help="push a trained model JSON as a new version")
-    rp.add_argument("--registry", required=True, help="registry directory")
+    _add_backend_args(rp)
     rp.add_argument("--name", required=True, help="model name (bare, no @version)")
     rp.add_argument("--model", required=True, help="artifact JSON from 'train'")
     rp.set_defaults(func=_cmd_registry_push)
 
     rl = reg_sub.add_parser("list", help="list every registered model version")
-    rl.add_argument("--registry", required=True, help="registry directory")
+    _add_backend_args(rl)
     rl.set_defaults(func=_cmd_registry_list)
 
     rs = reg_sub.add_parser("show", help="print one manifest as JSON")
     rs.add_argument("ref", help="model reference: name or name@version")
-    rs.add_argument("--registry", required=True, help="registry directory")
+    _add_backend_args(rs)
     rs.set_defaults(func=_cmd_registry_show)
+
+    rv = reg_sub.add_parser(
+        "serve", help="serve a registry directory as an HTTP artifact service"
+    )
+    rv.add_argument("--registry", required=True, help="registry directory")
+    rv.add_argument("--host", default="127.0.0.1")
+    rv.add_argument("--port", type=int, default=8100)
+    rv.add_argument("--token", help="bearer token required for POST /v1/push "
+                                    "(omit for a read-only mirror)")
+    rv.set_defaults(func=_cmd_registry_serve)
+
+    rg = reg_sub.add_parser(
+        "gc", help="prune old versions, keeping the newest N live per name"
+    )
+    rg.add_argument("--registry", required=True, help="registry directory")
+    rg.add_argument("--keep", required=True, type=int,
+                    help="live versions to keep per model name")
+    rg.add_argument("--dry-run", dest="dry_run", action="store_true",
+                    help="report what would be removed without deleting")
+    rg.set_defaults(func=_cmd_registry_gc)
+
+    rt = reg_sub.add_parser(
+        "tombstone", help="block a bad version everywhere without deleting it"
+    )
+    rt.add_argument("ref", help="explicit name@version to block")
+    rt.add_argument("--registry", required=True, help="registry directory")
+    rt.add_argument("--reason", default="", help="why the version is blocked")
+    rt.add_argument("--undo", action="store_true",
+                    help="lift the tombstone instead of placing one")
+    rt.set_defaults(func=_cmd_registry_tombstone)
+
+    rpl = reg_sub.add_parser(
+        "pull", help="download one version into the local blob cache"
+    )
+    rpl.add_argument("ref", help="model reference: name or name@version")
+    _add_backend_args(rpl)
+    rpl.set_defaults(func=_cmd_registry_pull)
 
     p = sub.add_parser("table", help="regenerate a paper table (1-6)")
     p.add_argument("number", type=int)

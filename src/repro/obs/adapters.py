@@ -28,6 +28,7 @@ __all__ = [
     "install_default_sources",
     "render_engine_stats",
     "render_fit_stats",
+    "render_registry_backend",
 ]
 
 #: Fixed-point iteration bucket bounds for the engine histogram.
@@ -95,6 +96,38 @@ def render_fit_stats(stats) -> str:
             "calls (sums per-process time under parallel validation).",
             "# TYPE repro_fit_wall_seconds_total counter",
             f"repro_fit_wall_seconds_total {format_value(stats.wall_time_s)}",
+        ]
+    )
+
+
+def render_registry_backend(backend) -> str:
+    """Inventory gauges for one registry backend, read at scrape time.
+
+    ``backend`` is anything speaking the
+    :class:`~repro.registry.backend.RegistryBackend` protocol; the
+    registry server registers this so a scrape reports how many models,
+    versions, and tombstones the store is holding.
+    """
+    manifests = backend.list()
+    names = {m.name for m in manifests}
+    tombstones = sum(
+        1
+        for m in manifests
+        if backend.tombstone_reason(m.name, m.version) is not None
+    )
+    return "\n".join(
+        [
+            "# HELP repro_registry_models Distinct model names stored.",
+            "# TYPE repro_registry_models gauge",
+            f"repro_registry_models {len(names)}",
+            "# HELP repro_registry_versions Stored model versions "
+            "(tombstoned included).",
+            "# TYPE repro_registry_versions gauge",
+            f"repro_registry_versions {len(manifests)}",
+            "# HELP repro_registry_tombstones Versions currently blocked "
+            "by a tombstone.",
+            "# TYPE repro_registry_tombstones gauge",
+            f"repro_registry_tombstones {tombstones}",
         ]
     )
 

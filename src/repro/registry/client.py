@@ -1,0 +1,425 @@
+"""HTTP registry backend with a content-addressed local cache.
+
+:class:`HttpBackend` speaks the :class:`~repro.registry.backend.RegistryBackend`
+protocol against a remote :class:`~repro.registry.server.RegistryServer`,
+so the prediction server and the CLI use a remote registry exactly like a
+local directory.  Two properties make it fit for a serving fleet:
+
+* **Content-addressed cache.**  Every downloaded payload is verified
+  against its manifest's SHA-256 and stored under
+  ``<cache_dir>/blobs/<sha256>``; manifests land under
+  ``<cache_dir>/manifests/<name>/<version>.json``.  A repeat ``get()`` of
+  a pinned, cached, live version touches the cache only — zero HTTP
+  requests (the bench pins this via :attr:`http_requests`).
+* **Outage survival.**  When the registry is unreachable, references that
+  resolve within the cache keep working: a pinned version loads straight
+  from cache, a bare name floats to the newest cached live version.  Only
+  uncached versions fail, with an error naming the unreachable registry.
+
+Error parity: tampered, truncated, and corrupted payloads raise the same
+descriptive :class:`~repro.registry.local.RegistryError` messages as the
+local backend — both decode through
+:func:`~repro.registry.local.decode_payload` — and a tombstoned version
+raises :class:`~repro.registry.local.TombstoneError` with the shared
+:func:`~repro.registry.local.tombstone_message` wording (the server's 410
+body carries the exact text).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+from pathlib import Path
+from urllib.parse import urlsplit
+
+from ..core.persistence import PersistenceError, artifact_to_dict
+from .local import (
+    Artifact,
+    ModelManifest,
+    RegistryError,
+    TombstoneError,
+    decode_payload,
+    parse_ref,
+    tombstone_message,
+)
+
+__all__ = ["HttpBackend"]
+
+
+class HttpBackend:
+    """A remote registry, cached locally by content hash.
+
+    Parameters
+    ----------
+    base_url:
+        Registry server address, e.g. ``http://127.0.0.1:8100``.
+    cache_dir:
+        Directory for the blob/manifest cache (created on demand).
+    token:
+        Bearer token sent by :meth:`push` (pushes fail without one unless
+        the server allows anonymous pushes — the stock server never does).
+    timeout_s:
+        Socket timeout per HTTP request.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        cache_dir: str | Path,
+        *,
+        token: str | None = None,
+        timeout_s: float = 10.0,
+    ) -> None:
+        split = urlsplit(base_url)
+        if split.scheme != "http" or not split.hostname:
+            raise RegistryError(
+                f"registry URL must be http://host:port; got {base_url!r}"
+            )
+        self.base_url = base_url.rstrip("/")
+        self._host = split.hostname
+        self._port = split.port or 80
+        self.cache_dir = Path(cache_dir)
+        self.token = token
+        self.timeout_s = timeout_s
+        #: HTTP requests attempted (the round-trip bench asserts a cached
+        #: ``get()`` leaves this untouched).
+        self.http_requests = 0
+
+    # ------------------------------------------------------------- wire
+    def describe(self) -> str:
+        """Human-readable backend location (for logs and errors)."""
+        return self.base_url
+
+    @staticmethod
+    def parse_ref(ref: str) -> tuple[str, int | None]:
+        """Split ``name`` or ``name@version`` into its parts."""
+        return parse_ref(ref)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: bytes | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes]:
+        """One HTTP round-trip; raises ``OSError`` when unreachable."""
+        self.http_requests += 1
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self.timeout_s
+        )
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _error_text(payload: bytes, fallback: str) -> str:
+        try:
+            return str(json.loads(payload.decode())["error"])
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError):
+            return fallback
+
+    # ------------------------------------------------------------- cache
+    def _manifest_path(self, name: str, version: int) -> Path:
+        return self.cache_dir / "manifests" / name / f"{version}.json"
+
+    def _blob_cache_path(self, content_hash: str) -> Path:
+        return self.cache_dir / "blobs" / content_hash
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_bytes(payload)
+        os.replace(tmp, path)
+
+    def _cache_manifest(self, data: dict) -> None:
+        """Store one server manifest dict (with its tombstone field)."""
+        try:
+            name, version = str(data["name"]), int(data["version"])
+        except (KeyError, TypeError, ValueError):
+            return  # malformed server response; nothing worth caching
+        self._atomic_write(
+            self._manifest_path(name, version),
+            json.dumps(data, indent=2).encode(),
+        )
+
+    def _cached_manifest(self, name: str, version: int) -> dict | None:
+        """The cached manifest dict for one version, or ``None``."""
+        try:
+            return json.loads(self._manifest_path(name, version).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _mark_tombstoned(self, name: str, version: int, reason: str) -> None:
+        """Record a learned tombstone so the cache also refuses it."""
+        cached = self._cached_manifest(name, version)
+        if cached is not None and cached.get("tombstone") != reason:
+            cached["tombstone"] = reason
+            self._cache_manifest(cached)
+
+    def _cached_versions(self, name: str) -> list[int]:
+        manifest_dir = self.cache_dir / "manifests" / name
+        if not manifest_dir.is_dir():
+            return []
+        return sorted(
+            int(p.stem)
+            for p in manifest_dir.glob("*.json")
+            if p.stem.isdigit()
+        )
+
+    # ----------------------------------------------------------- resolve
+    def resolve(self, ref: str) -> ModelManifest:
+        """Resolve a reference against the server (cache on outage)."""
+        name, version = parse_ref(ref)  # local validation: identical errors
+        try:
+            status, payload = self._request(
+                "GET", f"/v1/models/{ref}/manifest"
+            )
+        except OSError:
+            return self._resolve_cached(name, version)
+        if status == 200:
+            data = json.loads(payload.decode())
+            self._cache_manifest(data)
+            return ModelManifest.from_dict(data)
+        message = self._error_text(
+            payload, f"registry at {self.base_url} refused {ref!r} ({status})"
+        )
+        if status == 410:
+            if version is not None:
+                # Remember the block so offline lookups refuse it too.
+                reason = self._reason_from_message(ref, message)
+                self._mark_tombstoned(name, version, reason)
+                raise TombstoneError(message, reason=reason)
+            raise TombstoneError(message)
+        raise RegistryError(message)
+
+    @staticmethod
+    def _reason_from_message(ref: str, message: str) -> str:
+        """Recover the operator reason from the shared tombstone text."""
+        prefix = f"{ref} is tombstoned"
+        suffix = (
+            " (bytes retained; resolve another version or untombstone it)"
+        )
+        if not (message.startswith(prefix) and message.endswith(suffix)):
+            return ""
+        core = message[len(prefix):-len(suffix)]
+        return core[2:] if core.startswith(": ") else ""
+
+    def _resolve_cached(self, name: str, version: int | None) -> ModelManifest:
+        """Offline resolution from cached manifests only."""
+        versions = self._cached_versions(name)
+        if version is None:
+            live = [
+                v
+                for v in versions
+                if (self._cached_manifest(name, v) or {}).get("tombstone")
+                is None
+                and self._cached_manifest(name, v) is not None
+            ]
+            if not live:
+                raise RegistryError(
+                    f"registry at {self.base_url} is unreachable and the "
+                    f"cache has no live version of {name!r} "
+                    f"(cached: {versions})"
+                )
+            version = live[-1]
+        data = self._cached_manifest(name, version)
+        if data is None:
+            raise RegistryError(
+                f"registry at {self.base_url} is unreachable and "
+                f"{name}@{version} is not cached (cached: {versions})"
+            )
+        reason = data.get("tombstone")
+        if reason is not None:
+            raise TombstoneError(
+                tombstone_message(f"{name}@{version}", str(reason)),
+                reason=str(reason),
+            )
+        return ModelManifest.from_dict(data)
+
+    def latest(self, name: str) -> ModelManifest:
+        """Manifest of the newest live version of ``name``."""
+        parsed, version = parse_ref(name)
+        if version is not None:
+            raise RegistryError(f"latest takes a bare name; got {name!r}")
+        return self.resolve(parsed)
+
+    def latest_version(self, name: str) -> int:
+        """Newest live version number of ``name``."""
+        return self.latest(name).version
+
+    # --------------------------------------------------------------- get
+    def get(self, ref: str) -> tuple[Artifact, ModelManifest]:
+        """Load and hash-verify an artifact, cache-first for pinned refs.
+
+        A pinned reference whose manifest and payload are both cached
+        (and not known-tombstoned) is served without any HTTP request;
+        everything else resolves against the server, downloading (and
+        caching) the payload by content hash.
+        """
+        name, version = parse_ref(ref)
+        manifest: ModelManifest | None = None
+        if version is not None:
+            cached = self._cached_manifest(name, version)
+            if cached is not None:
+                reason = cached.get("tombstone")
+                if reason is not None:
+                    raise TombstoneError(
+                        tombstone_message(f"{name}@{version}", str(reason)),
+                        reason=str(reason),
+                    )
+                manifest = ModelManifest.from_dict(cached)
+        if manifest is None:
+            manifest = self.resolve(ref)
+        blob_path = self._blob_cache_path(manifest.content_hash)
+        if blob_path.is_file():
+            payload = blob_path.read_bytes()
+            try:
+                return decode_payload(payload, manifest), manifest
+            except RegistryError:
+                # Cache corruption (not a server problem): drop the entry
+                # and fall through to a fresh download.
+                blob_path.unlink(missing_ok=True)
+        payload = self._download_blob(manifest)
+        artifact = decode_payload(payload, manifest)  # canonical errors
+        self._atomic_write(blob_path, payload)
+        return artifact, manifest
+
+    def _download_blob(self, manifest: ModelManifest) -> bytes:
+        try:
+            status, payload = self._request(
+                "GET", f"/v1/blobs/{manifest.content_hash}"
+            )
+        except OSError as exc:
+            raise RegistryError(
+                f"registry at {self.base_url} is unreachable and "
+                f"{manifest.ref} is not cached: {exc}"
+            ) from None
+        if status != 200:
+            raise RegistryError(
+                self._error_text(
+                    payload,
+                    f"registry at {self.base_url} refused blob "
+                    f"{manifest.content_hash[:12]}... ({status})",
+                )
+            )
+        return payload
+
+    # ------------------------------------------------------------- lists
+    def names(self) -> list[str]:
+        """Distinct model names, from the server (cache on outage)."""
+        try:
+            status, payload = self._request("GET", "/v1/models")
+        except OSError:
+            manifest_root = self.cache_dir / "manifests"
+            if not manifest_root.is_dir():
+                return []
+            return sorted(
+                p.name
+                for p in manifest_root.iterdir()
+                if p.is_dir() and self._cached_versions(p.name)
+            )
+        if status != 200:
+            raise RegistryError(
+                self._error_text(
+                    payload, f"registry at {self.base_url} refused the "
+                    f"model listing ({status})"
+                )
+            )
+        data = json.loads(payload.decode())
+        for entry in data.get("models", []):
+            self._cache_manifest(entry)
+        return sorted({str(m["name"]) for m in data.get("models", [])})
+
+    def list(self) -> list[ModelManifest]:
+        """Every stored manifest (cache on outage), sorted."""
+        try:
+            status, payload = self._request("GET", "/v1/models")
+        except OSError:
+            manifests = [
+                self._cached_manifest(name, version)
+                for name in self.names()  # offline branch: reads the cache
+                for version in self._cached_versions(name)
+            ]
+            return [
+                ModelManifest.from_dict(m) for m in manifests if m is not None
+            ]
+        if status != 200:
+            raise RegistryError(
+                self._error_text(
+                    payload, f"registry at {self.base_url} refused the "
+                    f"model listing ({status})"
+                )
+            )
+        entries = json.loads(payload.decode()).get("models", [])
+        for entry in entries:
+            self._cache_manifest(entry)
+        return [ModelManifest.from_dict(m) for m in entries]
+
+    # -------------------------------------------------------- tombstones
+    def tombstone_reason(self, name: str, version: int) -> str | None:
+        """Tombstone status of one version (cache on outage)."""
+        try:
+            status, payload = self._request(
+                "GET", f"/v1/models/{name}@{version}/tombstone"
+            )
+        except OSError:
+            cached = self._cached_manifest(name, version)
+            if cached is None or cached.get("tombstone") is None:
+                return None
+            return str(cached["tombstone"])
+        if status != 200:
+            return None  # unknown version reads as "no tombstone", as local
+        reason = json.loads(payload.decode()).get("reason")
+        if reason is not None:
+            self._mark_tombstoned(name, version, str(reason))
+            return str(reason)
+        return None
+
+    # -------------------------------------------------------------- push
+    def push(
+        self, name: str, artifact: Artifact, *, created_at: str | None = None
+    ) -> ModelManifest:
+        """Upload an artifact as the next version of ``name``."""
+        parsed, version = parse_ref(name)
+        if version is not None:
+            raise RegistryError(
+                f"push takes a bare name; versions are assigned by the "
+                f"registry (got {name!r})"
+            )
+        try:
+            data = artifact_to_dict(artifact)
+        except PersistenceError as exc:
+            raise RegistryError(f"cannot push {parsed!r}: {exc}") from None
+        body: dict = {"name": parsed, "artifact": data}
+        if created_at is not None:
+            body["created_at"] = created_at
+        headers = {"Content-Type": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        try:
+            status, payload = self._request(
+                "POST", "/v1/push",
+                body=json.dumps(body).encode(), headers=headers,
+            )
+        except OSError as exc:
+            raise RegistryError(
+                f"cannot push {parsed!r}: registry at {self.base_url} is "
+                f"unreachable: {exc}"
+            ) from None
+        if status != 200:
+            raise RegistryError(
+                self._error_text(
+                    payload,
+                    f"registry at {self.base_url} refused the push "
+                    f"({status})",
+                )
+            )
+        manifest_data = json.loads(payload.decode())
+        self._cache_manifest(manifest_data)
+        return ModelManifest.from_dict(manifest_data)

@@ -1,0 +1,315 @@
+"""HTTP artifact service: a registry served over the wire.
+
+Wraps a local :class:`~repro.registry.local.ModelRegistry` (or any
+:class:`~repro.registry.backend.RegistryBackend`) in the shared asyncio
+HTTP plumbing (:mod:`repro.serve.http`), so training boxes push artifacts
+to one place and every prediction server pulls from it.  Endpoints:
+
+* ``GET /v1/models`` — every stored manifest (tombstone status included);
+* ``GET /v1/models/{name}`` — one name's versions with tombstone reasons;
+* ``GET /v1/models/{ref}/manifest`` — resolve ``name`` or
+  ``name@version`` to its manifest (``410 Gone`` for tombstoned pins);
+* ``GET /v1/models/{name}@{version}/tombstone`` — tombstone status of one
+  version (``{"reason": null}`` when live);
+* ``GET /v1/blobs/{sha256}`` — content-addressed artifact bytes, served
+  exactly as stored (clients re-verify the hash before decoding, so a
+  corrupted payload fails with the same error as a local load);
+* ``POST /v1/push`` — store an artifact as the next version of a name;
+  requires a bearer token (pushes are disabled when the server was
+  started without one);
+* ``GET /healthz``, ``GET /metrics`` — the usual liveness and merged
+  Prometheus exposition (``repro_registry_*`` namespace plus the
+  process-wide engine/fit sources and store inventory gauges).
+
+Error mapping mirrors the backend exceptions so
+:class:`~repro.registry.client.HttpBackend` can reconstruct them:
+:class:`~repro.registry.local.TombstoneError` becomes ``410 Gone`` (the
+reason travels in the body), every other
+:class:`~repro.registry.local.RegistryError` becomes ``404`` (``400`` on
+push).  Responses carry the backend's exact message text, so a client
+sees the same descriptive errors whether it reads the store directly or
+over HTTP.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+
+from ..core.persistence import PersistenceError, artifact_from_dict
+from ..obs.adapters import install_default_sources, render_registry_backend
+from ..obs.registry import MetricsRegistry
+from ..serve.http import HTTPError, HttpServerBase, Request, ServerThreadBase
+from ..serve.metrics import ServingMetrics
+from .local import ModelRegistry, RegistryError, TombstoneError, parse_ref
+
+__all__ = ["RegistryServer", "RegistryServerThread"]
+
+
+class RegistryServer(HttpServerBase):
+    """Serve one registry backend over HTTP.
+
+    Parameters
+    ----------
+    backend:
+        The store to expose — normally a local
+        :class:`~repro.registry.local.ModelRegistry`.
+    host, port:
+        Bind address; port ``0`` picks an ephemeral port.
+    token:
+        Bearer token required by ``POST /v1/push``.  ``None`` (default)
+        disables pushing entirely: a read-only mirror.
+    metrics:
+        Optional shared :class:`~repro.serve.metrics.ServingMetrics`;
+        constructed with the ``repro_registry`` prefix by default.
+    """
+
+    known_endpoints = (
+        "/v1/models",
+        "/v1/models/*",
+        "/v1/blobs/*",
+        "/v1/push",
+        "/healthz",
+        "/metrics",
+    )
+    request_span_name = "registry.request"
+
+    def __init__(
+        self,
+        backend: ModelRegistry,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: str | None = None,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        super().__init__(host=host, port=port)
+        self.backend = backend
+        self.token = token
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else ServingMetrics(prefix="repro_registry")
+        )
+        self.obs_registry = install_default_sources(
+            MetricsRegistry(), serving=self.metrics.render_prometheus
+        )
+        self.obs_registry.register_source(
+            "registry_backend", lambda: render_registry_backend(self.backend)
+        )
+
+    # ------------------------------------------------------------- hooks
+    def _record_request(self, endpoint: str, status: int, seconds: float) -> None:
+        self.metrics.record_request(endpoint, status, seconds)
+
+    def _record_error(self, reason: str) -> None:
+        self.metrics.record_error(reason)
+
+    def _endpoint_label(self, path: str) -> str:
+        if path.startswith("/v1/models/"):
+            return "/v1/models/*"
+        if path.startswith("/v1/blobs/"):
+            return "/v1/blobs/*"
+        return super()._endpoint_label(path)
+
+    # ------------------------------------------------------------ routes
+    async def _route(self, request: Request):
+        path, method = request.path, request.method
+        if path == "/healthz":
+            self._require(method, "GET")
+            body = {"status": "ok", "models": len(self.backend.names())}
+            return 200, "application/json", json.dumps(body).encode()
+        if path == "/metrics":
+            self._require(method, "GET")
+            text = self.obs_registry.render()
+            return 200, "text/plain; version=0.0.4", text.encode()
+        if path == "/v1/models":
+            self._require(method, "GET")
+            return self._list_models()
+        if path.startswith("/v1/models/"):
+            self._require(method, "GET")
+            return self._model_route(path[len("/v1/models/"):])
+        if path.startswith("/v1/blobs/"):
+            self._require(method, "GET")
+            return self._blob(path[len("/v1/blobs/"):])
+        if path == "/v1/push":
+            self._require(method, "POST")
+            return self._push(request)
+        raise HTTPError(404, "not_found", f"no route for {path}")
+
+    # ------------------------------------------------------------- reads
+    def _manifest_dict(self, manifest) -> dict:
+        """Manifest payload with its tombstone status attached."""
+        data = manifest.to_dict()
+        data["tombstone"] = self.backend.tombstone_reason(
+            manifest.name, manifest.version
+        )
+        return data
+
+    def _list_models(self):
+        body = {
+            "models": [self._manifest_dict(m) for m in self.backend.list()]
+        }
+        return 200, "application/json", json.dumps(body).encode()
+
+    def _model_route(self, rest: str):
+        """Dispatch ``/v1/models/{...}`` sub-paths."""
+        if rest.endswith("/manifest"):
+            return self._manifest(rest[: -len("/manifest")])
+        if rest.endswith("/tombstone"):
+            return self._tombstone_status(rest[: -len("/tombstone")])
+        if "/" in rest:
+            raise HTTPError(404, "not_found", f"no route for /v1/models/{rest}")
+        return self._model_info(rest)
+
+    def _manifest(self, ref: str):
+        """Resolve a reference exactly as the local backend would."""
+        try:
+            manifest = self.backend.resolve(ref)
+        except TombstoneError as exc:
+            raise HTTPError(
+                410, "tombstoned", str(exc),
+            ) from None
+        except RegistryError as exc:
+            raise HTTPError(404, "unknown_model", str(exc)) from None
+        return (
+            200,
+            "application/json",
+            json.dumps(self._manifest_dict(manifest)).encode(),
+        )
+
+    def _model_info(self, name: str):
+        try:
+            parsed, version = parse_ref(name)
+        except RegistryError as exc:
+            raise HTTPError(404, "unknown_model", str(exc)) from None
+        if version is not None:
+            raise HTTPError(
+                404, "not_found",
+                f"use /v1/models/{parsed}@{version}/manifest for one version",
+            )
+        manifests = [m for m in self.backend.list() if m.name == parsed]
+        if not manifests:
+            try:
+                self.backend.resolve(parsed)  # raises with the canonical text
+            except RegistryError as exc:
+                raise HTTPError(404, "unknown_model", str(exc)) from None
+        body = {
+            "name": parsed,
+            "versions": [self._manifest_dict(m) for m in manifests],
+        }
+        return 200, "application/json", json.dumps(body).encode()
+
+    def _tombstone_status(self, ref: str):
+        try:
+            name, version = parse_ref(ref)
+        except RegistryError as exc:
+            raise HTTPError(404, "unknown_model", str(exc)) from None
+        if version is None:
+            raise HTTPError(
+                404, "not_found",
+                "tombstone status takes an explicit name@version",
+            )
+        if version not in [m.version for m in self.backend.list()
+                           if m.name == name]:
+            raise HTTPError(
+                404, "unknown_model",
+                f"unknown version {version} of {name!r}",
+            )
+        body = {
+            "ref": f"{name}@{version}",
+            "reason": self.backend.tombstone_reason(name, version),
+        }
+        return 200, "application/json", json.dumps(body).encode()
+
+    def _blob(self, content_hash: str):
+        # Bytes travel exactly as stored — no server-side re-hash.  Every
+        # client verifies by content hash before decoding, so a corrupted
+        # payload is refused client-side with the same wording as a local
+        # load (error parity); a server-side refusal would hide the bytes
+        # behind a different message.
+        try:
+            path = self.backend.blob_path(content_hash)
+            payload = path.read_bytes()
+        except RegistryError as exc:
+            raise HTTPError(404, "unknown_blob", str(exc)) from None
+        except OSError as exc:
+            raise HTTPError(
+                404, "unknown_blob",
+                f"cannot read blob {content_hash[:12]}...: {exc}",
+            ) from None
+        return 200, "application/json", payload
+
+    # ------------------------------------------------------------- push
+    def _push(self, request: Request):
+        self._authorize(request)
+        try:
+            body = json.loads(request.body.decode() or "{}")
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HTTPError(
+                400, "bad_request", f"body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(body, dict):
+            raise HTTPError(400, "bad_request", "body must be a JSON object")
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise HTTPError(400, "bad_request", "body needs a model 'name'")
+        data = body.get("artifact")
+        if not isinstance(data, dict):
+            raise HTTPError(
+                400, "bad_request",
+                "body needs an 'artifact' object (the persistence-format "
+                "model payload)",
+            )
+        try:
+            artifact = artifact_from_dict(data)
+        except PersistenceError as exc:
+            raise HTTPError(
+                400, "bad_request", f"artifact payload rejected: {exc}"
+            ) from None
+        created_at = body.get("created_at")
+        if created_at is not None and not isinstance(created_at, str):
+            raise HTTPError(400, "bad_request", "'created_at' must be a string")
+        try:
+            manifest = self.backend.push(name, artifact, created_at=created_at)
+        except RegistryError as exc:
+            raise HTTPError(400, "bad_request", str(exc)) from None
+        return (
+            200,
+            "application/json",
+            json.dumps(self._manifest_dict(manifest)).encode(),
+        )
+
+    def _authorize(self, request: Request) -> None:
+        if self.token is None:
+            raise HTTPError(
+                403, "push_disabled",
+                "push is disabled: this registry server was started "
+                "without a push token (read-only mirror)",
+            )
+        supplied = request.headers.get("authorization", "")
+        scheme, _sep, value = supplied.partition(" ")
+        if scheme.lower() != "bearer" or not hmac.compare_digest(
+            value.strip(), self.token
+        ):
+            raise HTTPError(
+                401, "unauthorized",
+                "push requires 'Authorization: Bearer <token>' with the "
+                "registry's push token",
+            )
+
+
+class RegistryServerThread(ServerThreadBase):
+    """Run a :class:`RegistryServer` on a background event loop.
+
+    Mirrors :class:`~repro.serve.server.ServerThread` for synchronous
+    callers (tests, benches, the CLI)::
+
+        with RegistryServerThread(backend, token="s3cret") as handle:
+            remote = HttpBackend(f"http://127.0.0.1:{handle.port}", ...)
+    """
+
+    thread_name = "repro-registry"
+
+    def __init__(self, backend: ModelRegistry, **server_kwargs) -> None:
+        super().__init__(RegistryServer(backend, **server_kwargs))

@@ -4,12 +4,19 @@ The paper's models exist to be consumed by a resource manager deciding
 placements *online*; this package turns trained artifacts into a
 long-running, observable prediction service:
 
-* :mod:`~repro.serve.registry` — a versioned on-disk model registry
-  (``name@version``) with content-hash integrity checking;
+* :mod:`~repro.serve.registry` — compatibility shim for the versioned
+  model registry, which now lives in :mod:`repro.registry` (local
+  store, HTTP artifact service, cached remote backend);
 * :mod:`~repro.serve.batcher` — a micro-batching queue that coalesces
-  concurrent requests into one vectorized predict call;
+  concurrent requests into one vectorized predict call, with optional
+  admission control (shed with 429 once the backlog bound is hit);
+* :mod:`~repro.serve.http` — the shared stdlib asyncio HTTP plumbing
+  (keep-alive, graceful drain, request ids, error mapping) used by both
+  the prediction server and the registry server;
 * :mod:`~repro.serve.server` — an asyncio HTTP server exposing
-  ``/v1/predict``, ``/v1/models``, ``/healthz``, and ``/metrics``;
+  ``/v1/predict``, ``/v1/models``, ``/healthz``, and ``/metrics``; it
+  serves from any registry backend (local directory or remote registry
+  service) and can hot-reload newly pushed versions;
 * :mod:`~repro.serve.metrics` — request/error counters and latency and
   batch-size histograms in Prometheus text exposition format;
 * :mod:`~repro.serve.client` — a small blocking client for tests and
@@ -26,13 +33,14 @@ Everything here is standard library + existing ``repro`` modules; there
 are no third-party serving dependencies.
 """
 
-from .batcher import BatcherStats, MicroBatcher
+from .batcher import BacklogFullError, BatcherStats, MicroBatcher
 from .client import ClientError, PredictionClient, parse_prometheus
 from .metrics import LatencyHistogram, ServingMetrics
-from .registry import ModelManifest, ModelRegistry, RegistryError
+from .registry import ModelManifest, ModelRegistry, RegistryError, TombstoneError
 from .server import PredictionServer, ServerThread
 
 __all__ = [
+    "BacklogFullError",
     "BatcherStats",
     "ClientError",
     "LatencyHistogram",
@@ -44,5 +52,6 @@ __all__ = [
     "RegistryError",
     "ServerThread",
     "ServingMetrics",
+    "TombstoneError",
     "parse_prometheus",
 ]

@@ -32,11 +32,25 @@ import numpy as np
 
 from ..obs.trace import current_span, get_tracer
 
-__all__ = ["BatcherStats", "MicroBatcher"]
+__all__ = ["BacklogFullError", "BatcherStats", "MicroBatcher"]
 
 #: predict_fn: (n, k) matrix -> (n,) array, or a tuple of (n,) arrays
 #: (ensembles return (means, stds)).
 PredictFn = Callable[[np.ndarray], "np.ndarray | tuple[np.ndarray, ...]"]
+
+
+class BacklogFullError(RuntimeError):
+    """A row was shed because the batcher's backlog bound was hit.
+
+    The server maps this to ``429 Too Many Requests`` with a
+    ``Retry-After`` of :attr:`retry_after_s` seconds (one deadline
+    flush is guaranteed to run within ``max_wait_ms``, so the backlog
+    will have drained by then).
+    """
+
+    def __init__(self, message: str, *, retry_after_s: int = 1) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 @dataclass
@@ -48,9 +62,8 @@ class BatcherStats:
     size_flushes: int = 0      # flushed because the batch filled up
     deadline_flushes: int = 0  # flushed because max_wait_ms elapsed
     drain_flushes: int = 0     # flushed by shutdown drain
-    #: Rows rejected by admission control.  Always 0 today — the batcher
-    #: never sheds — but the counter is exported (``repro_serve_shed_total``)
-    #: so dashboards and alerts can be built before load shedding lands.
+    #: Rows rejected by admission control (``max_backlog``); exported as
+    #: ``repro_serve_shed_total``.
     shed: int = 0
     flush_reasons: dict[str, int] = field(default_factory=dict)
 
@@ -72,7 +85,7 @@ class BatcherStats:
         self.flush_reasons[reason] = self.flush_reasons.get(reason, 0) + 1
 
     def record_shed(self, rows: int = 1) -> None:
-        """Count rows rejected by (future) admission control."""
+        """Count rows rejected by admission control."""
         self.shed += int(rows)
 
 
@@ -93,6 +106,11 @@ class MicroBatcher:
     max_wait_ms:
         Deadline for the *oldest* queued row; bounds the latency cost a
         lone request pays waiting for company.
+    max_backlog:
+        Admission bound: a :meth:`submit` arriving while this many rows
+        are already queued is shed with :class:`BacklogFullError`
+        (counted in :attr:`BatcherStats.shed`) instead of growing the
+        queue.  ``None`` (default) never sheds.
     on_flush:
         Optional callback ``(batch_size, reason)`` — the server uses it
         to feed the batch-size histogram.
@@ -108,6 +126,7 @@ class MicroBatcher:
         *,
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
+        max_backlog: int | None = None,
         on_flush: Callable[[int, str], None] | None = None,
         on_phase: Callable[[str, float], None] | None = None,
     ) -> None:
@@ -115,9 +134,12 @@ class MicroBatcher:
             raise ValueError("max_batch must be >= 1")
         if max_wait_ms < 0.0:
             raise ValueError("max_wait_ms must be >= 0")
+        if max_backlog is not None and max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1 (or None)")
         self.predict_fn = predict_fn
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.max_backlog = max_backlog
         self.on_flush = on_flush
         self.on_phase = on_phase
         self.stats = BatcherStats()
@@ -136,11 +158,24 @@ class MicroBatcher:
         Returns a float for point predictors, or a tuple of floats for
         tuple-returning predict functions (e.g. ``(mean, std)``).
         Exceptions raised by ``predict_fn`` propagate to every request in
-        the affected batch.
+        the affected batch.  Raises :class:`BacklogFullError` without
+        queueing when ``max_backlog`` is set and already reached.
         """
         row = np.asarray(row, dtype=float)
         if row.ndim != 1:
             raise ValueError(f"submit takes one 1-D feature row; got {row.shape}")
+        if (
+            self.max_backlog is not None
+            and len(self._pending) >= self.max_backlog
+        ):
+            self.stats.record_shed(1)
+            retry_after_s = max(1, int(self.max_wait_ms / 1000.0) + 1)
+            raise BacklogFullError(
+                f"backlog full: {len(self._pending)} row(s) already queued "
+                f"(max_backlog={self.max_backlog}); retry after "
+                f"{retry_after_s}s",
+                retry_after_s=retry_after_s,
+            )
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         parent = current_span() if get_tracer().enabled else None

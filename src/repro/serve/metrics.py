@@ -137,9 +137,15 @@ class ServingMetrics:
     Single-threaded by design: the server mutates it only from its event
     loop, so no locking is needed.  The blocking client may *read* a
     rendered snapshot at any time via ``GET /metrics``.
+
+    ``prefix`` names the exported metric family: the prediction server
+    keeps the default ``repro_serve``, the registry artifact server uses
+    ``repro_registry`` — same schema, distinct namespaces, so one scraper
+    configuration covers both services.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, prefix: str = "repro_serve") -> None:
+        self.prefix = prefix
         #: (endpoint, status code) -> served request count.
         self.requests_total: dict[tuple[str, int], int] = {}
         #: error reason -> count (bad_request, unknown_model, internal, ...).
@@ -233,50 +239,51 @@ class ServingMetrics:
     # ------------------------------------------------------ rendering
     def render_prometheus(self) -> str:
         """The Prometheus text exposition for ``GET /metrics``."""
+        p = self.prefix
         lines: list[str] = []
 
-        lines.append("# HELP repro_serve_requests_total HTTP requests handled.")
-        lines.append("# TYPE repro_serve_requests_total counter")
+        lines.append(f"# HELP {p}_requests_total HTTP requests handled.")
+        lines.append(f"# TYPE {p}_requests_total counter")
         for (endpoint, status), n in sorted(self.requests_total.items()):
             lines.append(
-                "repro_serve_requests_total"
+                f"{p}_requests_total"
                 f"{_labels(endpoint=endpoint, status=str(status))} {n}"
             )
 
-        lines.append("# HELP repro_serve_errors_total Failed requests by reason.")
-        lines.append("# TYPE repro_serve_errors_total counter")
+        lines.append(f"# HELP {p}_errors_total Failed requests by reason.")
+        lines.append(f"# TYPE {p}_errors_total counter")
         for reason, n in sorted(self.errors_total.items()):
-            lines.append(f"repro_serve_errors_total{_labels(reason=reason)} {n}")
+            lines.append(f"{p}_errors_total{_labels(reason=reason)} {n}")
 
         lines.append(
-            "# HELP repro_serve_predictions_total Prediction values returned."
+            f"# HELP {p}_predictions_total Prediction values returned."
         )
-        lines.append("# TYPE repro_serve_predictions_total counter")
-        lines.append(f"repro_serve_predictions_total {self.predictions_total}")
+        lines.append(f"# TYPE {p}_predictions_total counter")
+        lines.append(f"{p}_predictions_total {self.predictions_total}")
 
         lines.append(
-            "# HELP repro_serve_model_cache_hits_total Resident-model cache hits."
+            f"# HELP {p}_model_cache_hits_total Resident-model cache hits."
         )
-        lines.append("# TYPE repro_serve_model_cache_hits_total counter")
-        lines.append(f"repro_serve_model_cache_hits_total {self.model_cache_hits}")
+        lines.append(f"# TYPE {p}_model_cache_hits_total counter")
+        lines.append(f"{p}_model_cache_hits_total {self.model_cache_hits}")
         lines.append(
-            "# HELP repro_serve_model_cache_misses_total Resident-model cache misses."
+            f"# HELP {p}_model_cache_misses_total Resident-model cache misses."
         )
-        lines.append("# TYPE repro_serve_model_cache_misses_total counter")
+        lines.append(f"# TYPE {p}_model_cache_misses_total counter")
         lines.append(
-            f"repro_serve_model_cache_misses_total {self.model_cache_misses}"
+            f"{p}_model_cache_misses_total {self.model_cache_misses}"
         )
 
         lines.extend(
             self._render_histogram(
-                "repro_serve_request_latency_seconds",
+                f"{p}_request_latency_seconds",
                 "End-to-end request handling latency.",
                 self.latency,
             )
         )
         lines.extend(
             self._render_histogram(
-                "repro_serve_batch_size",
+                f"{p}_batch_size",
                 "Rows per flushed micro-batch.",
                 self.batch_sizes,
             )
@@ -286,7 +293,7 @@ class ServingMetrics:
 
     def _render_phases(self) -> list[str]:
         """The per-phase latency family (one histogram per phase label)."""
-        name = "repro_serve_phase_latency_seconds"
+        name = f"{self.prefix}_phase_latency_seconds"
         lines = [
             f"# HELP {name} Time each request spent per pipeline phase "
             "(queue, batch_wait, predict, serialize).",

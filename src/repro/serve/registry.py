@@ -1,313 +1,35 @@
-"""Versioned on-disk model registry.
+"""Compatibility shim: the model registry moved to :mod:`repro.registry`.
 
-A resource manager retrains as new co-location observations arrive; the
-serving layer must be able to roll forward (and back) between model
-versions without ambiguity about *which* artifact produced a prediction.
-The registry stores each pushed artifact under ``<root>/<name>/<version>/``
-as two files:
+The versioned on-disk registry began life here, next to the prediction
+server.  It is now the *local backend* of the ``repro.registry``
+subsystem (which adds a remote HTTP backend, tombstones, and GC), and
+lives in :mod:`repro.registry.local`.  This module re-exports the public
+names so existing imports — ``from repro.serve.registry import
+ModelRegistry`` — keep working unchanged.
 
-* ``model.json`` — the artifact, in the
-  :mod:`~repro.core.persistence` JSON format (version-2: single
-  predictors and bootstrap ensembles);
-* ``manifest.json`` — provenance: the SHA-256 of the model bytes,
-  artifact/model kind, feature set, processor, training-set size, and
-  creation time.
-
-Versions are integers assigned by ``push`` (1, 2, ...); ``name@version``
-references are resolved by ``get``; a bare ``name`` means the latest
-version.  Every load re-hashes the payload and rejects tampered or
-corrupted artifacts with a descriptive :class:`RegistryError` — the
-registry may live on shared storage, and a scheduler acting on a silently
-corrupted model is worse than one that fails loudly.
+New code should import from :mod:`repro.registry` directly.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import re
-from dataclasses import dataclass
-from datetime import datetime, timezone
-from pathlib import Path
-
-from ..core.ensemble import EnsemblePredictor
-from ..core.methodology import PerformancePredictor
-from ..core.persistence import (
-    FORMAT_VERSION,
-    PersistenceError,
-    artifact_from_dict,
-    artifact_to_dict,
+# Direct submodule import (not the package __init__) so that
+# ``repro.registry`` importing back into ``repro.serve`` cannot cycle.
+from ..registry.local import (
+    GCReport,
+    LocalBackend,
+    ModelManifest,
+    ModelRegistry,
+    RegistryError,
+    TombstoneError,
+    parse_ref,
 )
 
-__all__ = ["ModelManifest", "ModelRegistry", "RegistryError"]
-
-_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
-
-Artifact = PerformancePredictor | EnsemblePredictor
-
-
-class RegistryError(ValueError):
-    """Raised for unknown references, tampered or corrupted artifacts."""
-
-
-@dataclass(frozen=True)
-class ModelManifest:
-    """Provenance record stored next to each registered artifact."""
-
-    name: str
-    version: int
-    artifact: str            # "predictor" | "ensemble"
-    kind: str                # "linear" | "neural"
-    feature_set: str         # "A".."F"
-    processor_name: str | None
-    content_hash: str        # sha256 hex of model.json bytes
-    format_version: int
-    train_size: int | None
-    created_at: str          # ISO-8601 UTC
-
-    @property
-    def ref(self) -> str:
-        """The canonical ``name@version`` reference."""
-        return f"{self.name}@{self.version}"
-
-    def to_dict(self) -> dict:
-        """JSON-ready manifest payload."""
-        return {
-            "name": self.name,
-            "version": self.version,
-            "artifact": self.artifact,
-            "kind": self.kind,
-            "feature_set": self.feature_set,
-            "processor_name": self.processor_name,
-            "content_hash": self.content_hash,
-            "format_version": self.format_version,
-            "train_size": self.train_size,
-            "created_at": self.created_at,
-        }
-
-    @staticmethod
-    def from_dict(data: dict) -> "ModelManifest":
-        """Rebuild a manifest, rejecting malformed payloads."""
-        try:
-            return ModelManifest(
-                name=str(data["name"]),
-                version=int(data["version"]),
-                artifact=str(data["artifact"]),
-                kind=str(data["kind"]),
-                feature_set=str(data["feature_set"]),
-                processor_name=(
-                    str(data["processor_name"])
-                    if data.get("processor_name") is not None
-                    else None
-                ),
-                content_hash=str(data["content_hash"]),
-                format_version=int(data["format_version"]),
-                train_size=(
-                    int(data["train_size"])
-                    if data.get("train_size") is not None
-                    else None
-                ),
-                created_at=str(data["created_at"]),
-            )
-        except (KeyError, TypeError, ValueError) as exc:
-            raise RegistryError(f"malformed manifest: {exc}") from None
-
-
-def _sha256(payload: bytes) -> str:
-    return hashlib.sha256(payload).hexdigest()
-
-
-class ModelRegistry:
-    """Push, list, and integrity-checked retrieval of trained artifacts.
-
-    The registry directory is created lazily on the first ``push``; a
-    missing or empty directory reads as an empty registry.
-    """
-
-    def __init__(self, root: str | Path) -> None:
-        self.root = Path(root)
-
-    # ------------------------------------------------------------ refs
-    @staticmethod
-    def parse_ref(ref: str) -> tuple[str, int | None]:
-        """Split ``name`` or ``name@version`` into its parts."""
-        name, sep, version = ref.partition("@")
-        if not _NAME_RE.match(name):
-            raise RegistryError(
-                f"invalid model name {name!r}; use letters, digits, '.', "
-                f"'_', '-' (must start alphanumeric)"
-            )
-        if not sep:
-            return name, None
-        try:
-            number = int(version)
-        except ValueError:
-            raise RegistryError(
-                f"invalid version {version!r} in reference {ref!r}; "
-                f"expected an integer"
-            ) from None
-        if number < 1:
-            raise RegistryError(f"versions start at 1; got {number}")
-        return name, number
-
-    def _dir(self, name: str, version: int) -> Path:
-        return self.root / name / str(version)
-
-    def _versions(self, name: str) -> list[int]:
-        model_dir = self.root / name
-        if not model_dir.is_dir():
-            return []
-        return sorted(
-            int(p.name)
-            for p in model_dir.iterdir()
-            if p.is_dir() and p.name.isdigit()
-        )
-
-    def names(self) -> list[str]:
-        """Distinct model names with at least one version, sorted."""
-        if not self.root.is_dir():
-            return []
-        return sorted(
-            p.name
-            for p in self.root.iterdir()
-            if p.is_dir() and self._versions(p.name)
-        )
-
-    # ------------------------------------------------------------ push
-    def push(
-        self,
-        name: str,
-        artifact: Artifact,
-        *,
-        created_at: str | None = None,
-    ) -> ModelManifest:
-        """Store a fitted artifact as the next version of ``name``.
-
-        Returns the written manifest.  The artifact's JSON bytes are
-        hashed at push time; every later load re-verifies that hash.
-        """
-        parsed, version = self.parse_ref(name)
-        if version is not None:
-            raise RegistryError(
-                f"push takes a bare name; versions are assigned by the "
-                f"registry (got {name!r})"
-            )
-        try:
-            data = artifact_to_dict(artifact)
-        except PersistenceError as exc:
-            raise RegistryError(f"cannot push {parsed!r}: {exc}") from None
-        payload = json.dumps(data, indent=2).encode()
-        versions = self._versions(parsed)
-        next_version = (versions[-1] + 1) if versions else 1
-        manifest = ModelManifest(
-            name=parsed,
-            version=next_version,
-            artifact=data["artifact"],
-            kind=data["kind"],
-            feature_set=data["feature_set"],
-            processor_name=data.get("processor_name"),
-            content_hash=_sha256(payload),
-            format_version=FORMAT_VERSION,
-            train_size=data.get("train_size"),
-            created_at=created_at
-            or datetime.now(timezone.utc).isoformat(timespec="seconds"),
-        )
-        target = self._dir(parsed, next_version)
-        target.mkdir(parents=True)
-        (target / "model.json").write_bytes(payload)
-        (target / "manifest.json").write_text(
-            json.dumps(manifest.to_dict(), indent=2)
-        )
-        return manifest
-
-    # ------------------------------------------------------------- get
-    def resolve(self, ref: str) -> ModelManifest:
-        """Resolve ``name`` / ``name@version`` to a stored manifest."""
-        name, version = self.parse_ref(ref)
-        versions = self._versions(name)
-        if not versions:
-            known = self.names()
-            detail = (
-                f"registry at {self.root} has models {known}"
-                if known
-                else f"registry at {self.root} is empty"
-            )
-            raise RegistryError(f"unknown model {name!r}: {detail}")
-        if version is None:
-            version = versions[-1]
-        elif version not in versions:
-            raise RegistryError(
-                f"unknown version {version} of {name!r}; available: "
-                f"{versions}"
-            )
-        return self.manifest(name, version)
-
-    def manifest(self, name: str, version: int) -> ModelManifest:
-        """Read one stored manifest (no payload verification)."""
-        path = self._dir(name, version) / "manifest.json"
-        try:
-            data = json.loads(path.read_text())
-        except FileNotFoundError:
-            raise RegistryError(
-                f"missing manifest for {name}@{version} under {self.root}"
-            ) from None
-        except json.JSONDecodeError as exc:
-            raise RegistryError(
-                f"manifest for {name}@{version} is not valid JSON: {exc}"
-            ) from None
-        manifest = ModelManifest.from_dict(data)
-        if manifest.name != name or manifest.version != version:
-            raise RegistryError(
-                f"manifest under {name}@{version} claims to be "
-                f"{manifest.ref}; registry layout was tampered with"
-            )
-        return manifest
-
-    def latest(self, name: str) -> ModelManifest:
-        """Manifest of the newest version of ``name``."""
-        return self.resolve(name)
-
-    def get(self, ref: str) -> tuple[Artifact, ModelManifest]:
-        """Load an artifact by reference, verifying its content hash.
-
-        Returns ``(artifact, manifest)``.  Raises :class:`RegistryError`
-        for unknown references, hash mismatches (tampering), and
-        corrupted payloads.
-        """
-        manifest = self.resolve(ref)
-        path = self._dir(manifest.name, manifest.version) / "model.json"
-        try:
-            payload = path.read_bytes()
-        except FileNotFoundError:
-            raise RegistryError(
-                f"missing model payload for {manifest.ref} under {self.root}"
-            ) from None
-        digest = _sha256(payload)
-        if digest != manifest.content_hash:
-            raise RegistryError(
-                f"content hash mismatch for {manifest.ref}: manifest "
-                f"records {manifest.content_hash[:12]}... but model.json "
-                f"hashes to {digest[:12]}...; the artifact was modified "
-                f"after push"
-            )
-        try:
-            artifact = artifact_from_dict(json.loads(payload.decode()))
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise RegistryError(
-                f"corrupted payload for {manifest.ref}: not valid JSON "
-                f"({exc})"
-            ) from None
-        except PersistenceError as exc:
-            raise RegistryError(
-                f"corrupted payload for {manifest.ref}: {exc}"
-            ) from None
-        return artifact, manifest
-
-    # ------------------------------------------------------------ list
-    def list(self) -> list[ModelManifest]:
-        """Every stored manifest, sorted by (name, version)."""
-        return [
-            self.manifest(name, version)
-            for name in self.names()
-            for version in self._versions(name)
-        ]
+__all__ = [
+    "GCReport",
+    "LocalBackend",
+    "ModelManifest",
+    "ModelRegistry",
+    "RegistryError",
+    "TombstoneError",
+    "parse_ref",
+]

@@ -1,8 +1,7 @@
 """Asyncio HTTP server for online placement predictions.
 
-A deliberately small HTTP/1.1 implementation on ``asyncio`` streams — no
-third-party web framework, matching the repo's stdlib+numpy/scipy
-dependency budget.  Endpoints:
+Built on the shared stdlib HTTP plumbing in :mod:`repro.serve.http`.
+Endpoints:
 
 * ``POST /v1/predict`` — single (``{"model", "features"}``) and batch
   (``{"model", "instances"}``) bodies; ``?interval=1`` (or
@@ -19,61 +18,52 @@ a small LRU so the registry (and its integrity hashing) is only touched
 on first use per version.  ``stop()`` is graceful: the listener closes,
 queued batches drain, and in-flight requests finish before connections
 are torn down.
+
+The server reads artifacts through the
+:class:`~repro.registry.backend.RegistryBackend` protocol, so the same
+process serves from a local directory
+(:class:`~repro.registry.local.ModelRegistry`) or from a remote registry
+service (:class:`~repro.registry.client.HttpBackend`) unchanged.  Remote
+backends are resolved off the event loop (``asyncio.to_thread``) so a
+slow registry never stalls in-flight predictions.
+
+Two production behaviours are optional:
+
+* **Admission control** (``max_backlog``): once a model's micro-batcher
+  queue passes the bound, further rows are shed with ``429 Too Many
+  Requests`` + ``Retry-After`` instead of growing the queue without
+  limit; sheds are counted in ``repro_serve_shed_total``.
+* **Hot-reload** (``hot_reload_s``): a background task polls the backend
+  for new latest versions, pre-warms them into the resident-model LRU
+  (so the first request after a push never pays the artifact load), and
+  evicts residents whose version was tombstoned.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-import os
-import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
-from urllib.parse import parse_qs, urlsplit
 
 import numpy as np
 
 from ..obs.adapters import install_default_sources
 from ..obs.registry import MetricsRegistry, escape_label_value
-from ..obs.trace import get_tracer
-from .batcher import MicroBatcher
+from ..registry.local import ModelRegistry, RegistryError, parse_ref
+from .batcher import BacklogFullError, MicroBatcher
+from .http import HTTPError, HttpServerBase, Request, ServerThreadBase
+from .http import header_safe as _header_safe  # noqa: F401  (compat re-export)
 from .metrics import ServingMetrics
-from .registry import ModelManifest, ModelRegistry, RegistryError
+from .registry import ModelManifest  # noqa: F401  (compat re-export)
 
 __all__ = ["PredictionServer", "ServerThread"]
-
-_MAX_HEADER_BYTES = 64 * 1024
-_MAX_BODY_BYTES = 8 * 1024 * 1024
-
-#: Endpoints that get their own metrics label; anything else is "other"
-#: so a scanner cannot blow up label cardinality.
-_KNOWN_ENDPOINTS = ("/v1/predict", "/v1/models", "/healthz", "/metrics")
-
-
-class _HTTPError(Exception):
-    """Internal: maps a handler failure to (status, reason, message)."""
-
-    def __init__(self, status: int, reason: str, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.reason = reason
-        self.message = message
-
-
-@dataclass
-class _Request:
-    method: str
-    path: str
-    query: dict[str, list[str]]
-    headers: dict[str, str]
-    body: bytes
 
 
 class _ResidentModel:
     """One loaded artifact with its manifest and micro-batcher."""
 
-    def __init__(self, artifact, manifest: ModelManifest, batcher: MicroBatcher):
+    def __init__(self, artifact, manifest, batcher: MicroBatcher):
         self.artifact = artifact
         self.manifest = manifest
         self.batcher = batcher
@@ -87,43 +77,60 @@ class _ResidentModel:
         return self.manifest.artifact == "ensemble"
 
 
-class PredictionServer:
-    """Serve predictions from a :class:`~repro.serve.registry.ModelRegistry`.
+class PredictionServer(HttpServerBase):
+    """Serve predictions from any :class:`~repro.registry.backend.RegistryBackend`.
 
     Parameters
     ----------
     registry:
-        Source of artifacts; resolved lazily per request.
+        Source of artifacts; resolved lazily per request.  A local
+        :class:`~repro.registry.local.ModelRegistry` or a remote
+        :class:`~repro.registry.client.HttpBackend`.
     host, port:
         Bind address; port ``0`` picks an ephemeral port (read it back
         from :attr:`port` after :meth:`start`).
     max_batch, max_wait_ms:
         Micro-batching knobs, applied to every served model.
+    max_backlog:
+        Per-model admission bound: rows queued beyond this are shed with
+        429 + ``Retry-After``.  ``None`` (default) disables shedding.
     model_cache_size:
         Resident-model LRU capacity (distinct ``name@version`` entries).
+    hot_reload_s:
+        Poll the backend for new latest versions every this-many seconds,
+        pre-warming the LRU and evicting tombstoned residents.  ``None``
+        (default) disables the poller.
     metrics:
         Optional shared :class:`~repro.serve.metrics.ServingMetrics`.
     """
 
+    known_endpoints = ("/v1/predict", "/v1/models", "/healthz", "/metrics")
+    request_span_name = "serve.request"
+
     def __init__(
         self,
-        registry: ModelRegistry,
+        registry,
         *,
         host: str = "127.0.0.1",
         port: int = 0,
         max_batch: int = 32,
         max_wait_ms: float = 2.0,
+        max_backlog: int | None = None,
         model_cache_size: int = 8,
+        hot_reload_s: float | None = None,
         metrics: ServingMetrics | None = None,
     ) -> None:
         if model_cache_size < 1:
             raise ValueError("model_cache_size must be >= 1")
+        if hot_reload_s is not None and hot_reload_s <= 0.0:
+            raise ValueError("hot_reload_s must be positive (or None)")
+        super().__init__(host=host, port=port)
         self.registry = registry
-        self.host = host
-        self._requested_port = port
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
+        self.max_backlog = max_backlog
         self.model_cache_size = model_cache_size
+        self.hot_reload_s = hot_reload_s
         self.metrics = metrics if metrics is not None else ServingMetrics()
         # Per-server metrics registry: one GET /metrics scrape merges the
         # request-path metrics with the process-wide engine and fitting
@@ -133,61 +140,46 @@ class PredictionServer:
             MetricsRegistry(), serving=self.metrics.render_prometheus
         )
         self.obs_registry.register_source("batcher", self._render_batcher_metrics)
-        self._server: asyncio.AbstractServer | None = None
         self._resident: OrderedDict[str, _ResidentModel] = OrderedDict()
-        # Bare-name -> (dir mtime_ns, version): skips re-listing the
-        # registry per request while still seeing new pushes (a push
-        # creates a version dir, which bumps the name dir's mtime).
-        self._latest: dict[str, tuple[int, int]] = {}
-        self._active_requests = 0
-        self._closing = False
-        self._writers: set[asyncio.StreamWriter] = set()
+        # Remote backends block on sockets; resolve them off the loop.
+        # The local directory backend stays inline (a stat + cached dict
+        # lookup is cheaper than a thread-pool hop).
+        self._offload_registry = not isinstance(registry, ModelRegistry)
+        self._reload_task: asyncio.Task | None = None
+        self._hot_reload_loads = 0
+        self._hot_reload_evictions = 0
 
     # ----------------------------------------------------------- lifecycle
-    @property
-    def port(self) -> int:
-        """The bound port (resolves ``port=0`` after :meth:`start`)."""
-        if self._server is None:
-            return self._requested_port
-        return self._server.sockets[0].getsockname()[1]
-
-    async def start(self) -> None:
-        """Bind and start accepting connections."""
-        if self._server is not None:
-            raise RuntimeError("server is already started")
-        self._closing = False
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self._requested_port
-        )
+    async def _on_start(self) -> None:
+        if self.hot_reload_s is not None:
+            self._reload_task = asyncio.get_running_loop().create_task(
+                self._hot_reload_loop()
+            )
 
     async def stop(self, *, drain_timeout_s: float = 5.0) -> None:
-        """Graceful shutdown: drain queued batches, finish in-flight work."""
-        if self._server is None:
-            return
-        self._closing = True
-        self._server.close()
-        await self._server.wait_closed()
+        """Graceful shutdown: stop the poller, drain batches, finish work."""
+        if self._reload_task is not None:
+            self._reload_task.cancel()
+            try:
+                await self._reload_task
+            except asyncio.CancelledError:
+                pass
+            self._reload_task = None
+        await super().stop(drain_timeout_s=drain_timeout_s)
+
+    async def _drain(self) -> None:
         for resident in list(self._resident.values()):
             await resident.batcher.drain()
-        deadline = time.monotonic() + drain_timeout_s
-        while self._active_requests > 0 and time.monotonic() < deadline:
-            await asyncio.sleep(0.005)
-        for writer in list(self._writers):
-            writer.close()
-        self._server = None
-
-    async def serve_forever(self) -> None:
-        """Start (if needed) and serve until cancelled."""
-        if self._server is None:
-            await self.start()
-        try:
-            await self._server.serve_forever()
-        except asyncio.CancelledError:  # graceful exit path
-            pass
 
     # ------------------------------------------------------------- metrics
+    def _record_request(self, endpoint: str, status: int, seconds: float) -> None:
+        self.metrics.record_request(endpoint, status, seconds)
+
+    def _record_error(self, reason: str) -> None:
+        self.metrics.record_error(reason)
+
     def _render_batcher_metrics(self) -> str:
-        """Backlog gauge and shed counter across resident models."""
+        """Backlog gauge, shed counter, and hot-reload counters."""
         lines = [
             "# HELP repro_serve_batcher_backlog Rows queued in each "
             "resident model's micro-batcher, sampled at scrape time.",
@@ -203,36 +195,38 @@ class PredictionServer:
             shed += resident.batcher.stats.shed
         lines.append(
             "# HELP repro_serve_shed_total Rows rejected by admission "
-            "control (always 0 until load shedding lands)."
+            "control (--max-backlog) with 429 responses."
         )
         lines.append("# TYPE repro_serve_shed_total counter")
         lines.append(f"repro_serve_shed_total {shed}")
+        lines.append(
+            "# HELP repro_serve_hot_reload_loads_total Artifacts pre-warmed "
+            "into the resident LRU by the hot-reload poller."
+        )
+        lines.append("# TYPE repro_serve_hot_reload_loads_total counter")
+        lines.append(f"repro_serve_hot_reload_loads_total {self._hot_reload_loads}")
+        lines.append(
+            "# HELP repro_serve_hot_reload_evictions_total Residents evicted "
+            "because their version was tombstoned."
+        )
+        lines.append("# TYPE repro_serve_hot_reload_evictions_total counter")
+        lines.append(
+            f"repro_serve_hot_reload_evictions_total {self._hot_reload_evictions}"
+        )
         return "\n".join(lines)
 
     # ------------------------------------------------------------- models
-    def _resident_model(self, ref: str) -> _ResidentModel:
-        """Resolve a reference to a loaded model, LRU-caching residents."""
-        name, version = self.registry.parse_ref(ref)
-        if version is None:
-            # A bare name floats with the registry: resolve the current
-            # latest version, then hit the resident cache on its pin.
-            version = self._latest_version(name)
-        key = f"{name}@{version}"
-        resident = self._resident.get(key)
-        if resident is not None:
+    def _install_resident(self, key: str, artifact, manifest) -> _ResidentModel:
+        """Wrap a loaded artifact and place it in the LRU (evicting)."""
+        existing = self._resident.get(key)
+        if existing is not None:  # concurrent load raced us; keep the first
             self._resident.move_to_end(key)
-            self.metrics.record_model_cache(hit=True)
-            return resident
-        self.metrics.record_model_cache(hit=False)
-        artifact, manifest = self.registry.get(key)
-        if manifest.artifact == "ensemble":
-            predict_fn = artifact.predict_rows          # (means, stds)
-        else:
-            predict_fn = artifact.predict_rows          # (n,) array
+            return existing
         batcher = MicroBatcher(
-            predict_fn,
+            artifact.predict_rows,
             max_batch=self.max_batch,
             max_wait_ms=self.max_wait_ms,
+            max_backlog=self.max_backlog,
             on_flush=lambda size, _reason: self.metrics.record_batch(size),
             on_phase=self.metrics.record_phase,
         )
@@ -243,136 +237,86 @@ class PredictionServer:
             evicted.batcher._flush("drain")  # resolve any queued rows
         return resident
 
-    def _latest_version(self, name: str) -> int:
-        """Latest version of ``name``, cached against the name dir's mtime."""
-        try:
-            mtime_ns = os.stat(self.registry.root / name).st_mtime_ns
-        except OSError:
-            self._latest.pop(name, None)
-            return self.registry.resolve(name).version  # raises RegistryError
-        cached = self._latest.get(name)
-        if cached is not None and cached[0] == mtime_ns:
-            return cached[1]
-        version = self.registry.resolve(name).version
-        self._latest[name] = (mtime_ns, version)
-        return version
+    def _resolve_key(self, ref: str) -> str:
+        """Pin a reference to ``name@version`` via the backend."""
+        name, version = parse_ref(ref)
+        if version is None:
+            # A bare name floats with the registry: resolve the current
+            # latest version (the backend caches this), then hit the
+            # resident cache on its pin.
+            version = self.registry.latest_version(name)
+        return f"{name}@{version}"
+
+    def _resident_model(self, ref: str) -> _ResidentModel:
+        """Resolve a reference to a loaded model, LRU-caching residents."""
+        key = self._resolve_key(ref)
+        resident = self._resident.get(key)
+        if resident is not None:
+            self._resident.move_to_end(key)
+            self.metrics.record_model_cache(hit=True)
+            return resident
+        self.metrics.record_model_cache(hit=False)
+        artifact, manifest = self.registry.get(key)
+        return self._install_resident(key, artifact, manifest)
+
+    async def _resident_model_async(self, ref: str) -> _ResidentModel:
+        """Like :meth:`_resident_model`, but remote backends run off-loop."""
+        if not self._offload_registry:
+            return self._resident_model(ref)
+        key = await asyncio.to_thread(self._resolve_key, ref)
+        resident = self._resident.get(key)
+        if resident is not None:
+            self._resident.move_to_end(key)
+            self.metrics.record_model_cache(hit=True)
+            return resident
+        self.metrics.record_model_cache(hit=False)
+        artifact, manifest = await asyncio.to_thread(self.registry.get, key)
+        return self._install_resident(key, artifact, manifest)
+
+    # --------------------------------------------------------- hot reload
+    async def _hot_reload_loop(self) -> None:
+        while not self._closing:
+            try:
+                await self.hot_reload_once()
+            except Exception:  # noqa: BLE001 - backend outage: retry next tick
+                pass
+            await asyncio.sleep(self.hot_reload_s)
+
+    async def hot_reload_once(self) -> None:
+        """One poll: pre-warm new latest versions, evict tombstoned ones."""
+        names = await asyncio.to_thread(self.registry.names)
+        for name in names:
+            try:
+                manifest = await asyncio.to_thread(self.registry.latest, name)
+            except RegistryError:
+                continue  # empty/blocked name; nothing to warm
+            if manifest.ref in self._resident:
+                continue
+            try:
+                artifact, manifest = await asyncio.to_thread(
+                    self.registry.get, manifest.ref
+                )
+            except RegistryError:
+                continue
+            self._install_resident(manifest.ref, artifact, manifest)
+            self._hot_reload_loads += 1
+        for key, resident in list(self._resident.items()):
+            try:
+                reason = await asyncio.to_thread(
+                    self.registry.tombstone_reason,
+                    resident.manifest.name,
+                    resident.manifest.version,
+                )
+            except Exception:  # noqa: BLE001 - can't check now; keep serving
+                continue
+            if reason is not None:
+                evicted = self._resident.pop(key, None)
+                if evicted is not None:
+                    evicted.batcher._flush("drain")
+                    self._hot_reload_evictions += 1
 
     # ------------------------------------------------------------ requests
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self._writers.add(writer)
-        try:
-            while not self._closing:
-                request = await self._read_request(reader)
-                if request is None:
-                    break
-                self._active_requests += 1
-                try:
-                    keep_alive = await self._dispatch(request, writer)
-                finally:
-                    self._active_requests -= 1
-                if not keep_alive:
-                    break
-        except (
-            asyncio.IncompleteReadError,
-            ConnectionResetError,
-            BrokenPipeError,
-            asyncio.LimitOverrunError,
-        ):
-            pass  # client went away mid-request; nothing to answer
-        finally:
-            self._writers.discard(writer)
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-
-    async def _read_request(self, reader: asyncio.StreamReader) -> _Request | None:
-        try:
-            head = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None  # clean EOF between requests
-            raise
-        if len(head) > _MAX_HEADER_BYTES:
-            raise asyncio.LimitOverrunError("header section too large", 0)
-        request_line, *header_lines = head.decode("latin-1").split("\r\n")
-        parts = request_line.split(" ")
-        if len(parts) != 3:
-            raise asyncio.IncompleteReadError(head, None)
-        method, target, _version = parts
-        split = urlsplit(target)
-        headers: dict[str, str] = {}
-        for line in header_lines:
-            if not line:
-                continue
-            key, _sep, value = line.partition(":")
-            headers[key.strip().lower()] = value.strip()
-        length = int(headers.get("content-length", "0") or "0")
-        if length > _MAX_BODY_BYTES:
-            raise asyncio.LimitOverrunError("body too large", 0)
-        body = await reader.readexactly(length) if length else b""
-        return _Request(
-            method=method.upper(),
-            path=split.path,
-            query=parse_qs(split.query) if split.query else {},
-            headers=headers,
-            body=body,
-        )
-
-    async def _dispatch(
-        self, request: _Request, writer: asyncio.StreamWriter
-    ) -> bool:
-        started = time.perf_counter()
-        endpoint = request.path if request.path in _KNOWN_ENDPOINTS else "other"
-        # Accept a client-supplied correlation id; mint one otherwise.  The
-        # id is echoed in the response and stamped on the request span, so
-        # a client, the trace, and the logs can all meet on one value.
-        request_id = (
-            request.headers.get("x-request-id", "").strip()
-            or os.urandom(8).hex()
-        )
-        with get_tracer().span(
-            "serve.request",
-            endpoint=endpoint,
-            method=request.method,
-            request_id=request_id,
-        ) as span:
-            try:
-                status, content_type, payload = await self._route(request)
-            except _HTTPError as exc:
-                status = exc.status
-                content_type = "application/json"
-                payload = json.dumps({"error": exc.message}).encode()
-                self.metrics.record_error(exc.reason)
-            except Exception as exc:  # noqa: BLE001 - report, don't kill the loop
-                status = 500
-                content_type = "application/json"
-                payload = json.dumps({"error": f"internal error: {exc}"}).encode()
-                self.metrics.record_error("internal")
-            span.set(status=status)
-            keep_alive = (
-                request.headers.get("connection", "keep-alive").lower() != "close"
-                and not self._closing
-            )
-            head = (
-                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-                f"Content-Type: {content_type}\r\n"
-                f"Content-Length: {len(payload)}\r\n"
-                f"X-Request-Id: {_header_safe(request_id)}\r\n"
-                f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-                f"\r\n"
-            )
-            writer.write(head.encode("latin-1") + payload)
-            await writer.drain()
-        self.metrics.record_request(
-            endpoint, status, time.perf_counter() - started
-        )
-        return keep_alive
-
-    async def _route(self, request: _Request) -> tuple[int, str, bytes]:
+    async def _route(self, request: Request):
         path, method = request.path, request.method
         if path == "/healthz":
             self._require(method, "GET")
@@ -392,35 +336,28 @@ class PredictionServer:
         if path == "/v1/predict":
             self._require(method, "POST")
             return await self._predict(request)
-        raise _HTTPError(404, "not_found", f"no route for {path}")
-
-    @staticmethod
-    def _require(method: str, expected: str) -> None:
-        if method != expected:
-            raise _HTTPError(
-                405, "method_not_allowed", f"use {expected} for this endpoint"
-            )
+        raise HTTPError(404, "not_found", f"no route for {path}")
 
     # ------------------------------------------------------------- predict
-    async def _predict(self, request: _Request) -> tuple[int, str, bytes]:
+    async def _predict(self, request: Request):
         entered = time.perf_counter()
         try:
             body = json.loads(request.body.decode() or "{}")
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise _HTTPError(
+            raise HTTPError(
                 400, "bad_request", f"body is not valid JSON: {exc}"
             ) from None
         if not isinstance(body, dict):
-            raise _HTTPError(400, "bad_request", "body must be a JSON object")
+            raise HTTPError(400, "bad_request", "body must be a JSON object")
         ref = body.get("model")
         if not isinstance(ref, str) or not ref:
-            raise _HTTPError(
+            raise HTTPError(
                 400, "bad_request", "body needs a 'model' reference "
                 "('name' or 'name@version')"
             )
         single = "features" in body
         if single == ("instances" in body):
-            raise _HTTPError(
+            raise HTTPError(
                 400, "bad_request",
                 "body needs exactly one of 'features' (single) or "
                 "'instances' (batch)",
@@ -429,18 +366,18 @@ class PredictionServer:
             request.query.get("interval", ["0"])[0] not in ("", "0", "false")
         )
         try:
-            resident = self._resident_model(ref)
+            resident = await self._resident_model_async(ref)
         except RegistryError as exc:
-            raise _HTTPError(404, "unknown_model", str(exc)) from None
+            raise HTTPError(404, "unknown_model", str(exc)) from None
         if interval and not resident.is_ensemble:
-            raise _HTTPError(
+            raise HTTPError(
                 400, "bad_request",
                 f"{resident.manifest.ref} is a point predictor; "
                 f"intervals need an ensemble artifact",
             )
         instances = [body["features"]] if single else body["instances"]
         if not isinstance(instances, list) or not instances:
-            raise _HTTPError(
+            raise HTTPError(
                 400, "bad_request", "'instances' must be a non-empty list"
             )
         rows = [self._feature_row(resident, inst) for inst in instances]
@@ -448,12 +385,13 @@ class PredictionServer:
         # the rows (parse, validate, model resolve); the batcher itself
         # records "batch_wait" and "predict"; "serialize" follows below.
         self.metrics.record_phase("queue", time.perf_counter() - entered)
-        if len(rows) == 1:
-            results = [await resident.batcher.submit(rows[0])]
-        else:
-            results = await asyncio.gather(
-                *(resident.batcher.submit(row) for row in rows)
-            )
+        try:
+            results = await self._submit_rows(resident.batcher, rows)
+        except BacklogFullError as exc:
+            raise HTTPError(
+                429, "backlog_full", str(exc),
+                headers={"Retry-After": str(exc.retry_after_s)},
+            ) from None
         serialize_started = time.perf_counter()
         self.metrics.record_predictions(len(results))
         payload: dict = {"model": resident.manifest.ref}
@@ -487,16 +425,29 @@ class PredictionServer:
         return 200, "application/json", encoded
 
     @staticmethod
+    async def _submit_rows(batcher: MicroBatcher, rows: list[np.ndarray]):
+        """Queue all rows; a shed anywhere rejects the whole request."""
+        if len(rows) == 1:
+            return [await batcher.submit(rows[0])]
+        gathered = await asyncio.gather(
+            *(batcher.submit(row) for row in rows), return_exceptions=True
+        )
+        for result in gathered:
+            if isinstance(result, BaseException):
+                raise result
+        return list(gathered)
+
+    @staticmethod
     def _feature_row(resident: _ResidentModel, features) -> np.ndarray:
         if not isinstance(features, dict):
-            raise _HTTPError(
+            raise HTTPError(
                 400, "bad_request",
                 "each instance must be an object of feature name -> value",
             )
         names = resident.feature_names
         unknown = sorted(set(features) - resident.feature_name_set)
         if unknown:
-            raise _HTTPError(
+            raise HTTPError(
                 400, "bad_request",
                 f"unknown feature(s) {unknown}; model "
                 f"{resident.manifest.ref} expects {list(names)}",
@@ -504,14 +455,14 @@ class PredictionServer:
         values = []
         for name in names:
             if name not in features:
-                raise _HTTPError(
+                raise HTTPError(
                     400, "bad_request",
                     f"missing feature {name!r}; model "
                     f"{resident.manifest.ref} expects {list(names)}",
                 )
             value = features[name]
             if not isinstance(value, (int, float)) or isinstance(value, bool):
-                raise _HTTPError(
+                raise HTTPError(
                     400, "bad_request",
                     f"feature {name!r} must be a number; got {value!r}",
                 )
@@ -519,22 +470,7 @@ class PredictionServer:
         return np.array(values)
 
 
-_STATUS_TEXT = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    500: "Internal Server Error",
-}
-
-
-def _header_safe(value: str, max_len: int = 128) -> str:
-    """A client-supplied value made safe to echo in a response header."""
-    cleaned = "".join(c for c in value if 32 <= ord(c) < 127)
-    return cleaned[:max_len] or "invalid"
-
-
-class ServerThread:
+class ServerThread(ServerThreadBase):
     """Run a :class:`PredictionServer` on a background event loop.
 
     For synchronous callers — tests, the throughput bench — that need a
@@ -548,68 +484,7 @@ class ServerThread:
     thread.
     """
 
-    def __init__(self, registry: ModelRegistry, **server_kwargs) -> None:
-        self.server = PredictionServer(registry, **server_kwargs)
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._thread: threading.Thread | None = None
+    thread_name = "repro-serve"
 
-    @property
-    def host(self) -> str:
-        return self.server.host
-
-    @property
-    def port(self) -> int:
-        return self.server.port
-
-    def start(self) -> "ServerThread":
-        """Start the loop thread and wait until the server is bound."""
-        if self._thread is not None:
-            raise RuntimeError("server thread is already running")
-        started = threading.Event()
-        failure: list[BaseException] = []
-
-        def runner() -> None:
-            loop = asyncio.new_event_loop()
-            self._loop = loop
-            asyncio.set_event_loop(loop)
-            try:
-                loop.run_until_complete(self.server.start())
-            except BaseException as exc:  # noqa: BLE001 - report to starter
-                failure.append(exc)
-                started.set()
-                loop.close()
-                return
-            started.set()
-            try:
-                loop.run_forever()
-            finally:
-                loop.close()
-
-        self._thread = threading.Thread(
-            target=runner, name="repro-serve", daemon=True
-        )
-        self._thread.start()
-        started.wait(timeout=10.0)
-        if failure:
-            self._thread.join(timeout=1.0)
-            self._thread = None
-            raise failure[0]
-        return self
-
-    def stop(self) -> None:
-        """Gracefully stop the server and join the loop thread."""
-        if self._thread is None or self._loop is None:
-            return
-        future = asyncio.run_coroutine_threadsafe(self.server.stop(), self._loop)
-        try:
-            future.result(timeout=10.0)
-        finally:
-            self._loop.call_soon_threadsafe(self._loop.stop)
-            self._thread.join(timeout=10.0)
-            self._thread = None
-
-    def __enter__(self) -> "ServerThread":
-        return self.start()
-
-    def __exit__(self, *_exc_info) -> None:
-        self.stop()
+    def __init__(self, registry, **server_kwargs) -> None:
+        super().__init__(PredictionServer(registry, **server_kwargs))

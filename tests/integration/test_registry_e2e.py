@@ -1,0 +1,162 @@
+"""Acceptance: train -> push -> registry serve -> predict, end to end.
+
+The issue's distributed-registry criteria through real entry points:
+
+* a prediction server pointed at a registry *URL* serves bit-identical
+  predictions to one reading the same store as a local directory;
+* a newly pushed version is picked up by hot-reload — no restart;
+* a tombstoned version is refused through the remote path; and
+* a repeat ``get()`` of a cached version succeeds after the registry
+  server has stopped (outage survival).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.feature_sets import FeatureSet
+from repro.core.methodology import ModelKind, PerformancePredictor
+from repro.registry import (
+    HttpBackend,
+    ModelRegistry,
+    RegistryServerThread,
+    TombstoneError,
+)
+from repro.serve.client import ClientError, PredictionClient
+from repro.serve.server import ServerThread
+
+
+def _wait_until(predicate, timeout_s=10.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+@pytest.fixture(scope="module")
+def trained_models(small_dataset):
+    """Two distinct predictors trained on the real reduced dataset."""
+    observations = list(small_dataset)
+    first = PerformancePredictor(
+        ModelKind.LINEAR, FeatureSet.F, seed=3
+    ).fit(observations)
+    second = PerformancePredictor(
+        ModelKind.LINEAR, FeatureSet.F, seed=7
+    ).fit(observations)
+    return first, second
+
+
+@pytest.fixture(scope="module")
+def instances(small_dataset):
+    """JSON-ready feature dicts for the first eight observations."""
+    names = [f.value for f in FeatureSet.F.features]
+    rows = [
+        [obs.feature_value(f) for f in FeatureSet.F.features]
+        for obs in list(small_dataset)[:8]
+    ]
+    return [
+        {name: float(v) for name, v in zip(names, row)} for row in rows
+    ]
+
+
+def test_remote_registry_serving_end_to_end(
+    tmp_path, trained_models, instances
+):
+    first, second = trained_models
+    store = ModelRegistry(tmp_path / "store")
+    store.push("perf", first)
+
+    with RegistryServerThread(store) as registry_handle:
+        remote = HttpBackend(
+            f"http://127.0.0.1:{registry_handle.port}",
+            tmp_path / "cache",
+        )
+        with ServerThread(
+            store, max_wait_ms=1.0
+        ) as local_serving, ServerThread(
+            remote, max_wait_ms=1.0, hot_reload_s=0.05
+        ) as remote_serving:
+            with PredictionClient(
+                "127.0.0.1", local_serving.port
+            ) as local_client, PredictionClient(
+                "127.0.0.1", remote_serving.port
+            ) as remote_client:
+                # --- bit-identical serving through the remote backend
+                local = local_client.predict_batch(instances, model="perf")
+                remote_body = remote_client.predict_batch(
+                    instances, model="perf"
+                )
+                assert remote_body["model"] == "perf@1" == local["model"]
+                assert remote_body["predictions"] == local["predictions"]
+
+                # --- a new push arrives via hot-reload, no restart
+                store.push("perf", second)
+                assert _wait_until(
+                    lambda: remote_client.predict(
+                        instances[0], model="perf"
+                    )["model"]
+                    == "perf@2"
+                )
+                v2 = remote_client.predict_batch(instances, model="perf@2")
+                expected = second.predict_rows(
+                    np.array(
+                        [
+                            [row[f.value] for f in FeatureSet.F.features]
+                            for row in instances
+                        ]
+                    )
+                )
+                assert v2["predictions"] == [float(v) for v in expected]
+
+                # --- tombstoning is honoured through the remote path
+                store.tombstone("perf@2", reason="bad calibration")
+
+                def _refused() -> bool:
+                    try:
+                        remote_client.predict(instances[0], model="perf@2")
+                    except ClientError:
+                        return True
+                    return False  # still resident; poller hasn't evicted
+
+                assert _wait_until(_refused)
+                with pytest.raises(ClientError) as excinfo:
+                    remote_client.predict(instances[0], model="perf@2")
+                assert excinfo.value.status == 404
+                assert "tombstoned" in str(excinfo.value)
+                assert "bad calibration" in str(excinfo.value)
+                # The bare name floats back to the surviving version.
+                assert _wait_until(
+                    lambda: remote_client.predict(
+                        instances[0], model="perf"
+                    )["model"]
+                    == "perf@1"
+                )
+
+        # Warm the cache with a pinned get while the registry is up.
+        artifact, manifest = remote.get("perf@1")
+        assert manifest.ref == "perf@1"
+
+    # --- outage survival: the registry server is gone now
+    before = remote.http_requests
+    artifact, manifest = remote.get("perf@1")
+    assert manifest.ref == "perf@1"
+    assert remote.http_requests == before  # served purely from cache
+    with pytest.raises(TombstoneError, match="bad calibration"):
+        remote.get("perf@2")
+
+    # A fresh serving stack over the cached backend still predicts.
+    with ServerThread(remote, max_wait_ms=1.0) as offline_serving:
+        with PredictionClient("127.0.0.1", offline_serving.port) as client:
+            body = client.predict_batch(instances, model="perf@1")
+            expected = trained_models[0].predict_rows(
+                np.array(
+                    [
+                        [row[f.value] for f in FeatureSet.F.features]
+                        for row in instances
+                    ]
+                )
+            )
+            assert body["predictions"] == [float(v) for v in expected]

@@ -1,0 +1,73 @@
+"""Shared fixtures for the registry subsystem tests.
+
+Linear artifacts only — they fit instantly and the registry contract
+(hashing, tombstones, GC, HTTP transport) is identical for every kind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ensemble import EnsemblePredictor
+from repro.core.feature_sets import FeatureSet
+from repro.core.methodology import ModelKind, PerformancePredictor
+from repro.registry import ModelRegistry, RegistryServerThread
+
+PUSH_TOKEN = "test-push-token"
+
+
+@pytest.fixture(scope="session")
+def observations(small_dataset):
+    """The reduced training dataset as a plain list."""
+    return list(small_dataset)
+
+
+@pytest.fixture(scope="session")
+def point_predictor(observations):
+    """A fitted linear point predictor on feature set F."""
+    return PerformancePredictor(
+        ModelKind.LINEAR, FeatureSet.F, seed=3
+    ).fit(observations)
+
+
+@pytest.fixture(scope="session")
+def other_predictor(observations):
+    """A second, distinct artifact (different seed => different bytes)."""
+    return PerformancePredictor(
+        ModelKind.LINEAR, FeatureSet.D, seed=7
+    ).fit(observations)
+
+
+@pytest.fixture(scope="session")
+def ensemble(observations):
+    """A fitted 3-member linear bootstrap ensemble."""
+    return EnsemblePredictor(
+        ModelKind.LINEAR, FeatureSet.F, n_members=3, seed=3
+    ).fit(observations)
+
+
+@pytest.fixture
+def store(tmp_path):
+    """A fresh empty local registry."""
+    return ModelRegistry(tmp_path / "store")
+
+
+@pytest.fixture
+def populated_store(store, point_predictor, ensemble):
+    """A local registry holding ``point@1``, ``point@2``, and ``band@1``."""
+    store.push("point", point_predictor)
+    store.push("point", point_predictor)
+    store.push("band", ensemble)
+    return store
+
+
+@pytest.fixture
+def registry_server(populated_store):
+    """A live registry server over the populated store (push enabled)."""
+    with RegistryServerThread(populated_store, token=PUSH_TOKEN) as handle:
+        yield handle
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "client-cache"

@@ -1,0 +1,293 @@
+"""HTTP backend: content-addressed cache, outage survival, error parity.
+
+Satellite requirement: a truncated blob, a hash mismatch, a corrupted
+payload, and a tombstoned fetch must raise the *same* descriptive errors
+through :class:`HttpBackend` as through the local backend.  Parity is
+asserted by string equality against errors captured from a
+:class:`ModelRegistry` over the identical store state.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.persistence import artifact_to_dict
+from repro.registry import (
+    HttpBackend,
+    RegistryBackend,
+    RegistryError,
+    RegistryServerThread,
+    TombstoneError,
+)
+
+from .conftest import PUSH_TOKEN
+
+
+@pytest.fixture
+def remote(registry_server, cache_dir):
+    """A fresh-cache HTTP backend talking to the live registry server."""
+    return HttpBackend(
+        f"http://127.0.0.1:{registry_server.port}",
+        cache_dir,
+        token=PUSH_TOKEN,
+    )
+
+
+def _local_error(store, ref, exc_type=RegistryError):
+    with pytest.raises(exc_type) as excinfo:
+        store.get(ref)
+    return excinfo.value
+
+
+class TestBasics:
+    def test_satisfies_protocol(self, remote):
+        assert isinstance(remote, RegistryBackend)
+
+    def test_describe_is_the_url(self, remote, registry_server):
+        assert remote.describe() == f"http://127.0.0.1:{registry_server.port}"
+
+    def test_rejects_non_http_url(self, cache_dir):
+        with pytest.raises(RegistryError, match="http://host:port"):
+            HttpBackend("ftp://example.com", cache_dir)
+
+    def test_names_and_list(self, remote, populated_store):
+        assert remote.names() == ["band", "point"]
+        assert [m.ref for m in remote.list()] == [
+            m.ref for m in populated_store.list()
+        ]
+
+    def test_latest_helpers(self, remote):
+        assert remote.latest_version("point") == 2
+        assert remote.latest("point").version == 2
+        with pytest.raises(RegistryError, match="bare name"):
+            remote.latest("point@1")
+
+
+class TestCache:
+    def test_roundtrip_matches_local(self, remote, populated_store):
+        artifact, manifest = remote.get("point@1")
+        local_artifact, local_manifest = populated_store.get("point@1")
+        assert manifest == local_manifest
+        assert artifact_to_dict(artifact) == artifact_to_dict(local_artifact)
+
+    def test_pinned_cached_get_does_zero_http(self, remote):
+        remote.get("band@1")
+        before = remote.http_requests
+        artifact, manifest = remote.get("band@1")
+        assert remote.http_requests == before
+        assert manifest.ref == "band@1"
+        assert artifact is not None
+
+    def test_first_get_is_manifest_plus_blob(self, remote):
+        remote.get("band@1")
+        assert remote.http_requests == 2
+
+    def test_content_addressing_dedups_blobs(self, remote, populated_store):
+        # point@1 and point@2 hold identical bytes (same artifact pushed
+        # twice), so the second version's payload is already cached.
+        assert (
+            populated_store.resolve("point@1").content_hash
+            == populated_store.resolve("point@2").content_hash
+        )
+        remote.get("point@1")
+        before = remote.http_requests
+        remote.get("point@2")
+        assert remote.http_requests == before + 1  # manifest only, no blob
+
+    def test_corrupt_cached_blob_self_heals(self, remote):
+        _, manifest = remote.get("band@1")
+        cached = remote._blob_cache_path(manifest.content_hash)
+        cached.write_bytes(b"{garbage")
+        before = remote.http_requests
+        artifact, _ = remote.get("band@1")
+        assert artifact is not None
+        assert remote.http_requests == before + 1  # one re-download
+        digest = hashlib.sha256(cached.read_bytes()).hexdigest()
+        assert digest == manifest.content_hash  # cache repaired
+
+    def test_bare_name_always_consults_server(self, remote):
+        remote.get("point")
+        before = remote.http_requests
+        remote.get("point")  # manifest re-resolved; blob from cache
+        assert remote.http_requests == before + 1
+
+
+class TestPush:
+    def test_push_creates_next_version(
+        self, remote, populated_store, other_predictor
+    ):
+        manifest = remote.push("point", other_predictor)
+        assert manifest.version == 3
+        assert populated_store.latest_version("point") == 3
+        # The returned manifest was cached: the follow-up pinned get
+        # only needs the blob.
+        before = remote.http_requests
+        remote.get("point@3")
+        assert remote.http_requests == before + 1
+
+    def test_push_versioned_name_matches_local_wording(
+        self, remote, populated_store, other_predictor
+    ):
+        with pytest.raises(RegistryError) as local:
+            populated_store.push("m@2", other_predictor)
+        with pytest.raises(RegistryError) as http:
+            remote.push("m@2", other_predictor)
+        assert str(http.value) == str(local.value)
+
+    def test_push_wrong_token(
+        self, registry_server, cache_dir, other_predictor
+    ):
+        backend = HttpBackend(
+            f"http://127.0.0.1:{registry_server.port}",
+            cache_dir,
+            token="wrong",
+        )
+        with pytest.raises(RegistryError, match="Bearer"):
+            backend.push("m", other_predictor)
+
+    def test_push_without_token(
+        self, registry_server, cache_dir, other_predictor
+    ):
+        backend = HttpBackend(
+            f"http://127.0.0.1:{registry_server.port}", cache_dir
+        )
+        with pytest.raises(RegistryError, match="Bearer"):
+            backend.push("m", other_predictor)
+
+
+class TestErrorParity:
+    """Identical store damage -> identical error text on both backends."""
+
+    def test_truncated_blob(self, remote, populated_store):
+        path = populated_store.root / "band" / "1" / "model.json"
+        path.write_bytes(path.read_bytes()[: 40])
+        local_err = _local_error(populated_store, "band@1")
+        with pytest.raises(RegistryError) as http_err:
+            remote.get("band@1")
+        assert str(http_err.value) == str(local_err)
+        assert "content hash mismatch" in str(http_err.value)
+
+    def test_sha256_mismatch(self, remote, populated_store):
+        path = populated_store.root / "band" / "1" / "model.json"
+        data = json.loads(path.read_text())
+        data["members"], data["seed"] = data["members"][:1], 999
+        path.write_text(json.dumps(data))
+        local_err = _local_error(populated_store, "band@1")
+        with pytest.raises(RegistryError) as http_err:
+            remote.get("band@1")
+        assert str(http_err.value) == str(local_err)
+        assert "modified after push" in str(http_err.value)
+
+    def test_corrupted_payload_with_matching_hash(
+        self, remote, populated_store
+    ):
+        model = populated_store.root / "band" / "1" / "model.json"
+        model.write_bytes(b"{this is not json")
+        manifest_path = populated_store.root / "band" / "1" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["content_hash"] = hashlib.sha256(
+            model.read_bytes()
+        ).hexdigest()
+        manifest_path.write_text(json.dumps(manifest))
+        local_err = _local_error(populated_store, "band@1")
+        with pytest.raises(RegistryError) as http_err:
+            remote.get("band@1")
+        assert str(http_err.value) == str(local_err)
+        assert "not valid JSON" in str(http_err.value)
+
+    def test_tombstoned_fetch(self, remote, populated_store):
+        populated_store.tombstone("point@2", reason="bad calibration")
+        local_err = _local_error(populated_store, "point@2", TombstoneError)
+        with pytest.raises(TombstoneError) as http_err:
+            remote.get("point@2")
+        assert str(http_err.value) == str(local_err)
+        assert http_err.value.reason == "bad calibration"
+
+    def test_tombstoned_without_reason(self, remote, populated_store):
+        populated_store.tombstone("point@2")
+        local_err = _local_error(populated_store, "point@2", TombstoneError)
+        with pytest.raises(TombstoneError) as http_err:
+            remote.resolve("point@2")
+        assert str(http_err.value) == str(local_err)
+        assert http_err.value.reason == ""
+
+    def test_unknown_model(self, remote, populated_store):
+        local_err = _local_error(populated_store, "ghost")
+        with pytest.raises(RegistryError) as http_err:
+            remote.get("ghost")
+        assert str(http_err.value) == str(local_err)
+
+    def test_unknown_version(self, remote, populated_store):
+        local_err = _local_error(populated_store, "point@9")
+        with pytest.raises(RegistryError) as http_err:
+            remote.get("point@9")
+        assert str(http_err.value) == str(local_err)
+
+    def test_invalid_ref_rejected_before_any_http(
+        self, remote, populated_store
+    ):
+        local_err = _local_error(populated_store, "bad name!")
+        with pytest.raises(RegistryError) as http_err:
+            remote.get("bad name!")
+        assert str(http_err.value) == str(local_err)
+        assert remote.http_requests == 0
+
+    def test_tombstone_reason_matches_local(self, remote, populated_store):
+        populated_store.tombstone("point@1", reason="drift")
+        assert remote.tombstone_reason("point", 1) == "drift"
+        assert remote.tombstone_reason("point", 2) is None
+        assert remote.tombstone_reason("point", 99) is None
+
+
+class TestOutageSurvival:
+    @pytest.fixture
+    def offline(self, populated_store, cache_dir):
+        """A backend whose cache was warmed before the server vanished."""
+        populated_store.tombstone("point@2", reason="rollback")
+        with RegistryServerThread(populated_store) as handle:
+            backend = HttpBackend(
+                f"http://127.0.0.1:{handle.port}", cache_dir
+            )
+            backend.list()  # caches every manifest (with tombstone flags)
+            backend.get("point@1")
+            backend.get("band@1")
+        return backend  # the server is now stopped
+
+    def test_cached_pinned_get_survives_outage(self, offline):
+        artifact, manifest = offline.get("point@1")
+        assert manifest.ref == "point@1"
+        assert artifact is not None
+
+    def test_bare_name_floats_to_newest_cached_live(self, offline):
+        # point@2 is tombstoned; the cache knows and floats to point@1.
+        assert offline.resolve("point").version == 1
+        artifact, manifest = offline.get("point")
+        assert manifest.version == 1
+
+    def test_offline_tombstone_still_refused(self, offline):
+        with pytest.raises(TombstoneError, match="rollback") as exc:
+            offline.get("point@2")
+        assert exc.value.reason == "rollback"
+
+    def test_uncached_version_names_the_unreachable_registry(self, offline):
+        with pytest.raises(RegistryError, match="unreachable") as exc:
+            offline.resolve("point@7")
+        assert "not cached" in str(exc.value)
+
+    def test_unknown_name_offline(self, offline):
+        with pytest.raises(RegistryError, match="unreachable"):
+            offline.resolve("ghost")
+
+    def test_names_and_list_fall_back_to_cache(self, offline):
+        assert offline.names() == ["band", "point"]
+        refs = [m.ref for m in offline.list()]
+        assert refs == ["band@1", "point@1", "point@2"]
+
+    def test_push_offline_fails_loudly(self, offline, other_predictor):
+        with pytest.raises(RegistryError, match="unreachable"):
+            offline.push("m", other_predictor)
+
+    def test_tombstone_reason_offline(self, offline):
+        assert offline.tombstone_reason("point", 2) == "rollback"
+        assert offline.tombstone_reason("point", 1) is None

@@ -1,0 +1,232 @@
+"""The HTTP artifact service: routes, auth, error mapping, metrics."""
+
+import hashlib
+import http.client
+import json
+
+import pytest
+
+from repro.registry import RegistryServerThread
+from repro.serve.client import parse_prometheus
+
+from .conftest import PUSH_TOKEN
+
+
+def _http(handle, method, path, body=None, headers=None):
+    conn = http.client.HTTPConnection("127.0.0.1", handle.port, timeout=10.0)
+    try:
+        conn.request(method, path, body=body, headers=headers or {})
+        response = conn.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        conn.close()
+
+
+class TestReadRoutes:
+    def test_healthz(self, registry_server):
+        status, _headers, payload = _http(registry_server, "GET", "/healthz")
+        assert status == 200
+        body = json.loads(payload)
+        assert body == {"status": "ok", "models": 2}
+
+    def test_models_listing_with_tombstone_status(
+        self, registry_server, populated_store
+    ):
+        populated_store.tombstone("point@1", reason="superseded")
+        status, _headers, payload = _http(registry_server, "GET", "/v1/models")
+        assert status == 200
+        models = {m["name"] + "@" + str(m["version"]): m
+                  for m in json.loads(payload)["models"]}
+        assert set(models) == {"point@1", "point@2", "band@1"}
+        assert models["point@1"]["tombstone"] == "superseded"
+        assert models["point@2"]["tombstone"] is None
+
+    def test_single_model_info(self, registry_server):
+        status, _headers, payload = _http(
+            registry_server, "GET", "/v1/models/point"
+        )
+        assert status == 200
+        body = json.loads(payload)
+        assert body["name"] == "point"
+        assert [v["version"] for v in body["versions"]] == [1, 2]
+
+    def test_manifest_bare_and_pinned(self, registry_server, populated_store):
+        status, _headers, payload = _http(
+            registry_server, "GET", "/v1/models/point/manifest"
+        )
+        assert status == 200 and json.loads(payload)["version"] == 2
+        status, _headers, payload = _http(
+            registry_server, "GET", "/v1/models/point@1/manifest"
+        )
+        assert status == 200
+        body = json.loads(payload)
+        assert body["version"] == 1
+        assert body["content_hash"] == (
+            populated_store.resolve("point@1").content_hash
+        )
+
+    def test_unknown_model_maps_to_404_with_local_wording(
+        self, registry_server, populated_store
+    ):
+        with pytest.raises(Exception) as local:
+            populated_store.resolve("ghost")
+        status, _headers, payload = _http(
+            registry_server, "GET", "/v1/models/ghost/manifest"
+        )
+        assert status == 404
+        assert json.loads(payload)["error"] == str(local.value)
+
+    def test_tombstoned_pin_maps_to_410(
+        self, registry_server, populated_store
+    ):
+        populated_store.tombstone("point@1", reason="bad calibration")
+        status, _headers, payload = _http(
+            registry_server, "GET", "/v1/models/point@1/manifest"
+        )
+        assert status == 410
+        message = json.loads(payload)["error"]
+        assert "bad calibration" in message and "bytes retained" in message
+
+    def test_tombstone_status_endpoint(self, registry_server, populated_store):
+        populated_store.tombstone("point@1", reason="oops")
+        status, _headers, payload = _http(
+            registry_server, "GET", "/v1/models/point@1/tombstone"
+        )
+        assert status == 200
+        assert json.loads(payload) == {"ref": "point@1", "reason": "oops"}
+        status, _headers, payload = _http(
+            registry_server, "GET", "/v1/models/point@2/tombstone"
+        )
+        assert json.loads(payload)["reason"] is None
+
+    def test_blob_roundtrip(self, registry_server, populated_store):
+        manifest = populated_store.resolve("band@1")
+        status, _headers, payload = _http(
+            registry_server, "GET", f"/v1/blobs/{manifest.content_hash}"
+        )
+        assert status == 200
+        assert hashlib.sha256(payload).hexdigest() == manifest.content_hash
+
+    def test_unknown_blob_404(self, registry_server):
+        status, _headers, payload = _http(
+            registry_server, "GET", "/v1/blobs/" + "0" * 64
+        )
+        assert status == 404
+        assert "unknown blob" in json.loads(payload)["error"]
+
+    def test_method_not_allowed(self, registry_server):
+        status, _headers, _payload = _http(
+            registry_server, "POST", "/v1/models"
+        )
+        assert status == 405
+
+    def test_request_id_echoed(self, registry_server):
+        _status, headers, _payload = _http(
+            registry_server, "GET", "/healthz",
+            headers={"X-Request-Id": "reg-req-1"},
+        )
+        assert headers["X-Request-Id"] == "reg-req-1"
+
+
+class TestPush:
+    def _push_body(self, populated_store):
+        path = populated_store.root / "point" / "1" / "model.json"
+        return json.dumps(
+            {"name": "pushed", "artifact": json.loads(path.read_text())}
+        ).encode()
+
+    def test_authorized_push_creates_version(
+        self, registry_server, populated_store
+    ):
+        status, _headers, payload = _http(
+            registry_server, "POST", "/v1/push",
+            body=self._push_body(populated_store),
+            headers={"Authorization": f"Bearer {PUSH_TOKEN}"},
+        )
+        assert status == 200
+        manifest = json.loads(payload)
+        assert manifest["name"] == "pushed" and manifest["version"] == 1
+        assert populated_store.resolve("pushed@1").content_hash == (
+            manifest["content_hash"]
+        )
+
+    def test_wrong_token_401(self, registry_server, populated_store):
+        status, _headers, payload = _http(
+            registry_server, "POST", "/v1/push",
+            body=self._push_body(populated_store),
+            headers={"Authorization": "Bearer nope"},
+        )
+        assert status == 401
+        assert "Bearer" in json.loads(payload)["error"]
+
+    def test_missing_token_401(self, registry_server, populated_store):
+        status, _headers, _payload = _http(
+            registry_server, "POST", "/v1/push",
+            body=self._push_body(populated_store),
+        )
+        assert status == 401
+
+    def test_push_disabled_without_server_token(self, populated_store):
+        with RegistryServerThread(populated_store) as handle:
+            status, _headers, payload = _http(
+                handle, "POST", "/v1/push",
+                body=self._push_body(populated_store),
+                headers={"Authorization": f"Bearer {PUSH_TOKEN}"},
+            )
+        assert status == 403
+        assert "read-only" in json.loads(payload)["error"]
+
+    def test_malformed_artifact_400(self, registry_server):
+        status, _headers, payload = _http(
+            registry_server, "POST", "/v1/push",
+            body=json.dumps({"name": "x", "artifact": {"bad": 1}}).encode(),
+            headers={"Authorization": f"Bearer {PUSH_TOKEN}"},
+        )
+        assert status == 400
+        assert "artifact payload rejected" in json.loads(payload)["error"]
+
+    def test_versioned_name_400(self, registry_server, populated_store):
+        body = json.loads(self._push_body(populated_store))
+        body["name"] = "pushed@3"
+        status, _headers, payload = _http(
+            registry_server, "POST", "/v1/push",
+            body=json.dumps(body).encode(),
+            headers={"Authorization": f"Bearer {PUSH_TOKEN}"},
+        )
+        assert status == 400
+        assert "bare name" in json.loads(payload)["error"]
+
+
+class TestMetrics:
+    def test_registry_prefix_and_inventory(
+        self, registry_server, populated_store
+    ):
+        populated_store.tombstone("point@1")
+        _http(registry_server, "GET", "/v1/models")
+        status, _headers, payload = _http(registry_server, "GET", "/metrics")
+        assert status == 200
+        samples = parse_prometheus(payload.decode())
+        assert (
+            samples['repro_registry_requests_total{endpoint="/v1/models",status="200"}']
+            >= 1.0
+        )
+        assert samples["repro_registry_models"] == 2.0
+        assert samples["repro_registry_versions"] == 3.0
+        assert samples["repro_registry_tombstones"] == 1.0
+        # the merged scrape still carries the process-wide sources
+        assert "repro_engine_solves_total" in samples
+        assert "repro_fit_fits_total" in samples
+
+    def test_dynamic_paths_bucketed(self, registry_server):
+        _http(registry_server, "GET", "/v1/models/point/manifest")
+        _http(registry_server, "GET", "/v1/blobs/" + "0" * 64)
+        _status, _headers, payload = _http(registry_server, "GET", "/metrics")
+        samples = parse_prometheus(payload.decode())
+        assert (
+            samples['repro_registry_requests_total{endpoint="/v1/models/*",status="200"}']
+            >= 1.0
+        )
+        assert (
+            samples['repro_registry_requests_total{endpoint="/v1/blobs/*",status="404"}']
+            >= 1.0
+        )

@@ -30,6 +30,14 @@ def point_predictor(observations):
 
 
 @pytest.fixture(scope="session")
+def other_predictor(observations):
+    """A second, distinct artifact (different seed => different bytes)."""
+    return PerformancePredictor(
+        ModelKind.LINEAR, FeatureSet.F, seed=7
+    ).fit(observations)
+
+
+@pytest.fixture(scope="session")
 def neural_predictor(observations):
     """A fitted neural predictor (small feature set keeps it fast)."""
     return PerformancePredictor(

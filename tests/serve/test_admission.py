@@ -1,0 +1,143 @@
+"""Admission control: bounded backlog, 429 + Retry-After, shed metrics.
+
+An overloaded server must refuse quickly instead of queueing without
+bound.  ``MicroBatcher(max_backlog=...)`` rejects rows once the pending
+queue is full; the server maps the rejection to ``429 Too Many
+Requests`` with a ``Retry-After`` hint and counts every shed row into
+``repro_serve_shed_total``.
+"""
+
+import asyncio
+import http.client
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import BacklogFullError, MicroBatcher
+from repro.serve.client import ClientError, PredictionClient
+from repro.serve.server import ServerThread
+
+
+def _echo_sum(X: np.ndarray) -> np.ndarray:
+    return X.sum(axis=1)
+
+
+class TestBatcherBackpressure:
+    def test_backlog_floor(self):
+        with pytest.raises(ValueError, match="max_backlog"):
+            MicroBatcher(_echo_sum, max_backlog=0)
+
+    def test_unbounded_by_default(self):
+        batcher = MicroBatcher(_echo_sum)
+        assert batcher.max_backlog is None
+
+    def test_overflow_rows_are_shed(self):
+        async def run():
+            # A one-minute deadline and a huge max_batch mean nothing
+            # flushes while the submits pile up, so the fourth and fifth
+            # rows deterministically find a full backlog.
+            batcher = MicroBatcher(
+                _echo_sum, max_batch=64, max_wait_ms=60_000.0, max_backlog=3
+            )
+            rows = [np.array([float(i)]) for i in range(5)]
+            gathered = asyncio.gather(
+                *(batcher.submit(r) for r in rows), return_exceptions=True
+            )
+            await asyncio.sleep(0)  # every submit queues or is rejected
+            await batcher.drain()   # resolve the queued rows now
+            return await gathered, batcher.stats
+
+        results, stats = asyncio.run(run())
+        rejected = [r for r in results if isinstance(r, BacklogFullError)]
+        accepted = [r for r in results if isinstance(r, float)]
+        assert len(rejected) == 2
+        assert len(accepted) == 3
+        assert stats.shed == 2
+        assert stats.rows == 3  # shed rows never reach a flush
+
+    def test_rejection_names_the_limit_and_retry(self):
+        async def run():
+            batcher = MicroBatcher(
+                _echo_sum, max_batch=64, max_wait_ms=60_000.0, max_backlog=1
+            )
+            queued = asyncio.ensure_future(batcher.submit(np.array([1.0])))
+            await asyncio.sleep(0)
+            with pytest.raises(BacklogFullError) as excinfo:
+                await batcher.submit(np.array([2.0]))
+            await batcher.drain()
+            await queued
+            return excinfo.value
+
+        exc = asyncio.run(run())
+        assert "max_backlog=1" in str(exc)
+        # retry hint covers one worst-case deadline flush, rounded up.
+        assert exc.retry_after_s == 61
+
+
+@pytest.fixture
+def tight_server(populated_registry):
+    """A server whose per-model backlog holds only two pending rows."""
+    with ServerThread(
+        populated_registry,
+        max_batch=64,
+        max_wait_ms=100.0,
+        max_backlog=2,
+    ) as handle:
+        yield handle
+
+
+class TestServer429:
+    def test_oversized_batch_is_shed(self, tight_server, feature_dicts):
+        # Five rows hit a two-row backlog; max_batch is far away, so the
+        # overflow rows are rejected the moment they arrive.
+        with PredictionClient("127.0.0.1", tight_server.port) as client:
+            with pytest.raises(ClientError) as excinfo:
+                client.predict_batch(feature_dicts[:5], model="point")
+            assert excinfo.value.status == 429
+            assert "backlog full" in str(excinfo.value)
+            assert "max_backlog=2" in str(excinfo.value)
+
+    def test_retry_after_header(self, tight_server, feature_dicts):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", tight_server.port, timeout=30.0
+        )
+        try:
+            conn.request(
+                "POST",
+                "/v1/predict",
+                body=json.dumps(
+                    {"model": "point", "instances": feature_dicts[:5]}
+                ).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 429
+            # max_wait_ms=100 -> the backlog drains within a second.
+            assert response.getheader("Retry-After") == "1"
+            response.read()
+        finally:
+            conn.close()
+
+    def test_shed_rows_reach_the_metrics(self, tight_server, feature_dicts):
+        with PredictionClient("127.0.0.1", tight_server.port) as client:
+            with pytest.raises(ClientError):
+                client.predict_batch(feature_dicts[:6], model="point")
+            samples = client.metrics()
+            assert samples["repro_serve_shed_total"] >= 1.0
+            assert (
+                samples['repro_serve_errors_total{reason="backlog_full"}']
+                >= 1.0
+            )
+            assert (
+                samples['repro_serve_requests_total{endpoint="/v1/predict",status="429"}']
+                >= 1.0
+            )
+
+    def test_within_budget_requests_still_served(
+        self, tight_server, feature_dicts, point_predictor, feature_rows
+    ):
+        with PredictionClient("127.0.0.1", tight_server.port) as client:
+            body = client.predict(feature_dicts[0], model="point")
+            expected = float(point_predictor.predict_rows(feature_rows[0:1])[0])
+            assert body["prediction"] == expected

@@ -1,0 +1,137 @@
+"""Hot-reload: the server notices new pushes and tombstones, no restart.
+
+A polling task pre-warms newly pushed latest versions into the
+resident-model LRU (so the first request after a push pays no artifact
+load) and evicts residents whose version was tombstoned.
+"""
+
+import time
+
+import pytest
+
+from repro.serve.client import PredictionClient
+from repro.serve.server import ServerThread
+
+
+def _wait_until(predicate, timeout_s=5.0, interval_s=0.02):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+@pytest.fixture
+def reloading_server(populated_registry):
+    with ServerThread(
+        populated_registry, max_wait_ms=1.0, hot_reload_s=0.05
+    ) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(reloading_server):
+    with PredictionClient("127.0.0.1", reloading_server.port) as c:
+        yield c
+
+
+def _metric(client, name):
+    return client.metrics().get(name, 0.0)
+
+
+class TestPrewarm:
+    def test_initial_poll_prewarms_every_model(self, client):
+        assert _wait_until(
+            lambda: _metric(client, "repro_serve_hot_reload_loads_total")
+            >= 2.0
+        )
+        # Both models are resident before any /v1/predict arrived, so the
+        # first prediction is a cache hit, not a miss.
+        assert _metric(client, "repro_serve_model_cache_misses_total") == 0.0
+
+    def test_new_push_is_picked_up_without_restart(
+        self, client, populated_registry, other_predictor, feature_dicts
+    ):
+        _wait_until(
+            lambda: _metric(client, "repro_serve_hot_reload_loads_total")
+            >= 2.0
+        )
+        populated_registry.push("point", other_predictor)  # point@2
+        assert _wait_until(
+            lambda: _metric(client, "repro_serve_hot_reload_loads_total")
+            >= 3.0
+        )
+        misses_before = _metric(
+            client, "repro_serve_model_cache_misses_total"
+        )
+        body = client.predict(feature_dicts[0], model="point")
+        assert body["model"] == "point@2"
+        # The poller already loaded point@2: serving it cost no miss.
+        assert (
+            _metric(client, "repro_serve_model_cache_misses_total")
+            == misses_before
+        )
+
+
+class TestTombstoneEviction:
+    def test_tombstoned_resident_is_evicted(
+        self, client, populated_registry, feature_dicts
+    ):
+        _wait_until(
+            lambda: _metric(client, "repro_serve_hot_reload_loads_total")
+            >= 2.0
+        )
+        populated_registry.tombstone("band@1", reason="drift")
+        assert _wait_until(
+            lambda: _metric(
+                client, "repro_serve_hot_reload_evictions_total"
+            )
+            >= 1.0
+        )
+        # The evicted version is now refused end to end.
+        from repro.serve.client import ClientError
+
+        with pytest.raises(ClientError) as excinfo:
+            client.predict(feature_dicts[0], model="band@1")
+        assert excinfo.value.status == 404
+        assert "tombstoned" in str(excinfo.value)
+
+    def test_bare_name_floats_to_surviving_version(
+        self, client, populated_registry, other_predictor, feature_dicts
+    ):
+        # Let the initial prewarm finish first, so point@1 is resident
+        # before point@2 supersedes it as the latest.
+        assert _wait_until(
+            lambda: _metric(client, "repro_serve_hot_reload_loads_total")
+            >= 2.0
+        )
+        populated_registry.push("point", other_predictor)  # point@2
+        assert _wait_until(
+            lambda: _metric(client, "repro_serve_hot_reload_loads_total")
+            >= 3.0
+        )
+        assert (
+            client.predict(feature_dicts[0], model="point")["model"]
+            == "point@2"
+        )
+        populated_registry.tombstone("point@2", reason="rollback")
+        assert _wait_until(
+            lambda: _metric(
+                client, "repro_serve_hot_reload_evictions_total"
+            )
+            >= 1.0
+        )
+        body = client.predict(feature_dicts[0], model="point")
+        assert body["model"] == "point@1"
+
+
+class TestWithoutHotReload:
+    def test_polling_disabled_by_default(self, populated_registry):
+        with ServerThread(populated_registry, max_wait_ms=1.0) as handle:
+            with PredictionClient("127.0.0.1", handle.port) as client:
+                time.sleep(0.15)
+                assert (
+                    _metric(client, "repro_serve_hot_reload_loads_total")
+                    == 0.0
+                )

@@ -386,3 +386,145 @@ class TestObsCommands:
         payload = json.loads(trace_path.read_text())
         names = {e["name"] for e in payload["traceEvents"] if e.get("ph") == "X"}
         assert "collect.dataset" in names and "engine.solve" in names
+
+
+class TestRegistryLifecycleCLI:
+    """The registry lifecycle commands: gc, tombstone, pull, remote backends."""
+
+    @pytest.fixture
+    def store_dir(self, model_json, tmp_path):
+        store = tmp_path / "store"
+        for _ in range(3):
+            assert main(
+                ["registry", "push", "--registry", str(store),
+                 "--name", "m", "--model", str(model_json)]
+            ) == 0
+        return store
+
+    def test_gc_dry_run(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(
+            ["registry", "gc", "--registry", str(store_dir),
+             "--keep", "1", "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "would remove 2 version(s)" in out
+        assert "would remove m@1" in out and "would remove m@2" in out
+        assert (store_dir / "m" / "1" / "model.json").is_file()
+
+    def test_gc_removes_old_versions(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(
+            ["registry", "gc", "--registry", str(store_dir), "--keep", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 version(s)" in out and "removed m@1" in out
+        assert not (store_dir / "m" / "1").exists()
+        assert (store_dir / "m" / "3" / "model.json").is_file()
+
+    def test_gc_rejects_zero_keep(self, store_dir):
+        with pytest.raises(SystemExit, match="at least 1"):
+            main(["registry", "gc", "--registry", str(store_dir), "--keep", "0"])
+
+    def test_tombstone_blocks_and_undo_restores(self, store_dir, capsys):
+        capsys.readouterr()
+        assert main(
+            ["registry", "tombstone", "m@3", "--registry", str(store_dir),
+             "--reason", "bad calibration"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tombstoned m@3 (bad calibration)" in out
+        assert "bytes retained" in out
+        assert main(
+            ["registry", "show", "m", "--registry", str(store_dir)]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["version"] == 2
+        with pytest.raises(SystemExit, match="tombstoned"):
+            main(["registry", "show", "m@3", "--registry", str(store_dir)])
+        assert main(
+            ["registry", "tombstone", "m@3", "--registry", str(store_dir),
+             "--undo"]
+        ) == 0
+        assert "untombstoned m@3" in capsys.readouterr().out
+        assert main(
+            ["registry", "show", "m", "--registry", str(store_dir)]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["version"] == 3
+
+    def test_tombstone_needs_pinned_ref(self, store_dir):
+        with pytest.raises(SystemExit, match="explicit name@version"):
+            main(["registry", "tombstone", "m", "--registry", str(store_dir)])
+
+    def test_pull_caches_and_remote_list(self, store_dir, tmp_path, capsys):
+        from repro.registry import ModelRegistry, RegistryServerThread
+
+        cache = tmp_path / "cache"
+        with RegistryServerThread(ModelRegistry(store_dir)) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            capsys.readouterr()
+            assert main(
+                ["registry", "pull", "m@2", "--registry-url", url,
+                 "--cache", str(cache)]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "pulled m@2" in out and f"cached under {cache}" in out
+            assert main(
+                ["registry", "list", "--registry-url", url,
+                 "--cache", str(cache)]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "m@1" in out and "m@3" in out and url in out
+
+    def test_remote_push_with_token(
+        self, store_dir, model_json, tmp_path, capsys
+    ):
+        from repro.registry import ModelRegistry, RegistryServerThread
+
+        with RegistryServerThread(
+            ModelRegistry(store_dir), token="s3cret"
+        ) as handle:
+            url = f"http://127.0.0.1:{handle.port}"
+            capsys.readouterr()
+            assert main(
+                ["registry", "push", "--registry-url", url,
+                 "--cache", str(tmp_path / "cache"), "--token", "s3cret",
+                 "--name", "m", "--model", str(model_json)]
+            ) == 0
+            assert "pushed m@4" in capsys.readouterr().out
+        assert (store_dir / "m" / "4" / "model.json").is_file()
+
+    def test_pull_requires_remote_backend(self, store_dir):
+        with pytest.raises(SystemExit, match="registry-url"):
+            main(
+                ["registry", "pull", "m@1", "--registry", str(store_dir)]
+            )
+
+    def test_backend_flags_are_exclusive(self, store_dir):
+        with pytest.raises(SystemExit, match="not both"):
+            main(
+                ["registry", "list", "--registry", str(store_dir),
+                 "--registry-url", "http://127.0.0.1:1"]
+            )
+
+    def test_registry_url_needs_cache(self):
+        with pytest.raises(SystemExit, match="--cache"):
+            main(["registry", "list", "--registry-url", "http://127.0.0.1:1"])
+
+    def test_some_backend_is_required(self):
+        with pytest.raises(SystemExit, match="pass --registry"):
+            main(["registry", "list"])
+
+    def test_serve_parser_new_flags(self):
+        args = build_parser().parse_args(["serve", "--registry", "/tmp/r"])
+        assert args.max_backlog is None and args.hot_reload is None
+        args = build_parser().parse_args(
+            ["serve", "--registry-url", "http://h:1", "--cache", "/tmp/c",
+             "--max-backlog", "64", "--hot-reload", "5"]
+        )
+        assert args.max_backlog == 64 and args.hot_reload == 5.0
+
+    def test_registry_serve_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["registry", "serve", "--registry", "/tmp/r"]
+        )
+        assert args.port == 8100 and args.token is None
