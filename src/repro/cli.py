@@ -508,11 +508,62 @@ def _cmd_registry_pull(args) -> int:
     return 0
 
 
+def _cmd_serve_tier(args) -> int:
+    """The routed multi-worker path: ``serve --workers/--canary/--shadow``."""
+    import signal
+    import threading
+
+    from .serve.router import ServingTier, parse_canary, parse_shadow
+
+    registry = _open_backend(args)
+    try:
+        canary = tuple(parse_canary(c) for c in (args.canary or []))
+        shadow = tuple(parse_shadow(s) for s in (args.shadow or []))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    tier = ServingTier(
+        registry,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        canary=canary,
+        shadow=shadow,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_backlog=args.max_backlog,
+        hot_reload_s=args.hot_reload,
+    )
+    tier.start()
+    names = registry.names()
+    routing = "".join(
+        f", canary {spec.ref} at {100.0 * spec.fraction:g}%" for spec in canary
+    ) + "".join(f", shadow {spec.ref}" for spec in shadow)
+    print(
+        f"serving {len(names)} model(s) {names} from {registry.describe()} "
+        f"on http://{args.host}:{tier.port} with {args.workers} worker "
+        f"process(es){routing}"
+    )
+    stop = threading.Event()
+    previous = signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        stop.wait()
+        print("shutting down (SIGTERM)")
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        tier.stop()
+        print(f"worker exit code(s): {tier.worker_exitcodes}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
     from .serve.server import PredictionServer
 
+    if args.workers > 1 or args.canary or args.shadow:
+        return _cmd_serve_tier(args)
     registry = _open_backend(args)
     server = PredictionServer(
         registry,
@@ -780,7 +831,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hot-reload", dest="hot_reload", type=float, default=None,
                    metavar="SECONDS",
                    help="poll the registry for new latest versions every "
-                        "SECONDS, pre-warming the resident-model cache")
+                        "SECONDS, pre-warming the resident-model cache "
+                        "(with --workers, every worker polls its own shard)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes behind a shard-routing front "
+                        "router (default 1: classic single-process server)")
+    p.add_argument("--canary", action="append", metavar="NAME@VER:PCT",
+                   help="route PCT%% of bare-NAME requests to NAME@VER "
+                        "(e.g. band@2:10); repeatable, implies the router")
+    p.add_argument("--shadow", action="append", metavar="NAME@VER",
+                   help="mirror NAME requests to NAME@VER and export "
+                        "prediction divergence metrics; repeatable, "
+                        "implies the router")
     p.add_argument("--trace", metavar="PATH",
                    help="record request/batcher spans, written to PATH "
                         "when the server stops")

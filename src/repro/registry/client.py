@@ -30,6 +30,7 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import tempfile
 from pathlib import Path
 from urllib.parse import urlsplit
 
@@ -132,10 +133,31 @@ class HttpBackend:
 
     @staticmethod
     def _atomic_write(path: Path, payload: bytes) -> None:
+        """Write ``payload`` so concurrent writers can never tear ``path``.
+
+        The temp file name must be unique *per writer*: with a fixed
+        ``<path>.tmp``, two processes pulling the same version interleave
+        — A's ``os.replace`` publishes the tmp inode while B is still
+        writing into it, leaving a torn final file.  ``mkstemp`` in the
+        destination directory gives each writer its own inode on the
+        same filesystem, so every ``os.replace`` publishes a complete
+        payload; last writer wins, which is fine for content-addressed
+        entries (both wrote identical bytes).
+        """
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(path.suffix + ".tmp")
-        tmp.write_bytes(payload)
-        os.replace(tmp, path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
 
     def _cache_manifest(self, data: dict) -> None:
         """Store one server manifest dict (with its tombstone field)."""

@@ -20,7 +20,13 @@ long-running, observable prediction service:
 * :mod:`~repro.serve.metrics` — request/error counters and latency and
   batch-size histograms in Prometheus text exposition format;
 * :mod:`~repro.serve.client` — a small blocking client for tests and
-  load generators, with a label-aware Prometheus parser.
+  load generators, with a label-aware Prometheus parser;
+* :mod:`~repro.serve.shard`, :mod:`~repro.serve.worker`, and
+  :mod:`~repro.serve.router` — the multi-process serving tier:
+  consistent model-name sharding, spawned worker processes with a
+  graceful drain protocol, and a front router with canary/shadow
+  splitting, machine-metadata routing, and one merged ``/metrics``
+  scrape for the whole tier (``repro serve --workers N``).
 
 The server threads through :mod:`repro.obs`: each
 :class:`~repro.serve.server.PredictionServer` owns a merged metrics
@@ -35,13 +41,25 @@ are no third-party serving dependencies.
 
 from .batcher import BacklogFullError, BatcherStats, MicroBatcher
 from .client import ClientError, PredictionClient, parse_prometheus
-from .metrics import LatencyHistogram, ServingMetrics
+from .metrics import LatencyHistogram, ServingMetrics, merge_prometheus_texts
 from .registry import ModelManifest, ModelRegistry, RegistryError, TombstoneError
+from .router import (
+    CanarySpec,
+    RouterServer,
+    ServingTier,
+    ShadowSpec,
+    parse_canary,
+    parse_shadow,
+)
 from .server import PredictionServer, ServerThread
+from .shard import ShardMap, shard_for
+from .worker import BackendSpec, WorkerProcess, backend_spec_for
 
 __all__ = [
+    "BackendSpec",
     "BacklogFullError",
     "BatcherStats",
+    "CanarySpec",
     "ClientError",
     "LatencyHistogram",
     "MicroBatcher",
@@ -50,8 +68,18 @@ __all__ = [
     "PredictionClient",
     "PredictionServer",
     "RegistryError",
+    "RouterServer",
     "ServerThread",
     "ServingMetrics",
+    "ServingTier",
+    "ShadowSpec",
+    "ShardMap",
     "TombstoneError",
+    "WorkerProcess",
+    "backend_spec_for",
+    "merge_prometheus_texts",
+    "parse_canary",
     "parse_prometheus",
+    "parse_shadow",
+    "shard_for",
 ]

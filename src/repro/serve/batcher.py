@@ -24,6 +24,7 @@ batched call is tens of microseconds.
 from __future__ import annotations
 
 import asyncio
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -169,7 +170,11 @@ class MicroBatcher:
             and len(self._pending) >= self.max_backlog
         ):
             self.stats.record_shed(1)
-            retry_after_s = max(1, int(self.max_wait_ms / 1000.0) + 1)
+            # The drain horizon: the oldest queued row flushes within
+            # max_wait_ms, so the backlog has space again by then.
+            # ceil, not int()+1 — a 60 s deadline means retry after 60 s,
+            # not 61; floor of 1 s because Retry-After is whole seconds.
+            retry_after_s = max(1, math.ceil(self.max_wait_ms / 1000.0))
             raise BacklogFullError(
                 f"backlog full: {len(self._pending)} row(s) already queued "
                 f"(max_backlog={self.max_backlog}); retry after "

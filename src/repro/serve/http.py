@@ -55,6 +55,8 @@ _STATUS_TEXT = {
     410: "Gone",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
 }
 
 
@@ -110,6 +112,7 @@ class HttpServerBase:
         self._active_requests = 0
         self._closing = False
         self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
 
     # ----------------------------------------------------------- lifecycle
     @property
@@ -142,6 +145,22 @@ class HttpServerBase:
             await asyncio.sleep(0.005)
         for writer in list(self._writers):
             writer.close()
+        # Reap the per-connection tasks before returning: the caller may
+        # stop the event loop right after stop(), and a handler still
+        # suspended at an await would then be garbage-collected mid-frame
+        # ("coroutine ignored GeneratorExit" unraisables).  Closed writers
+        # end the handlers promptly; anything still stuck gets cancelled.
+        tasks = [task for task in self._conn_tasks if not task.done()]
+        if tasks:
+            try:
+                await asyncio.wait_for(
+                    asyncio.gather(*tasks, return_exceptions=True),
+                    timeout=drain_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                for task in tasks:
+                    task.cancel()
+                await asyncio.gather(*tasks, return_exceptions=True)
         self._server = None
 
     async def serve_forever(self) -> None:
@@ -184,6 +203,9 @@ class HttpServerBase:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         self._writers.add(writer)
         try:
             while not self._closing:
@@ -211,6 +233,9 @@ class HttpServerBase:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+            finally:
+                if task is not None:
+                    self._conn_tasks.discard(task)
 
     async def _read_request(self, reader: asyncio.StreamReader) -> Request | None:
         try:
@@ -257,6 +282,10 @@ class HttpServerBase:
             request.headers.get("x-request-id", "").strip()
             or os.urandom(8).hex()
         )
+        # Stamp the effective id back onto the request so handlers that
+        # proxy the call (the router) can forward it: the router span and
+        # the worker span then share one correlation id across the hop.
+        request.headers["x-request-id"] = request_id
         with get_tracer().span(
             self.request_span_name,
             endpoint=endpoint,

@@ -15,11 +15,17 @@ for the text format.
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
 
 from ..obs.registry import escape_label_value
 
-__all__ = ["LatencyHistogram", "ServingMetrics"]
+__all__ = [
+    "LatencyHistogram",
+    "ServingMetrics",
+    "merge_prometheus_texts",
+    "render_labels",
+]
 
 #: Request phases recorded by the server, in pipeline order.
 REQUEST_PHASES = ("queue", "batch_wait", "predict", "serialize")
@@ -129,6 +135,113 @@ def _labels(**labels: str) -> str:
         f'{k}="{escape_label_value(str(v))}"' for k, v in sorted(labels.items())
     )
     return "{" + body + "}"
+
+
+#: Public alias: other serving modules (the router) render label sets
+#: with the same canonical sorted-key form the core families use.
+render_labels = _labels
+
+#: Series whose bare name matches this are point-in-time percentile
+#: gauges; merging across workers takes the max (worst worker), because
+#: summing percentiles is meaningless.
+_PERCENTILE_NAME = re.compile(r"_p\d+$")
+
+
+def _merge_family_of(bare_name: str, known: set[str]) -> str:
+    """The metric family a sample line belongs to.
+
+    Histogram samples (``X_bucket``/``X_sum``/``X_count``) roll up to
+    ``X`` when ``X`` declared itself via ``# TYPE``; everything else is
+    its own family.
+    """
+    for suffix in ("_bucket", "_sum", "_count"):
+        if bare_name.endswith(suffix) and bare_name[: -len(suffix)] in known:
+            return bare_name[: -len(suffix)]
+    return bare_name
+
+
+def merge_prometheus_texts(texts: list[str]) -> str:
+    """Merge several Prometheus text expositions into one.
+
+    The router uses this to answer ``GET /metrics`` for the whole tier:
+    one scrape of the router returns its own exposition merged with a
+    fresh scrape of every worker.  Merge rules:
+
+    * counters, histogram ``_bucket``/``_sum``/``_count`` samples, and
+      plain gauges **sum** across texts (identical series keys combine;
+      series distinguished by labels — e.g. ``worker="0"`` — stay
+      distinct lines);
+    * percentile gauges (bare name matching ``_p\\d+$``) take the
+      **max** — the worst worker's tail — skipping ``NaN`` from workers
+      that saw no samples;
+    * ``# HELP``/``# TYPE`` metadata and family ordering follow the
+      first text that mentioned each family, and every family's samples
+      stay grouped under its metadata as the exposition format requires.
+    """
+    meta: dict[str, list[str]] = {}        # family -> HELP/TYPE lines
+    family_order: list[str] = []
+    family_keys: dict[str, list[str]] = {}  # family -> series keys, ordered
+    values: dict[str, float] = {}
+    int_valued: dict[str, bool] = {}
+
+    for text in texts:
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                    family = parts[2]
+                    if family not in meta:
+                        meta[family] = []
+                        family_order.append(family)
+                        family_keys.setdefault(family, [])
+                    if not any(
+                        existing.split(None, 3)[1] == parts[1]
+                        for existing in meta[family]
+                    ):
+                        meta[family].append(line)
+                continue
+            key, _sep, value_text = line.rpartition(" ")
+            if not _sep:
+                continue
+            try:
+                value = float(value_text)
+            except ValueError:
+                continue
+            bare = key.partition("{")[0]
+            family = _merge_family_of(bare, set(meta))
+            if family not in family_keys:
+                family_order.append(family)
+                family_keys[family] = []
+            if key not in values:
+                family_keys[family].append(key)
+                values[key] = value
+                int_valued[key] = "." not in value_text and value_text.isdigit()
+            elif _PERCENTILE_NAME.search(bare):
+                prior = values[key]
+                if math.isnan(prior) or (
+                    not math.isnan(value) and value > prior
+                ):
+                    values[key] = value
+                int_valued[key] = False
+            else:
+                values[key] = values[key] + value
+                int_valued[key] = int_valued[key] and (
+                    "." not in value_text and value_text.isdigit()
+                )
+
+    lines: list[str] = []
+    for family in family_order:
+        lines.extend(meta.get(family, []))
+        for key in family_keys.get(family, []):
+            value = values[key]
+            if int_valued[key]:
+                lines.append(f"{key} {int(value)}")
+            else:
+                lines.append(f"{key} {_fmt(value)}")
+    return "\n".join(lines) + "\n"
 
 
 class ServingMetrics:

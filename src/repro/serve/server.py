@@ -100,6 +100,12 @@ class PredictionServer(HttpServerBase):
         Poll the backend for new latest versions every this-many seconds,
         pre-warming the LRU and evicting tombstoned residents.  ``None``
         (default) disables the poller.
+    worker_id:
+        Set when this server is one worker of a routed tier
+        (:mod:`repro.serve.router`): exported as the
+        ``repro_serve_worker_up{worker="N"}`` gauge so the merged scrape
+        shows which shards answered.  ``None`` (default) for standalone
+        servers.
     metrics:
         Optional shared :class:`~repro.serve.metrics.ServingMetrics`.
     """
@@ -118,6 +124,7 @@ class PredictionServer(HttpServerBase):
         max_backlog: int | None = None,
         model_cache_size: int = 8,
         hot_reload_s: float | None = None,
+        worker_id: int | None = None,
         metrics: ServingMetrics | None = None,
     ) -> None:
         if model_cache_size < 1:
@@ -131,6 +138,7 @@ class PredictionServer(HttpServerBase):
         self.max_backlog = max_backlog
         self.model_cache_size = model_cache_size
         self.hot_reload_s = hot_reload_s
+        self.worker_id = worker_id
         self.metrics = metrics if metrics is not None else ServingMetrics()
         # Per-server metrics registry: one GET /metrics scrape merges the
         # request-path metrics with the process-wide engine and fitting
@@ -146,25 +154,45 @@ class PredictionServer(HttpServerBase):
         # lookup is cheaper than a thread-pool hop).
         self._offload_registry = not isinstance(registry, ModelRegistry)
         self._reload_task: asyncio.Task | None = None
+        self._reload_stop: asyncio.Event | None = None
         self._hot_reload_loads = 0
         self._hot_reload_evictions = 0
 
     # ----------------------------------------------------------- lifecycle
     async def _on_start(self) -> None:
         if self.hot_reload_s is not None:
+            self._reload_stop = asyncio.Event()
             self._reload_task = asyncio.get_running_loop().create_task(
                 self._hot_reload_loop()
             )
 
     async def stop(self, *, drain_timeout_s: float = 5.0) -> None:
-        """Graceful shutdown: stop the poller, drain batches, finish work."""
+        """Graceful shutdown: stop the poller, drain batches, finish work.
+
+        The poller is stopped *cooperatively* and waited for BEFORE the
+        drain begins.  Cancelling it is not enough: a poll blocked inside
+        ``asyncio.to_thread`` keeps running in its executor thread after
+        the cancel, and could install a model into the LRU (or keep
+        touching the registry backend) after the batchers have drained.
+        Setting the stop event and awaiting the task means any in-flight
+        backend call finishes first and the poll then observes the event
+        and discards its work instead of installing it.
+        """
         if self._reload_task is not None:
-            self._reload_task.cancel()
+            task, self._reload_task = self._reload_task, None
+            if self._reload_stop is not None:
+                self._reload_stop.set()
             try:
-                await self._reload_task
-            except asyncio.CancelledError:
-                pass
-            self._reload_task = None
+                # Bounded wait: a poll stuck in a hung backend call must
+                # not wedge shutdown forever; past the bound we fall back
+                # to cancellation (the stop event still guards installs).
+                await asyncio.wait_for(asyncio.shield(task), timeout=10.0)
+            except asyncio.TimeoutError:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
         await super().stop(drain_timeout_s=drain_timeout_s)
 
     async def _drain(self) -> None:
@@ -213,6 +241,16 @@ class PredictionServer(HttpServerBase):
         lines.append(
             f"repro_serve_hot_reload_evictions_total {self._hot_reload_evictions}"
         )
+        if self.worker_id is not None:
+            lines.append(
+                "# HELP repro_serve_worker_up Serving-tier workers that "
+                "answered this scrape."
+            )
+            lines.append("# TYPE repro_serve_worker_up gauge")
+            lines.append(
+                "repro_serve_worker_up"
+                f'{{worker="{escape_label_value(str(self.worker_id))}"}} 1'
+            )
         return "\n".join(lines)
 
     # ------------------------------------------------------------- models
@@ -274,33 +312,59 @@ class PredictionServer(HttpServerBase):
         return self._install_resident(key, artifact, manifest)
 
     # --------------------------------------------------------- hot reload
+    def _reload_stopping(self) -> bool:
+        """True once shutdown asked the poller to discard in-flight work."""
+        return (
+            self._closing
+            or (self._reload_stop is not None and self._reload_stop.is_set())
+        )
+
     async def _hot_reload_loop(self) -> None:
-        while not self._closing:
+        stop = self._reload_stop
+        while not stop.is_set():
             try:
                 await self.hot_reload_once()
             except Exception:  # noqa: BLE001 - backend outage: retry next tick
                 pass
-            await asyncio.sleep(self.hot_reload_s)
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=self.hot_reload_s)
+            except asyncio.TimeoutError:
+                pass
 
     async def hot_reload_once(self) -> None:
-        """One poll: pre-warm new latest versions, evict tombstoned ones."""
+        """One poll: pre-warm new latest versions, evict tombstoned ones.
+
+        Checks the shutdown stop event between every backend call and
+        before every install/evict, so a poll overlapping ``stop()``
+        finishes its in-flight call and then discards the result instead
+        of mutating the LRU (or issuing further backend calls) after the
+        drain has begun.
+        """
         names = await asyncio.to_thread(self.registry.names)
         for name in names:
+            if self._reload_stopping():
+                return
             try:
                 manifest = await asyncio.to_thread(self.registry.latest, name)
             except RegistryError:
                 continue  # empty/blocked name; nothing to warm
             if manifest.ref in self._resident:
                 continue
+            if self._reload_stopping():
+                return
             try:
                 artifact, manifest = await asyncio.to_thread(
                     self.registry.get, manifest.ref
                 )
             except RegistryError:
                 continue
+            if self._reload_stopping():
+                return
             self._install_resident(manifest.ref, artifact, manifest)
             self._hot_reload_loads += 1
         for key, resident in list(self._resident.items()):
+            if self._reload_stopping():
+                return
             try:
                 reason = await asyncio.to_thread(
                     self.registry.tombstone_reason,
@@ -309,6 +373,8 @@ class PredictionServer(HttpServerBase):
                 )
             except Exception:  # noqa: BLE001 - can't check now; keep serving
                 continue
+            if self._reload_stopping():
+                return
             if reason is not None:
                 evicted = self._resident.pop(key, None)
                 if evicted is not None:

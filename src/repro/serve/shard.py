@@ -1,0 +1,71 @@
+"""Consistent model-to-worker sharding for the serving tier.
+
+The router (:mod:`repro.serve.router`) keeps each model name resident on
+exactly one worker process, so every version of a name shares one
+micro-batcher and one artifact cache — canary and shadow versions of the
+same name always land on the same worker and batch together.
+
+The assignment uses rendezvous (highest-random-weight) hashing over the
+SHA-256 of ``"{name}|{worker}"``:
+
+* **Deterministic across processes.**  Any router (or test) computes the
+  identical assignment from ``(name, n_workers)`` alone — no shared
+  state, no coordination.
+* **Minimal movement.**  Growing the tier from ``n`` to ``n + 1`` workers
+  reassigns only the names whose new worker wins the rendezvous —
+  about ``1/(n + 1)`` of them — instead of reshuffling everything the
+  way ``hash(name) % n`` would.
+* **Version-agnostic.**  Hashing the bare *name* (never ``name@version``)
+  pins all versions of a model to one shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["ShardMap", "shard_for"]
+
+
+def _weight(name: str, worker: int) -> bytes:
+    """The rendezvous weight of ``worker`` for ``name`` (big-endian cmp)."""
+    return hashlib.sha256(f"{name}|{worker}".encode()).digest()
+
+
+def shard_for(name: str, n_workers: int) -> int:
+    """The worker index owning model ``name`` in an ``n_workers`` tier."""
+    if n_workers < 1:
+        raise ValueError(f"a tier needs at least 1 worker; got {n_workers}")
+    if n_workers == 1:
+        return 0
+    return max(range(n_workers), key=lambda worker: _weight(name, worker))
+
+
+class ShardMap:
+    """Memoized name -> worker assignment for one tier size.
+
+    The router resolves the shard on every request; the memo keeps that
+    at one dict hit per request after a name's first appearance.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError(
+                f"a tier needs at least 1 worker; got {n_workers}"
+            )
+        self.n_workers = n_workers
+        self._assignment: dict[str, int] = {}
+
+    def worker_for(self, name: str) -> int:
+        """The worker index owning model ``name``."""
+        worker = self._assignment.get(name)
+        if worker is None:
+            worker = self._assignment[name] = shard_for(name, self.n_workers)
+        return worker
+
+    def assignment(self, names: list[str]) -> dict[str, int]:
+        """The full name -> worker map for a set of names."""
+        return {name: self.worker_for(name) for name in names}
+
+    def names_on(self, worker: int, names: list[str]) -> list[str]:
+        """The subset of ``names`` assigned to ``worker``, sorted."""
+        return sorted(n for n in names if self.worker_for(n) == worker)

@@ -7,6 +7,13 @@ fast while still exercising the real code paths.
 
 from __future__ import annotations
 
+# Imported eagerly on purpose: the hypothesis pytest plugin lazily imports
+# `hypothesis` inside pytest_terminal_summary, at the bottom of the pluggy
+# call stack, where CPython 3.11's assertion-rewrite ast.parse can fail
+# with "SystemError: AST constructor recursion depth mismatch" when the
+# selected test files did not already import it.  Importing here keeps the
+# rewrite at collection depth, where it always succeeds.
+import hypothesis  # noqa: F401
 import numpy as np
 import pytest
 

@@ -291,3 +291,110 @@ class TestOutageSurvival:
     def test_tombstone_reason_offline(self, offline):
         assert offline.tombstone_reason("point", 2) == "rollback"
         assert offline.tombstone_reason("point", 1) is None
+
+
+class TestConcurrentCacheWrites:
+    """Atomic blob-cache writes under the worker tier's process fan-out.
+
+    The serving tier guarantees several processes share one cache
+    directory; with a *fixed* temp name (``<path>.tmp``) two writers
+    interleave — A's ``os.replace`` publishes the temp inode while B is
+    still writing into it — leaving a torn final file.  These tests pin
+    the fix: every writer gets its own temp file, and concurrent pulls
+    of the same version always leave an intact cache entry.
+    """
+
+    def test_every_writer_gets_a_distinct_temp_file(
+        self, remote, monkeypatch
+    ):
+        import os as os_module
+
+        from repro.registry import client as client_module
+
+        replaced_sources: list[str] = []
+        original_replace = os_module.replace
+
+        def recording_replace(src, dst):
+            replaced_sources.append(str(src))
+            return original_replace(src, dst)
+
+        monkeypatch.setattr(client_module.os, "replace", recording_replace)
+        target = remote.cache_dir / "blobs" / "concurrency-probe"
+        for payload in (b"a" * 64, b"b" * 64, b"c" * 64):
+            remote._atomic_write(target, payload)
+        assert len(replaced_sources) == 3
+        assert len(set(replaced_sources)) == 3  # fixed ".tmp" would collide
+        assert target.read_bytes() == b"c" * 64
+
+    def test_interleaved_writers_never_tear_the_file(self, remote):
+        import threading
+
+        target = remote.cache_dir / "blobs" / "contended"
+        payloads = [bytes([i]) * 256_000 for i in range(4)]
+        errors: list[BaseException] = []
+
+        def writer(payload: bytes) -> None:
+            try:
+                for _ in range(25):
+                    remote._atomic_write(target, payload)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(p,)) for p in payloads
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert errors == []
+        # The survivor is one complete payload, never a mix of two.
+        assert target.read_bytes() in payloads
+        # No temp-file litter left behind in the cache directory.
+        assert list(target.parent.glob("*.tmp")) == []
+
+    def test_concurrent_pulls_share_one_intact_cache(
+        self, registry_server, cache_dir, populated_store
+    ):
+        import threading
+
+        from repro.core.persistence import artifact_to_dict
+
+        # Several backends (one per "process") over one cache directory,
+        # all pulling the same uncached version at once.
+        backends = [
+            HttpBackend(
+                f"http://127.0.0.1:{registry_server.port}", cache_dir
+            )
+            for _ in range(4)
+        ]
+        results: list[dict] = []
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(len(backends))
+
+        def pull(backend: HttpBackend) -> None:
+            try:
+                barrier.wait(timeout=10.0)
+                artifact, manifest = backend.get("band@1")
+                results.append(artifact_to_dict(artifact))
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=pull, args=(b,)) for b in backends]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert errors == []
+        assert len(results) == len(backends)
+        expected = artifact_to_dict(populated_store.get("band@1")[0])
+        assert all(r == expected for r in results)
+        # The blob each pull published is intact: a fresh cache-only read
+        # (zero HTTP) decodes and hash-verifies.
+        probe = HttpBackend(
+            f"http://127.0.0.1:{registry_server.port}", cache_dir
+        )
+        before = probe.http_requests
+        artifact, manifest = probe.get("band@1")
+        assert probe.http_requests == before
+        assert artifact_to_dict(artifact) == expected

@@ -71,8 +71,41 @@ class TestBatcherBackpressure:
 
         exc = asyncio.run(run())
         assert "max_backlog=1" in str(exc)
-        # retry hint covers one worst-case deadline flush, rounded up.
-        assert exc.retry_after_s == 61
+        # retry hint is the drain horizon: the oldest queued row flushes
+        # within max_wait_ms, so ceil(max_wait_ms / 1000) — exactly 60
+        # for a one-minute deadline, not 61 (the old formula over-backed
+        # clients off by a second per retry).
+        assert exc.retry_after_s == 60
+
+    @pytest.mark.parametrize(
+        ("max_wait_ms", "expected_s"),
+        [
+            (0.0, 1),        # immediate flushes still need a whole second
+            (100.0, 1),      # sub-second horizons round up to the floor
+            (1000.0, 1),     # exactly one second stays one second
+            (1500.0, 2),     # fractional seconds round up, never down
+            (60_000.0, 60),  # whole minutes don't gain a spurious +1
+        ],
+    )
+    def test_retry_after_is_the_ceil_of_the_drain_horizon(
+        self, max_wait_ms, expected_s
+    ):
+        async def run():
+            batcher = MicroBatcher(
+                _echo_sum,
+                max_batch=64,
+                max_wait_ms=max_wait_ms,
+                max_backlog=1,
+            )
+            queued = asyncio.ensure_future(batcher.submit(np.array([1.0])))
+            await asyncio.sleep(0)
+            with pytest.raises(BacklogFullError) as excinfo:
+                await batcher.submit(np.array([2.0]))
+            await batcher.drain()
+            await queued
+            return excinfo.value
+
+        assert asyncio.run(run()).retry_after_s == expected_s
 
 
 @pytest.fixture

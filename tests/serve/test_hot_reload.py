@@ -3,8 +3,15 @@
 A polling task pre-warms newly pushed latest versions into the
 resident-model LRU (so the first request after a push pays no artifact
 load) and evicts residents whose version was tombstoned.
+
+Also pins the shutdown ordering: a poll in flight when ``stop()`` is
+called must finish its current backend call, then *discard* its work —
+never install a model or touch the backend again after the drain has
+begun (cancelling the task alone leaves its ``asyncio.to_thread`` call
+running in an abandoned executor thread).
 """
 
+import threading
 import time
 
 import pytest
@@ -126,7 +133,81 @@ class TestTombstoneEviction:
         assert body["model"] == "point@1"
 
 
-class TestWithoutHotReload:
+class _MidPollBackend:
+    """A backend whose ``names()`` blocks until the test releases it.
+
+    Not a ``ModelRegistry`` subclass, so the server resolves it via
+    ``asyncio.to_thread`` — exactly the code path where a cancelled poll
+    keeps running in its executor thread.  Every call after ``names()``
+    returns is recorded, so the test can prove the poll discarded its
+    work instead of continuing into ``latest()``/``get()``.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.names_entered = threading.Event()
+        self.release_names = threading.Event()
+        self.names_returned_at = None
+        self.calls_after_names = []
+
+    def names(self):
+        self.names_entered.set()
+        assert self.release_names.wait(timeout=10.0)
+        result = self._inner.names()
+        self.names_returned_at = time.monotonic()
+        return result
+
+    def latest(self, name):
+        self.calls_after_names.append(("latest", name))
+        return self._inner.latest(name)
+
+    def get(self, ref):
+        self.calls_after_names.append(("get", ref))
+        return self._inner.get(ref)
+
+    def tombstone_reason(self, name, version):
+        self.calls_after_names.append(("tombstone_reason", name))
+        return self._inner.tombstone_reason(name, version)
+
+    def __getattr__(self, attr):
+        return getattr(self._inner, attr)
+
+
+class TestStopDuringPoll:
+    def test_stop_waits_for_the_poll_and_discards_its_work(
+        self, populated_registry
+    ):
+        backend = _MidPollBackend(populated_registry)
+        handle = ServerThread(
+            backend, max_wait_ms=1.0, hot_reload_s=0.05
+        ).start()
+        server = handle.server
+        try:
+            # The first poll is now blocked inside names() on the
+            # executor thread — stop() begins mid-poll.
+            assert backend.names_entered.wait(timeout=10.0)
+
+            def release_soon():
+                time.sleep(0.2)
+                backend.release_names.set()
+
+            releaser = threading.Thread(target=release_soon, daemon=True)
+            releaser.start()
+            handle.stop()
+            stopped_at = time.monotonic()
+            releaser.join(timeout=5.0)
+        finally:
+            backend.release_names.set()
+            handle.stop()
+        # stop() waited for the in-flight backend call instead of
+        # abandoning it mid-air...
+        assert backend.names_returned_at is not None
+        assert stopped_at >= backend.names_returned_at
+        # ...and the poll then discarded its work: no further backend
+        # calls, nothing installed into the LRU after the drain began.
+        assert backend.calls_after_names == []
+        assert server._resident == {}
+        assert server._hot_reload_loads == 0
     def test_polling_disabled_by_default(self, populated_registry):
         with ServerThread(populated_registry, max_wait_ms=1.0) as handle:
             with PredictionClient("127.0.0.1", handle.port) as client:

@@ -1,0 +1,72 @@
+"""Consistent sharding: determinism, coverage, and minimal remapping.
+
+The router relies on three properties of the rendezvous assignment: any
+process computes the identical map from ``(name, n_workers)`` alone,
+every worker actually receives a share of a realistic name population,
+and growing the tier moves only the names won by the new worker.
+"""
+
+import pytest
+
+from repro.serve.shard import ShardMap, shard_for
+
+NAMES = [f"model-{i}" for i in range(200)]
+
+
+class TestShardFor:
+    def test_deterministic(self):
+        for name in ("point", "band", "canneal-e5649"):
+            assert shard_for(name, 4) == shard_for(name, 4)
+
+    def test_single_worker_owns_everything(self):
+        assert all(shard_for(name, 1) == 0 for name in NAMES)
+
+    def test_in_range(self):
+        for n_workers in (2, 3, 4, 7):
+            for name in NAMES:
+                assert 0 <= shard_for(name, n_workers) < n_workers
+
+    def test_rejects_empty_tier(self):
+        with pytest.raises(ValueError, match="at least 1 worker"):
+            shard_for("point", 0)
+
+    def test_every_worker_gets_a_share(self):
+        # 200 names over 4 workers: rendezvous hashing spreads close to
+        # uniformly; no worker should be starved or dominant.
+        counts = [0, 0, 0, 0]
+        for name in NAMES:
+            counts[shard_for(name, 4)] += 1
+        assert min(counts) >= len(NAMES) // 10
+        assert max(counts) <= len(NAMES) // 2
+
+    def test_growth_only_moves_names_to_the_new_worker(self):
+        # n -> n+1: a name either keeps its worker or moves to the new
+        # one (the defining rendezvous property); roughly 1/(n+1) move.
+        moved = 0
+        for name in NAMES:
+            before, after = shard_for(name, 4), shard_for(name, 5)
+            if before != after:
+                assert after == 4
+                moved += 1
+        assert 0 < moved < len(NAMES) // 2
+
+
+class TestShardMap:
+    def test_matches_the_function(self):
+        shard_map = ShardMap(4)
+        for name in NAMES:
+            assert shard_map.worker_for(name) == shard_for(name, 4)
+
+    def test_memo_is_stable(self):
+        shard_map = ShardMap(4)
+        first = shard_map.assignment(NAMES)
+        assert shard_map.assignment(NAMES) == first
+
+    def test_names_on_partitions_the_namespace(self):
+        shard_map = ShardMap(3)
+        shards = [shard_map.names_on(w, NAMES) for w in range(3)]
+        assert sorted(n for shard in shards for n in shard) == sorted(NAMES)
+
+    def test_rejects_empty_tier(self):
+        with pytest.raises(ValueError, match="at least 1 worker"):
+            ShardMap(0)
