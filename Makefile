@@ -17,10 +17,11 @@ bench-quick:
 	REPRO_REPETITIONS=10 pytest benchmarks/ --benchmark-only
 
 # Throughput smoke: reduced sweeps, single rounds.  Surfaces solve/
-# cache-speedup, serving micro-batch, and registry round-trip
-# regressions in routine checks without the full bench cost.
+# cache-speedup, serving micro-batch, registry round-trip, and
+# scheduler placement regressions in routine checks without the full
+# bench cost.
 bench-smoke:
-	REPRO_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/bench_engine_throughput.py benchmarks/bench_serve_throughput.py benchmarks/bench_validation_throughput.py benchmarks/bench_registry_roundtrip.py -q --benchmark-disable
+	REPRO_SMOKE=1 PYTHONPATH=src$${PYTHONPATH:+:$$PYTHONPATH} pytest benchmarks/bench_engine_throughput.py benchmarks/bench_serve_throughput.py benchmarks/bench_validation_throughput.py benchmarks/bench_registry_roundtrip.py benchmarks/bench_sched_service.py -q --benchmark-disable
 
 examples:
 	python examples/quickstart.py

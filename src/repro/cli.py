@@ -15,6 +15,9 @@ Exposes the full workflow without writing any Python:
 * ``serve`` — run the micro-batched asyncio prediction service from a
   local registry directory or a remote registry (``--registry-url``),
   with optional admission control and hot-reload,
+* ``sched`` — the online degradation-aware cluster scheduler:
+  ``serve`` (simulated fleet + placement/migration/DVFS loop),
+  ``submit`` (enqueue jobs), ``status`` (cluster or per-job JSON),
 * ``table`` / ``figure`` — regenerate a paper table or figure,
 * ``report`` — collate benchmark artifacts into one reproduction report,
 * ``obs summary`` — aggregate + span tree view of a captured trace.
@@ -602,6 +605,165 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _parse_fleet_specs(specs: list[str]):
+    """``NAME[:COUNT]`` block specs -> :class:`MachineConfig` list."""
+    from .sched.fleet import MachineConfig
+
+    configs = []
+    for spec in specs:
+        name, sep, count_text = spec.partition(":")
+        try:
+            count = int(count_text) if sep else 1
+        except ValueError:
+            raise SystemExit(
+                f"error: bad --machine spec {spec!r}; use NAME[:COUNT]"
+            ) from None
+        if count < 1:
+            raise SystemExit("error: --machine COUNT must be >= 1")
+        configs.append(MachineConfig(_get_machine(name), count=count))
+    return configs
+
+
+def _cmd_sched_serve(args) -> int:
+    import asyncio
+
+    from .harness.baselines import collect_baselines
+    from .sched.fleet import FleetState
+    from .sched.governor import GovernorObjective
+    from .sched.service import RemoteScorer, SchedulerService
+    from .sim.engine import SimulationEngine, SolveCache
+    from .workloads.suite import all_applications
+
+    configs = _parse_fleet_specs(args.machine or ["e5649:4"])
+    try:
+        fleet = FleetState(configs)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    scorer = None
+    if args.predictions:
+        if not args.model:
+            raise SystemExit("error: --predictions needs --model NAME")
+        host, _sep, port_text = args.predictions.rpartition(":")
+        try:
+            scorer = RemoteScorer(
+                host or "127.0.0.1", int(port_text), model=args.model
+            )
+        except ValueError:
+            raise SystemExit(
+                f"error: bad --predictions address {args.predictions!r}; "
+                f"use HOST:PORT"
+            ) from None
+
+    # Solo baselines per distinct processor: the slowdown denominator and
+    # the feature-row source the whole scheduler scores against.
+    apps = all_applications()
+    cache = SolveCache()
+    baselines = {}
+    for cfg in configs:
+        if cfg.processor.name in baselines:
+            continue
+        engine = SimulationEngine(cfg.processor, cache=cache)
+        baselines[cfg.processor.name] = collect_baselines(engine, apps)
+
+    try:
+        server = SchedulerService(
+            fleet,
+            baselines,
+            scorer=scorer,
+            policy=args.policy,
+            round_size=args.round_size,
+            max_candidates=args.max_candidates,
+            migrate_threshold=args.migrate_threshold,
+            migrate_margin=args.migrate_margin,
+            migrate_every=args.migrate_every,
+            governor_objective=(
+                GovernorObjective(args.governor) if args.governor else None
+            ),
+            governor_deadline_s=args.deadline,
+            host=args.host,
+            port=args.port,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+    async def _run() -> None:
+        await server.start()
+        extras = ""
+        if scorer is not None:
+            extras += f", scoring via {args.predictions} model={args.model}"
+        if args.governor:
+            extras += f", governor={args.governor}"
+        if args.migrate_threshold is not None:
+            extras += f", migrate_threshold={args.migrate_threshold}"
+        print(
+            f"scheduler: {fleet.n_nodes} node(s) / {fleet.total_cores} "
+            f"core(s) on http://{args.host}:{server.port} "
+            f"(policy={args.policy}{extras})"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+            print(server.metrics.summary())
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
+def _cmd_sched_submit(args) -> int:
+    from .sched.service import SchedulerClient
+    from .serve.client import ClientError
+
+    if args.count != 1 and len(args.apps) != 1:
+        raise SystemExit("error: --count takes exactly one app name")
+    try:
+        with SchedulerClient(args.host, args.port) as client:
+            if len(args.apps) == 1:
+                payload = client.submit(args.apps[0], count=args.count)
+            else:
+                payload = client.submit(args.apps)
+    except ClientError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(
+            f"error: scheduler at {args.host}:{args.port} is "
+            f"unreachable: {exc}"
+        ) from None
+    ids = payload["ids"]
+    print(
+        f"submitted {len(ids)} job(s): ids {ids[0]}..{ids[-1]}; "
+        f"queue depth {payload['queue_depth']}"
+    )
+    return 0
+
+
+def _cmd_sched_status(args) -> int:
+    import json
+
+    from .sched.service import SchedulerClient
+    from .serve.client import ClientError
+
+    try:
+        with SchedulerClient(args.host, args.port) as client:
+            body = (
+                client.job(args.job) if args.job is not None
+                else client.cluster()
+            )
+    except ClientError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    except OSError as exc:
+        raise SystemExit(
+            f"error: scheduler at {args.host}:{args.port} is "
+            f"unreachable: {exc}"
+        ) from None
+    print(json.dumps(body, indent=2))
+    return 0
+
+
 def _cmd_obs_summary(args) -> int:
     from .obs.summary import load_trace, render_summary
 
@@ -904,6 +1066,70 @@ def build_parser() -> argparse.ArgumentParser:
     rpl.add_argument("ref", help="model reference: name or name@version")
     _add_backend_args(rpl)
     rpl.set_defaults(func=_cmd_registry_pull)
+
+    p = sub.add_parser(
+        "sched", help="online degradation-aware cluster scheduler"
+    )
+    sched_sub = p.add_subparsers(dest="sched_command", required=True)
+
+    ss = sched_sub.add_parser(
+        "serve", help="run the scheduler service over a simulated fleet"
+    )
+    ss.add_argument("--machine", action="append", metavar="NAME[:COUNT]",
+                    help="fleet block: catalog machine and node count "
+                         "(repeatable; default e5649:4)")
+    ss.add_argument("--host", default="127.0.0.1")
+    ss.add_argument("--port", type=int, default=8500)
+    ss.add_argument("--policy", default="model",
+                    choices=["model", "first-fit", "least-loaded"],
+                    help="placement policy (model needs --predictions)")
+    ss.add_argument("--predictions", metavar="HOST:PORT",
+                    help="prediction service scoring placements (required "
+                         "by --policy model and --governor)")
+    ss.add_argument("--model", help="served model name the scorer queries")
+    ss.add_argument("--round-size", dest="round_size", type=int, default=32,
+                    help="jobs placed per scheduling round (one batched "
+                         "predict per round)")
+    ss.add_argument("--max-candidates", dest="max_candidates", type=int,
+                    default=8,
+                    help="candidate nodes scored per round")
+    ss.add_argument("--migrate-threshold", dest="migrate_threshold",
+                    type=float, default=None, metavar="REGRET",
+                    help="regret (realized minus predicted slowdown) that "
+                         "triggers migrating the worst running job "
+                         "(default: never migrate)")
+    ss.add_argument("--migrate-margin", dest="migrate_margin", type=float,
+                    default=0.05,
+                    help="predicted improvement a move must clear")
+    ss.add_argument("--migrate-every", dest="migrate_every", type=int,
+                    default=4,
+                    help="consider migration every N scheduling rounds")
+    ss.add_argument("--governor", default=None,
+                    choices=["energy", "edp", "time"],
+                    help="pick each placement's P-state by this objective")
+    ss.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                    help="per-job deadline constraining the governor")
+    ss.set_defaults(func=_cmd_sched_serve)
+
+    sj = sched_sub.add_parser(
+        "submit", help="submit jobs to a running scheduler"
+    )
+    sj.add_argument("apps", nargs="+",
+                    help="benchmark names (see 'repro apps')")
+    sj.add_argument("--count", type=int, default=1,
+                    help="copies of a single app")
+    sj.add_argument("--host", default="127.0.0.1")
+    sj.add_argument("--port", type=int, default=8500)
+    sj.set_defaults(func=_cmd_sched_submit)
+
+    st = sched_sub.add_parser(
+        "status", help="cluster state (or one job's detail) as JSON"
+    )
+    st.add_argument("--job", type=int, default=None,
+                    help="job id for a single-job view")
+    st.add_argument("--host", default="127.0.0.1")
+    st.add_argument("--port", type=int, default=8500)
+    st.set_defaults(func=_cmd_sched_status)
 
     p = sub.add_parser("table", help="regenerate a paper table (1-6)")
     p.add_argument("number", type=int)

@@ -150,15 +150,20 @@ def install_default_sources(
     registry: MetricsRegistry,
     *,
     serving: Callable[[], str] | None = None,
+    sched: Callable[[], str] | None = None,
 ) -> MetricsRegistry:
     """Register the built-in engine and fit sources on ``registry``.
 
     Pass ``serving`` (typically ``metrics.render_prometheus``) to merge a
     server's request-path metrics into the same scrape; the prediction
-    server does exactly that for its own registry.
+    server does exactly that for its own registry.  ``sched`` merges the
+    scheduler service's ``repro_sched_*`` family (placements,
+    migrations, decision latency, regret) the same way.
     """
     registry.register_source("engine", engine_stats_exposition)
     registry.register_source("fit", fit_stats_exposition)
     if serving is not None:
         registry.register_source("serving", serving)
+    if sched is not None:
+        registry.register_source("sched", sched)
     return registry

@@ -24,6 +24,13 @@ Semantics every backend must preserve:
 * tombstoned versions are refused by ``resolve``/``get`` with a
   :class:`~repro.registry.local.TombstoneError` and skipped by bare-name
   resolution — blocking never deletes bytes.
+
+One surface is *optional*: ``changed_models(cursor) -> (names, cursor)``,
+the incremental change feed both stock backends implement (the HTTP
+backend additionally returns ``None`` when its server predates the
+feature).  Consumers discover it with ``getattr``/``hasattr`` and fall
+back to ``names()``/``list()`` full scans — it is deliberately absent
+from the protocol so minimal third-party backends stay conformant.
 """
 
 from __future__ import annotations

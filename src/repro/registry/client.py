@@ -15,6 +15,11 @@ local directory.  Two properties make it fit for a serving fleet:
   resolve within the cache keep working: a pinned version loads straight
   from cache, a bare name floats to the newest cached live version.  Only
   uncached versions fail, with an error naming the unreachable registry.
+* **Incremental sync.**  :meth:`HttpBackend.changed_models` speaks the
+  server's ``?since=<cursor>`` change feed so pollers (the prediction
+  server's hot-reload loop) learn which names changed in one request
+  instead of re-listing the store; against servers that predate the
+  cursor it returns ``None`` and callers fall back to full listings.
 
 Error parity: tampered, truncated, and corrupted payloads raise the same
 descriptive :class:`~repro.registry.local.RegistryError` messages as the
@@ -86,6 +91,10 @@ class HttpBackend:
         #: HTTP requests attempted (the round-trip bench asserts a cached
         #: ``get()`` leaves this untouched).
         self.http_requests = 0
+        #: Full ``GET /v1/models`` listings attempted (``names``/``list``).
+        #: Cursor-polling consumers assert this stays flat: after the
+        #: initial sync, :meth:`changed_models` alone keeps them current.
+        self.full_list_requests = 0
 
     # ------------------------------------------------------------- wire
     def describe(self) -> str:
@@ -335,6 +344,7 @@ class HttpBackend:
     # ------------------------------------------------------------- lists
     def names(self) -> list[str]:
         """Distinct model names, from the server (cache on outage)."""
+        self.full_list_requests += 1
         try:
             status, payload = self._request("GET", "/v1/models")
         except OSError:
@@ -360,6 +370,7 @@ class HttpBackend:
 
     def list(self) -> list[ModelManifest]:
         """Every stored manifest (cache on outage), sorted."""
+        self.full_list_requests += 1
         try:
             status, payload = self._request("GET", "/v1/models")
         except OSError:
@@ -382,6 +393,38 @@ class HttpBackend:
         for entry in entries:
             self._cache_manifest(entry)
         return [ModelManifest.from_dict(m) for m in entries]
+
+    def changed_models(self, cursor: str | None) -> tuple[list[str], str] | None:
+        """Names changed since ``cursor`` plus a fresh cursor, or ``None``.
+
+        Speaks ``GET /v1/models?since=...`` — the server answers with
+        only the changed names' manifests (cached here as they arrive),
+        the changed-name list (removed names included), and a new
+        cursor.  ``cursor=None`` sends the conventional ``0``, which no
+        cursor decodes to, so the first call is a full sync.
+
+        ``None`` (the return value) means the server predates change
+        cursors — its listing carries no ``cursor`` field — and callers
+        should fall back to full listings.  Unreachable servers raise
+        ``OSError`` untouched: a change feed has no meaningful cache
+        fallback, and pollers just retry next tick.
+        """
+        since = cursor if cursor else "0"
+        status, payload = self._request("GET", f"/v1/models?since={since}")
+        if status != 200:
+            raise RegistryError(
+                self._error_text(
+                    payload, f"registry at {self.base_url} refused the "
+                    f"change listing ({status})"
+                )
+            )
+        data = json.loads(payload.decode())
+        if "cursor" not in data:
+            return None
+        for entry in data.get("models", []):
+            self._cache_manifest(entry)
+        changed = [str(name) for name in data.get("changed", [])]
+        return changed, str(data["cursor"])
 
     # -------------------------------------------------------- tombstones
     def tombstone_reason(self, name: str, version: int) -> str | None:

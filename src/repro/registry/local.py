@@ -31,6 +31,13 @@ Two retention mechanisms complete the lifecycle:
   kept one are never removed (so tombstoned-but-recent versions keep
   their bytes, and version numbers are never reused).
 
+For pollers (hot-reloading prediction servers), the registry exposes a
+**change cursor** (:meth:`ModelRegistry.change_cursor` /
+:meth:`ModelRegistry.changed_models`): an opaque token capturing every
+name's cheap directory signature, so one call reports exactly which
+names changed since the last poll — O(changes) wire traffic instead of a
+full listing per tick.
+
 :class:`ModelRegistry` is also the reference implementation of the
 :class:`~repro.registry.backend.RegistryBackend` protocol (aliased as
 :data:`LocalBackend`); :class:`~repro.registry.client.HttpBackend` speaks
@@ -39,6 +46,7 @@ the same protocol against a remote :class:`~repro.registry.server.RegistryServer
 
 from __future__ import annotations
 
+import base64
 import hashlib
 import json
 import os
@@ -65,6 +73,8 @@ __all__ = [
     "TombstoneError",
     "parse_ref",
     "decode_payload",
+    "decode_change_cursor",
+    "encode_change_cursor",
     "tombstone_message",
     "verify_payload",
 ]
@@ -126,6 +136,34 @@ def tombstone_message(ref: str, reason: str) -> str:
         f"{ref} is tombstoned{detail} (bytes retained; resolve another "
         f"version or untombstone it)"
     )
+
+
+def encode_change_cursor(signatures: dict[str, str]) -> str:
+    """Encode a ``name -> signature`` map as an opaque change cursor.
+
+    URL-safe base64 (padding stripped) over canonical JSON, so the
+    cursor travels unescaped in a ``?since=`` query parameter and two
+    registries with identical contents produce identical cursors.
+    """
+    raw = json.dumps(signatures, sort_keys=True, separators=(",", ":"))
+    return base64.urlsafe_b64encode(raw.encode()).decode().rstrip("=")
+
+
+def decode_change_cursor(cursor: str) -> dict[str, str] | None:
+    """Decode a change cursor back to its signature map.
+
+    Returns ``None`` for anything that does not decode to a string
+    map — an unknown, truncated, or foreign cursor means the caller's
+    view is unusable and every model must be treated as changed.
+    """
+    padded = cursor + "=" * (-len(cursor) % 4)
+    try:
+        data = json.loads(base64.urlsafe_b64decode(padded.encode()))
+    except (ValueError, TypeError):
+        return None
+    if not isinstance(data, dict):
+        return None
+    return {str(name): str(sig) for name, sig in data.items()}
 
 
 @dataclass(frozen=True)
@@ -458,6 +496,47 @@ class ModelRegistry:
         version = self.resolve(name).version
         self._latest_cache[name] = (signature, version)
         return version
+
+    # ---------------------------------------------------- change cursor
+    def _signature_map(self) -> dict[str, str]:
+        """Compact ``name -> signature`` map over every stored name."""
+        signatures: dict[str, str] = {}
+        for name in self.names():
+            signature = self._signature(name)
+            if signature is not None:
+                signatures[name] = ":".join(str(part) for part in signature)
+        return signatures
+
+    def change_cursor(self) -> str:
+        """Opaque cursor capturing the store's current change state.
+
+        Feed it back to :meth:`changed_models` to learn which names have
+        changed since — a push, tombstone, untombstone, GC, or removal
+        all bump a name's signature (see :meth:`_signature`).
+        """
+        return encode_change_cursor(self._signature_map())
+
+    def changed_models(self, cursor: str | None) -> tuple[list[str], str]:
+        """Names changed since ``cursor``, plus a fresh cursor.
+
+        ``None`` (or an undecodable cursor, e.g. from a different store
+        generation) means "no prior view": every stored name is reported
+        as changed, which makes the first call a full sync.  Names that
+        disappeared since the cursor (GC removed the last version) are
+        reported as changed too, so consumers can drop stale state.
+        """
+        signatures = self._signature_map()
+        new_cursor = encode_change_cursor(signatures)
+        old = decode_change_cursor(cursor) if cursor else None
+        if old is None:
+            return sorted(signatures), new_cursor
+        changed = {
+            name
+            for name, signature in signatures.items()
+            if old.get(name) != signature
+        }
+        changed |= set(old) - set(signatures)
+        return sorted(changed), new_cursor
 
     def get(self, ref: str) -> tuple[Artifact, ModelManifest]:
         """Load an artifact by reference, verifying its content hash.

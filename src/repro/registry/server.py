@@ -6,6 +6,11 @@ HTTP plumbing (:mod:`repro.serve.http`), so training boxes push artifacts
 to one place and every prediction server pulls from it.  Endpoints:
 
 * ``GET /v1/models`` — every stored manifest (tombstone status included);
+  with ``?since=<cursor>`` only the manifests of names changed since the
+  cursor come back, plus ``changed`` (names, including removed ones) and
+  a fresh ``cursor`` — hot-reload pollers sync in O(changes).  An
+  unknown or stale cursor (including the conventional initial ``0``)
+  degrades to a full sync;
 * ``GET /v1/models/{name}`` — one name's versions with tombstone reasons;
 * ``GET /v1/models/{ref}/manifest`` — resolve ``name`` or
   ``name@version`` to its manifest (``410 Gone`` for tombstoned pins);
@@ -125,7 +130,7 @@ class RegistryServer(HttpServerBase):
             return 200, "text/plain; version=0.0.4", text.encode()
         if path == "/v1/models":
             self._require(method, "GET")
-            return self._list_models()
+            return self._list_models(request)
         if path.startswith("/v1/models/"):
             self._require(method, "GET")
             return self._model_route(path[len("/v1/models/"):])
@@ -146,10 +151,29 @@ class RegistryServer(HttpServerBase):
         )
         return data
 
-    def _list_models(self):
-        body = {
-            "models": [self._manifest_dict(m) for m in self.backend.list()]
-        }
+    def _list_models(self, request: Request):
+        since = request.query.get("since")
+        if since is None or not hasattr(self.backend, "changed_models"):
+            # Full listing: the original contract, also the answer old
+            # clients (no ``since``) and cursor-less backends get.  No
+            # ``cursor`` key in the body is the downgrade signal clients
+            # key their fallback on.
+            body = {
+                "models": [self._manifest_dict(m) for m in self.backend.list()]
+            }
+            return 200, "application/json", json.dumps(body).encode()
+        changed, cursor = self.backend.changed_models(since[0] or None)
+        names = set(changed)
+        manifests = (
+            [
+                self._manifest_dict(m)
+                for m in self.backend.list()
+                if m.name in names
+            ]
+            if names
+            else []
+        )
+        body = {"models": manifests, "changed": changed, "cursor": cursor}
         return 200, "application/json", json.dumps(body).encode()
 
     def _model_route(self, rest: str):

@@ -27,6 +27,7 @@ from ..harness.baselines import BaselineTable
 from ..machine.processor import MulticoreProcessor
 from ..sim.engine import SimulationEngine
 from ..workloads.app import ApplicationSpec
+from .fleet import FleetState, RunningSet
 
 __all__ = [
     "JobRequest",
@@ -82,13 +83,6 @@ class JobRecord:
     def response_s(self) -> float:
         """Arrival-to-completion latency (wait + run)."""
         return self.end_s - self.request.arrival_s
-
-
-@dataclass
-class _RunningJob:
-    request: JobRequest
-    start_s: float
-    remaining_instructions: float
 
 
 @dataclass
@@ -237,31 +231,25 @@ class ClusterSimulator:
 
     # ------------------------------------------------------------ helpers
 
-    def _state(self, now: float, running: dict[str, list[_RunningJob]]) -> ClusterState:
+    def _state(
+        self, now: float, fleet: FleetState, running: RunningSet
+    ) -> ClusterState:
         resident = {
-            name: tuple(j.request.app for j in jobs)
-            for name, jobs in running.items()
+            name: tuple(j.app for j in running.jobs_on(i))
+            for i, name in enumerate(fleet.names)
         }
         free = {
-            name: self.engines[name].processor.num_cores - len(jobs)
-            for name, jobs in running.items()
+            name: int(fleet.free_cores[i])
+            for i, name in enumerate(fleet.names)
         }
         return ClusterState(now_s=now, resident=resident, free_cores=free)
 
-    def _rates(
-        self, running: dict[str, list[_RunningJob]]
-    ) -> dict[str, np.ndarray]:
-        """Per-machine steady-state IPS for the current residents."""
-        rates = {}
-        for name, jobs in running.items():
-            if not jobs:
-                rates[name] = np.array([])
-                continue
-            state = self.engines[name].solve_steady_state(
-                tuple(j.request.app for j in jobs)
-            )
-            rates[name] = state.instructions_per_second
-        return rates
+    def _stats(
+        self, machine_name: str, app: ApplicationSpec
+    ) -> tuple[float, float, float]:
+        fmax = self.engines[machine_name].processor.pstates.fastest.frequency_ghz
+        base = self.baselines[machine_name].get(app.name, fmax)
+        return (base.memory_intensity, base.cm_per_ca, base.ca_per_ins)
 
     def _baseline_s(self, machine_name: str, app: ApplicationSpec) -> float:
         fmax = self.engines[machine_name].processor.pstates.fastest.frequency_ghz
@@ -282,42 +270,41 @@ class ClusterSimulator:
         pending = sorted(jobs, key=lambda j: (j.arrival_s, j.job_id))
         arrivals = list(reversed(pending))  # pop() = earliest
         queue: list[JobRequest] = []
-        running: dict[str, list[_RunningJob]] = {name: [] for name in self.engines}
+        fleet = FleetState.single_nodes(
+            [(name, engine.processor) for name, engine in self.engines.items()]
+        )
+        running = RunningSet(fleet, [self.engines[n] for n in fleet.names])
+        requests: dict[int, JobRequest] = {}
         records: list[JobRecord] = []
+        placed_seq = iter(range(len(pending)))
         now = 0.0
 
         def try_place(job: JobRequest) -> bool:
-            state = self._state(now, running)
+            state = self._state(now, fleet, running)
             choice = self.policy(job.app, state)
             if choice is None:
                 return False
-            if choice not in running:
+            if choice not in state.free_cores:
                 raise ValueError(f"policy chose unknown machine {choice!r}")
             if state.free_cores[choice] <= 0:
                 raise ValueError(
                     f"policy placed a job on full machine {choice!r}"
                 )
-            running[choice].append(
-                _RunningJob(
-                    request=job,
-                    start_s=now,
-                    remaining_instructions=job.app.instructions,
-                )
+            key = next(placed_seq)
+            requests[key] = job
+            running.add(
+                key,
+                job.app,
+                fleet.index_of(choice),
+                now,
+                stats=self._stats(choice, job.app),
             )
             return True
 
         for _ in range(max_events):
-            if not arrivals and not queue and all(
-                not jobs_ for jobs_ in running.values()
-            ):
+            if not arrivals and not queue and running.count == 0:
                 break
-            rates = self._rates(running)
-            # Next completion across all machines.
-            next_completion = np.inf
-            for name, jobs_ in running.items():
-                for j, ips in zip(jobs_, rates[name]):
-                    t = now + j.remaining_instructions / float(ips)
-                    next_completion = min(next_completion, t)
+            next_completion = running.next_completion(now)
             next_arrival = arrivals[-1].arrival_s if arrivals else np.inf
             next_time = min(next_completion, next_arrival)
             if not np.isfinite(next_time):
@@ -326,38 +313,29 @@ class ClusterSimulator:
                 )
 
             # Advance all running jobs to the event time.
-            dt = next_time - now
-            for name, jobs_ in running.items():
-                for j, ips in zip(jobs_, rates[name]):
-                    j.remaining_instructions -= float(ips) * dt
+            running.advance_to(next_time, now)
             now = next_time
 
             # Handle completions (all jobs that reached zero).
-            finished_any = False
-            for name, jobs_ in running.items():
-                still = []
-                for j in jobs_:
-                    if j.remaining_instructions <= 1e-3:
-                        records.append(
-                            JobRecord(
-                                request=j.request,
-                                machine_name=name,
-                                start_s=j.start_s,
-                                end_s=now,
-                                baseline_s=self._baseline_s(name, j.request.app),
-                            )
-                        )
-                        finished_any = True
-                    else:
-                        still.append(j)
-                running[name] = still
+            finished = running.pop_finished()
+            for done in finished:
+                name = fleet.node_name(done.node)
+                records.append(
+                    JobRecord(
+                        request=requests.pop(done.job_id),
+                        machine_name=name,
+                        start_s=done.start_s,
+                        end_s=now,
+                        baseline_s=self._baseline_s(name, done.app),
+                    )
+                )
 
             # Handle the arrival landing exactly now.
             while arrivals and arrivals[-1].arrival_s <= now + 1e-12:
                 queue.append(arrivals.pop())
 
             # Drain the queue FIFO as far as the policy allows.
-            if finished_any or queue:
+            if finished or queue:
                 still_waiting: list[JobRequest] = []
                 for job in queue:
                     if not try_place(job):

@@ -1,0 +1,374 @@
+"""Vectorized fleet occupancy + the shared running-set physics.
+
+The online scheduler (:mod:`repro.sched.service`) and the event-driven
+cluster simulator (:mod:`repro.sched.cluster`) share one simulation
+core, split into two pieces:
+
+* :class:`FleetState` — the *decision-time* view of up to thousands of
+  nodes.  Declared as a few :class:`MachineConfig` blocks (processor ×
+  count), held as flat numpy arrays (cores, occupancy, P-state index,
+  resident co-feature sums), never as per-node Python objects.  Scoring
+  a scheduling round is array arithmetic plus one batched model call.
+* :class:`RunningSet` — the *physics*: per-job progress at the analytic
+  engine's steady-state rates, re-solved lazily per node whenever that
+  node's membership or P-state changes.  This is the same
+  event-advancing discipline :class:`~repro.sched.cluster.ClusterSimulator`
+  always used, extracted so the service and the simulator cannot drift.
+
+Co-feature sums mirror the paper's Table I co-application features
+(sum of co-runner memory intensities, CM/CA, CA/INS), so a candidate
+node's feature row for the served model is O(1) to assemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..machine.processor import MulticoreProcessor
+from ..machine.pstates import PState
+from ..sim.engine import SimulationEngine
+from ..workloads.app import ApplicationSpec
+
+__all__ = ["MachineConfig", "FleetState", "RunningJob", "RunningSet"]
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One homogeneous block of identical nodes.
+
+    ``count == 1`` nodes are named exactly ``name_prefix``; larger blocks
+    get ``{prefix}-0000`` style suffixes.  The default prefix is derived
+    from the processor name.
+    """
+
+    processor: MulticoreProcessor
+    count: int = 1
+    name_prefix: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("machine count must be >= 1")
+
+    @property
+    def prefix(self) -> str:
+        if self.name_prefix:
+            return self.name_prefix
+        return self.processor.name.lower().replace(" ", "-")
+
+
+class FleetState:
+    """Occupancy of ``N`` nodes as flat arrays.
+
+    Nodes are addressed by integer index; :meth:`node_name` /
+    :meth:`index_of` translate to the human-facing names policies and
+    APIs use.  The state a placement decision needs — free cores,
+    current P-state, resident co-feature sums — lives in numpy arrays so
+    candidate pruning over thousands of nodes is vectorized.
+    """
+
+    def __init__(self, configs: list[MachineConfig] | tuple[MachineConfig, ...]) -> None:
+        if not configs:
+            raise ValueError("need at least one machine block")
+        self.blocks = tuple(configs)
+        names: list[str] = []
+        block_index: list[int] = []
+        cores: list[int] = []
+        for b, cfg in enumerate(self.blocks):
+            for i in range(cfg.count):
+                if cfg.count == 1:
+                    names.append(cfg.prefix)
+                else:
+                    names.append(f"{cfg.prefix}-{i:04d}")
+                block_index.append(b)
+                cores.append(cfg.processor.num_cores)
+        if len(set(names)) != len(names):
+            raise ValueError("fleet node names must be unique")
+        self.names = names
+        self._index = {name: i for i, name in enumerate(names)}
+        self.block_index = np.asarray(block_index, dtype=np.int64)
+        self.num_cores = np.asarray(cores, dtype=np.int64)
+        self.used = np.zeros(len(names), dtype=np.int64)
+        self.pstate_index = np.zeros(len(names), dtype=np.int64)
+        self.co_mem = np.zeros(len(names), dtype=np.float64)
+        self.co_cm_ca = np.zeros(len(names), dtype=np.float64)
+        self.co_ca_ins = np.zeros(len(names), dtype=np.float64)
+
+    @classmethod
+    def single_nodes(
+        cls, machines: list[tuple[str, MulticoreProcessor]]
+    ) -> "FleetState":
+        """One explicitly named node per entry (the simulator's shape)."""
+        return cls(
+            [
+                MachineConfig(processor=proc, count=1, name_prefix=name)
+                for name, proc in machines
+            ]
+        )
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.names)
+
+    @property
+    def total_cores(self) -> int:
+        return int(self.num_cores.sum())
+
+    @property
+    def free_cores(self) -> np.ndarray:
+        return self.num_cores - self.used
+
+    @property
+    def busy_nodes(self) -> int:
+        return int(np.count_nonzero(self.used))
+
+    def processor(self, node: int) -> MulticoreProcessor:
+        return self.blocks[int(self.block_index[node])].processor
+
+    def pstate(self, node: int) -> PState:
+        return self.processor(node).pstates[int(self.pstate_index[node])]
+
+    def node_name(self, node: int) -> str:
+        return self.names[node]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    # ----------------------------------------------------------- mutation
+
+    def place(
+        self, node: int, stats: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    ) -> None:
+        """Occupy one core; ``stats`` = (memory intensity, CM/CA, CA/INS)."""
+        if self.used[node] >= self.num_cores[node]:
+            raise ValueError(f"node {self.names[node]!r} is full")
+        self.used[node] += 1
+        self.co_mem[node] += stats[0]
+        self.co_cm_ca[node] += stats[1]
+        self.co_ca_ins[node] += stats[2]
+
+    def remove(
+        self, node: int, stats: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    ) -> None:
+        if self.used[node] <= 0:
+            raise ValueError(f"node {self.names[node]!r} is empty")
+        self.used[node] -= 1
+        # Clamp at zero: repeated float subtraction may drift slightly.
+        self.co_mem[node] = max(0.0, self.co_mem[node] - stats[0])
+        self.co_cm_ca[node] = max(0.0, self.co_cm_ca[node] - stats[1])
+        self.co_ca_ins[node] = max(0.0, self.co_ca_ins[node] - stats[2])
+
+    def set_pstate(self, node: int, index: int) -> None:
+        ladder = self.processor(node).pstates
+        if not 0 <= index < len(ladder):
+            raise ValueError(f"P-state index {index} out of range")
+        self.pstate_index[node] = index
+
+    # --------------------------------------------------------- candidates
+
+    def candidates(self, k: int = 8) -> np.ndarray:
+        """Pruned candidate nodes for one scheduling round (sorted indices).
+
+        Empty nodes within a block are interchangeable, so only the
+        lowest-index empty node per block represents them; the remaining
+        slots go to the least-contended occupied nodes (lowest resident
+        memory-intensity sum, then fewest residents, then index).  Keeps
+        the batched model call at ``O(round × k)`` rows regardless of
+        fleet size.
+        """
+        if k < 1:
+            raise ValueError("candidate budget must be >= 1")
+        free = self.free_cores
+        eligible = np.flatnonzero(free > 0)
+        if eligible.size <= k:
+            return eligible
+        picks: list[int] = []
+        empty = eligible[self.used[eligible] == 0]
+        for b in range(len(self.blocks)):
+            block_empty = empty[self.block_index[empty] == b]
+            if block_empty.size:
+                picks.append(int(block_empty[0]))
+        occupied = eligible[self.used[eligible] > 0]
+        if occupied.size and len(picks) < k:
+            order = np.lexsort(
+                (occupied, self.used[occupied], self.co_mem[occupied])
+            )
+            for idx in occupied[order[: k - len(picks)]]:
+                picks.append(int(idx))
+        return np.unique(np.asarray(picks[:k], dtype=np.int64))
+
+    def summary(self) -> dict:
+        return {
+            "nodes": self.n_nodes,
+            "cores": self.total_cores,
+            "used_cores": int(self.used.sum()),
+            "busy_nodes": self.busy_nodes,
+            "blocks": [
+                {
+                    "processor": cfg.processor.name,
+                    "count": cfg.count,
+                    "cores_per_node": cfg.processor.num_cores,
+                }
+                for cfg in self.blocks
+            ],
+        }
+
+
+@dataclass
+class RunningJob:
+    """One job currently executing on a node."""
+
+    job_id: int
+    app: ApplicationSpec
+    node: int
+    start_s: float
+    remaining_instructions: float
+    stats: tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+
+class RunningSet:
+    """Per-job progress at engine steady-state rates, lazily re-solved.
+
+    Rates for a node are recomputed only when that node's membership or
+    P-state changes (``mark_dirty``); between events they are reused, so
+    advancing virtual time costs one solve per *dirty* node, memoized
+    further by the engine's :class:`~repro.sim.solve_cache.SolveCache`.
+    """
+
+    def __init__(
+        self, fleet: FleetState, engines: list[SimulationEngine]
+    ) -> None:
+        if len(engines) != len(fleet.blocks):
+            raise ValueError("need exactly one engine per machine block")
+        for cfg, engine in zip(fleet.blocks, engines):
+            if engine.processor != cfg.processor:
+                raise ValueError(
+                    f"engine processor {engine.processor.name!r} does not "
+                    f"match block processor {cfg.processor.name!r}"
+                )
+        self.fleet = fleet
+        self.engines = list(engines)
+        self._jobs: dict[int, RunningJob] = {}
+        self._by_node: dict[int, list[int]] = {}
+        self._rates: dict[int, np.ndarray] = {}
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def count(self) -> int:
+        return len(self._jobs)
+
+    def get(self, job_id: int) -> RunningJob:
+        return self._jobs[job_id]
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._jobs
+
+    def jobs_on(self, node: int) -> list[RunningJob]:
+        return [self._jobs[jid] for jid in self._by_node.get(node, [])]
+
+    def jobs(self) -> list[RunningJob]:
+        return list(self._jobs.values())
+
+    # ----------------------------------------------------------- mutation
+
+    def add(
+        self,
+        job_id: int,
+        app: ApplicationSpec,
+        node: int,
+        now_s: float,
+        *,
+        remaining_instructions: float | None = None,
+        stats: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    ) -> RunningJob:
+        """Place a job: occupies a fleet core and dirties the node."""
+        if job_id in self._jobs:
+            raise ValueError(f"job {job_id} is already running")
+        self.fleet.place(node, stats)
+        job = RunningJob(
+            job_id=job_id,
+            app=app,
+            node=node,
+            start_s=now_s,
+            remaining_instructions=(
+                app.instructions
+                if remaining_instructions is None
+                else remaining_instructions
+            ),
+            stats=stats,
+        )
+        self._jobs[job_id] = job
+        self._by_node.setdefault(node, []).append(job_id)
+        self.mark_dirty(node)
+        return job
+
+    def remove(self, job_id: int) -> RunningJob:
+        """Take a job off its node (completion or migration)."""
+        job = self._jobs.pop(job_id)
+        self._by_node[job.node].remove(job_id)
+        if not self._by_node[job.node]:
+            del self._by_node[job.node]
+        self.fleet.remove(job.node, job.stats)
+        self.mark_dirty(job.node)
+        return job
+
+    def mark_dirty(self, node: int) -> None:
+        """Invalidate cached rates (membership or P-state changed)."""
+        self._rates.pop(node, None)
+
+    # ------------------------------------------------------------ physics
+
+    def _node_rates(self, node: int) -> np.ndarray:
+        rates = self._rates.get(node)
+        if rates is None:
+            ids = self._by_node[node]
+            engine = self.engines[int(self.fleet.block_index[node])]
+            state = engine.solve_steady_state(
+                tuple(self._jobs[jid].app for jid in ids),
+                pstate=self.fleet.pstate(node),
+            )
+            rates = state.instructions_per_second
+            self._rates[node] = rates
+        return rates
+
+    def rate_of(self, job_id: int) -> float:
+        """Current steady-state IPS of one running job."""
+        job = self._jobs[job_id]
+        ids = self._by_node[job.node]
+        return float(self._node_rates(job.node)[ids.index(job_id)])
+
+    def next_completion(self, now_s: float) -> float:
+        """Absolute time of the earliest completion (inf when idle)."""
+        next_t = np.inf
+        for node, ids in self._by_node.items():
+            rates = self._node_rates(node)
+            for jid, ips in zip(ids, rates):
+                t = now_s + self._jobs[jid].remaining_instructions / float(ips)
+                next_t = min(next_t, t)
+        return next_t
+
+    def advance_to(self, t: float, now_s: float) -> None:
+        """Progress every running job from ``now_s`` to ``t``."""
+        dt = t - now_s
+        if dt < 0.0:
+            raise ValueError("cannot advance backwards")
+        for node, ids in self._by_node.items():
+            rates = self._node_rates(node)
+            for jid, ips in zip(ids, rates):
+                self._jobs[jid].remaining_instructions -= float(ips) * dt
+
+    def pop_finished(self, *, epsilon: float = 1e-3) -> list[RunningJob]:
+        """Remove and return every job at (or within ``epsilon`` of) zero."""
+        finished: list[RunningJob] = []
+        for node in sorted(self._by_node):
+            for jid in list(self._by_node[node]):
+                if self._jobs[jid].remaining_instructions <= epsilon:
+                    finished.append(self.remove(jid))
+        return finished

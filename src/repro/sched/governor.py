@@ -114,8 +114,12 @@ def select_pstate(
         else list(choices)
     )
     if not feasible:
-        # Best effort: nothing meets the deadline; finish soonest.
-        best = min(choices, key=lambda c: c.predicted_time_s)
+        # Best effort: nothing meets the deadline; finish soonest.  Ties
+        # resolve to the lowest frequency (same rule as below).
+        best = min(
+            choices,
+            key=lambda c: (c.predicted_time_s, c.pstate.frequency_ghz),
+        )
         return best, choices
 
     key = {
@@ -123,4 +127,10 @@ def select_pstate(
         GovernorObjective.EDP: lambda c: c.energy_delay_product,
         GovernorObjective.TIME: lambda c: c.predicted_time_s,
     }[objective]
-    return min(feasible, key=key), choices
+    # Deterministic tie-break: equal objective values resolve to the
+    # lowest frequency (least power headroom wasted), not whichever
+    # P-state the ladder happened to list first.
+    return (
+        min(feasible, key=lambda c: (key(c), c.pstate.frequency_ghz)),
+        choices,
+    )

@@ -1,0 +1,159 @@
+"""Job lifecycle bookkeeping for the online scheduler.
+
+Every accepted submission gets a :class:`Job` record that lives for the
+service's lifetime: queued → running → completed, or queued → requeued
+when the service drains before the job could be placed.  The FIFO
+discipline matches :class:`~repro.sched.cluster.ClusterSimulator`:
+jobs are offered to the placement policy in submission order, and jobs
+a round cannot place return to the *front* of the queue.
+
+:func:`job_stream` is the shared pinned-seed arrival generator used by
+the scheduling benches, so the service bench and the offline extension
+bench replay the identical workload.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workloads.app import ApplicationSpec
+
+__all__ = ["JobStatus", "Job", "JobQueue", "job_stream"]
+
+
+class JobStatus(enum.Enum):
+    """Lifecycle of one accepted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    REQUEUED = "requeued"
+
+
+@dataclass
+class Job:
+    """One accepted job and everything the API reports about it."""
+
+    id: int
+    app: ApplicationSpec
+    submitted_s: float
+    status: JobStatus = JobStatus.QUEUED
+    node: int | None = None
+    node_name: str | None = None
+    pstate_ghz: float | None = None
+    placed_s: float | None = None
+    completed_s: float | None = None
+    baseline_s: float | None = None
+    predicted_slowdown: float | None = None
+    realized_slowdown: float | None = None
+    migrations: int = 0
+
+    @property
+    def regret(self) -> float | None:
+        """Realized minus predicted slowdown (placement-decision error)."""
+        if self.predicted_slowdown is None or self.realized_slowdown is None:
+            return None
+        return self.realized_slowdown - self.predicted_slowdown
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "app": self.app.name,
+            "status": self.status.value,
+            "node": self.node_name,
+            "pstate_ghz": self.pstate_ghz,
+            "submitted_s": self.submitted_s,
+            "placed_s": self.placed_s,
+            "completed_s": self.completed_s,
+            "baseline_s": self.baseline_s,
+            "predicted_slowdown": self.predicted_slowdown,
+            "realized_slowdown": self.realized_slowdown,
+            "regret": self.regret,
+            "migrations": self.migrations,
+        }
+
+
+class JobQueue:
+    """FIFO queue plus a permanent registry of accepted jobs."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[int, Job] = {}
+        self._pending: deque[int] = deque()
+        self._next_id = 0
+
+    def submit(self, app: ApplicationSpec, now_s: float) -> Job:
+        job = Job(id=self._next_id, app=app, submitted_s=now_s)
+        self._next_id += 1
+        self._jobs[job.id] = job
+        self._pending.append(job.id)
+        return job
+
+    def take(self, n: int) -> list[Job]:
+        """Pop up to ``n`` jobs in submission order."""
+        out: list[Job] = []
+        while self._pending and len(out) < n:
+            out.append(self._jobs[self._pending.popleft()])
+        return out
+
+    def put_back(self, jobs: list[Job]) -> None:
+        """Return unplaced jobs to the front, preserving FIFO order."""
+        for job in reversed(jobs):
+            self._pending.appendleft(job.id)
+
+    def get(self, job_id: int) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def pending_jobs(self) -> list[Job]:
+        return [self._jobs[jid] for jid in self._pending]
+
+    def drain_pending(self) -> list[Job]:
+        """Empty the queue (drain path); caller marks them requeued."""
+        out = self.pending_jobs()
+        self._pending.clear()
+        return out
+
+    def counts(self) -> dict[str, int]:
+        out = {status.value: 0 for status in JobStatus}
+        for job in self._jobs.values():
+            out[job.status.value] += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+
+def job_stream(
+    apps: list[ApplicationSpec],
+    n_jobs: int,
+    *,
+    mean_gap_s: float = 20.0,
+    seed: int = 12,
+) -> list[tuple[ApplicationSpec, float]]:
+    """Pinned-seed arrival stream shared by the scheduling benches.
+
+    Returns ``(app, arrival_s)`` pairs with exponential inter-arrival
+    gaps and a uniform job mix — deterministic for a given seed, so
+    policies are compared on the *identical* workload.
+    """
+    if not apps:
+        raise ValueError("need at least one application")
+    if n_jobs < 0:
+        raise ValueError("job count must be non-negative")
+    rng = np.random.default_rng(seed)
+    now = 0.0
+    stream: list[tuple[ApplicationSpec, float]] = []
+    for _ in range(n_jobs):
+        now += float(rng.exponential(mean_gap_s))
+        stream.append((apps[int(rng.integers(len(apps)))], round(now, 3)))
+    return stream

@@ -36,7 +36,11 @@ Two production behaviours are optional:
 * **Hot-reload** (``hot_reload_s``): a background task polls the backend
   for new latest versions, pre-warms them into the resident-model LRU
   (so the first request after a push never pays the artifact load), and
-  evicts residents whose version was tombstoned.
+  evicts residents whose version was tombstoned.  Backends with a change
+  cursor (``changed_models``) are polled incrementally — one
+  ``?since=<cursor>`` round-trip per tick, touching only changed names;
+  cursor-less backends and old registry servers fall back to the
+  original full scan.
 """
 
 from __future__ import annotations
@@ -157,6 +161,12 @@ class PredictionServer(HttpServerBase):
         self._reload_stop: asyncio.Event | None = None
         self._hot_reload_loads = 0
         self._hot_reload_evictions = 0
+        # Change-cursor state for the poller: the last cursor returned by
+        # the backend's ``changed_models``, and whether that surface is
+        # usable at all (None = not probed yet; False = backend or server
+        # lacks it, full scans for the rest of this server's life).
+        self._reload_cursor: str | None = None
+        self._reload_cursor_supported: bool | None = None
 
     # ----------------------------------------------------------- lifecycle
     async def _on_start(self) -> None:
@@ -331,8 +341,40 @@ class PredictionServer(HttpServerBase):
             except asyncio.TimeoutError:
                 pass
 
+    async def _changed_names(self) -> list[str] | None:
+        """Names changed since the last poll, or ``None`` for a full scan.
+
+        Uses the backend's optional change cursor
+        (:meth:`~repro.registry.local.ModelRegistry.changed_models`).  A
+        backend without the method — or an HTTP backend whose server
+        predates cursors (it reports that by returning ``None``) —
+        disables the cursor path for this server's lifetime, and every
+        poll falls back to the full ``names()`` scan.
+        """
+        if self._reload_cursor_supported is False:
+            return None
+        changed_models = getattr(self.registry, "changed_models", None)
+        if changed_models is None:
+            self._reload_cursor_supported = False
+            return None
+        result = await asyncio.to_thread(changed_models, self._reload_cursor)
+        if result is None:
+            self._reload_cursor_supported = False
+            return None
+        changed, self._reload_cursor = result
+        self._reload_cursor_supported = True
+        return list(changed)
+
     async def hot_reload_once(self) -> None:
         """One poll: pre-warm new latest versions, evict tombstoned ones.
+
+        When the backend offers a change cursor, each poll asks only for
+        the names that changed since the previous one — O(changes)
+        instead of a full listing per tick — and restricts the tombstone
+        sweep to residents of those names.  The cursor advances even
+        when a warm fails (outage mid-poll): pre-warming is an
+        optimization, and the per-request lazy-load path still serves
+        the model; the next change re-warms it.
 
         Checks the shutdown stop event between every backend call and
         before every install/evict, so a poll overlapping ``stop()``
@@ -340,7 +382,15 @@ class PredictionServer(HttpServerBase):
         of mutating the LRU (or issuing further backend calls) after the
         drain has begun.
         """
-        names = await asyncio.to_thread(self.registry.names)
+        changed = await self._changed_names()
+        if self._reload_stopping():
+            return
+        if changed is None:
+            names = await asyncio.to_thread(self.registry.names)
+            changed_names = None
+        else:
+            names = changed
+            changed_names = set(changed)
         for name in names:
             if self._reload_stopping():
                 return
@@ -363,6 +413,11 @@ class PredictionServer(HttpServerBase):
             self._install_resident(manifest.ref, artifact, manifest)
             self._hot_reload_loads += 1
         for key, resident in list(self._resident.items()):
+            if (
+                changed_names is not None
+                and resident.manifest.name not in changed_names
+            ):
+                continue  # untouched since the cursor: tombstone unchanged
             if self._reload_stopping():
                 return
             try:

@@ -1,0 +1,161 @@
+"""Change cursor: incremental sync for pollers, end to end.
+
+Satellite requirement: ``GET /v1/models?since=<cursor>`` returns only
+what changed since the cursor (O(changes), not O(models)), and clients
+talking to servers that predate the feature detect the missing
+``cursor`` field and fall back to full listings.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.registry import HttpBackend, RegistryServerThread
+from repro.registry.local import decode_change_cursor, encode_change_cursor
+
+from .conftest import PUSH_TOKEN
+
+
+class TestCursorCodec:
+    def test_round_trip(self):
+        signatures = {"point": "1:2:0", "band": "9:1:1"}
+        assert decode_change_cursor(encode_change_cursor(signatures)) == (
+            signatures
+        )
+
+    def test_garbage_decodes_to_none(self):
+        assert decode_change_cursor("0") is None
+        assert decode_change_cursor("not base64 at all!") is None
+        # Valid base64 ("[1]"), but not a JSON object.
+        assert decode_change_cursor("WzFd") is None
+
+    def test_url_safe(self):
+        cursor = encode_change_cursor({"a" * 40: "1:2:3"})
+        assert all(c.isalnum() or c in "-_" for c in cursor)
+
+
+class TestLocalChangedModels:
+    def test_initial_call_reports_everything(self, populated_store):
+        changed, cursor = populated_store.changed_models(None)
+        assert changed == ["band", "point"]
+        assert cursor == populated_store.change_cursor()
+
+    def test_quiet_store_reports_nothing(self, populated_store):
+        _, cursor = populated_store.changed_models(None)
+        changed, again = populated_store.changed_models(cursor)
+        assert changed == []
+        assert again == cursor
+
+    def test_push_changes_one_name(self, populated_store, other_predictor):
+        _, cursor = populated_store.changed_models(None)
+        populated_store.push("band", other_predictor)
+        changed, _ = populated_store.changed_models(cursor)
+        assert changed == ["band"]
+
+    def test_tombstone_and_rollback_both_change(self, populated_store):
+        _, cursor = populated_store.changed_models(None)
+        populated_store.tombstone("point@1", reason="drift")
+        changed, cursor = populated_store.changed_models(cursor)
+        assert "point" in changed
+        populated_store.untombstone("point@1")
+        changed, _ = populated_store.changed_models(cursor)
+        assert "point" in changed
+
+    def test_invalid_cursor_degrades_to_full_sync(self, populated_store):
+        changed, _ = populated_store.changed_models("0")
+        assert changed == ["band", "point"]
+
+    def test_removed_name_is_reported(self, store, point_predictor):
+        import shutil
+
+        store.push("doomed", point_predictor)
+        _, cursor = store.changed_models(None)
+        shutil.rmtree(store.root / "doomed")
+        changed, _ = store.changed_models(cursor)
+        assert changed == ["doomed"]
+
+
+def _get(port, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}"
+    ) as response:
+        return json.loads(response.read().decode())
+
+
+class TestServerSinceParam:
+    def test_plain_listing_is_unchanged(self, registry_server):
+        body = _get(registry_server.port, "/v1/models")
+        assert "cursor" not in body
+        assert len(body["models"]) == 3
+
+    def test_since_zero_is_a_full_sync_with_cursor(self, registry_server):
+        body = _get(registry_server.port, "/v1/models?since=0")
+        assert body["changed"] == ["band", "point"]
+        assert len(body["models"]) == 3
+        assert isinstance(body["cursor"], str)
+
+    def test_incremental_listing_carries_only_changes(
+        self, registry_server, populated_store, other_predictor
+    ):
+        cursor = _get(registry_server.port, "/v1/models?since=0")["cursor"]
+        body = _get(registry_server.port, f"/v1/models?since={cursor}")
+        assert body == {"models": [], "changed": [], "cursor": cursor}
+        populated_store.push("band", other_predictor)
+        body = _get(registry_server.port, f"/v1/models?since={cursor}")
+        assert body["changed"] == ["band"]
+        assert {m["name"] for m in body["models"]} == {"band"}
+        assert body["cursor"] != cursor
+
+
+class _CursorlessStore:
+    """A backend proxy hiding ``changed_models``: an old-style registry."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, attr):
+        if attr in ("changed_models", "change_cursor"):
+            raise AttributeError(attr)
+        return getattr(self._inner, attr)
+
+
+class TestHttpBackendChangedModels:
+    @pytest.fixture
+    def remote(self, registry_server, cache_dir):
+        return HttpBackend(
+            f"http://127.0.0.1:{registry_server.port}",
+            cache_dir,
+            token=PUSH_TOKEN,
+        )
+
+    def test_sync_then_incremental(
+        self, remote, populated_store, other_predictor
+    ):
+        changed, cursor = remote.changed_models(None)
+        assert changed == ["band", "point"]
+        assert remote.changed_models(cursor) == ([], cursor)
+        populated_store.push("point", other_predictor)
+        changed, _ = remote.changed_models(cursor)
+        assert changed == ["point"]
+
+    def test_manifests_land_in_the_cache(self, remote):
+        remote.changed_models(None)
+        # All three manifests arrived with the initial sync — resolving
+        # a pinned version now needs no further listing.
+        assert remote._cached_manifest("point", 2) is not None
+        assert remote._cached_manifest("band", 1) is not None
+
+    def test_never_counts_as_a_full_listing(self, remote):
+        _, cursor = remote.changed_models(None)
+        remote.changed_models(cursor)
+        assert remote.full_list_requests == 0
+        remote.names()
+        assert remote.full_list_requests == 1
+
+    def test_old_server_yields_none(self, populated_store, cache_dir):
+        with RegistryServerThread(_CursorlessStore(populated_store)) as old:
+            remote = HttpBackend(
+                f"http://127.0.0.1:{old.port}", cache_dir
+            )
+            assert remote.changed_models(None) is None

@@ -1,0 +1,16 @@
+"""Shared fixtures for the scheduling tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.feature_sets import FeatureSet
+from repro.core.methodology import ModelKind, PerformancePredictor
+
+
+@pytest.fixture(scope="session")
+def sched_predictor(small_dataset):
+    """A fitted linear predictor (feature set F) for placement scoring."""
+    return PerformancePredictor(ModelKind.LINEAR, FeatureSet.F, seed=3).fit(
+        list(small_dataset)
+    )

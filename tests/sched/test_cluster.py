@@ -163,3 +163,106 @@ class TestModelDrivenPolicy:
         aware = ClusterSimulator(engines, baselines, policy).run(jobs)
         naive = ClusterSimulator(engines, baselines, first_fit_policy).run(jobs)
         assert aware.mean_slowdown < naive.mean_slowdown
+
+
+class TestEdgeCases:
+    """Full-cluster behavior, degenerate streams, trace invariants."""
+
+    @pytest.fixture(scope="class")
+    def policies(self, small_dataset, baselines_6core, engine_6core):
+        predictor = PerformancePredictor(
+            ModelKind.LINEAR, FeatureSet.F, seed=3
+        ).fit(list(small_dataset))
+        model = model_driven_policy(
+            {"m0": predictor},
+            {"m0": baselines_6core},
+            {"m0": engine_6core.processor},
+        )
+        return {
+            "first-fit": first_fit_policy,
+            "least-loaded": least_loaded_policy,
+            "model": model,
+        }
+
+    @pytest.mark.parametrize("name", ["first-fit", "least-loaded", "model"])
+    def test_full_cluster_defers_placement(self, name, policies):
+        """Every policy returns None when no machine has a free core."""
+        from repro.sched.cluster import ClusterState
+
+        full = ClusterState(
+            now_s=0.0,
+            resident={"m0": tuple([get_application("ep")] * 6)},
+            free_cores={"m0": 0},
+        )
+        assert policies[name](get_application("cg"), full) is None
+
+    @pytest.mark.parametrize("name", ["first-fit", "least-loaded", "model"])
+    def test_oversubscribed_stream_queues_and_completes(
+        self, name, policies, engine_6core, baselines_6core
+    ):
+        """8 simultaneous jobs on 6 cores: 2 queue, all complete."""
+        sim = ClusterSimulator(
+            {"m0": engine_6core}, {"m0": baselines_6core}, policies[name]
+        )
+        jobs = [
+            JobRequest(app=get_application("ep"), arrival_s=0.0, job_id=i)
+            for i in range(8)
+        ]
+        trace = sim.run(jobs)
+        assert len(trace.records) == 8
+        waited = [r for r in trace.records if r.wait_s > 0.0]
+        assert len(waited) == 2
+
+    def test_zero_job_stream_rejected(self, engine_6core, baselines_6core):
+        sim = ClusterSimulator(
+            {"m0": engine_6core}, {"m0": baselines_6core}, first_fit_policy
+        )
+        with pytest.raises(ValueError, match="at least one job"):
+            sim.run([])
+
+    def test_no_job_starts_before_arrival(
+        self, engine_6core, baselines_6core
+    ):
+        sim = ClusterSimulator(
+            {"m0": engine_6core}, {"m0": baselines_6core}, least_loaded_policy
+        )
+        jobs = make_jobs(["cg", "sp", "canneal", "ep", "mg", "lu"], spacing_s=3.0)
+        trace = sim.run(jobs)
+        for rec in trace.records:
+            assert rec.start_s >= rec.request.arrival_s
+            assert rec.end_s > rec.start_s
+
+    @pytest.mark.parametrize("name", ["first-fit", "least-loaded"])
+    def test_occupancy_never_exceeds_core_count(
+        self, name, policies, engine_6core, baselines_6core
+    ):
+        """Reconstructed concurrency per machine stays within num_cores."""
+        sim = ClusterSimulator(
+            {"m0": engine_6core, "m1": engine_6core},
+            {"m0": baselines_6core, "m1": baselines_6core},
+            policies[name],
+        )
+        jobs = [
+            JobRequest(
+                app=get_application(n), arrival_s=float(i), job_id=i
+            )
+            for i, n in enumerate(
+                ["ep", "cg", "sp", "mg", "lu", "ft", "canneal", "bodytrack"] * 2
+            )
+        ]
+        trace = sim.run(jobs)
+        assert len(trace.records) == len(jobs)
+        cores = engine_6core.processor.num_cores
+        for machine in ("m0", "m1"):
+            intervals = [
+                (r.start_s, r.end_s)
+                for r in trace.records
+                if r.machine_name == machine
+            ]
+            edges = sorted({t for pair in intervals for t in pair})
+            for t in edges:
+                # Occupancy on [t, next edge): count intervals covering t.
+                occupancy = sum(
+                    1 for s, e in intervals if s <= t < e
+                )
+                assert occupancy <= cores

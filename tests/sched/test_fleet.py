@@ -1,0 +1,215 @@
+"""Fleet occupancy arrays + running-set physics.
+
+The shared simulation core under both the online service and the
+cluster simulator: vectorized occupancy bookkeeping, candidate pruning,
+and lazy per-node steady-state rates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import XEON_E5649, XEON_E5_2697V2
+from repro.sched.fleet import FleetState, MachineConfig, RunningSet
+from repro.sim.engine import SimulationEngine
+from repro.workloads.suite import get_application
+
+
+@pytest.fixture
+def fleet():
+    return FleetState([MachineConfig(XEON_E5649, count=4, name_prefix="node")])
+
+
+class TestMachineConfig:
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError, match="count"):
+            MachineConfig(XEON_E5649, count=0)
+
+    def test_default_prefix_from_processor(self):
+        cfg = MachineConfig(XEON_E5649, count=2)
+        assert " " not in cfg.prefix
+
+
+class TestFleetState:
+    def test_expansion_and_names(self, fleet):
+        assert fleet.n_nodes == 4
+        assert fleet.total_cores == 4 * XEON_E5649.num_cores
+        assert fleet.names[0] == "node-0000"
+        assert fleet.index_of("node-0003") == 3
+
+    def test_single_count_block_keeps_bare_name(self):
+        f = FleetState([MachineConfig(XEON_E5649, count=1, name_prefix="alpha")])
+        assert f.names == ["alpha"]
+
+    def test_single_nodes_constructor(self):
+        f = FleetState.single_nodes(
+            [("a", XEON_E5649), ("b", XEON_E5_2697V2)]
+        )
+        assert f.names == ["a", "b"]
+        assert f.num_cores.tolist() == [6, 12]
+        assert f.processor(1) is XEON_E5_2697V2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            FleetState.single_nodes([("a", XEON_E5649), ("a", XEON_E5649)])
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FleetState([])
+
+    def test_unknown_node_name(self, fleet):
+        with pytest.raises(KeyError, match="unknown node"):
+            fleet.index_of("nope")
+
+    def test_place_updates_occupancy_and_feature_sums(self, fleet):
+        fleet.place(1, (0.5, 0.25, 0.01))
+        fleet.place(1, (0.3, 0.15, 0.02))
+        assert fleet.used[1] == 2
+        assert fleet.free_cores[1] == XEON_E5649.num_cores - 2
+        assert fleet.co_mem[1] == pytest.approx(0.8)
+        assert fleet.co_cm_ca[1] == pytest.approx(0.40)
+        assert fleet.co_ca_ins[1] == pytest.approx(0.03)
+        assert fleet.busy_nodes == 1
+
+    def test_remove_restores_state(self, fleet):
+        fleet.place(2, (0.5, 0.25, 0.01))
+        fleet.remove(2, (0.5, 0.25, 0.01))
+        assert fleet.used[2] == 0
+        assert fleet.co_mem[2] == pytest.approx(0.0)
+
+    def test_place_on_full_node_raises(self, fleet):
+        for _ in range(XEON_E5649.num_cores):
+            fleet.place(0)
+        with pytest.raises(ValueError, match="full"):
+            fleet.place(0)
+
+    def test_remove_from_empty_node_raises(self, fleet):
+        with pytest.raises(ValueError, match="empty"):
+            fleet.remove(3)
+
+    def test_set_pstate(self, fleet):
+        fleet.set_pstate(0, 3)
+        assert fleet.pstate(0).index == 3
+        with pytest.raises(ValueError, match="out of range"):
+            fleet.set_pstate(0, 99)
+
+
+class TestCandidates:
+    def test_small_fleet_returns_everything_free(self, fleet):
+        assert fleet.candidates(8).tolist() == [0, 1, 2, 3]
+
+    def test_full_nodes_excluded(self, fleet):
+        for _ in range(XEON_E5649.num_cores):
+            fleet.place(0)
+        assert 0 not in fleet.candidates(8).tolist()
+
+    def test_empty_nodes_deduped_to_one_per_block(self):
+        f = FleetState([MachineConfig(XEON_E5649, count=100, name_prefix="n")])
+        cand = f.candidates(8)
+        # All nodes are empty and interchangeable: one representative.
+        assert cand.tolist() == [0]
+
+    def test_occupied_fill_remaining_slots_by_contention(self):
+        f = FleetState([MachineConfig(XEON_E5649, count=100, name_prefix="n")])
+        f.place(7, (0.9, 0.5, 0.1))   # hottest
+        f.place(3, (0.1, 0.1, 0.01))  # coolest
+        f.place(5, (0.5, 0.3, 0.05))
+        cand = f.candidates(3).tolist()
+        # One empty representative (node 0) + the two least-contended
+        # occupied nodes.
+        assert cand == [0, 3, 5]
+
+    def test_candidate_budget_respected_at_scale(self):
+        f = FleetState([MachineConfig(XEON_E5649, count=1000, name_prefix="n")])
+        for i in range(50):
+            f.place(i, (0.01 * i, 0.0, 0.0))
+        assert len(f.candidates(8)) <= 8
+
+    def test_budget_must_be_positive(self, fleet):
+        with pytest.raises(ValueError, match="budget"):
+            fleet.candidates(0)
+
+
+class TestRunningSet:
+    @pytest.fixture
+    def rig(self, fleet):
+        engine = SimulationEngine(XEON_E5649)
+        return fleet, RunningSet(fleet, [engine]), engine
+
+    def test_engine_block_mismatch_rejected(self, fleet):
+        with pytest.raises(ValueError, match="one engine per"):
+            RunningSet(fleet, [])
+        wrong = SimulationEngine(XEON_E5_2697V2)
+        with pytest.raises(ValueError, match="does not\n?.*match|match"):
+            RunningSet(fleet, [wrong])
+
+    def test_add_occupies_core_and_remove_frees_it(self, rig):
+        fleet, running, _ = rig
+        app = get_application("cg")
+        running.add(1, app, 0, 0.0, stats=(0.5, 0.2, 0.01))
+        assert fleet.used[0] == 1
+        assert 1 in running
+        job = running.remove(1)
+        assert job.app is app
+        assert fleet.used[0] == 0
+        assert fleet.co_mem[0] == pytest.approx(0.0)
+
+    def test_duplicate_job_id_rejected(self, rig):
+        _, running, _ = rig
+        app = get_application("cg")
+        running.add(1, app, 0, 0.0)
+        with pytest.raises(ValueError, match="already running"):
+            running.add(1, app, 1, 0.0)
+
+    def test_solo_rate_matches_engine(self, rig):
+        """The physics is exactly the engine's steady state."""
+        fleet, running, engine = rig
+        app = get_application("ep")
+        running.add(7, app, 2, 0.0)
+        expected = engine.solve_steady_state((app,)).instructions_per_second[0]
+        assert running.rate_of(7) == pytest.approx(float(expected))
+
+    def test_next_completion_and_advance(self, rig):
+        _, running, engine = rig
+        app = get_application("ep")
+        running.add(1, app, 0, 0.0)
+        ips = float(engine.solve_steady_state((app,)).instructions_per_second[0])
+        t = running.next_completion(0.0)
+        assert t == pytest.approx(app.instructions / ips)
+        running.advance_to(t, 0.0)
+        done = running.pop_finished()
+        assert [j.job_id for j in done] == [1]
+        assert running.count == 0
+
+    def test_advance_backwards_rejected(self, rig):
+        _, running, _ = rig
+        running.add(1, get_application("ep"), 0, 0.0)
+        with pytest.raises(ValueError, match="backwards"):
+            running.advance_to(-1.0, 0.0)
+
+    def test_contended_node_runs_slower(self, rig):
+        """Adding a co-runner dirties the node and lowers the rate."""
+        _, running, _ = rig
+        cg = get_application("cg")
+        running.add(1, cg, 0, 0.0)
+        solo = running.rate_of(1)
+        running.add(2, get_application("sp"), 0, 0.0)
+        assert running.rate_of(1) < solo
+
+    def test_next_completion_idle_is_inf(self, rig):
+        _, running, _ = rig
+        assert running.next_completion(0.0) == np.inf
+
+    def test_remaining_instructions_preserved_across_migration(self, rig):
+        fleet, running, _ = rig
+        app = get_application("cg")
+        running.add(1, app, 0, 0.0)
+        t = running.next_completion(0.0) / 2
+        running.advance_to(t, 0.0)
+        moved = running.remove(1)
+        assert 0 < moved.remaining_instructions < app.instructions
+        running.add(
+            1, app, 3, t, remaining_instructions=moved.remaining_instructions
+        )
+        assert running.get(1).remaining_instructions == pytest.approx(
+            moved.remaining_instructions
+        )

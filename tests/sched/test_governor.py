@@ -111,3 +111,56 @@ class TestSelectPstate:
             select_pstate(
                 predictor, power, baselines, "ep", [], deadline_s=0.0
             )
+
+
+class _ConstantPredictor:
+    """Predicts the same time at every P-state — a pure tie generator."""
+
+    def __init__(self, seconds: float = 100.0) -> None:
+        self.seconds = seconds
+
+    def predict_time(self, _target_baseline, _co_baselines) -> float:
+        return self.seconds
+
+
+class TestTieBreaking:
+    """Equal-objective P-states must resolve deterministically.
+
+    Regression: the selection used to keep whichever tied P-state the
+    ladder iterated first (the fastest); the rule is now lowest
+    frequency wins, so a tie never burns voltage headroom for free.
+    """
+
+    def test_time_tie_resolves_to_lowest_frequency(self, governor_env):
+        _predictor, power, baselines = governor_env
+        best, choices = select_pstate(
+            _ConstantPredictor(), power, baselines, "ep", [],
+            objective=GovernorObjective.TIME,
+        )
+        assert len({c.predicted_time_s for c in choices}) == 1
+        assert best.pstate.frequency_ghz == pytest.approx(
+            XEON_E5649.pstates.slowest.frequency_ghz
+        )
+
+    def test_best_effort_tie_resolves_to_lowest_frequency(self, governor_env):
+        """The impossible-deadline path applies the same rule."""
+        _predictor, power, baselines = governor_env
+        best, _ = select_pstate(
+            _ConstantPredictor(100.0), power, baselines, "ep", [],
+            objective=GovernorObjective.TIME,
+            deadline_s=1.0,  # nothing can meet it
+        )
+        assert best.pstate.frequency_ghz == pytest.approx(
+            XEON_E5649.pstates.slowest.frequency_ghz
+        )
+
+    def test_tie_break_is_stable_across_calls(self, governor_env):
+        _predictor, power, baselines = governor_env
+        picks = {
+            select_pstate(
+                _ConstantPredictor(), power, baselines, "ep", [],
+                objective=GovernorObjective.TIME,
+            )[0].pstate.frequency_ghz
+            for _ in range(5)
+        }
+        assert len(picks) == 1

@@ -1,0 +1,89 @@
+"""Job queue lifecycle + the shared pinned-seed stream generator."""
+
+import pytest
+
+from repro.sched.queue import JobQueue, JobStatus, job_stream
+from repro.workloads.suite import all_applications, get_application
+
+
+@pytest.fixture
+def queue():
+    return JobQueue()
+
+
+class TestJobQueue:
+    def test_submit_assigns_sequential_ids(self, queue):
+        a = queue.submit(get_application("cg"), 0.0)
+        b = queue.submit(get_application("ep"), 1.0)
+        assert (a.id, b.id) == (0, 1)
+        assert queue.pending == 2
+        assert len(queue) == 2
+
+    def test_take_is_fifo(self, queue):
+        for name in ("cg", "ep", "sp"):
+            queue.submit(get_application(name), 0.0)
+        taken = queue.take(2)
+        assert [j.app.name for j in taken] == ["cg", "ep"]
+        assert queue.pending == 1
+
+    def test_put_back_restores_front_order(self, queue):
+        for name in ("cg", "ep", "sp"):
+            queue.submit(get_application(name), 0.0)
+        taken = queue.take(2)
+        queue.put_back(taken)
+        assert [j.app.name for j in queue.take(3)] == ["cg", "ep", "sp"]
+
+    def test_jobs_survive_take(self, queue):
+        job = queue.submit(get_application("cg"), 0.0)
+        queue.take(1)
+        assert queue.get(job.id) is job
+        assert queue.get(999) is None
+
+    def test_counts_by_status(self, queue):
+        a = queue.submit(get_application("cg"), 0.0)
+        queue.submit(get_application("ep"), 0.0)
+        a.status = JobStatus.COMPLETED
+        counts = queue.counts()
+        assert counts["completed"] == 1
+        assert counts["queued"] == 1
+
+    def test_drain_pending_empties_queue(self, queue):
+        queue.submit(get_application("cg"), 0.0)
+        queue.submit(get_application("ep"), 0.0)
+        drained = queue.drain_pending()
+        assert len(drained) == 2
+        assert queue.pending == 0
+        assert len(queue) == 2  # records are permanent
+
+    def test_job_regret_needs_both_slowdowns(self, queue):
+        job = queue.submit(get_application("cg"), 0.0)
+        assert job.regret is None
+        job.predicted_slowdown = 1.1
+        job.realized_slowdown = 1.25
+        assert job.regret == pytest.approx(0.15)
+
+    def test_to_dict_round_trips_names(self, queue):
+        job = queue.submit(get_application("cg"), 2.5)
+        data = job.to_dict()
+        assert data["app"] == "cg"
+        assert data["status"] == "queued"
+        assert data["submitted_s"] == 2.5
+
+
+class TestJobStream:
+    def test_deterministic_for_a_seed(self):
+        apps = list(all_applications())
+        assert job_stream(apps, 10, seed=12) == job_stream(apps, 10, seed=12)
+        assert job_stream(apps, 10, seed=12) != job_stream(apps, 10, seed=13)
+
+    def test_arrivals_monotonic(self):
+        stream = job_stream(list(all_applications()), 50, seed=7)
+        arrivals = [t for _, t in stream]
+        assert arrivals == sorted(arrivals)
+        assert all(t >= 0.0 for t in arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            job_stream([], 5)
+        with pytest.raises(ValueError, match="non-negative"):
+            job_stream(list(all_applications()), -1)

@@ -1,0 +1,294 @@
+"""SchedulerService unit coverage (in-process scorer, no serving tier).
+
+The HTTP surface, the scheduling loop semantics (placement, completion,
+migration, governor), and the drain guarantee, all against a
+:class:`LocalScorer` so no prediction server is needed — the remote
+path is exercised by ``tests/integration/test_sched_service.py``.
+"""
+
+import time
+
+import pytest
+
+from repro.machine import XEON_E5649
+from repro.sched.fleet import FleetState, MachineConfig
+from repro.sched.governor import GovernorObjective
+from repro.sched.queue import JobStatus
+from repro.sched.service import (
+    LocalScorer,
+    SchedulerClient,
+    SchedulerService,
+    SchedulerThread,
+)
+from repro.serve.client import ClientError
+
+
+def _wait_until(predicate, timeout_s=10.0, interval_s=0.01):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval_s)
+    return predicate()
+
+
+def _fleet(count=4):
+    return FleetState([MachineConfig(XEON_E5649, count=count, name_prefix="node")])
+
+
+@pytest.fixture
+def scorer(sched_predictor):
+    return LocalScorer(sched_predictor)
+
+
+@pytest.fixture
+def service(scorer, baselines_6core):
+    with SchedulerThread(
+        _fleet(), baselines_6core, scorer=scorer, policy="model"
+    ) as handle:
+        with SchedulerClient("127.0.0.1", handle.port) as client:
+            yield handle, client
+
+
+class TestValidation:
+    def test_model_policy_needs_scorer(self, baselines_6core):
+        with pytest.raises(ValueError, match="needs a scorer"):
+            SchedulerService(_fleet(), baselines_6core, policy="model")
+
+    def test_unknown_policy(self, baselines_6core, scorer):
+        with pytest.raises(ValueError, match="unknown policy"):
+            SchedulerService(
+                _fleet(), baselines_6core, scorer=scorer, policy="random"
+            )
+
+    def test_governor_needs_scorer(self, baselines_6core):
+        with pytest.raises(ValueError, match="governor needs"):
+            SchedulerService(
+                _fleet(),
+                baselines_6core,
+                policy="first-fit",
+                governor_objective=GovernorObjective.ENERGY,
+            )
+
+    def test_missing_baseline_processor(self, baselines_6core):
+        with pytest.raises(ValueError, match="baselines missing"):
+            SchedulerService(
+                _fleet(), {"other": baselines_6core}, policy="first-fit"
+            )
+
+
+class TestApi:
+    def test_submit_runs_to_completion(self, service):
+        _, client = service
+        payload = client.submit(["cg", "ep", "sp"])
+        assert payload["ids"] == [0, 1, 2]
+        assert _wait_until(
+            lambda: client.jobs()["counts"]["completed"] == 3
+        )
+        detail = client.job(0)
+        assert detail["status"] == "completed"
+        assert detail["node"].startswith("node-")
+        assert detail["predicted_slowdown"] is not None
+        assert detail["realized_slowdown"] > 0.0
+        assert detail["regret"] == pytest.approx(
+            detail["realized_slowdown"] - detail["predicted_slowdown"]
+        )
+
+    def test_submit_count_form(self, service):
+        _, client = service
+        assert len(client.submit("ep", count=3)["ids"]) == 3
+
+    def test_unknown_app_is_400(self, service):
+        _, client = service
+        with pytest.raises(ClientError) as err:
+            client.submit("not-a-benchmark")
+        assert err.value.status == 400
+
+    def test_bad_body_is_400(self, service):
+        _, client = service
+        with pytest.raises(ClientError) as err:
+            client._json("POST", "/v1/jobs", {"count": 3})
+        assert err.value.status == 400
+
+    def test_unknown_job_is_404(self, service):
+        _, client = service
+        with pytest.raises(ClientError) as err:
+            client.job(9999)
+        assert err.value.status == 404
+
+    def test_non_integer_job_id_is_400(self, service):
+        _, client = service
+        with pytest.raises(ClientError) as err:
+            client._json("GET", "/v1/jobs/abc")
+        assert err.value.status == 400
+
+    def test_status_filter(self, service):
+        _, client = service
+        ids = client.submit(["cg"])["ids"]
+        assert _wait_until(
+            lambda: client.jobs()["counts"]["completed"] == 1
+        )
+        assert client.jobs(status="completed")["ids"] == ids
+        with pytest.raises(ClientError) as err:
+            client.jobs(status="bogus")
+        assert err.value.status == 400
+
+    def test_cluster_state(self, service):
+        _, client = service
+        client.submit(["cg", "ep"])
+        assert _wait_until(
+            lambda: client.cluster()["counts"]["completed"] == 2
+        )
+        body = client.cluster()
+        assert body["nodes"] == 4
+        assert body["policy"] == "model"
+        assert body["placements"] == 2
+        assert body["virtual_time_s"] > 0.0
+        assert body["draining"] is False
+
+    def test_healthz(self, service):
+        _, client = service
+        body = client.healthz()
+        assert body["status"] == "ok"
+        assert body["nodes"] == 4
+
+    def test_metrics_exposition(self, service):
+        _, client = service
+        client.submit(["cg", "ep", "canneal"])
+        assert _wait_until(
+            lambda: client.jobs()["counts"]["completed"] == 3
+        )
+        metrics = client.metrics()
+        assert metrics["repro_sched_placements_total"] == 3.0
+        assert metrics["repro_sched_completions_total"] == 3.0
+        assert metrics["repro_sched_predict_batches_total"] >= 1.0
+        assert metrics["repro_sched_decision_latency_seconds_count"] >= 1.0
+        assert metrics["repro_sched_predicted_degradation_count"] == 3.0
+        assert "repro_sched_regret" in metrics
+        assert metrics["repro_sched_queue_depth"] == 0.0
+
+
+class TestBaselinePolicies:
+    @pytest.mark.parametrize("policy", ["first-fit", "least-loaded"])
+    def test_policies_run_without_scorer(self, policy, baselines_6core):
+        with SchedulerThread(
+            _fleet(2), baselines_6core, policy=policy
+        ) as handle:
+            with SchedulerClient("127.0.0.1", handle.port) as client:
+                client.submit(["cg", "ep", "sp", "lu"])
+                assert _wait_until(
+                    lambda: client.jobs()["counts"]["completed"] == 4
+                )
+                details = [client.job(i) for i in range(4)]
+                # No model in the loop: no predictions recorded.
+                assert all(d["predicted_slowdown"] is None for d in details)
+
+    def test_first_fit_packs_least_loaded_spreads(self, baselines_6core):
+        placements = {}
+        for policy in ("first-fit", "least-loaded"):
+            with SchedulerThread(
+                _fleet(4), baselines_6core, policy=policy
+            ) as handle:
+                with SchedulerClient("127.0.0.1", handle.port) as client:
+                    client.submit(["cg", "ep", "sp", "lu"])
+                    assert _wait_until(
+                        lambda: client.jobs()["counts"]["completed"] == 4
+                    )
+                    placements[policy] = {
+                        client.job(i)["node"] for i in range(4)
+                    }
+        assert placements["first-fit"] == {"node-0000"}
+        assert len(placements["least-loaded"]) == 4
+
+
+class TestGovernor:
+    def test_energy_governor_slows_the_clock(
+        self, scorer, baselines_6core
+    ):
+        """Under the energy objective a solo placement drops frequency."""
+        with SchedulerThread(
+            _fleet(2),
+            baselines_6core,
+            scorer=scorer,
+            governor_objective=GovernorObjective.ENERGY,
+        ) as handle:
+            with SchedulerClient("127.0.0.1", handle.port) as client:
+                client.submit(["ep"])
+                assert _wait_until(
+                    lambda: client.jobs()["counts"]["completed"] == 1
+                )
+                detail = client.job(0)
+                fastest = XEON_E5649.pstates.fastest.frequency_ghz
+                assert detail["pstate_ghz"] < fastest
+                # The baseline basis follows the chosen P-state, so the
+                # realized slowdown stays interference-only (~1.0 solo).
+                assert detail["realized_slowdown"] == pytest.approx(
+                    1.0, abs=0.15
+                )
+
+
+class _OptimistScorer:
+    """Predicts zero interference always — every placement regrets."""
+
+    def predict_rows(self, rows):
+        return [float(r["baseExTime"]) for r in rows]
+
+    def predict_time(self, target_baseline, co_baselines):
+        return float(target_baseline.wall_time_s)
+
+
+class TestMigration:
+    def test_worst_regret_job_migrates(self, baselines_6core):
+        """Underprediction + a lighter node => threshold-triggered move.
+
+        Two nodes for four jobs, so the empty-node fan-out runs out and
+        the optimist stacks the tail of the burst — the regret then
+        triggers a move to the less-contended node.
+        """
+        with SchedulerThread(
+            _fleet(2),
+            baselines_6core,
+            scorer=_OptimistScorer(),
+            migrate_threshold=0.05,
+            migrate_margin=0.0,
+            migrate_every=1,
+        ) as handle:
+            with SchedulerClient("127.0.0.1", handle.port) as client:
+                # Memory-heavy apps packed together regret immediately.
+                client.submit(["canneal", "sp", "cg", "mg"])
+                assert _wait_until(
+                    lambda: client.jobs()["counts"]["completed"] == 4
+                )
+                body = client.cluster()
+                assert body["migrations"] >= 1
+                moved = [
+                    client.job(i)["migrations"] for i in range(4)
+                ]
+                assert sum(moved) == body["migrations"]
+
+
+class TestDrain:
+    def test_drain_completes_or_requeues_everything(
+        self, scorer, baselines_6core
+    ):
+        handle = SchedulerThread(
+            _fleet(1),
+            baselines_6core,
+            scorer=scorer,
+            policy="model",
+            pace_s=0.05,  # slow the loop so a backlog survives to drain
+        )
+        handle.start()
+        client = SchedulerClient("127.0.0.1", handle.port)
+        accepted = client.submit(["cg"] * 40)["ids"]
+        client.close()
+        handle.stop()  # graceful drain
+        service = handle.server
+        states = {jid: service.queue.get(jid).status for jid in accepted}
+        assert set(states.values()) <= {
+            JobStatus.COMPLETED, JobStatus.REQUEUED
+        }
+        assert service.queue.pending == 0
+        counts = service.queue.counts()
+        assert counts["requeued"] == service.sched_metrics.requeued
+        assert counts["completed"] + counts["requeued"] == len(accepted)

@@ -134,39 +134,50 @@ class TestTombstoneEviction:
 
 
 class _MidPollBackend:
-    """A backend whose ``names()`` blocks until the test releases it.
+    """A backend whose first poll call blocks until the test releases it.
 
     Not a ``ModelRegistry`` subclass, so the server resolves it via
     ``asyncio.to_thread`` — exactly the code path where a cancelled poll
-    keeps running in its executor thread.  Every call after ``names()``
-    returns is recorded, so the test can prove the poll discarded its
+    keeps running in its executor thread.  Both entry points a poll may
+    start with are gated (``changed_models`` on the cursor path,
+    ``names()`` on the full-scan fallback), and every call after the
+    gate opens is recorded, so the test can prove the poll discarded its
     work instead of continuing into ``latest()``/``get()``.
     """
 
     def __init__(self, inner):
         self._inner = inner
-        self.names_entered = threading.Event()
-        self.release_names = threading.Event()
-        self.names_returned_at = None
-        self.calls_after_names = []
+        self.poll_entered = threading.Event()
+        self.release_poll = threading.Event()
+        self.poll_returned_at = None
+        self.calls_after_poll = []
+
+    def _gate(self):
+        self.poll_entered.set()
+        assert self.release_poll.wait(timeout=10.0)
+
+    def changed_models(self, cursor):
+        self._gate()
+        result = self._inner.changed_models(cursor)
+        self.poll_returned_at = time.monotonic()
+        return result
 
     def names(self):
-        self.names_entered.set()
-        assert self.release_names.wait(timeout=10.0)
+        self._gate()
         result = self._inner.names()
-        self.names_returned_at = time.monotonic()
+        self.poll_returned_at = time.monotonic()
         return result
 
     def latest(self, name):
-        self.calls_after_names.append(("latest", name))
+        self.calls_after_poll.append(("latest", name))
         return self._inner.latest(name)
 
     def get(self, ref):
-        self.calls_after_names.append(("get", ref))
+        self.calls_after_poll.append(("get", ref))
         return self._inner.get(ref)
 
     def tombstone_reason(self, name, version):
-        self.calls_after_names.append(("tombstone_reason", name))
+        self.calls_after_poll.append(("tombstone_reason", name))
         return self._inner.tombstone_reason(name, version)
 
     def __getattr__(self, attr):
@@ -183,13 +194,13 @@ class TestStopDuringPoll:
         ).start()
         server = handle.server
         try:
-            # The first poll is now blocked inside names() on the
-            # executor thread — stop() begins mid-poll.
-            assert backend.names_entered.wait(timeout=10.0)
+            # The first poll is now blocked inside its first backend
+            # call on the executor thread — stop() begins mid-poll.
+            assert backend.poll_entered.wait(timeout=10.0)
 
             def release_soon():
                 time.sleep(0.2)
-                backend.release_names.set()
+                backend.release_poll.set()
 
             releaser = threading.Thread(target=release_soon, daemon=True)
             releaser.start()
@@ -197,15 +208,15 @@ class TestStopDuringPoll:
             stopped_at = time.monotonic()
             releaser.join(timeout=5.0)
         finally:
-            backend.release_names.set()
+            backend.release_poll.set()
             handle.stop()
         # stop() waited for the in-flight backend call instead of
         # abandoning it mid-air...
-        assert backend.names_returned_at is not None
-        assert stopped_at >= backend.names_returned_at
+        assert backend.poll_returned_at is not None
+        assert stopped_at >= backend.poll_returned_at
         # ...and the poll then discarded its work: no further backend
         # calls, nothing installed into the LRU after the drain began.
-        assert backend.calls_after_names == []
+        assert backend.calls_after_poll == []
         assert server._resident == {}
         assert server._hot_reload_loads == 0
     def test_polling_disabled_by_default(self, populated_registry):
@@ -216,3 +227,94 @@ class TestStopDuringPoll:
                     _metric(client, "repro_serve_hot_reload_loads_total")
                     == 0.0
                 )
+
+
+class _CursorlessRegistry:
+    """A local-store proxy without the change-cursor surface."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def __getattr__(self, attr):
+        if attr in ("changed_models", "change_cursor"):
+            raise AttributeError(attr)
+        return getattr(self._inner, attr)
+
+
+class TestChangeCursorPolling:
+    """The poller syncs via ``?since=`` — no full listings after sync."""
+
+    def test_remote_polls_issue_zero_full_listings(
+        self, populated_registry, other_predictor, tmp_path
+    ):
+        import asyncio
+
+        from repro.registry import HttpBackend, RegistryServerThread
+        from repro.serve.server import PredictionServer
+
+        with RegistryServerThread(populated_registry) as registry_handle:
+            backend = HttpBackend(
+                f"http://127.0.0.1:{registry_handle.port}",
+                tmp_path / "hot-reload-cache",
+            )
+            server = PredictionServer(backend)
+
+            async def drive():
+                await server.hot_reload_once()  # initial sync
+                assert {
+                    r.manifest.ref for r in server._resident.values()
+                } == {"point@1", "band@1"}
+                # A quiet store costs exactly one ?since= round-trip.
+                before = backend.http_requests
+                await server.hot_reload_once()
+                assert backend.http_requests == before + 1
+                # A push is picked up through the cursor alone.
+                populated_registry.push("point", other_predictor)
+                await server.hot_reload_once()
+                assert "point@2" in {
+                    r.manifest.ref for r in server._resident.values()
+                }
+
+            asyncio.run(drive())
+        assert backend.full_list_requests == 0
+        assert server._reload_cursor_supported is True
+
+    def test_cursorless_backend_falls_back_to_full_scan(
+        self, populated_registry
+    ):
+        import asyncio
+
+        from repro.serve.server import PredictionServer
+
+        server = PredictionServer(_CursorlessRegistry(populated_registry))
+        asyncio.run(server.hot_reload_once())
+        assert server._reload_cursor_supported is False
+        assert {r.manifest.ref for r in server._resident.values()} == {
+            "point@1",
+            "band@1",
+        }
+
+    def test_old_server_falls_back_to_full_scan(
+        self, populated_registry, tmp_path
+    ):
+        """An HTTP backend on a cursor-less server: None => full scans."""
+        import asyncio
+
+        from repro.registry import HttpBackend, RegistryServerThread
+        from repro.serve.server import PredictionServer
+
+        with RegistryServerThread(
+            _CursorlessRegistry(populated_registry)
+        ) as registry_handle:
+            backend = HttpBackend(
+                f"http://127.0.0.1:{registry_handle.port}",
+                tmp_path / "old-server-cache",
+            )
+            server = PredictionServer(backend)
+            asyncio.run(server.hot_reload_once())
+            assert server._reload_cursor_supported is False
+            assert backend.full_list_requests >= 1
+            assert {r.manifest.ref for r in server._resident.values()} == {
+                "point@1",
+                "band@1",
+            }
