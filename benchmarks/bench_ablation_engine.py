@@ -1,18 +1,26 @@
 """Ablation — analytic engine vs trace-driven simulation.
 
 DESIGN.md's two-level simulation claim, quantified: the analytic
-steady-state engine and the trace-driven shared-cache simulator agree on
-miss ratios under contention, while the analytic engine is orders of
-magnitude faster — which is what makes the full Table V sweep tractable.
+steady-state engine (serial and batched, which must agree bit-exactly)
+and the trace-driven shared-cache simulator agree on miss ratios under
+contention, while the analytic engine is orders of magnitude faster —
+which is what makes the full Table V sweep tractable.
 """
 
 import numpy as np
 
 from repro.cache.reuse import ReuseProfile
 from repro.cache.sharing import CacheCompetitor, solve_shared_cache
-from repro.machine.processor import CacheGeometry
+from repro.machine.processor import (
+    CacheGeometry,
+    DRAMConfig,
+    MulticoreProcessor,
+)
+from repro.machine.pstates import PStateLadder
 from repro.reporting.tables import render_table
+from repro.sim import SimulationEngine, SolveRequest
 from repro.sim.tracesim import TraceCompetitor, simulate_trace_sharing
+from repro.workloads.app import ApplicationSpec
 
 KB = 1024
 
@@ -24,10 +32,52 @@ def _setup():
     return geometry, victim, aggressor
 
 
+def _engine_for(geometry):
+    """A 2-core machine around the ablation's cache geometry."""
+    processor = MulticoreProcessor(
+        name="ablation-2core",
+        num_cores=2,
+        llc=geometry,
+        dram=DRAMConfig(idle_latency_ns=95.0, peak_bandwidth_gbs=14.0),
+        pstates=PStateLadder.from_frequencies([2.5]),
+    )
+    return SimulationEngine(processor)
+
+
+def _specs(victim, aggressor, weight):
+    """Victim/aggressor pair whose access-rate ratio mirrors ``weight``.
+
+    The trace simulator interleaves references at a *fixed* rate ratio, so
+    the engine specs keep memory stalls a small fraction of execution time
+    (low accesses-per-instruction, high MLP): both apps then run near
+    their base CPI and the engine's realized access-rate ratio stays at
+    ``weight`` instead of drifting as the aggressor slows under misses.
+    """
+    base = 0.002
+    return (
+        ApplicationSpec("victim", "ablation", 1e9, 1.0, base, victim, mlp=16.0),
+        ApplicationSpec(
+            "aggressor", "ablation", 1e9, 1.0, base * weight, aggressor, mlp=16.0
+        ),
+    )
+
+
 def test_ablation_analytic_vs_trace_agreement(benchmark, emit):
     geometry, victim, aggressor = _setup()
+    weights = (0.5, 1.0, 2.0, 4.0)
+    engine_serial = _engine_for(geometry)
+    engine_batched = _engine_for(geometry)
+    serial_states = [
+        engine_serial.solve_steady_state(_specs(victim, aggressor, w))
+        for w in weights
+    ]
+    batched_states = engine_batched.solve_steady_state_batched(
+        [SolveRequest(apps=_specs(victim, aggressor, w)) for w in weights]
+    )
     rows = []
-    for weight in (0.5, 1.0, 2.0, 4.0):
+    for weight, serial_state, batched_state in zip(
+        weights, serial_states, batched_states
+    ):
         rng = np.random.default_rng(17)
         measured = simulate_trace_sharing(
             [
@@ -42,12 +92,21 @@ def test_ablation_analytic_vs_trace_agreement(benchmark, emit):
             [CacheCompetitor(victim, 1.0), CacheCompetitor(aggressor, weight)],
             geometry.size_bytes,
         )
+        # The batched engine must not merely agree with the trace — it
+        # must reproduce the serial engine bit for bit.
+        assert np.array_equal(
+            serial_state.miss_ratios, batched_state.miss_ratios
+        )
+        assert serial_state.iterations == batched_state.iterations
         rows.append(
             [
                 weight,
                 measured.miss_ratios[0],
                 analytic.miss_ratios[0],
+                float(serial_state.miss_ratios[0]),
+                float(batched_state.miss_ratios[0]),
                 abs(measured.miss_ratios[0] - analytic.miss_ratios[0]),
+                abs(measured.miss_ratios[0] - float(serial_state.miss_ratios[0])),
             ]
         )
     # The timed quantity: one analytic solve (the hot path of data
@@ -65,13 +124,19 @@ def test_ablation_analytic_vs_trace_agreement(benchmark, emit):
                 "aggressor weight",
                 "victim miss ratio (trace)",
                 "victim miss ratio (analytic)",
-                "abs diff",
+                "victim miss ratio (engine serial)",
+                "victim miss ratio (engine batched)",
+                "abs diff (analytic)",
+                "abs diff (engine)",
             ],
             rows,
             title="Ablation: analytic sharing model vs trace-driven ground truth",
         ),
     )
-    assert all(r[3] < 0.12 for r in rows)
+    assert all(r[5] < 0.12 for r in rows)
+    assert all(r[6] < 0.12 for r in rows)
+    # Bit-identity across the whole sweep: serial == batched exactly.
+    assert all(r[3] == r[4] for r in rows)
 
 
 def test_ablation_trace_sim_cost(benchmark):

@@ -2,14 +2,19 @@
 
 Not a paper artifact; guards the property the harness depends on: one
 analytic co-location solve must stay in the low-millisecond range so the
-full Table V sweep (thousands of runs) completes in seconds — and, with a
-warm :class:`~repro.sim.solve_cache.SolveCache`, in a small fraction of
-that.
+full Table V sweep (thousands of runs) completes in seconds — and, with
+the stacked (batched) steady-state solver or a warm
+:class:`~repro.sim.solve_cache.SolveCache`, in a small fraction of that.
+
+Each run appends its throughput numbers to ``results/BENCH_engine.json``
+(scenarios/s, batched-vs-serial speedup, the bit-identity verdict) so CI
+can archive the trajectory alongside the other BENCH files.
 
 Set ``REPRO_SMOKE=1`` for the reduced configuration used by
 ``make bench-smoke`` (a routine throughput-regression check).
 """
 
+import json
 import os
 import time
 
@@ -20,6 +25,19 @@ from repro.sim import SimulationEngine, SolveCache
 from repro.workloads.suite import get_application
 
 _SMOKE = os.environ.get("REPRO_SMOKE", "") not in ("", "0")
+
+#: Minimum batched-over-serial collection speedup.  The full-shape sweep
+#: clears 5x comfortably; the smoke shape has smaller batches (less
+#: vectorization to amortize the Python loop against), so CI gets a floor.
+MIN_BATCH_SPEEDUP = 2.0 if _SMOKE else 5.0
+
+
+def _record(results_dir, **values):
+    """Merge a measurement into the BENCH_engine.json trajectory."""
+    path = results_dir / "BENCH_engine.json"
+    payload = json.loads(path.read_text()) if path.exists() else {}
+    payload.update(values)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
 def test_engine_solo_solve(benchmark, ctx):
@@ -80,9 +98,12 @@ def test_table5_collection_warm_cache_speedup(benchmark):
     """A warm SolveCache must make the Table V collection >= 3x faster,
 
     and serve *exactly* the dataset a cache-less engine produces (noise is
-    applied outside the memoized solve).
+    applied outside the memoized solve).  Runs the serial per-scenario
+    reference path on purpose: this bench guards the cache's speedup,
+    which the batched solver's own cold-path speed would mask.
     """
     kwargs = _table5_kwargs()
+    kwargs["batch_solve"] = False
     apps = sorted(set(kwargs["targets"] + kwargs["co_apps"]), key=lambda a: a.name)
     cached_engine = SimulationEngine(XEON_E5649, cache=SolveCache())
     baselines = collect_baselines(cached_engine, apps)
@@ -135,3 +156,71 @@ def test_parallel_collection_matches_serial(benchmark):
     assert [o.actual_time_s for o in parallel] == [
         o.actual_time_s for o in serial
     ]
+
+
+def test_batched_collection_speedup(benchmark, results_dir):
+    """The stacked solver must beat the serial path >= 5x (2x smoke) on a
+
+    full-testbed collection, while producing the bit-identical dataset.
+    Both engines start with fresh (cold) SolveCaches so the comparison
+    measures the solver, not memoization.  Persists the numbers to
+    ``results/BENCH_engine.json``.
+    """
+    import numpy as np
+
+    kwargs = _table5_kwargs()
+    apps = sorted(set(kwargs["targets"] + kwargs["co_apps"]), key=lambda a: a.name)
+    baselines = collect_baselines(
+        SimulationEngine(XEON_E5649, cache=SolveCache()), apps
+    )
+
+    def collect(batch_solve):
+        engine = SimulationEngine(XEON_E5649, cache=SolveCache())
+        start = time.perf_counter()
+        dataset = collect_training_data(
+            engine,
+            baselines=baselines,
+            rng=np.random.default_rng(2015),
+            batch_solve=batch_solve,
+            **kwargs,
+        )
+        return engine, dataset, time.perf_counter() - start
+
+    _, serial_ds, serial_s = collect(False)
+    engine, batched_ds, batched_s = benchmark.pedantic(
+        lambda: collect(True), rounds=1, iterations=1
+    )
+
+    serial_times = [o.actual_time_s for o in serial_ds]
+    batched_times = [o.actual_time_s for o in batched_ds]
+    bit_identical = serial_times == batched_times
+    assert bit_identical, "batched collection diverged from serial"
+    speedup = serial_s / batched_s
+    scenarios = len(batched_times)
+    stats = engine.stats
+    assert stats.batches > 0 and stats.batched_scenarios >= scenarios
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"batched collection only {speedup:.2f}x faster than serial "
+        f"(need >= {MIN_BATCH_SPEEDUP}x): serial {serial_s * 1e3:.1f} ms, "
+        f"batched {batched_s * 1e3:.1f} ms"
+    )
+    print(
+        f"\nserial {serial_s * 1e3:.1f} ms ({scenarios / serial_s:.0f} "
+        f"scenarios/s), batched {batched_s * 1e3:.1f} ms "
+        f"({scenarios / batched_s:.0f} scenarios/s), speedup {speedup:.2f}x\n"
+        + stats.summary()
+    )
+    _record(
+        results_dir,
+        collection_scenarios=scenarios,
+        serial_collection_s=serial_s,
+        batched_collection_s=batched_s,
+        serial_scenarios_per_s=scenarios / serial_s,
+        batched_scenarios_per_s=scenarios / batched_s,
+        batched_speedup=speedup,
+        bit_identical=bit_identical,
+        batches=stats.batches,
+        batch_dedupe_hits=stats.batch_dedupe_hits,
+        frozen_iterations_saved=stats.frozen_iterations_saved,
+        smoke=_SMOKE,
+    )

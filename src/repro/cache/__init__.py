@@ -10,16 +10,30 @@ Two complementary models live here:
 Both consume :class:`repro.cache.reuse.ReuseProfile` locality descriptions.
 """
 
-from .reuse import MissRatioCurve, ProfileTable, ReuseComponent, ReuseProfile
+from .reuse import (
+    MissRatioCurve,
+    ProfileStack,
+    ProfileTable,
+    ReuseComponent,
+    ReuseProfile,
+    ordered_sum,
+)
 from .replacement import CacheSet, ReplacementPolicy, make_set
 from .setassoc import CacheStats, SetAssociativeCache, measure_miss_ratio_curve
-from .sharing import CacheCompetitor, SharingSolution, solve_shared_cache
+from .sharing import (
+    CacheCompetitor,
+    SharingSolution,
+    solve_shared_cache,
+    waterfill,
+    waterfill_batched,
+)
 
 __all__ = [
     "CacheCompetitor",
     "CacheSet",
     "CacheStats",
     "MissRatioCurve",
+    "ProfileStack",
     "ProfileTable",
     "ReplacementPolicy",
     "ReuseComponent",
@@ -28,5 +42,8 @@ __all__ = [
     "SharingSolution",
     "make_set",
     "measure_miss_ratio_curve",
+    "ordered_sum",
     "solve_shared_cache",
+    "waterfill",
+    "waterfill_batched",
 ]

@@ -25,7 +25,43 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["ReuseComponent", "ReuseProfile", "MissRatioCurve", "ProfileTable"]
+__all__ = [
+    "ReuseComponent",
+    "ReuseProfile",
+    "MissRatioCurve",
+    "ProfileTable",
+    "ProfileStack",
+    "ordered_sum",
+]
+
+
+def ordered_sum(x: np.ndarray) -> np.ndarray:
+    """Strict left-to-right sum along the last axis.
+
+    The reduction-order discipline shared by the serial and the batched
+    steady-state solvers: ``np.sum`` switches accumulation trees with the
+    element count (pairwise blocks kick in at eight elements), so a padded
+    ``(S, A)`` row and its unpadded ``(n,)`` serial counterpart would not
+    reduce bitwise-identically through it.  A sequential accumulation
+    starting from zero is invariant under trailing exact-zero padding —
+    ``x + 0.0 == x`` for every finite ``x`` — which is what makes the
+    batched solver bit-identical to the per-scenario loop.
+
+    Returns a scalar ``np.float64`` for 1-D input, an array with the last
+    axis reduced otherwise.  The last axis is expected to be small (apps
+    per scenario, mixture components): the Python-level loop is a handful
+    of vectorized adds.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        total = 0.0
+        for v in x.tolist():
+            total += v
+        return np.float64(total)
+    out = np.zeros(x.shape[:-1])
+    for j in range(x.shape[-1]):
+        out += x[..., j]
+    return out
 
 
 @dataclass(frozen=True)
@@ -271,8 +307,95 @@ class ProfileTable:
             )
         ratio = np.maximum(occ, 0.0)[:, None] / self.working_sets
         with np.errstate(over="ignore"):
-            mix = (self.weights / (1.0 + ratio**self.sharpness)).sum(axis=1)
+            mix = ordered_sum(self.weights / (1.0 + ratio**self.sharpness))
         return self.compulsory + (1.0 - self.compulsory) * mix
+
+
+class ProfileStack:
+    """Scenario-batched miss-ratio evaluation: ``(S, A, K)`` padded arrays.
+
+    The batched steady-state solver advances S independent co-location
+    scenarios at once; each scenario holds up to A applications, each with
+    up to K mixture components.  ``ProfileStack`` is the 3-D analogue of
+    :class:`ProfileTable`: one ``miss_ratio`` call evaluates every
+    application of every scenario in a handful of vectorized operations.
+
+    Padding is exact: pad applications carry zero weights and zero
+    compulsory ratio (their miss ratio is exactly 0.0 and their footprint
+    0.0), pad components carry zero weight — under the
+    :func:`ordered_sum` reduction discipline neither perturbs the real
+    entries by even an ulp relative to the per-scenario
+    :class:`ProfileTable` evaluation.
+    """
+
+    def __init__(
+        self,
+        profile_rows: list[list[ReuseProfile]] | list[tuple[ReuseProfile, ...]],
+        *,
+        pad_apps: int | None = None,
+    ) -> None:
+        if not profile_rows:
+            raise ValueError("profile stack needs at least one scenario")
+        if any(not row for row in profile_rows):
+            raise ValueError("every scenario needs at least one profile")
+        s = len(profile_rows)
+        a = max(len(row) for row in profile_rows)
+        if pad_apps is not None:
+            if pad_apps < a:
+                raise ValueError(
+                    f"pad_apps={pad_apps} below the widest scenario ({a})"
+                )
+            a = pad_apps
+        k = max(len(p.components) for row in profile_rows for p in row)
+        self.n_apps = np.array([len(row) for row in profile_rows])
+        self.valid = np.arange(a)[None, :] < self.n_apps[:, None]
+        self.working_sets = np.ones((s, a, k))
+        self.weights = np.zeros((s, a, k))
+        self.sharpness = np.ones((s, a, k))
+        self.compulsory = np.zeros((s, a))
+        self.footprints = np.zeros((s, a))
+        for i, row in enumerate(profile_rows):
+            for j, p in enumerate(row):
+                self.compulsory[i, j] = p.compulsory
+                self.footprints[i, j] = p.footprint_bytes
+                for m, comp in enumerate(p.components):
+                    self.working_sets[i, j, m] = comp.working_set_bytes
+                    self.weights[i, j, m] = comp.weight
+                    self.sharpness[i, j, m] = comp.sharpness
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(scenarios, padded apps per scenario)``."""
+        return self.compulsory.shape
+
+    def miss_ratio(
+        self, occupancies_bytes: np.ndarray, rows: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Per-app miss ratios at per-app occupancies, scenario-batched.
+
+        ``occupancies_bytes`` is ``(S, A)`` — or ``(len(rows), A)`` when
+        ``rows`` selects a subset of scenarios (the solver's frozen-member
+        discipline evaluates only still-active rows).  Pad applications
+        evaluate to exactly 0.0.
+        """
+        occ = np.asarray(occupancies_bytes, dtype=float)
+        if rows is None:
+            ws, w, sh, comp = (
+                self.working_sets, self.weights, self.sharpness, self.compulsory
+            )
+        else:
+            ws, w, sh, comp = (
+                self.working_sets[rows], self.weights[rows],
+                self.sharpness[rows], self.compulsory[rows],
+            )
+        if occ.shape != comp.shape:
+            raise ValueError(
+                f"expected occupancies of shape {comp.shape}, got {occ.shape}"
+            )
+        ratio = np.maximum(occ, 0.0)[..., None] / ws
+        with np.errstate(over="ignore"):
+            mix = ordered_sum(w / (1.0 + ratio**sh))
+        return comp + (1.0 - comp) * mix
 
 
 @dataclass(frozen=True)

@@ -32,9 +32,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .reuse import ReuseProfile
+from .reuse import ReuseProfile, ordered_sum
 
-__all__ = ["CacheCompetitor", "SharingSolution", "solve_shared_cache", "waterfill"]
+__all__ = [
+    "CacheCompetitor",
+    "SharingSolution",
+    "solve_shared_cache",
+    "waterfill",
+    "waterfill_batched",
+]
 
 
 @dataclass(frozen=True)
@@ -87,6 +93,11 @@ def waterfill(pressure: np.ndarray, demand: np.ndarray, capacity: float) -> np.n
     Classic waterfilling: applications whose proportional share exceeds
     their demand are clipped and the slack re-split among the rest.
     Terminates in at most ``len(pressure)`` rounds.
+
+    Every reduction goes through :func:`~repro.cache.reuse.ordered_sum`
+    over masked (exact-zero) inactive entries, the form
+    :func:`waterfill_batched` applies row-wise — the two are bit-identical
+    per scenario, which the batched steady-state solver relies on.
     """
     n = pressure.size
     alloc = np.zeros(n)
@@ -95,27 +106,84 @@ def waterfill(pressure: np.ndarray, demand: np.ndarray, capacity: float) -> np.n
     for _ in range(n):
         if remaining <= 0.0 or not active.any():
             break
-        p = pressure[active]
-        total = p.sum()
+        total = float(ordered_sum(np.where(active, pressure, 0.0)))
         if total <= 0.0:
             # No pressure left: split the remainder evenly among actives.
-            share = np.full(p.shape, remaining / p.size)
+            share = np.where(active, remaining / int(active.sum()), 0.0)
         else:
-            share = remaining * p / total
-        idx = np.flatnonzero(active)
-        proposed = alloc[idx] + share
-        over = proposed >= demand[idx]
+            share = np.where(active, remaining * pressure / total, 0.0)
+        proposed = alloc + share
+        over = active & (proposed >= demand)
         if not over.any():
-            alloc[idx] = proposed
+            alloc = np.where(active, proposed, alloc)
             remaining = 0.0
             break
         # Satisfy the clipped apps fully, retire them, re-split the slack.
-        clipped = idx[over]
-        remaining -= (demand[clipped] - alloc[clipped]).sum()
-        alloc[clipped] = demand[clipped]
-        active[clipped] = False
+        remaining -= float(ordered_sum(np.where(over, demand - alloc, 0.0)))
+        alloc = np.where(over, demand, alloc)
+        active &= ~over
         # The un-clipped apps are reconsidered next round from scratch so
         # that proportionality is preserved among survivors.
+    return alloc
+
+
+def waterfill_batched(
+    pressure: np.ndarray,
+    demand: np.ndarray,
+    capacity: float | np.ndarray,
+    valid: np.ndarray | None = None,
+) -> np.ndarray:
+    """Scenario-vectorized :func:`waterfill`: one call fills S rows at once.
+
+    ``pressure`` and ``demand`` are ``(S, A)``; ``capacity`` is a scalar or
+    an ``(S,)`` per-scenario vector.  ``valid`` masks padded entries of
+    ragged scenario stacks — pad columns never compete, never count toward
+    the even-split denominator, and always receive 0.0.
+
+    Row ``s`` of the result is bit-identical to
+    ``waterfill(pressure[s, :n_s], demand[s, :n_s], capacity[s])``: each
+    round performs the same masked arithmetic, rows finish independently
+    (a finished row's allocation is frozen while others keep clipping),
+    and all reductions share the sequential-accumulation discipline of
+    :func:`~repro.cache.reuse.ordered_sum`.
+    """
+    pressure = np.asarray(pressure, dtype=float)
+    demand = np.asarray(demand, dtype=float)
+    if pressure.ndim != 2 or pressure.shape != demand.shape:
+        raise ValueError(
+            f"pressure and demand must be matching (S, A) arrays, got "
+            f"{pressure.shape} and {demand.shape}"
+        )
+    s, a = pressure.shape
+    remaining = np.broadcast_to(np.asarray(capacity, dtype=float), (s,)).astype(float)
+    active = (
+        np.ones((s, a), dtype=bool) if valid is None else valid.astype(bool).copy()
+    )
+    alloc = np.zeros((s, a))
+    for _ in range(a):
+        live = active.any(axis=1) & (remaining > 0.0)
+        if not live.any():
+            break
+        act = active & live[:, None]
+        count = act.sum(axis=1)
+        total = ordered_sum(np.where(act, pressure, 0.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            share = np.where(
+                (total > 0.0)[:, None],
+                remaining[:, None] * pressure / total[:, None],
+                (remaining / np.maximum(count, 1))[:, None],
+            )
+        share = np.where(act, share, 0.0)
+        proposed = alloc + share
+        over = act & (proposed >= demand)
+        done = live & ~over.any(axis=1)
+        alloc = np.where(done[:, None] & act, proposed, alloc)
+        remaining = np.where(done, 0.0, remaining)
+        # Clipped entries are satisfied fully and retired; their slack is
+        # re-split among that row's survivors next round.
+        remaining = remaining - ordered_sum(np.where(over, demand - alloc, 0.0))
+        alloc = np.where(over, demand, alloc)
+        active &= ~over
     return alloc
 
 

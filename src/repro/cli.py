@@ -169,6 +169,7 @@ def _cmd_collect(args) -> int:
             engine,
             rng=np.random.default_rng(args.seed),
             workers=args.workers,
+            batch_solve=not args.no_batch_solve,
             **kwargs,
         )
     except ValueError as exc:
@@ -926,6 +927,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "count yields the identical dataset)")
     p.add_argument("--no-cache", action="store_true",
                    help="disable steady-state solve memoization")
+    p.add_argument("--no-batch-solve", action="store_true",
+                   help="use the serial per-scenario reference path instead "
+                        "of the batched steady-state solver (bit-identical, "
+                        "just slower)")
     p.add_argument("--stats", action="store_true",
                    help="print engine solve/cache statistics after collection")
     p.add_argument("--trace", metavar="PATH",

@@ -26,6 +26,7 @@ from .papi import EventSet, HardwareCounters, PresetEvent
 __all__ = [
     "DEFAULT_EVENTS",
     "FlatProfile",
+    "flat_profile_from_run",
     "hpcrun_flat",
     "profile_from_dict",
     "profile_to_dict",
@@ -98,6 +99,21 @@ def hpcrun_flat(
     requested presets through a properly started/stopped event set.
     """
     run = engine.run(app, co_runners, pstate=pstate, rng=rng)
+    return flat_profile_from_run(app, run, events=events)
+
+
+def flat_profile_from_run(
+    app: ApplicationSpec,
+    run,
+    *,
+    events: tuple[PresetEvent, ...] = DEFAULT_EVENTS,
+) -> FlatProfile:
+    """Wrap an already-simulated :class:`~repro.sim.engine.ColocationRun`.
+
+    The counter-reading half of :func:`hpcrun_flat`, split out so callers
+    that simulate runs in bulk (the batched baseline collector) can profile
+    them without re-entering the engine.
+    """
     hardware = HardwareCounters(run.target, frequency_ghz=run.frequency_ghz)
     event_set = EventSet(hardware)
     for event in events:

@@ -16,10 +16,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..counters.hpcrun import FlatProfile, hpcrun_flat
+from ..counters.hpcrun import FlatProfile, flat_profile_from_run, hpcrun_flat
 from ..sim.engine import SimulationEngine
 from ..workloads.app import ApplicationSpec
-from .parallel import map_scenarios, spawn_streams
+from .parallel import map_scenario_batches, map_scenarios, spawn_streams
 
 __all__ = ["BaselineTable", "collect_baselines"]
 
@@ -80,19 +80,35 @@ def _profile_scenario(engine: SimulationEngine, payload) -> FlatProfile:
     return hpcrun_flat(engine, app, pstate=pstate, rng=rng)
 
 
+def _profile_scenario_batch(
+    engine: SimulationEngine, payloads
+) -> list[FlatProfile]:
+    """Batched counterpart of :func:`_profile_scenario` (one stacked solve)."""
+    runs = engine.run_batch(
+        [(app, (), pstate, rng) for app, pstate, rng in payloads]
+    )
+    return [
+        flat_profile_from_run(app, run)
+        for (app, _pstate, _rng), run in zip(payloads, runs)
+    ]
+
+
 def collect_baselines(
     engine: SimulationEngine,
     apps: list[ApplicationSpec] | tuple[ApplicationSpec, ...],
     *,
     rng: np.random.Generator | None = None,
     workers: int = 1,
+    batch_solve: bool = True,
 ) -> BaselineTable:
     """Profile every application solo at every P-state of the machine.
 
     ``workers > 1`` fans the (application, P-state) grid out across a
     process pool.  When an ``rng`` is given, each run draws its noise from
     its own child stream spawned from ``rng`` (keyed by grid index), so
-    the table is identical for any worker count.
+    the table is identical for any worker count.  ``batch_solve=False``
+    falls back from the stacked steady-state solver to the serial
+    per-scenario path; the table is bit-identical either way.
     """
     pairs = [
         (app, pstate) for app in apps for pstate in engine.processor.pstates
@@ -101,9 +117,14 @@ def collect_baselines(
         spawn_streams(rng, len(pairs)) if rng is not None else [None] * len(pairs)
     )
     payloads = [(app, pstate, s) for (app, pstate), s in zip(pairs, streams)]
-    profiles = map_scenarios(
-        engine, _profile_scenario, payloads, workers=workers
-    )
+    if batch_solve:
+        profiles = map_scenario_batches(
+            engine, _profile_scenario_batch, payloads, workers=workers
+        )
+    else:
+        profiles = map_scenarios(
+            engine, _profile_scenario, payloads, workers=workers
+        )
     table = BaselineTable(processor_name=engine.processor.name)
     for profile in profiles:
         table.add(profile)

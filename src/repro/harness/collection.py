@@ -38,7 +38,7 @@ from ..workloads.app import ApplicationSpec
 from ..workloads.suite import TRAINING_CO_APP_NAMES, all_applications, get_application
 from .baselines import BaselineTable, collect_baselines
 from .datasets import ObservationDataset
-from .parallel import map_scenarios, spawn_streams
+from .parallel import map_scenario_batches, map_scenarios, spawn_streams
 
 __all__ = [
     "TrainingSetup",
@@ -114,6 +114,26 @@ def _run_scenario(engine: SimulationEngine, payload) -> float:
         return run.target.execution_time_s
 
 
+def _run_scenario_batch(engine: SimulationEngine, payloads) -> list[float]:
+    """Many Table V cells at once through the stacked steady-state solver.
+
+    Produces exactly the same times as mapping :func:`_run_scenario` over
+    the payloads: each scenario's noise comes from its own child RNG, and
+    the batched solve is bit-identical to the serial one.
+    """
+    items = [
+        (target, [co_app] * count, pstate, rng)
+        for target, co_app, count, pstate, rng in payloads
+    ]
+    tracer = get_tracer()
+    if not tracer.enabled:
+        runs = engine.run_batch(items)
+        return [run.target.execution_time_s for run in runs]
+    with tracer.span("collect.scenario_batch", scenarios=len(items)):
+        runs = engine.run_batch(items)
+        return [run.target.execution_time_s for run in runs]
+
+
 def _scenario_payloads(
     scenarios: list[tuple[ApplicationSpec, ApplicationSpec, int, PState]],
     rng: np.random.Generator,
@@ -138,6 +158,7 @@ def collect_training_data(
     counts: tuple[int, ...] | None = None,
     rng: np.random.Generator | None = None,
     workers: int = 1,
+    batch_solve: bool = True,
 ) -> ObservationDataset:
     """Collect one machine's full Table V training dataset.
 
@@ -159,6 +180,11 @@ def collect_training_data(
         the dataset is identical for any ``workers`` setting.
     workers:
         Worker processes for the sweep; 1 (the default) runs serially.
+    batch_solve:
+        Advance the scenario sweep through the stacked (batched)
+        steady-state solver (the default).  ``False`` falls back to the
+        serial per-scenario reference path; both produce bit-identical
+        datasets for any ``workers`` setting.
     """
     targets = list(targets) if targets is not None else list(all_applications())
     co_apps = (
@@ -177,6 +203,7 @@ def collect_training_data(
             engine,
             sorted(set(targets + co_apps), key=lambda a: a.name),
             workers=workers,
+            batch_solve=batch_solve,
         )
 
     scenarios = [
@@ -191,11 +218,17 @@ def collect_training_data(
         processor=engine.processor.name,
         scenarios=len(scenarios),
         workers=workers,
+        batched=batch_solve,
     ):
-        times = map_scenarios(
-            engine, _run_scenario, _scenario_payloads(scenarios, rng),
-            workers=workers,
-        )
+        payloads = _scenario_payloads(scenarios, rng)
+        if batch_solve:
+            times = map_scenario_batches(
+                engine, _run_scenario_batch, payloads, workers=workers
+            )
+        else:
+            times = map_scenarios(
+                engine, _run_scenario, payloads, workers=workers
+            )
     dataset = ObservationDataset(processor_name=engine.processor.name)
     for (target, co_app, count, pstate), time_s in zip(scenarios, times):
         dataset.add(
@@ -217,6 +250,7 @@ def collect_random_training_data(
     co_apps: list[ApplicationSpec] | None = None,
     rng: np.random.Generator | None = None,
     workers: int = 1,
+    batch_solve: bool = True,
 ) -> ObservationDataset:
     """[DwF12]-style randomly sampled training data with a fixed budget.
 
@@ -245,6 +279,7 @@ def collect_random_training_data(
             engine,
             sorted(set(targets + co_apps), key=lambda a: a.name),
             workers=workers,
+            batch_solve=batch_solve,
         )
 
     pstates = list(engine.processor.pstates)
@@ -262,11 +297,17 @@ def collect_random_training_data(
         scenarios=len(scenarios),
         workers=workers,
         sampling="random",
+        batched=batch_solve,
     ):
-        times = map_scenarios(
-            engine, _run_scenario, _scenario_payloads(scenarios, rng),
-            workers=workers,
-        )
+        payloads = _scenario_payloads(scenarios, rng)
+        if batch_solve:
+            times = map_scenario_batches(
+                engine, _run_scenario_batch, payloads, workers=workers
+            )
+        else:
+            times = map_scenarios(
+                engine, _run_scenario, payloads, workers=workers
+            )
     dataset = ObservationDataset(processor_name=engine.processor.name)
     for (target, co_app, count, pstate), time_s in zip(scenarios, times):
         dataset.add(

@@ -31,7 +31,7 @@ from ..obs.trace import get_tracer
 from ..sim.engine import SimulationEngine
 from ..sim.solve_cache import GLOBAL_ENGINE_STATS, EngineStats
 
-__all__ = ["map_scenarios", "spawn_streams"]
+__all__ = ["map_scenario_batches", "map_scenarios", "spawn_streams"]
 
 
 def spawn_streams(
@@ -73,6 +73,22 @@ def _run_chunk(task):
     previous, engine.stats = engine.stats, stats
     try:
         results = [(index, func(engine, payload)) for index, payload in chunk]
+    finally:
+        engine.stats = previous
+        previous.merge(stats)
+    return results, stats
+
+
+def _run_batch_chunk(task):
+    batch_func, chunk = task
+    engine = _WORKER_ENGINE
+    assert engine is not None, "worker pool used before initialization"
+    stats = EngineStats()
+    previous, engine.stats = engine.stats, stats
+    try:
+        indices = [index for index, _ in chunk]
+        values = batch_func(engine, [payload for _, payload in chunk])
+        results = list(zip(indices, values))
     finally:
         engine.stats = previous
         previous.merge(stats)
@@ -130,6 +146,63 @@ def map_scenarios(
                 # Worker processes fed their *own* global aggregate, which
                 # dies with the worker — fold the chunk's counters into the
                 # caller's process-wide record here instead.
+                GLOBAL_ENGINE_STATS.merge(stats)
+                for index, value in chunk_results:
+                    results[index] = value
+    return results
+
+
+def map_scenario_batches(
+    engine: SimulationEngine,
+    batch_func: Callable,
+    payloads: Sequence,
+    *,
+    workers: int = 1,
+    chunks_per_worker: int = 4,
+):
+    """Evaluate ``batch_func(engine, payload_list)`` over whole sub-batches.
+
+    The batched counterpart of :func:`map_scenarios` for functions that
+    advance many scenarios per call (the stacked steady-state solver):
+    ``workers=1`` hands *all* payloads to one ``batch_func`` call on the
+    calling engine; ``workers > 1`` chunks the payloads exactly like
+    :func:`map_scenarios` and each worker solves its chunk as one batch.
+    ``batch_func`` must return one result per payload, in payload order,
+    and must not depend on how payloads are grouped — which the batched
+    solver guarantees (each scenario's trajectory is independent and noise
+    comes from per-scenario RNGs), so serial, batched, and parallel
+    collection all produce bit-identical results.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    payloads = list(payloads)
+    tracer = get_tracer()
+    if workers == 1 or len(payloads) <= 1:
+        with tracer.span(
+            "harness.map_scenario_batches", payloads=len(payloads), workers=1
+        ):
+            return list(batch_func(engine, payloads)) if payloads else []
+    indexed = list(enumerate(payloads))
+    n_chunks = min(len(indexed), workers * chunks_per_worker)
+    chunk_size = -(-len(indexed) // n_chunks)
+    chunks = [
+        indexed[start : start + chunk_size]
+        for start in range(0, len(indexed), chunk_size)
+    ]
+    results: list = [None] * len(payloads)
+    with tracer.span(
+        "harness.map_scenario_batches",
+        payloads=len(payloads),
+        workers=workers,
+        chunks=len(chunks),
+    ):
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(engine,)
+        ) as pool:
+            for chunk_results, stats in pool.map(
+                _run_batch_chunk, [(batch_func, chunk) for chunk in chunks]
+            ):
+                engine.stats.merge(stats)
                 GLOBAL_ENGINE_STATS.merge(stats)
                 for index, value in chunk_results:
                     results[index] = value

@@ -51,6 +51,23 @@ def render_engine_stats(stats) -> str:
         "to converge.",
         "# TYPE repro_engine_convergence_failures_total counter",
         f"repro_engine_convergence_failures_total {stats.convergence_failures}",
+        "# HELP repro_engine_batches_total Batched steady-state solves "
+        "performed.",
+        "# TYPE repro_engine_batches_total counter",
+        f"repro_engine_batches_total {stats.batches}",
+        "# HELP repro_engine_batched_scenarios_total Scenarios requested "
+        "across batched solves.",
+        "# TYPE repro_engine_batched_scenarios_total counter",
+        f"repro_engine_batched_scenarios_total {stats.batched_scenarios}",
+        "# HELP repro_engine_batch_dedupe_hits_total Scenarios served by "
+        "deduplicating a repeated solve key within one batch.",
+        "# TYPE repro_engine_batch_dedupe_hits_total counter",
+        f"repro_engine_batch_dedupe_hits_total {stats.batch_dedupe_hits}",
+        "# HELP repro_engine_frozen_iterations_saved_total Stacked "
+        "iterations skipped by freezing converged scenarios.",
+        "# TYPE repro_engine_frozen_iterations_saved_total counter",
+        f"repro_engine_frozen_iterations_saved_total "
+        f"{stats.frozen_iterations_saved}",
         "# HELP repro_engine_solve_iterations Fixed-point iterations per "
         "solve.",
         "# TYPE repro_engine_solve_iterations histogram",

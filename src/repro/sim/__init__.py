@@ -8,9 +8,12 @@ from .colocation import (
 )
 from .engine import (
     AppRun,
+    BatchConvergenceError,
+    BatchFailure,
     ColocationRun,
     ConvergenceError,
     SimulationEngine,
+    SolveRequest,
     SteadyState,
 )
 from .solve_cache import (
@@ -25,6 +28,8 @@ from .tracesim import TraceCompetitor, TraceSharingResult, simulate_trace_sharin
 
 __all__ = [
     "AppRun",
+    "BatchConvergenceError",
+    "BatchFailure",
     "ColocationRun",
     "ColocationScenario",
     "ConvergenceError",
@@ -33,6 +38,7 @@ __all__ = [
     "SimulationEngine",
     "SliceRecord",
     "SolveCache",
+    "SolveRequest",
     "SteadyState",
     "TimeSlicedResult",
     "TimeSlicedSimulator",

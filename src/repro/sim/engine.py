@@ -31,12 +31,14 @@ across repetitions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import Sequence
 
 import numpy as np
 
-from ..cache.reuse import ProfileTable
-from ..cache.sharing import waterfill
+from ..cache.reuse import ProfileStack, ProfileTable, ordered_sum
+from ..cache.sharing import waterfill, waterfill_batched
 from ..machine.pstates import PState
 from ..machine.processor import MulticoreProcessor
 from ..memsys.dram import DRAMModel
@@ -46,9 +48,12 @@ from .solve_cache import GLOBAL_ENGINE_STATS, EngineStats, SolveCache, solve_key
 
 __all__ = [
     "AppRun",
+    "BatchConvergenceError",
+    "BatchFailure",
     "ColocationRun",
     "ConvergenceError",
     "SimulationEngine",
+    "SolveRequest",
     "SteadyState",
 ]
 
@@ -63,6 +68,70 @@ PRESSURE_FLOOR = 0.002
 
 class ConvergenceError(RuntimeError):
     """Raised when the steady-state fixed point fails to converge."""
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One scenario of a batched steady-state solve.
+
+    Mirrors the arguments of :meth:`SimulationEngine.solve_steady_state`:
+    the co-located applications (target first by convention), an optional
+    P-state (defaults to the fastest), and optional pinned occupancies.
+    """
+
+    apps: tuple[ApplicationSpec, ...]
+    pstate: PState | None = None
+    fixed_occupancies: tuple[float, ...] | None = None
+
+
+@dataclass(frozen=True)
+class BatchFailure:
+    """Identity of one scenario that failed to converge in a batch."""
+
+    index: int
+    target: str
+    co_runners: tuple[str, ...]
+    frequency_ghz: float
+
+    def describe(self) -> str:
+        """Human-readable scenario identity, e.g. for error messages."""
+        counts = Counter(self.co_runners)
+        co = (
+            " + ".join(f"{n}x {name!r}" for name, n in counts.items())
+            or "no co-runners"
+        )
+        return (
+            f"[batch index {self.index}] target {self.target!r} with {co} "
+            f"at {self.frequency_ghz:g} GHz"
+        )
+
+
+class BatchConvergenceError(ConvergenceError):
+    """One or more scenarios of a batched solve failed to converge.
+
+    Unlike the serial :class:`ConvergenceError`, a batch failure is
+    partial: every *other* scenario still converged and its result is
+    available in :attr:`states` (``None`` at the failing indices).
+
+    Attributes
+    ----------
+    failures:
+        One :class:`BatchFailure` per failing scenario, identifying the
+        target, co-runner multiset, frequency, and batch index.
+    states:
+        Per-scenario results in request order; ``None`` where the
+        scenario failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        failures: list[BatchFailure],
+        states: list["SteadyState | None"],
+    ) -> None:
+        super().__init__(message)
+        self.failures = failures
+        self.states = states
 
 
 @dataclass(frozen=True)
@@ -400,7 +469,7 @@ class SimulationEngine:
             fits = True  # no competition: occupancies never move
         else:
             fixed = None
-            fits = demand.sum() <= capacity
+            fits = float(ordered_sum(demand)) <= capacity
 
         # Initial iterate: footprint-proportional occupancy, stall-free speed.
         if pinned:
@@ -430,7 +499,7 @@ class SimulationEngine:
                 occ_new = (1.0 - damp) * occ + damp * waterfill(
                     pressure, demand, capacity
                 )
-            bandwidth = float((rate * miss).sum()) * line
+            bandwidth = float(ordered_sum(rate * miss)) * line
             lat_ns = float(self.dram.effective_latency_ns(bandwidth))
             stall_ns = (1.0 - miss) * hit_ns + miss * (lat_ns / mlp)
             tpi_new = (1.0 - damp) * tpi + damp * (cpi / f_hz + api * stall_ns * 1e-9)
@@ -447,7 +516,7 @@ class SimulationEngine:
             )
 
         miss = table.miss_ratio(occ)
-        bandwidth = float((api / tpi * miss).sum()) * line
+        bandwidth = float(ordered_sum(api / tpi * miss)) * line
         rho = float(self.dram.utilization(bandwidth))
         lat_ns = float(self.dram.effective_latency_ns(bandwidth))
         return SteadyState(
@@ -474,6 +543,20 @@ class SimulationEngine:
         state = self.solve_steady_state(
             apps, pstate, fixed_occupancies=fixed_occupancies
         )
+        return self._finish_run(state, rng)
+
+    def _finish_run(
+        self, state: SteadyState, rng: np.random.Generator | None
+    ) -> ColocationRun:
+        """Turn a steady state into a :class:`ColocationRun`.
+
+        Counter totals follow from the rates; measurement noise (the only
+        stochastic step) is applied to the target's reported time here,
+        *outside* the solve — which is what makes caching and batching
+        exact.
+        """
+        apps = state.apps
+        pstate = state.pstate
         tpi = state.seconds_per_instruction
         miss = state.miss_ratios
         occ = state.occupancies_bytes
@@ -505,3 +588,336 @@ class SimulationEngine:
             dram_latency_ns=state.dram_latency_ns,
             iterations=state.iterations,
         )
+
+    # ------------------------------------------------------- batched solves
+
+    def run_batch(
+        self,
+        items: Sequence[tuple],
+    ) -> list[ColocationRun]:
+        """Simulate many co-location scenarios with one stacked solve.
+
+        ``items`` holds ``(target, co_runners, pstate, rng)`` tuples with
+        the same meaning as the arguments of :meth:`run` (``pstate`` and
+        ``rng`` may be ``None``).  Results come back in request order and
+        are bit-identical to calling :meth:`run` once per item: steady
+        states are advanced as one batch (phased targets fall back to the
+        per-phase serial path), and measurement noise is drawn from each
+        item's own ``rng`` after the solve, so batching cannot change a
+        dataset.
+        """
+        normalized = []
+        for target, co_runners, pstate, rng in items:
+            co = tuple(
+                c.aggregate() if isinstance(c, PhasedApplication) else c
+                for c in co_runners
+            )
+            self.processor.validate_co_location_count(len(co))
+            if pstate is None:
+                pstate = self.processor.pstates.fastest
+            normalized.append((target, co, pstate, rng))
+        results: list[ColocationRun | None] = [None] * len(normalized)
+        requests: list[SolveRequest] = []
+        steady: list[int] = []
+        for i, (target, co, pstate, rng) in enumerate(normalized):
+            if isinstance(target, PhasedApplication):
+                results[i] = self._run_phased(target, co, pstate, rng)
+            else:
+                steady.append(i)
+                requests.append(SolveRequest(apps=(target,) + co, pstate=pstate))
+        if requests:
+            states = self.solve_steady_state_batched(requests)
+            for i, state in zip(steady, states):
+                results[i] = self._finish_run(state, normalized[i][3])
+        return results
+
+    def solve_steady_state_batched(
+        self,
+        requests: Sequence[
+            "SolveRequest | tuple[ApplicationSpec, ...] | list[ApplicationSpec]"
+        ],
+    ) -> list["SteadyState"]:
+        """Solve many steady states as one stacked fixed point.
+
+        Each request is a :class:`SolveRequest` (or a bare app tuple, which
+        means "fastest P-state, no pinning").  Results are bit-identical to
+        calling :meth:`solve_steady_state` once per request — both paths
+        share the elementwise update rules and the sequential reduction
+        discipline of :func:`~repro.cache.reuse.ordered_sum` — but the
+        batch advances all scenarios together over ``(S, A)`` arrays, so
+        the per-iteration cost is a handful of vectorized operations
+        instead of a Python-level loop per scenario.
+
+        Cache integration: hits are served before the batch forms,
+        repeated :func:`~repro.sim.solve_cache.solve_key` values within
+        one batch are solved once (an *in-batch dedupe hit* relabels the
+        shared solve per member), and each unique miss is inserted into
+        the cache exactly once.  Scenarios that converge early freeze
+        (drop out of the stacked update) while the rest keep iterating.
+
+        Raises :class:`BatchConvergenceError` naming every scenario that
+        fails to converge; the error's ``states`` carries the results of
+        the scenarios that did converge.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return self._solve_steady_state_batched(requests)
+        hits_before = self.stats.cache_hits
+        solves_before = self.stats.solves
+        dedupe_before = self.stats.batch_dedupe_hits
+        with tracer.span(
+            "engine.solve_batch", processor=self.processor.name
+        ) as span:
+            states = self._solve_steady_state_batched(requests)
+            span.set(
+                scenarios=len(states),
+                cache_hits=self.stats.cache_hits - hits_before,
+                dedupe_hits=self.stats.batch_dedupe_hits - dedupe_before,
+                solves=self.stats.solves - solves_before,
+            )
+            return states
+
+    def _normalize_request(
+        self, request, index: int
+    ) -> tuple[tuple[ApplicationSpec, ...], PState, np.ndarray | None]:
+        if isinstance(request, SolveRequest):
+            apps = tuple(request.apps)
+            pstate = request.pstate
+            fixed = request.fixed_occupancies
+        else:
+            apps, pstate, fixed = tuple(request), None, None
+        if not apps:
+            raise ValueError(
+                f"batch scenario {index}: need at least one application"
+            )
+        if len(apps) > self.processor.num_cores:
+            raise ValueError(
+                f"batch scenario {index}: {len(apps)} applications exceed "
+                f"the {self.processor.num_cores} cores of {self.processor.name}"
+            )
+        if pstate is None:
+            pstate = self.processor.pstates.fastest
+        alloc = None
+        if fixed is not None:
+            alloc = np.asarray(fixed, dtype=float)
+            capacity = float(self.processor.llc.size_bytes)
+            if alloc.shape != (len(apps),):
+                raise ValueError(
+                    f"batch scenario {index}: need one occupancy per "
+                    f"application, got shape {alloc.shape}"
+                )
+            if np.any(alloc < 0.0) or alloc.sum() > capacity * (1 + 1e-9):
+                raise ValueError(
+                    f"batch scenario {index}: fixed occupancies must be "
+                    f"non-negative and sum to at most the LLC capacity"
+                )
+        return apps, pstate, alloc
+
+    def _solve_steady_state_batched(self, requests) -> list["SteadyState"]:
+        entries = [
+            self._normalize_request(request, i)
+            for i, request in enumerate(requests)
+        ]
+        if not entries:
+            return []
+        results: list[SteadyState | None] = [None] * len(entries)
+        keys = [
+            solve_key(self.processor.name, pstate.frequency_hz, apps, alloc)
+            for apps, pstate, alloc in entries
+        ]
+        # Pass 1 — serve cache hits and collapse in-batch duplicates.  The
+        # solve is a pure function of the key, so deduplication is exact
+        # even on an engine without a cache.
+        pending: dict[tuple, list[int]] = {}
+        order: list[tuple] = []
+        dedupe_hits = 0
+        for i, key in enumerate(keys):
+            members = pending.get(key)
+            if members is not None:
+                members.append(i)
+                dedupe_hits += 1
+                continue
+            if self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self.stats.record_hit()
+                    GLOBAL_ENGINE_STATS.record_hit()
+                    apps, pstate, _ = entries[i]
+                    results[i] = replace(cached, apps=apps, pstate=pstate)
+                    continue
+                self.stats.record_miss()
+                GLOBAL_ENGINE_STATS.record_miss()
+            pending[key] = [i]
+            order.append(key)
+        # Pass 2 — one stacked solve over the unique misses.
+        iterations_saved = 0
+        failures: list[BatchFailure] = []
+        if order:
+            unique = [entries[pending[key][0]] for key in order]
+            states, iterations_saved = self._solve_fixed_point_batched(unique)
+            for key, state in zip(order, states):
+                members = pending[key]
+                if state is None:
+                    self.stats.record_failure()
+                    GLOBAL_ENGINE_STATS.record_failure()
+                    for i in members:
+                        apps, pstate, _ = entries[i]
+                        failures.append(
+                            BatchFailure(
+                                index=i,
+                                target=apps[0].name,
+                                co_runners=tuple(a.name for a in apps[1:]),
+                                frequency_ghz=pstate.frequency_ghz,
+                            )
+                        )
+                    continue
+                self.stats.record_solve(state.iterations)
+                GLOBAL_ENGINE_STATS.record_solve(state.iterations)
+                if self.cache is not None:
+                    self.cache.put(key, state)
+                for i in members:
+                    apps, pstate, _ = entries[i]
+                    results[i] = replace(state, apps=apps, pstate=pstate)
+        self.stats.record_batch(len(entries), dedupe_hits, iterations_saved)
+        GLOBAL_ENGINE_STATS.record_batch(
+            len(entries), dedupe_hits, iterations_saved
+        )
+        if failures:
+            failures.sort(key=lambda f: f.index)
+            detail = "; ".join(f.describe() for f in failures)
+            raise BatchConvergenceError(
+                f"steady state did not converge in {self.max_iterations} "
+                f"iterations for {len(failures)} of {len(entries)} batched "
+                f"scenarios on {self.processor.name}: {detail}",
+                failures=failures,
+                states=results,
+            )
+        return results
+
+    def _solve_fixed_point_batched(
+        self,
+        entries: list[tuple[tuple[ApplicationSpec, ...], PState, np.ndarray | None]],
+    ) -> tuple[list["SteadyState | None"], int]:
+        """Advance ``S`` scenarios as one ``(S, A)`` stacked fixed point.
+
+        Scenarios narrower than the widest are padded with inert columns
+        (``cpi=1, api=0, mlp=1``, zero-weight reuse mixtures) whose every
+        contribution to a reduction is an exact IEEE zero — combined with
+        the :func:`~repro.cache.reuse.ordered_sum` discipline this makes
+        each row's trajectory bit-identical to the serial solver's.
+        Converged rows freeze: they leave the live set and stop paying for
+        iterations (the savings are tallied for :class:`EngineStats`).
+        """
+        s = len(entries)
+        n_apps = [len(apps) for apps, _, _ in entries]
+        a = max(n_apps)
+        capacity = float(self.processor.llc.size_bytes)
+        line = float(self.processor.llc.line_bytes)
+        hit_ns = self.processor.llc.hit_latency_ns * HIT_EXPOSURE
+
+        f_hz = np.array([pstate.frequency_hz for _, pstate, _ in entries])[:, None]
+        cpi = np.ones((s, a))
+        api = np.zeros((s, a))
+        mlp = np.ones((s, a))
+        for i, (apps, _, _) in enumerate(entries):
+            n = n_apps[i]
+            cpi[i, :n] = [app.base_cpi for app in apps]
+            api[i, :n] = [app.accesses_per_instruction for app in apps]
+            mlp[i, :n] = [app.mlp for app in apps]
+        stack = ProfileStack(
+            [[app.reuse for app in apps] for apps, _, _ in entries], pad_apps=a
+        )
+        valid = stack.valid
+        demand = np.minimum(stack.footprints, capacity)
+
+        pinned = np.array([alloc is not None for _, _, alloc in entries])
+        fixed = np.zeros((s, a))
+        for i, (apps, _, alloc) in enumerate(entries):
+            if alloc is not None:
+                fixed[i, : n_apps[i]] = np.minimum(alloc, demand[i, : n_apps[i]])
+        # Row policies, mirroring the serial branches: pinned rows never
+        # move, rows whose demand fits keep occupancy == demand, the rest
+        # compete through the waterfill.
+        fits = np.where(pinned, True, ordered_sum(demand) <= capacity)
+        free = fits & ~pinned
+        compete = ~fits
+
+        occ = np.where(pinned[:, None], fixed, demand)
+        if compete.any():
+            rows = np.flatnonzero(compete)
+            occ[rows] = waterfill_batched(
+                demand[rows], demand[rows], capacity, valid=valid[rows]
+            )
+        tpi = cpi / f_hz
+        damp = self.damping
+        active = np.ones(s, dtype=bool)
+        iters = np.zeros(s, dtype=int)
+        last_it = 0
+        for it in range(1, self.max_iterations + 1):
+            if not active.any():
+                break
+            last_it = it
+            if it % 100 == 0:
+                damp *= 0.5
+            live = np.flatnonzero(active)
+            occ_l = occ[live]
+            tpi_l = tpi[live]
+            rate = api[live] / tpi_l
+            miss = stack.miss_ratio(occ_l, rows=live)
+            occ_new = occ_l.copy()
+            free_l = free[live]
+            if free_l.any():
+                occ_new[free_l] = demand[live][free_l]
+            comp_l = compete[live]
+            if comp_l.any():
+                rows = live[comp_l]
+                pressure = rate[comp_l] * np.maximum(miss[comp_l], PRESSURE_FLOOR)
+                target = waterfill_batched(
+                    pressure, demand[rows], capacity, valid=valid[rows]
+                )
+                occ_new[comp_l] = (1.0 - damp) * occ_l[comp_l] + damp * target
+            bandwidth = ordered_sum(rate * miss) * line
+            lat_ns = np.asarray(
+                self.dram.effective_latency_ns(bandwidth), dtype=float
+            )
+            stall_ns = (1.0 - miss) * hit_ns + miss * (lat_ns[:, None] / mlp[live])
+            tpi_new = (1.0 - damp) * tpi_l + damp * (
+                cpi[live] / f_hz[live] + api[live] * stall_ns * 1e-9
+            )
+            occ_delta = np.max(np.abs(occ_new - occ_l), axis=1) / capacity
+            tpi_delta = np.max(np.abs(tpi_new - tpi_l) / tpi_l, axis=1)
+            occ[live] = occ_new
+            tpi[live] = tpi_new
+            iters[live] = it
+            done = (occ_delta < self.rel_tolerance) & (
+                tpi_delta < self.rel_tolerance
+            )
+            if done.any():
+                active[live[done]] = False
+
+        converged = ~active
+        iterations_saved = int(np.sum(last_it - iters[converged]))
+        miss = stack.miss_ratio(occ)
+        bandwidth = ordered_sum(api / tpi * miss) * line
+        rho = np.asarray(self.dram.utilization(bandwidth), dtype=float)
+        lat_ns = np.asarray(self.dram.effective_latency_ns(bandwidth), dtype=float)
+        states: list[SteadyState | None] = []
+        for i, (apps, pstate, _) in enumerate(entries):
+            if active[i]:
+                states.append(None)
+                continue
+            n = n_apps[i]
+            states.append(
+                SteadyState(
+                    apps=apps,
+                    pstate=pstate,
+                    seconds_per_instruction=tpi[i, :n].copy(),
+                    miss_ratios=miss[i, :n].copy(),
+                    occupancies_bytes=occ[i, :n].copy(),
+                    miss_bandwidth_bytes_per_s=float(bandwidth[i]),
+                    dram_utilization=float(rho[i]),
+                    dram_latency_ns=float(lat_ns[i]),
+                    iterations=int(iters[i]),
+                )
+            )
+        return states, iterations_saved

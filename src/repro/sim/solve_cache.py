@@ -156,6 +156,22 @@ class EngineStats:
     iteration_counts:
         Map from fixed-point iteration count to how many solves needed
         exactly that many iterations.
+    batches:
+        Batched fixed-point solves performed
+        (:meth:`~repro.sim.engine.SimulationEngine.solve_steady_state_batched`
+        calls that reached the stacked solver).
+    batched_scenarios:
+        Scenarios requested across all batched solves (cache hits and
+        in-batch duplicates included) — divide by :attr:`batches` for the
+        mean batch width.
+    batch_dedupe_hits:
+        Scenarios inside a batch whose :func:`solve_key` duplicated an
+        earlier member of the *same* batch and were served from its solve
+        instead of entering the stack.
+    frozen_iterations_saved:
+        Stacked iterations skipped because converged scenarios freeze:
+        the sum over batch members of (batch iteration count - member's
+        own convergence iteration).
     """
 
     solves: int = 0
@@ -163,6 +179,10 @@ class EngineStats:
     cache_misses: int = 0
     convergence_failures: int = 0
     iteration_counts: dict[int, int] = field(default_factory=dict)
+    batches: int = 0
+    batched_scenarios: int = 0
+    batch_dedupe_hits: int = 0
+    frozen_iterations_saved: int = 0
 
     @property
     def requests(self) -> int:
@@ -193,12 +213,25 @@ class EngineStats:
         """Count one solve that failed to converge."""
         self.convergence_failures += 1
 
+    def record_batch(
+        self, scenarios: int, dedupe_hits: int, iterations_saved: int
+    ) -> None:
+        """Count one batched solve and its dedupe/freezing savings."""
+        self.batches += 1
+        self.batched_scenarios += scenarios
+        self.batch_dedupe_hits += dedupe_hits
+        self.frozen_iterations_saved += iterations_saved
+
     def merge(self, other: "EngineStats") -> None:
         """Fold another stats record (e.g. a worker process's) into this one."""
         self.solves += other.solves
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.convergence_failures += other.convergence_failures
+        self.batches += other.batches
+        self.batched_scenarios += other.batched_scenarios
+        self.batch_dedupe_hits += other.batch_dedupe_hits
+        self.frozen_iterations_saved += other.frozen_iterations_saved
         for iterations, count in other.iteration_counts.items():
             self.iteration_counts[iterations] = (
                 self.iteration_counts.get(iterations, 0) + count
@@ -211,6 +244,10 @@ class EngineStats:
         self.cache_misses = 0
         self.convergence_failures = 0
         self.iteration_counts = {}
+        self.batches = 0
+        self.batched_scenarios = 0
+        self.batch_dedupe_hits = 0
+        self.frozen_iterations_saved = 0
 
     def iteration_histogram(self, bin_width: int = 25) -> dict[str, int]:
         """Solve counts binned by fixed-point iterations, e.g. ``{"1-25": 7}``."""
@@ -234,6 +271,14 @@ class EngineStats:
             f"({100.0 * self.cache_hit_rate:.1f}% hit rate), "
             f"{self.convergence_failures} convergence failures"
         ]
+        if self.batches:
+            lines.append(
+                f"batched solves: {self.batches} batches, "
+                f"{self.batched_scenarios} scenarios "
+                f"({self.batched_scenarios / self.batches:.1f}/batch), "
+                f"{self.batch_dedupe_hits} in-batch dedupe hits, "
+                f"{self.frozen_iterations_saved} iterations saved by freezing"
+            )
         histogram = self.iteration_histogram()
         if histogram:
             body = " | ".join(f"{span}: {n}" for span, n in histogram.items())

@@ -1,0 +1,116 @@
+"""Batched collection: datasets identical for any batching/worker setting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.harness.baselines import collect_baselines
+from repro.harness.collection import (
+    collect_random_training_data,
+    collect_training_data,
+)
+from repro.harness.parallel import map_scenario_batches
+from repro.machine import XEON_E5649
+from repro.sim import SimulationEngine, SolveCache
+from repro.workloads import get_application
+
+TARGETS = ("canneal", "sp", "ep")
+CO_APPS = ("cg", "ep")
+
+
+def _collect(batch_solve: bool, workers: int = 1):
+    engine = SimulationEngine(XEON_E5649, cache=SolveCache())
+    dataset = collect_training_data(
+        engine,
+        targets=[get_application(n) for n in TARGETS],
+        co_apps=[get_application(n) for n in CO_APPS],
+        counts=(1, 3),
+        rng=np.random.default_rng(11),
+        workers=workers,
+        batch_solve=batch_solve,
+    )
+    return engine, [o.actual_time_s for o in dataset.observations]
+
+
+def test_batched_collection_bit_identical_to_serial():
+    _, serial = _collect(batch_solve=False)
+    engine, batched = _collect(batch_solve=True)
+    assert serial == batched
+    assert engine.stats.batches > 0
+    assert engine.stats.batched_scenarios >= len(batched)
+
+
+def test_batched_collection_bit_identical_across_workers():
+    _, one = _collect(batch_solve=True, workers=1)
+    _, four = _collect(batch_solve=True, workers=4)
+    assert one == four
+
+
+def test_random_collection_bit_identical_batched_vs_serial():
+    def rnd(batch_solve):
+        engine = SimulationEngine(XEON_E5649, cache=SolveCache())
+        dataset = collect_random_training_data(
+            engine,
+            30,
+            targets=[get_application(n) for n in TARGETS],
+            co_apps=[get_application(n) for n in CO_APPS],
+            rng=np.random.default_rng(7),
+            batch_solve=batch_solve,
+        )
+        return [o.actual_time_s for o in dataset.observations]
+
+    assert rnd(False) == rnd(True)
+
+
+def test_baselines_bit_identical_batched_vs_serial():
+    apps = [get_application(n) for n in ("cg", "canneal", "ep")]
+    serial = collect_baselines(
+        SimulationEngine(XEON_E5649), apps, batch_solve=False
+    )
+    batched = collect_baselines(
+        SimulationEngine(XEON_E5649), apps, batch_solve=True
+    )
+    assert serial.profiles.keys() == batched.profiles.keys()
+    for key, profile in serial.profiles.items():
+        other = batched.profiles[key]
+        assert profile.wall_time_s == other.wall_time_s
+        assert profile.counts == other.counts
+
+
+def test_warm_cache_collection_does_zero_solves():
+    """A cache-warm second collection is pure lookups: no fixed point runs."""
+    engine = SimulationEngine(XEON_E5649, cache=SolveCache())
+    kwargs = dict(
+        targets=[get_application(n) for n in TARGETS],
+        co_apps=[get_application(n) for n in CO_APPS],
+        counts=(1, 3),
+    )
+    first = collect_training_data(
+        engine, rng=np.random.default_rng(11), **kwargs
+    )
+    solves = engine.stats.solves
+    iteration_counts = dict(engine.stats.iteration_counts)
+    second = collect_training_data(
+        engine, rng=np.random.default_rng(11), **kwargs
+    )
+    assert engine.stats.solves == solves
+    assert engine.stats.iteration_counts == iteration_counts
+    times_first = [o.actual_time_s for o in first.observations]
+    times_second = [o.actual_time_s for o in second.observations]
+    assert times_first == times_second
+
+
+def test_map_scenario_batches_orders_and_chunks():
+    engine = SimulationEngine(XEON_E5649)
+
+    def double_all(_engine, payloads):
+        return [2 * p for p in payloads]
+
+    payloads = list(range(23))
+    assert map_scenario_batches(engine, double_all, payloads) == [
+        2 * p for p in payloads
+    ]
+    assert map_scenario_batches(engine, double_all, []) == []
+    with pytest.raises(ValueError, match="workers"):
+        map_scenario_batches(engine, double_all, payloads, workers=0)
