@@ -20,13 +20,18 @@ Exposes the full workflow without writing any Python:
   ``submit`` (enqueue jobs), ``status`` (cluster or per-job JSON),
 * ``table`` / ``figure`` — regenerate a paper table or figure,
 * ``report`` — collate benchmark artifacts into one reproduction report,
-* ``obs summary`` — aggregate + span tree view of a captured trace.
+* ``obs summary`` — aggregate + span tree view of captured traces,
+* ``obs collector`` — standalone span collector the fleet streams to.
 
-``collect``, ``train``, ``evaluate``, and ``serve`` accept ``--trace
-PATH``: the run records :mod:`repro.obs` spans and writes them as Chrome
-trace-event JSON on exit (open in Perfetto, or inspect with
-``repro obs summary PATH``).  Without the flag the null tracer stays
-installed and instrumentation is a no-op.
+``collect``, ``train``, ``evaluate``, ``serve``, and ``sched serve``
+accept ``--trace PATH``: the run records :mod:`repro.obs` spans and
+writes them as Chrome trace-event JSON on exit (open in Perfetto, or
+inspect with ``repro obs summary PATH``).  ``--otlp PATH`` additionally
+exports OTLP/JSON, and ``--trace-collector URL`` streams completed spans
+to a collector service as they finish (``serve --workers N`` spawns an
+internal collector automatically so every worker's spans land in one
+stitched trace).  Without the flags the null tracer stays installed and
+instrumentation is a no-op.
 
 Every command prints plain text and exits nonzero on user error, so the
 CLI composes with shell pipelines.
@@ -35,6 +40,7 @@ CLI composes with shell pipelines.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -513,7 +519,16 @@ def _cmd_registry_pull(args) -> int:
 
 
 def _cmd_serve_tier(args) -> int:
-    """The routed multi-worker path: ``serve --workers/--canary/--shadow``."""
+    """The routed multi-worker path: ``serve --workers/--canary/--shadow``.
+
+    Handles its own tracing (``main()`` skips the generic wrapper for
+    the tier): worker spans only leave their processes through a
+    collector, so ``--trace``/``--otlp`` spawn an in-process
+    :class:`~repro.obs.collector.CollectorThread`, every worker and the
+    router stream spans to it, and the stitched multi-process trace is
+    exported on shutdown.  ``--trace-collector URL`` streams to an
+    external collector instead.
+    """
     import signal
     import threading
 
@@ -525,6 +540,25 @@ def _cmd_serve_tier(args) -> int:
         shadow = tuple(parse_shadow(s) for s in (args.shadow or []))
     except ValueError as exc:
         raise SystemExit(f"error: {exc}") from None
+    trace_path = getattr(args, "trace", None)
+    otlp_path = getattr(args, "otlp", None)
+    stream_url = getattr(args, "trace_collector", None)
+    collector = None
+    tracer = None
+    if not stream_url and (trace_path or otlp_path):
+        from .obs.collector import CollectorThread
+
+        collector = CollectorThread()
+        collector.start()
+        stream_url = collector.endpoint
+    if stream_url:
+        from .obs.stream import SpanSender, StreamingTracer
+        from .obs.trace import set_tracer
+
+        tracer = StreamingTracer(
+            SpanSender(stream_url, resource={"service": "serve-router"})
+        )
+        set_tracer(tracer)
     tier = ServingTier(
         registry,
         workers=args.workers,
@@ -536,12 +570,15 @@ def _cmd_serve_tier(args) -> int:
         max_wait_ms=args.max_wait_ms,
         max_backlog=args.max_backlog,
         hot_reload_s=args.hot_reload,
+        trace_stream=stream_url,
     )
     tier.start()
     names = registry.names()
     routing = "".join(
         f", canary {spec.ref} at {100.0 * spec.fraction:g}%" for spec in canary
     ) + "".join(f", shadow {spec.ref}" for spec in shadow)
+    if stream_url:
+        routing += f", spans -> {stream_url}"
     print(
         f"serving {len(names)} model(s) {names} from {registry.describe()} "
         f"on http://{args.host}:{tier.port} with {args.workers} worker "
@@ -557,6 +594,34 @@ def _cmd_serve_tier(args) -> int:
     finally:
         signal.signal(signal.SIGTERM, previous)
         tier.stop()
+        if tracer is not None:
+            from .obs.trace import disable
+
+            tracer.close()
+            disable()
+        if collector is not None:
+            if trace_path:
+                spans = collector.export_chrome(trace_path)
+                print(f"wrote {spans} trace span(s) to {trace_path}")
+            if otlp_path:
+                spans = collector.export_otlp(otlp_path)
+                print(f"wrote {spans} OTLP span(s) to {otlp_path}")
+            collector.stop()
+        elif tracer is not None and (trace_path or otlp_path):
+            # External collector owns the fleet trace; local files get
+            # the router-side spans this process retained.
+            if trace_path:
+                spans = tracer.export_chrome(trace_path)
+                print(f"wrote {spans} router span(s) to {trace_path}")
+            if otlp_path:
+                from .obs.otlp import write_otlp
+
+                spans = write_otlp(
+                    otlp_path,
+                    [tracer.serialize(s) for s in tracer.spans()],
+                    default_resource={"service": "serve-router"},
+                )
+                print(f"wrote {spans} router OTLP span(s) to {otlp_path}")
         print(f"worker exit code(s): {tier.worker_exitcodes}")
     return 0
 
@@ -769,10 +834,50 @@ def _cmd_obs_summary(args) -> int:
     from .obs.summary import load_trace, render_summary
 
     try:
-        events = load_trace(args.trace)
+        events = []
+        for path in args.trace:
+            events.extend(load_trace(path))
         print(render_summary(events, top=args.top, tree_spans=args.tree_spans))
     except (OSError, ValueError) as exc:
         raise SystemExit(f"error: {exc}") from None
+    return 0
+
+
+def _cmd_obs_collector(args) -> int:
+    """Standalone span collector: the fleet's ``--trace-collector`` target."""
+    import asyncio
+
+    from .obs.collector import CollectorServer
+
+    server = CollectorServer(
+        host=args.host, port=args.port, max_spans=args.max_spans
+    )
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"span collector on http://{args.host}:{server.port} "
+            f"(POST /v1/spans; JSON batch or JSON-lines)"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("shutting down")
+    if args.output:
+        spans = server.export_chrome(args.output)
+        print(f"wrote {spans} trace span(s) to {args.output}")
+    if args.otlp:
+        spans = server.export_otlp(args.otlp)
+        print(f"wrote {spans} OTLP span(s) to {args.otlp}")
+    print(
+        f"collector: received={server.received} stored={len(server)} "
+        f"dropped={server.dropped} client_dropped={server.client_dropped}"
+    )
     return 0
 
 
@@ -894,6 +999,17 @@ def _add_backend_args(parser: argparse.ArgumentParser) -> None:
                                         "remote registry")
 
 
+def _add_export_trace_args(parser: argparse.ArgumentParser) -> None:
+    """The shared --otlp / --trace-collector span-export options."""
+    parser.add_argument("--otlp", metavar="PATH",
+                        help="also export the spans as OTLP/JSON to PATH")
+    parser.add_argument("--trace-collector", dest="trace_collector",
+                        metavar="URL",
+                        help="stream completed spans to a trace collector "
+                             "(see 'repro obs collector') instead of "
+                             "buffering them in-process")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -935,6 +1051,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print engine solve/cache statistics after collection")
     p.add_argument("--trace", metavar="PATH",
                    help="record a Chrome trace of the sweep to PATH")
+    _add_export_trace_args(p)
     p.set_defaults(func=_cmd_collect)
 
     p = sub.add_parser("train", help="train a model from a dataset CSV")
@@ -951,6 +1068,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--trace", metavar="PATH",
                    help="record a Chrome trace of the fit to PATH")
+    _add_export_trace_args(p)
     p.set_defaults(func=_cmd_train)
 
     p = sub.add_parser("evaluate", help="12-model accuracy grid for a dataset")
@@ -968,6 +1086,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print fit statistics after the grid")
     p.add_argument("--trace", metavar="PATH",
                    help="record a Chrome trace of the grid to PATH")
+    _add_export_trace_args(p)
     p.set_defaults(func=_cmd_evaluate)
 
     p = sub.add_parser("predict", help="predict a placement from a saved model")
@@ -1012,7 +1131,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "implies the router")
     p.add_argument("--trace", metavar="PATH",
                    help="record request/batcher spans, written to PATH "
-                        "when the server stops")
+                        "when the server stops (with --workers the spans "
+                        "of every worker process are collected and "
+                        "stitched into one multi-process trace)")
+    _add_export_trace_args(p)
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -1114,6 +1236,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pick each placement's P-state by this objective")
     ss.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                     help="per-job deadline constraining the governor")
+    ss.add_argument("--trace", metavar="PATH",
+                    help="record sched.round/predict/migrate spans, "
+                         "written to PATH when the scheduler stops")
+    _add_export_trace_args(ss)
     ss.set_defaults(func=_cmd_sched_serve)
 
     sj = sched_sub.add_parser(
@@ -1163,12 +1289,29 @@ def build_parser() -> argparse.ArgumentParser:
     op = obs_sub.add_parser(
         "summary", help="aggregate + span-tree view of a captured trace"
     )
-    op.add_argument("trace", help="Chrome trace JSON written by --trace")
+    op.add_argument("trace", nargs="+",
+                    help="trace file(s): Chrome trace JSON written by "
+                         "--trace and/or OTLP/JSON written by --otlp; "
+                         "multiple files are merged into one summary")
     op.add_argument("--top", type=int, default=15,
                     help="rows in the by-name aggregate table")
     op.add_argument("--tree-spans", dest="tree_spans", type=int, default=120,
                     help="max spans printed across the span trees")
     op.set_defaults(func=_cmd_obs_summary)
+
+    oc = obs_sub.add_parser(
+        "collector", help="run a standalone span collector for the fleet"
+    )
+    oc.add_argument("--host", default="127.0.0.1")
+    oc.add_argument("--port", type=int, default=8600)
+    oc.add_argument("--max-spans", dest="max_spans", type=int,
+                    default=500_000,
+                    help="bounded span ring size (oldest evicted beyond it)")
+    oc.add_argument("-o", "--output", metavar="PATH",
+                    help="write the collected Chrome trace here on exit")
+    oc.add_argument("--otlp", metavar="PATH",
+                    help="write the collected spans as OTLP/JSON on exit")
+    oc.set_defaults(func=_cmd_obs_collector)
 
     return parser
 
@@ -1177,18 +1320,60 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
-    if not trace_path or args.command == "obs":
+    otlp_path = getattr(args, "otlp", None)
+    collector_url = getattr(args, "trace_collector", None)
+    if args.command == "obs" or not (
+        trace_path or otlp_path or collector_url
+    ):
         return args.func(args)
-    # --trace: record spans for the whole command, export on the way out
-    # (including error exits, so partial runs still leave a trace).
+    if args.command == "serve" and (
+        args.workers > 1 or args.canary or args.shadow
+    ):
+        # The multi-worker tier manages its own tracing: worker spans
+        # only exist in worker processes, so _cmd_serve_tier runs an
+        # in-process collector (or streams to --trace-collector) and
+        # exports the stitched fleet trace itself.
+        return args.func(args)
+    # --trace/--otlp: record spans for the whole command, export on the
+    # way out (including error exits, so partial runs still leave a
+    # trace).  --trace-collector streams spans out as they finish
+    # instead of (only) buffering them locally.
     from .obs.trace import disable, enable
 
-    tracer = enable(service=args.command)
+    if collector_url:
+        from .obs.stream import SpanSender, StreamingTracer
+        from .obs.trace import set_tracer
+
+        service = args.command
+        if args.command == "sched":
+            service = f"sched-{args.sched_command}"
+        tracer = StreamingTracer(
+            SpanSender(
+                collector_url, resource={"service": service, "pid": os.getpid()}
+            )
+        )
+        set_tracer(tracer)
+    else:
+        tracer = enable(service=args.command)
     try:
         return args.func(args)
     finally:
-        spans = tracer.export_chrome(trace_path)
-        print(f"wrote {spans} trace span(s) to {trace_path}")
+        if trace_path:
+            spans = tracer.export_chrome(trace_path)
+            print(f"wrote {spans} trace span(s) to {trace_path}")
+        if otlp_path:
+            from .obs.otlp import write_otlp
+
+            spans = write_otlp(
+                otlp_path,
+                [tracer.serialize(span) for span in tracer.spans()],
+                default_resource={
+                    "service": tracer.service, "pid": os.getpid()
+                },
+            )
+            print(f"wrote {spans} OTLP span(s) to {otlp_path}")
+        if collector_url:
+            tracer.close()
         disable()
 
 

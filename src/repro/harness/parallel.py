@@ -22,12 +22,13 @@ accounting is.
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
 
-from ..obs.trace import get_tracer
+from ..obs.trace import Tracer, get_tracer, set_tracer
 from ..sim.engine import SimulationEngine
 from ..sim.solve_cache import GLOBAL_ENGINE_STATS, EngineStats
 
@@ -58,41 +59,122 @@ def spawn_streams(
 
 
 _WORKER_ENGINE: SimulationEngine | None = None
+_WORKER_STREAMING = False
 
 
-def _init_worker(engine: SimulationEngine) -> None:
-    global _WORKER_ENGINE
+def _trace_spec(tracer) -> dict | None:
+    """How workers should trace, derived from the caller's tracer.
+
+    ``None`` (tracing off) keeps workers on the free :class:`NullTracer`
+    path.  A recording tracer makes workers record too; when the caller
+    is *streaming* to a collector, workers open their own senders to the
+    same endpoint, otherwise their spans ride back with each chunk's
+    results and are ingested into the caller's ring buffer — either way,
+    parallel sweeps no longer drop worker spans.
+    """
+    if not tracer.enabled:
+        return None
+    spec: dict = {"service": f"{tracer.service}-worker"}
+    sender = getattr(tracer, "sender", None)
+    if sender is not None:
+        spec["stream"] = sender.endpoint
+    return spec
+
+
+def _init_worker(engine: SimulationEngine, trace_spec: dict | None = None) -> None:
+    global _WORKER_ENGINE, _WORKER_STREAMING
     _WORKER_ENGINE = engine
+    _WORKER_STREAMING = False
+    if trace_spec:
+        service = str(trace_spec.get("service", "repro-worker"))
+        endpoint = trace_spec.get("stream")
+        if endpoint:
+            from ..obs.stream import SpanSender, StreamingTracer
+
+            set_tracer(
+                StreamingTracer(
+                    SpanSender(
+                        endpoint,
+                        resource={"service": service, "pid": os.getpid()},
+                    )
+                )
+            )
+            _WORKER_STREAMING = True
+        else:
+            set_tracer(Tracer(service=service))
+
+
+def _drain_worker_spans() -> list[dict] | None:
+    """Serialize and clear this worker's recorded spans for the parent.
+
+    Streaming workers return ``None`` — their spans already went to the
+    collector, and shipping them twice would duplicate every span.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        return None
+    if _WORKER_STREAMING:
+        # Push the chunk's spans through now: the pool may tear this
+        # process down right after the result returns, and the sender's
+        # daemon thread would die holding the tail batch.
+        tracer.flush()
+        return None
+    resource = {"service": tracer.service, "pid": os.getpid()}
+    records = []
+    for span in tracer.spans():
+        record = tracer.serialize(span)
+        record.setdefault("resource", resource)
+        records.append(record)
+    tracer.reset()
+    return records
 
 
 def _run_chunk(task):
-    func, chunk = task
+    func, chunk, parent_ctx = task
     engine = _WORKER_ENGINE
     assert engine is not None, "worker pool used before initialization"
     stats = EngineStats()
     previous, engine.stats = engine.stats, stats
+    tracer = get_tracer()
     try:
-        results = [(index, func(engine, payload)) for index, payload in chunk]
+        with tracer.child_span(
+            "harness.worker_chunk",
+            trace_id=parent_ctx[0],
+            parent_id=parent_ctx[1],
+            scenarios=len(chunk),
+            pid=os.getpid(),
+        ):
+            results = [
+                (index, func(engine, payload)) for index, payload in chunk
+            ]
     finally:
         engine.stats = previous
         previous.merge(stats)
-    return results, stats
+    return results, stats, _drain_worker_spans()
 
 
 def _run_batch_chunk(task):
-    batch_func, chunk = task
+    batch_func, chunk, parent_ctx = task
     engine = _WORKER_ENGINE
     assert engine is not None, "worker pool used before initialization"
     stats = EngineStats()
     previous, engine.stats = engine.stats, stats
+    tracer = get_tracer()
     try:
-        indices = [index for index, _ in chunk]
-        values = batch_func(engine, [payload for _, payload in chunk])
-        results = list(zip(indices, values))
+        with tracer.child_span(
+            "harness.worker_chunk",
+            trace_id=parent_ctx[0],
+            parent_id=parent_ctx[1],
+            scenarios=len(chunk),
+            pid=os.getpid(),
+        ):
+            indices = [index for index, _ in chunk]
+            values = batch_func(engine, [payload for _, payload in chunk])
+            results = list(zip(indices, values))
     finally:
         engine.stats = previous
         previous.merge(stats)
-    return results, stats
+    return results, stats, _drain_worker_spans()
 
 
 def map_scenarios(
@@ -135,18 +217,25 @@ def map_scenarios(
         payloads=len(payloads),
         workers=workers,
         chunks=len(chunks),
-    ):
+    ) as map_span:
+        parent_ctx = (map_span.trace_id, map_span.span_id)
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(engine,)
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(engine, _trace_spec(tracer)),
         ) as pool:
-            for chunk_results, stats in pool.map(
-                _run_chunk, [(func, chunk) for chunk in chunks]
+            for chunk_results, stats, spans in pool.map(
+                _run_chunk, [(func, chunk, parent_ctx) for chunk in chunks]
             ):
                 engine.stats.merge(stats)
                 # Worker processes fed their *own* global aggregate, which
                 # dies with the worker — fold the chunk's counters into the
                 # caller's process-wide record here instead.
                 GLOBAL_ENGINE_STATS.merge(stats)
+                # Same for spans: each chunk brings its worker-side spans
+                # home (unless the workers streamed them to a collector).
+                if spans:
+                    tracer.ingest(spans)
                 for index, value in chunk_results:
                     results[index] = value
     return results
@@ -195,15 +284,21 @@ def map_scenario_batches(
         payloads=len(payloads),
         workers=workers,
         chunks=len(chunks),
-    ):
+    ) as map_span:
+        parent_ctx = (map_span.trace_id, map_span.span_id)
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(engine,)
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(engine, _trace_spec(tracer)),
         ) as pool:
-            for chunk_results, stats in pool.map(
-                _run_batch_chunk, [(batch_func, chunk) for chunk in chunks]
+            for chunk_results, stats, spans in pool.map(
+                _run_batch_chunk,
+                [(batch_func, chunk, parent_ctx) for chunk in chunks],
             ):
                 engine.stats.merge(stats)
                 GLOBAL_ENGINE_STATS.merge(stats)
+                if spans:
+                    tracer.ingest(spans)
                 for index, value in chunk_results:
                     results[index] = value
     return results

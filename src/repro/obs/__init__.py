@@ -49,8 +49,25 @@ from .trace import (
     get_tracer,
     set_tracer,
 )
+from .otlp import load_otlp, records_to_otlp, write_otlp
+from .stream import SpanSender, StreamingTracer
+
+
+def __getattr__(name: str):
+    # The collector runs on the serve package's HTTP base, and importing
+    # repro.serve from here would recurse (sim.engine -> obs.trace pulls
+    # this package in mid-way through repro's own import) — so the
+    # collector classes resolve lazily on first attribute access.
+    if name in ("CollectorServer", "CollectorThread"):
+        from . import collector
+
+        return getattr(collector, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
+    "CollectorServer",
+    "CollectorThread",
     "Counter",
     "Gauge",
     "Histogram",
@@ -59,6 +76,8 @@ __all__ = [
     "ObsLogger",
     "Span",
     "SpanNode",
+    "SpanSender",
+    "StreamingTracer",
     "Tracer",
     "configure",
     "current_span",
@@ -70,9 +89,12 @@ __all__ = [
     "get_registry",
     "get_tracer",
     "install_default_sources",
+    "load_otlp",
     "load_trace",
+    "records_to_otlp",
     "render_summary",
     "set_registry",
     "set_tracer",
     "span_forest",
+    "write_otlp",
 ]

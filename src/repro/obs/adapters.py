@@ -26,6 +26,7 @@ __all__ = [
     "engine_stats_exposition",
     "fit_stats_exposition",
     "install_default_sources",
+    "obs_stats_exposition",
     "render_engine_stats",
     "render_fit_stats",
     "render_registry_backend",
@@ -163,6 +164,43 @@ def fit_stats_exposition() -> str:
     return render_fit_stats(GLOBAL_FIT_STATS)
 
 
+def obs_stats_exposition() -> str:
+    """Scrape-time render of the process tracer's own health counters.
+
+    Span loss used to be silent: the tracer ring buffer wraps and a
+    streaming tracer's bounded queue sheds, both by design (tracing must
+    never block a hot path), but neither was observable.  This source
+    exposes the drops — and, for streaming tracers, the shipped/error
+    counts — on every server's ``/metrics``; the labels survive the
+    tier's merged scrape (counters sum across workers).
+    """
+    from .trace import get_tracer
+
+    tracer = get_tracer()
+    ring_dropped = int(getattr(tracer, "dropped", 0))
+    sender = getattr(tracer, "sender", None)
+    lines = [
+        "# HELP repro_obs_spans_dropped_total Spans lost by this process, "
+        "by where they were shed.",
+        "# TYPE repro_obs_spans_dropped_total counter",
+        f'repro_obs_spans_dropped_total{{reason="ring_wrap"}} {ring_dropped}',
+        f'repro_obs_spans_dropped_total{{reason="stream_shed"}} '
+        f"{int(getattr(sender, 'dropped', 0))}",
+    ]
+    if sender is not None:
+        lines += [
+            "# HELP repro_obs_spans_streamed_total Spans shipped to the "
+            "trace collector.",
+            "# TYPE repro_obs_spans_streamed_total counter",
+            f"repro_obs_spans_streamed_total {int(sender.sent)}",
+            "# HELP repro_obs_span_send_errors_total Failed span batch "
+            "POSTs (each costs one batch).",
+            "# TYPE repro_obs_span_send_errors_total counter",
+            f"repro_obs_span_send_errors_total {int(sender.send_errors)}",
+        ]
+    return "\n".join(lines)
+
+
 def install_default_sources(
     registry: MetricsRegistry,
     *,
@@ -179,6 +217,7 @@ def install_default_sources(
     """
     registry.register_source("engine", engine_stats_exposition)
     registry.register_source("fit", fit_stats_exposition)
+    registry.register_source("obs", obs_stats_exposition)
     if serving is not None:
         registry.register_source("serving", serving)
     if sched is not None:

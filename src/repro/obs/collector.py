@@ -1,0 +1,313 @@
+"""The span collector: one sink for a whole fleet's traces.
+
+:class:`CollectorServer` is a small HTTP service on the shared
+:class:`~repro.serve.http.HttpServerBase` plumbing that pool workers,
+serving-tier workers, the router, and the scheduler stream finished
+spans to (``POST /v1/spans``, JSON object or JSON-lines).  Spans keep
+the ``trace_id``/``parent_id`` their origin tracer assigned, so a
+request that crossed three processes reassembles into one tree; each
+batch's ``resource`` (service name, worker id, pid) is stamped onto its
+spans for the exports.
+
+Storage is a bounded ring like the in-process tracer's: when it wraps,
+the oldest spans go and the eviction is counted.  Senders also report
+how many spans *they* shed (queue-full on the hot path), so the
+collector's ``/metrics`` scrape shows fleet-wide drops in one
+``repro_obs_spans_dropped_total`` family.
+
+Exports mirror the tracer's: Chrome trace JSON (one row group per
+origin process) and OTLP/JSON via :mod:`repro.obs.otlp`.
+:class:`CollectorThread` runs the collector on a background loop for
+synchronous callers (the CLI, tests, the serving tier).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+
+from ..serve.http import HTTPError, HttpServerBase, Request, ServerThreadBase
+from .adapters import install_default_sources
+from .registry import MetricsRegistry
+
+__all__ = ["CollectorServer", "CollectorThread"]
+
+
+class CollectorServer(HttpServerBase):
+    """HTTP span sink with bounded storage and Chrome/OTLP export."""
+
+    known_endpoints = ("/v1/spans", "/healthz", "/metrics")
+    request_span_name = "collector.request"
+    #: The collector must not trace its own ingest requests: a process
+    #: that both streams spans and hosts the collector would otherwise
+    #: generate a span per batch received, feeding itself forever.
+    trace_requests = False
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_spans: int = 500_000,
+    ) -> None:
+        super().__init__(host=host, port=port)
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.max_spans = max_spans
+        self._records: deque[dict] = deque(maxlen=max_spans)
+        self._lock = threading.Lock()
+        #: Spans accepted across all batches.
+        self.received = 0
+        #: Spans evicted from the collector's own ring buffer.
+        self.dropped = 0
+        #: Spans senders reported shedding before they reached us.
+        self.client_dropped = 0
+        #: Batches received per service name.
+        self.batches: dict[str, int] = {}
+        self.obs_registry = install_default_sources(MetricsRegistry())
+        self.obs_registry.register_source(
+            "collector", self._render_collector_metrics
+        )
+
+    @property
+    def endpoint(self) -> str:
+        """The address senders should stream to."""
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------- ingest
+    def ingest(
+        self, spans: list[dict], *, resource: dict | None = None, dropped: int = 0
+    ) -> int:
+        """Adopt a batch of serialized spans; returns the count accepted."""
+        resource = dict(resource or {})
+        service = str(resource.get("service", "unknown"))
+        with self._lock:
+            self.batches[service] = self.batches.get(service, 0) + 1
+            self.client_dropped += max(0, int(dropped))
+            for record in spans:
+                if not isinstance(record, dict):
+                    continue
+                if resource and not record.get("resource"):
+                    record = {**record, "resource": resource}
+                if len(self._records) == self.max_spans:
+                    self.dropped += 1
+                self._records.append(record)
+                self.received += 1
+        return len(spans)
+
+    def records(self) -> list[dict]:
+        """Snapshot of retained spans, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------- routes
+    async def _route(self, request: Request):
+        if request.path == "/healthz":
+            return 200, "application/json", json.dumps(
+                {"status": "ok", "spans": len(self)}
+            ).encode()
+        if request.path == "/metrics":
+            return (
+                200,
+                "text/plain; version=0.0.4",
+                self.obs_registry.render().encode(),
+            )
+        if request.path == "/v1/spans":
+            if request.method == "GET":
+                return 200, "application/json", json.dumps(
+                    {"spans": self.records()}
+                ).encode()
+            self._require(request.method, "POST")
+            return self._accept_spans(request.body)
+        raise HTTPError(404, "not_found", f"unknown path {request.path}")
+
+    def _accept_spans(self, body: bytes):
+        batches = self._parse_batches(body)
+        accepted = 0
+        for resource, spans, dropped in batches:
+            accepted += self.ingest(spans, resource=resource, dropped=dropped)
+        return 200, "application/json", json.dumps(
+            {"accepted": accepted}
+        ).encode()
+
+    @staticmethod
+    def _parse_batches(body: bytes) -> list[tuple[dict, list[dict], int]]:
+        """Parse a POST body: one JSON batch object, or JSON-lines.
+
+        The batch form is ``{"resource": {...}, "spans": [...],
+        "dropped": n}``; JSON-lines is one record (or batch object) per
+        line, for senders that stream without buffering.
+        """
+        text = body.decode("utf-8", errors="replace").strip()
+        if not text:
+            raise HTTPError(400, "bad_request", "empty span payload")
+        try:
+            payloads = [json.loads(text)]
+        except json.JSONDecodeError:
+            try:
+                payloads = [
+                    json.loads(line)
+                    for line in text.splitlines()
+                    if line.strip()
+                ]
+            except json.JSONDecodeError as exc:
+                raise HTTPError(
+                    400, "bad_request", f"invalid span JSON: {exc}"
+                ) from exc
+        batches: list[tuple[dict, list[dict], int]] = []
+        for payload in payloads:
+            if isinstance(payload, dict) and "spans" in payload:
+                spans = payload.get("spans")
+                if not isinstance(spans, list):
+                    raise HTTPError(400, "bad_request", "spans must be a list")
+                batches.append(
+                    (
+                        dict(payload.get("resource") or {}),
+                        spans,
+                        int(payload.get("dropped") or 0),
+                    )
+                )
+            elif isinstance(payload, dict):
+                # A bare span record (JSON-lines style).
+                batches.append(({}, [payload], 0))
+            else:
+                raise HTTPError(
+                    400, "bad_request", "span payload must be an object"
+                )
+        return batches
+
+    # ------------------------------------------------------------ metrics
+    def _render_collector_metrics(self) -> str:
+        with self._lock:
+            received = self.received
+            stored = len(self._records)
+            ring_dropped = self.dropped
+            shed = self.client_dropped
+            batches = dict(self.batches)
+        lines = [
+            "# HELP repro_obs_collector_spans_received_total Spans accepted "
+            "by the collector.",
+            "# TYPE repro_obs_collector_spans_received_total counter",
+            f"repro_obs_collector_spans_received_total {received}",
+            "# HELP repro_obs_collector_spans_stored Spans currently "
+            "retained in the collector ring.",
+            "# TYPE repro_obs_collector_spans_stored gauge",
+            f"repro_obs_collector_spans_stored {stored}",
+            "# HELP repro_obs_collector_batches_total Span batches received "
+            "per origin service.",
+            "# TYPE repro_obs_collector_batches_total counter",
+        ]
+        for service in sorted(batches):
+            lines.append(
+                f'repro_obs_collector_batches_total{{service="{service}"}} '
+                f"{batches[service]}"
+            )
+        # Scoped under its own family: the registry's default "obs"
+        # source already renders repro_obs_spans_dropped_total for this
+        # process's tracer, and one exposition must not repeat a family.
+        lines += [
+            "# HELP repro_obs_collector_spans_dropped_total Spans lost "
+            "before reaching collector storage, by where they were shed.",
+            "# TYPE repro_obs_collector_spans_dropped_total counter",
+            f'repro_obs_collector_spans_dropped_total{{reason="ring_wrap"}} '
+            f"{ring_dropped}",
+            f'repro_obs_collector_spans_dropped_total{{reason="sender_shed"}} '
+            f"{shed}",
+        ]
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------- export
+    def to_chrome_events(self) -> list[dict]:
+        """Stored spans as Chrome trace events, one row group per process."""
+        records = self.records()
+        origin = min(
+            (float(r.get("start_unix_s", 0.0)) for r in records),
+            default=0.0,
+        )
+        events: list[dict] = []
+        named_pids: set[int] = set()
+        for record in records:
+            resource = record.get("resource") or {}
+            pid = int(resource.get("pid", 0))
+            if pid not in named_pids:
+                named_pids.add(pid)
+                events.append(
+                    {
+                        "name": "process_name",
+                        "ph": "M",
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {
+                            "name": str(resource.get("service", "unknown"))
+                        },
+                    }
+                )
+            args = {
+                "trace_id": record.get("trace_id", ""),
+                "span_id": record.get("span_id", ""),
+            }
+            if record.get("parent_id"):
+                args["parent_id"] = record["parent_id"]
+            args.update(record.get("attributes") or {})
+            start = float(record.get("start_unix_s", 0.0))
+            end = float(record.get("end_unix_s", 0.0))
+            events.append(
+                {
+                    "name": str(record.get("name", "")),
+                    "cat": str(record.get("name", "")).partition(".")[0]
+                    or "span",
+                    "ph": "X",
+                    "ts": round(1e6 * (start - origin), 3),
+                    "dur": round(1e6 * max(0.0, end - start), 3),
+                    "pid": pid,
+                    "tid": int(record.get("thread_id", 0)) % 2**31,
+                    "args": args,
+                }
+            )
+        return events
+
+    def export_chrome(self, path) -> int:
+        """Write stored spans as Chrome trace JSON; returns the span count."""
+        events = self.to_chrome_events()
+        payload = {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"service": "collector"},
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=None, separators=(",", ":"))
+            handle.write("\n")
+        return sum(1 for event in events if event.get("ph") == "X")
+
+    def export_otlp(self, path) -> int:
+        """Write stored spans as OTLP/JSON; returns the span count."""
+        from .otlp import write_otlp
+
+        return write_otlp(path, self.records())
+
+
+class CollectorThread(ServerThreadBase):
+    """A :class:`CollectorServer` on a background event loop."""
+
+    thread_name = "repro-collector"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(CollectorServer(**kwargs))
+
+    @property
+    def endpoint(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def records(self) -> list[dict]:
+        return self.server.records()
+
+    def export_chrome(self, path) -> int:
+        return self.server.export_chrome(path)
+
+    def export_otlp(self, path) -> int:
+        return self.server.export_otlp(path)

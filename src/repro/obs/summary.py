@@ -28,17 +28,28 @@ _INTERNAL_ARGS = ("trace_id", "span_id", "parent_id")
 
 
 def load_trace(path) -> list[dict]:
-    """Complete-span events (``ph == "X"``) from a Chrome trace file."""
+    """Complete-span events (``ph == "X"``) from a trace file.
+
+    Accepts the Chrome ``{"traceEvents": [...]}`` envelope, a bare event
+    array, or an OTLP/JSON file (``{"resourceSpans": [...]}``, as written
+    by :mod:`repro.obs.otlp`) — all three render through the same
+    summary, so multi-process collector exports and in-process captures
+    read identically.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
-    if isinstance(payload, dict):
+    if isinstance(payload, dict) and "resourceSpans" in payload:
+        from .otlp import otlp_to_events
+
+        events = otlp_to_events(payload)
+    elif isinstance(payload, dict):
         events = payload.get("traceEvents", [])
     elif isinstance(payload, list):
         events = payload
     else:
         raise ValueError(
-            f"{path} is not a Chrome trace: expected an object with "
-            f"'traceEvents' or a bare event array"
+            f"{path} is not a trace file: expected an object with "
+            f"'traceEvents' or 'resourceSpans', or a bare event array"
         )
     spans = [
         e for e in events

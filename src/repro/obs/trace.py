@@ -68,6 +68,7 @@ class Span:
         "start",
         "end",
         "thread_id",
+        "resource",
         "_tracer",
         "_token",
     )
@@ -89,6 +90,10 @@ class Span:
         self.start = 0.0  # perf_counter seconds; set on __enter__
         self.end = 0.0
         self.thread_id = 0
+        #: Origin process metadata for spans ingested from another
+        #: process ({"service": ..., "pid": ..., ...}); ``None`` for
+        #: spans recorded locally.
+        self.resource: dict | None = None
         self._tracer = tracer
         self._token: contextvars.Token | None = None
 
@@ -161,9 +166,17 @@ class NullTracer:
         """A no-op context manager (one shared instance)."""
         return _NULL_SPAN
 
+    def child_span(self, _name: str, **_kwargs) -> _NullSpan:
+        """A no-op context manager for a remote-parented span."""
+        return _NULL_SPAN
+
     def record_span(self, _name: str, **_kwargs) -> None:
         """Discard a retroactive span."""
         return None
+
+    def ingest(self, _records) -> int:
+        """Discard spans serialized by another process."""
+        return 0
 
     def spans(self) -> list:
         """No spans are ever retained."""
@@ -195,13 +208,22 @@ class Tracer:
         self._finished: deque[Span] = deque(maxlen=max_spans)
         self._ids = itertools.count(1)
         self._id_lock = threading.Lock()
+        #: Random per-tracer prefix: span ids stay unique across the
+        #: processes of a fleet, so streamed spans never collide.
+        self._id_prefix = os.urandom(3).hex()
+        #: Spans evicted from the ring buffer since creation (the buffer
+        #: wrapped).  Exposed as ``repro_obs_spans_dropped_total``.
+        self.dropped = 0
         #: perf_counter origin: exported timestamps are relative to this.
         self.epoch = time.perf_counter()
+        #: Wall-clock instant matching ``epoch``: lets spans serialized
+        #: in one process be placed on another process's timeline.
+        self.wall_epoch = time.time()
 
     # ----------------------------------------------------------- creation
     def _next_id(self) -> str:
         with self._id_lock:
-            return f"{next(self._ids):06x}"
+            return f"{self._id_prefix}{next(self._ids):06x}"
 
     def span(self, name: str, **attributes) -> Span:
         """A new span, parented to the context's active span (if any)."""
@@ -214,6 +236,28 @@ class Tracer:
             trace_id = f"t{span_id}"
             parent_id = None
         return Span(self, name, trace_id, span_id, parent_id, attributes)
+
+    def child_span(
+        self,
+        name: str,
+        *,
+        trace_id: str,
+        parent_id: str | None,
+        **attributes,
+    ) -> Span:
+        """A new span continuing a trace started in *another* process.
+
+        The propagated context (``X-Trace-Context: <trace_id>/<span_id>``)
+        supplies the trace and parent ids, so a server-side request span
+        becomes a child of the client's calling span even though the two
+        tracers never share memory.  Falls back to :meth:`span` when the
+        propagated trace id is empty.
+        """
+        if not trace_id:
+            return self.span(name, **attributes)
+        return Span(
+            self, name, trace_id, self._next_id(), parent_id or None, attributes
+        )
 
     def record_span(
         self,
@@ -245,8 +289,71 @@ class Tracer:
         self._finish(span)
         return span
 
-    def _finish(self, span: Span) -> None:
+    def _append(self, span: Span) -> None:
+        """Retain a finished span, counting ring-buffer evictions."""
+        if len(self._finished) == self.max_spans:
+            self.dropped += 1
         self._finished.append(span)
+
+    def _finish(self, span: Span) -> None:
+        self._append(span)
+
+    # ------------------------------------------------- cross-process spans
+    def serialize(self, span: Span) -> dict:
+        """One finished span as a JSON-safe dict with wall-clock times.
+
+        Timestamps are converted from the tracer's monotonic clock to
+        absolute unix seconds, so a collector (or the parent of a worker
+        pool) can place spans from many processes on one timeline.
+        """
+        attrs: dict = {}
+        for key, value in span.attributes.items():
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                attrs[key] = value
+            else:
+                attrs[key] = repr(value)
+        offset = self.wall_epoch - self.epoch
+        record = {
+            "name": span.name,
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "start_unix_s": span.start + offset,
+            "end_unix_s": span.end + offset,
+            "thread_id": span.thread_id,
+            "attributes": attrs,
+        }
+        if span.resource is not None:
+            record["resource"] = span.resource
+        return record
+
+    def ingest(self, records) -> int:
+        """Adopt spans serialized by another tracer (:meth:`serialize`).
+
+        Each record lands in this tracer's ring buffer with its original
+        trace/span/parent ids intact — parallel workers' spans survive
+        their worker process this way.  Returns the number ingested.
+        """
+        count = 0
+        offset = self.epoch - self.wall_epoch
+        for record in records:
+            span = Span(
+                self,
+                str(record.get("name", "")),
+                str(record.get("trace_id", "")),
+                str(record.get("span_id", "")),
+                record.get("parent_id") or None,
+                dict(record.get("attributes") or {}),
+            )
+            span.start = float(record.get("start_unix_s", 0.0)) + offset
+            span.end = float(record.get("end_unix_s", 0.0)) + offset
+            span.thread_id = int(record.get("thread_id", 0))
+            resource = record.get("resource")
+            if resource:
+                span.resource = dict(resource)
+            self._append(span)
+            count += 1
+        return count
 
     # ---------------------------------------------------------- inspection
     def spans(self) -> list[Span]:
@@ -262,18 +369,42 @@ class Tracer:
 
     # ------------------------------------------------------------- export
     def to_chrome_events(self) -> list[dict]:
-        """Finished spans as Chrome trace-event dicts (``ph: "X"``)."""
-        pid = os.getpid()
+        """Finished spans as Chrome trace-event dicts (``ph: "X"``).
+
+        Spans ingested from other processes keep their origin pid and
+        service name (from their ``resource``), so the exported timeline
+        shows one row group per fleet process.
+        """
+        local_pid = os.getpid()
         events: list[dict] = [
             {
                 "name": "process_name",
                 "ph": "M",
-                "pid": pid,
+                "pid": local_pid,
                 "tid": 0,
                 "args": {"name": self.service},
             }
         ]
+        named_pids = {local_pid}
         for span in self._finished:
+            pid = local_pid
+            if span.resource is not None:
+                pid = int(span.resource.get("pid", local_pid))
+                if pid not in named_pids:
+                    named_pids.add(pid)
+                    events.append(
+                        {
+                            "name": "process_name",
+                            "ph": "M",
+                            "pid": pid,
+                            "tid": 0,
+                            "args": {
+                                "name": str(
+                                    span.resource.get("service", "remote")
+                                )
+                            },
+                        }
+                    )
             args = {
                 "trace_id": span.trace_id,
                 "span_id": span.span_id,
@@ -314,7 +445,8 @@ class Tracer:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=None, separators=(",", ":"))
             handle.write("\n")
-        return len(events) - 1  # metadata event is not a span
+        # Metadata (process-name) events are not spans.
+        return sum(1 for event in events if event.get("ph") == "X")
 
 
 def current_span() -> Span | None:

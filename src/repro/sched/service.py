@@ -44,6 +44,7 @@ from ..energy.power import PowerModel
 from ..harness.baselines import BaselineTable
 from ..obs.adapters import install_default_sources
 from ..obs.registry import MetricsRegistry
+from ..obs.trace import get_tracer
 from ..serve.client import PredictionClient
 from ..serve.http import HTTPError, HttpServerBase, Request, ServerThreadBase
 from ..serve.metrics import LatencyHistogram, ServingMetrics
@@ -505,21 +506,25 @@ class SchedulerService(HttpServerBase):
         progressed = False
         placed = 0
         jobs = self.queue.take(self.round_size)
-        if jobs:
-            placed = await self._place_round(jobs)
-            progressed = placed > 0
-        self._rounds += 1
-        if (
-            self.migrate_threshold is not None
-            and self.scorer is not None
-            and self.running.count
-            and self._rounds % self.migrate_every == 0
-        ):
-            if await self._migrate_once():
-                progressed = True
-        if self.running.count and (self.queue.pending == 0 or placed == 0):
-            if self._advance_once():
-                progressed = True
+        with get_tracer().span(
+            "sched.round", jobs=len(jobs), round=self._rounds
+        ) as round_span:
+            if jobs:
+                placed = await self._place_round(jobs)
+                progressed = placed > 0
+            self._rounds += 1
+            if (
+                self.migrate_threshold is not None
+                and self.scorer is not None
+                and self.running.count
+                and self._rounds % self.migrate_every == 0
+            ):
+                if await self._migrate_once():
+                    progressed = True
+            if self.running.count and (self.queue.pending == 0 or placed == 0):
+                if self._advance_once():
+                    progressed = True
+            round_span.set(placed=placed, progressed=progressed)
         return progressed
 
     # ---------------------------------------------------------- placement
@@ -540,7 +545,14 @@ class SchedulerService(HttpServerBase):
                 for job in jobs
                 for n in cand
             ]
-            preds = await asyncio.to_thread(self.scorer.predict_rows, rows)
+            # The sched.predict span stays open across the to_thread hop:
+            # contextvars travel with it, so the blocking client inside
+            # propagates this span's context to the prediction tier and
+            # the tier's request spans join the scheduler's trace.
+            with get_tracer().span("sched.predict", rows=len(rows)):
+                preds = await asyncio.to_thread(
+                    self.scorer.predict_rows, rows
+                )
             self.sched_metrics.predict_batches += 1
             self.sched_metrics.predict_rows += len(rows)
             times = np.asarray(preds, dtype=float).reshape(len(jobs), cand.size)
@@ -664,6 +676,12 @@ class SchedulerService(HttpServerBase):
 
     async def _migrate_once(self) -> bool:
         """Re-score and move the worst-regret running job, if any."""
+        with get_tracer().span("sched.migrate") as span:
+            moved = await self._migrate_pick(span)
+            span.set(moved=moved)
+        return moved
+
+    async def _migrate_pick(self, span) -> bool:
         worst = None
         worst_regret = self.migrate_threshold
         worst_est = 0.0
@@ -685,8 +703,10 @@ class SchedulerService(HttpServerBase):
         cand = cand[cand != worst.node]
         if cand.size == 0:
             return False
+        span.set(job_id=worst.job_id, regret=worst_regret)
         rows = [self._feature_dict(worst.app, int(n)) for n in cand]
-        preds = await asyncio.to_thread(self.scorer.predict_rows, rows)
+        with get_tracer().span("sched.predict", rows=len(rows)):
+            preds = await asyncio.to_thread(self.scorer.predict_rows, rows)
         self.sched_metrics.predict_batches += 1
         self.sched_metrics.predict_rows += len(rows)
         slowdowns = [

@@ -24,6 +24,8 @@ import json
 import socket
 from typing import Any
 
+from ..obs.trace import current_span
+
 __all__ = ["ClientError", "PredictionClient", "parse_prometheus"]
 
 _ESCAPES = {"n": "\n", "\\": "\\", '"': '"'}
@@ -168,6 +170,14 @@ class PredictionClient:
         send_headers = {"Content-Type": "application/json"} if payload else {}
         if headers:
             send_headers.update(headers)
+        # When the caller is inside a span (the scheduler's sched.predict,
+        # a traced harness), propagate its context so the server-side
+        # request span joins the caller's trace across the process hop.
+        span = current_span()
+        if span is not None and span.trace_id:
+            send_headers.setdefault(
+                "X-Trace-Context", f"{span.trace_id}/{span.span_id}"
+            )
         for attempt in (0, 1):
             conn = self._connection()
             try:

@@ -32,7 +32,10 @@ import time
 from dataclasses import dataclass
 from urllib.parse import parse_qs, urlsplit
 
-from ..obs.trace import get_tracer
+from ..obs.trace import NullTracer, get_tracer
+
+#: Shared disabled tracer for servers that opt out of request spans.
+_NULL_TRACER = NullTracer()
 
 __all__ = [
     "HTTPError",
@@ -104,6 +107,11 @@ class HttpServerBase:
 
     #: Name of the per-request trace span.
     request_span_name = "serve.request"
+
+    #: Whether requests get a trace span.  The span collector turns this
+    #: off: tracing its own ingest requests while the host process
+    #: streams spans to it would feed the collector forever.
+    trace_requests = True
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0) -> None:
         self.host = host
@@ -286,12 +294,30 @@ class HttpServerBase:
         # proxy the call (the router) can forward it: the router span and
         # the worker span then share one correlation id across the hop.
         request.headers["x-request-id"] = request_id
-        with get_tracer().span(
-            self.request_span_name,
-            endpoint=endpoint,
-            method=request.method,
-            request_id=request_id,
-        ) as span:
+        tracer = get_tracer() if self.trace_requests else _NULL_TRACER
+        # A client that is itself inside a span propagates its context as
+        # "X-Trace-Context: <trace_id>/<span_id>"; the request span here
+        # then joins that trace as a child, so one trace covers the
+        # router -> worker hop (and scheduler -> tier) end to end.
+        context = request.headers.get("x-trace-context", "")
+        if context and tracer.enabled:
+            remote_trace, _sep, remote_parent = context.partition("/")
+            span_cm = tracer.child_span(
+                self.request_span_name,
+                trace_id=remote_trace.strip(),
+                parent_id=remote_parent.strip() or None,
+                endpoint=endpoint,
+                method=request.method,
+                request_id=request_id,
+            )
+        else:
+            span_cm = tracer.span(
+                self.request_span_name,
+                endpoint=endpoint,
+                method=request.method,
+                request_id=request_id,
+            )
+        with span_cm as span:
             extra_headers: dict[str, str] = {}
             try:
                 routed = await self._route(request)

@@ -54,6 +54,7 @@ from urllib.parse import urlencode
 
 from ..obs.adapters import install_default_sources
 from ..obs.registry import MetricsRegistry
+from ..obs.trace import current_span
 from ..registry.local import RegistryError, parse_ref
 from .http import HTTPError, HttpServerBase, Request, ServerThreadBase
 from .metrics import (
@@ -599,6 +600,12 @@ class RouterServer(HttpServerBase):
         request_id = request.headers.get("x-request-id")
         if request_id:
             headers["X-Request-Id"] = request_id
+        # Full span-context propagation: the worker's serve.request span
+        # becomes a *child* of this route.request span, so a collector
+        # sees one tree across the hop (not two sibling traces).
+        span = current_span()
+        if span is not None and span.trace_id:
+            headers["X-Trace-Context"] = f"{span.trace_id}/{span.span_id}"
         return headers
 
     # ------------------------------------------------------------- shadow
@@ -707,6 +714,13 @@ class ServingTier:
     Extra keyword arguments (``max_batch``, ``max_wait_ms``,
     ``max_backlog``, ``hot_reload_s``, ``model_cache_size``) configure
     every worker's :class:`~repro.serve.server.PredictionServer`.
+
+    ``trace_stream`` points the tier at a span collector
+    (``http://host:port``): every worker installs a streaming tracer on
+    startup and ships its spans there, so together with the router
+    process's own streaming tracer one collector holds the whole tier's
+    trace (the CLI spawns a
+    :class:`~repro.obs.collector.CollectorThread` for ``--trace``).
     """
 
     def __init__(
@@ -720,10 +734,13 @@ class ServingTier:
         shadow: tuple[ShadowSpec, ...] = (),
         pool_size: int = 32,
         machine_cache_s: float = 2.0,
+        trace_stream: str | None = None,
         **worker_config,
     ) -> None:
         if workers < 1:
             raise ValueError(f"a tier needs at least 1 worker; got {workers}")
+        if trace_stream:
+            worker_config["trace_stream"] = trace_stream
         self.spec = (
             backend
             if isinstance(backend, BackendSpec)

@@ -95,6 +95,30 @@ async def _serve(spec: BackendSpec, config: dict, conn) -> None:
     """The worker's event loop body: serve until told to stop, drain, exit."""
     from .server import PredictionServer
 
+    config = dict(config)
+    trace_stream = config.pop("trace_stream", None)
+    tracer = None
+    if trace_stream:
+        # Stream this worker's spans (serve.request, batcher waits,
+        # predicts) to the tier's collector; resource attributes let the
+        # export tell the workers apart.
+        import os
+
+        from ..obs.stream import SpanSender, StreamingTracer
+        from ..obs.trace import set_tracer
+
+        worker_id = config.get("worker_id")
+        tracer = StreamingTracer(
+            SpanSender(
+                trace_stream,
+                resource={
+                    "service": f"serve-worker-{worker_id}",
+                    "worker": worker_id,
+                    "pid": os.getpid(),
+                },
+            )
+        )
+        set_tracer(tracer)
     server = PredictionServer(
         open_backend(spec), host="127.0.0.1", port=0, **config
     )
@@ -126,6 +150,10 @@ async def _serve(spec: BackendSpec, config: dict, conn) -> None:
     conn.send(("ready", server.port))
     await stopping.wait()
     await server.stop()
+    if tracer is not None:
+        # Ship whatever the sender still holds before the process exits;
+        # without this the last batch of spans dies with the worker.
+        await asyncio.to_thread(tracer.close)
     try:
         conn.send(("stopped", server.metrics.request_count))
     except (BrokenPipeError, OSError):

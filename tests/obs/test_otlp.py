@@ -1,0 +1,174 @@
+"""OTLP/JSON export and re-import of serialized span records."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.otlp import (
+    hex_id,
+    load_otlp,
+    otlp_to_events,
+    records_to_otlp,
+    write_otlp,
+)
+from repro.obs.summary import load_trace, span_forest
+
+
+def _record(
+    name,
+    span_id,
+    *,
+    trace_id="tr1",
+    parent_id=None,
+    start=100.0,
+    end=100.5,
+    resource=None,
+    **attributes,
+):
+    record = {
+        "name": name,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "start_unix_s": start,
+        "end_unix_s": end,
+        "thread_id": 7,
+        "attributes": attributes,
+    }
+    if resource is not None:
+        record["resource"] = resource
+    return record
+
+
+class TestHexId:
+    def test_fixed_widths(self):
+        assert len(hex_id("anything", 16)) == 32
+        assert len(hex_id("anything", 8)) == 16
+
+    def test_deterministic_and_distinct(self):
+        assert hex_id("a1", 8) == hex_id("a1", 8)
+        assert hex_id("a1", 8) != hex_id("a2", 8)
+
+    def test_empty_id_stays_empty(self):
+        assert hex_id("", 16) == ""
+
+
+class TestRecordsToOtlp:
+    def test_parent_linkage_survives_id_translation(self):
+        payload = records_to_otlp(
+            [
+                _record("parent", "s1"),
+                _record("child", "s2", parent_id="s1"),
+            ]
+        )
+        (group,) = payload["resourceSpans"]
+        spans = {s["name"]: s for s in group["scopeSpans"][0]["spans"]}
+        assert spans["child"]["parentSpanId"] == spans["parent"]["spanId"]
+        assert spans["child"]["traceId"] == spans["parent"]["traceId"]
+        assert "parentSpanId" not in spans["parent"]
+
+    def test_groups_by_resource_with_attributes(self):
+        payload = records_to_otlp(
+            [
+                _record(
+                    "a", "s1",
+                    resource={"service": "serve-worker-0", "worker": 0,
+                              "pid": 41, "shard": "even"},
+                ),
+                _record("b", "s2", resource={"service": "router", "pid": 40}),
+                _record("c", "s3"),  # no resource: default applies
+            ],
+            default_resource={"service": "parent", "pid": 39},
+        )
+        groups = {}
+        for group in payload["resourceSpans"]:
+            attrs = {
+                item["key"]: item["value"]
+                for item in group["resource"]["attributes"]
+            }
+            names = [s["name"] for s in group["scopeSpans"][0]["spans"]]
+            groups[attrs["service.name"]["stringValue"]] = (attrs, names)
+        assert set(groups) == {"serve-worker-0", "router", "parent"}
+        worker_attrs, worker_names = groups["serve-worker-0"]
+        assert worker_attrs["process.pid"] == {"intValue": "41"}
+        assert worker_attrs["repro.worker_id"] == {"intValue": "0"}
+        assert worker_attrs["repro.shard"] == {"stringValue": "even"}
+        assert worker_names == ["a"]
+        assert groups["parent"][1] == ["c"]
+
+    def test_anyvalue_encoding(self):
+        payload = records_to_otlp(
+            [_record("a", "s1", flag=True, n=3, x=1.5, label="hi", nil=None)]
+        )
+        (span,) = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        attrs = {item["key"]: item["value"] for item in span["attributes"]}
+        assert attrs["flag"] == {"boolValue": True}
+        assert attrs["n"] == {"intValue": "3"}
+        assert attrs["x"] == {"doubleValue": 1.5}
+        assert attrs["label"] == {"stringValue": "hi"}
+        assert attrs["nil"] == {"stringValue": ""}
+
+    def test_unix_nano_timestamps_are_strings(self):
+        payload = records_to_otlp([_record("a", "s1", start=2.0, end=2.25)])
+        (span,) = payload["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert span["startTimeUnixNano"] == str(int(2.0e9))
+        assert span["endTimeUnixNano"] == str(int(2.25e9))
+
+
+class TestFileRoundTrip:
+    def test_write_returns_span_count(self, tmp_path):
+        path = tmp_path / "trace.otlp.json"
+        count = write_otlp(
+            path, [_record("a", "s1"), _record("b", "s2", parent_id="s1")]
+        )
+        assert count == 2
+        payload = json.loads(path.read_text())
+        assert "resourceSpans" in payload
+
+    def test_load_trace_dispatches_on_otlp_payload(self, tmp_path):
+        path = tmp_path / "trace.otlp.json"
+        write_otlp(
+            path,
+            [
+                _record("root", "s1", start=10.0, end=10.4),
+                _record("leaf", "s2", parent_id="s1", start=10.1, end=10.2),
+            ],
+        )
+        events = load_trace(path)
+        roots = span_forest(events)
+        (root,) = roots
+        assert root.name == "root"
+        assert [child.name for child in root.children] == ["leaf"]
+
+    def test_load_otlp_rejects_non_otlp_json(self, tmp_path):
+        path = tmp_path / "not_otlp.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        with pytest.raises(ValueError, match="OTLP"):
+            load_otlp(path)
+
+
+class TestOtlpToEvents:
+    def test_timestamps_rebased_to_earliest_span(self):
+        payload = records_to_otlp(
+            [
+                _record("late", "s2", start=50.001, end=50.002),
+                _record("early", "s1", start=50.0, end=50.003),
+            ]
+        )
+        events = {e["name"]: e for e in otlp_to_events(payload)}
+        assert events["early"]["ts"] == 0.0
+        assert events["late"]["ts"] == pytest.approx(1000.0, abs=1.0)
+        assert events["early"]["dur"] == pytest.approx(3000.0, abs=1.0)
+
+    def test_service_and_pid_carried_onto_events(self):
+        payload = records_to_otlp(
+            [_record("a", "s1", resource={"service": "sched", "pid": 99})]
+        )
+        (event,) = otlp_to_events(payload)
+        assert event["pid"] == 99
+        assert event["args"]["service"] == "sched"
+
+    def test_empty_payload(self):
+        assert otlp_to_events({"resourceSpans": []}) == []

@@ -41,7 +41,7 @@ class TestLoadTrace:
     def test_rejects_non_trace_payloads(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text('"just a string"')
-        with pytest.raises(ValueError, match="not a Chrome trace"):
+        with pytest.raises(ValueError, match="not a trace file"):
             load_trace(path)
         path.write_text('{"traceEvents": []}')
         with pytest.raises(ValueError, match="no complete-span"):
