@@ -9,15 +9,21 @@ Exposes the full workflow without writing any Python:
 * ``evaluate`` — the 12-model accuracy grid for a dataset,
 * ``predict`` — predict a placement's time from a saved model,
 * ``registry`` — push/list/show versioned models in a local or remote
-  registry, plus ``serve`` (the HTTP artifact service), ``gc`` (prune
-  old versions), ``tombstone`` (block a bad version without deleting
-  it), and ``pull`` (warm the local blob cache),
+  registry, plus ``serve`` (the HTTP artifact service, or a pull-through
+  read replica of an upstream registry with ``--mirror URL``), ``gc``
+  (prune old versions), ``tombstone`` (block a bad version without
+  deleting it), and ``pull`` (warm the local blob cache),
 * ``serve`` — run the micro-batched asyncio prediction service from a
   local registry directory or a remote registry (``--registry-url``),
   with optional admission control and hot-reload,
 * ``sched`` — the online degradation-aware cluster scheduler:
   ``serve`` (simulated fleet + placement/migration/DVFS loop),
   ``submit`` (enqueue jobs), ``status`` (cluster or per-job JSON),
+* ``suite`` — declarative experiment suites over a content-addressed
+  artifact store: ``run`` (incremental execution — unchanged cases are
+  resolved from the store, killed runs resume), ``status`` (what a run
+  would do), ``explain`` (why each node's key is what it is), ``gc``
+  (drop artifacts the current spec no longer reaches),
 * ``table`` / ``figure`` — regenerate a paper table or figure,
 * ``report`` — collate benchmark artifacts into one reproduction report,
 * ``obs summary`` — aggregate + span tree view of captured traces,
@@ -69,6 +75,25 @@ def _get_apps(names: list[str]):
 def _check_workers(args) -> None:
     if getattr(args, "workers", 1) < 1:
         raise SystemExit("error: --workers must be >= 1")
+
+
+def _verify_dataset(args, dataset) -> None:
+    """Apply the ``--verify-manifest`` policy after loading a dataset CSV."""
+    mode = getattr(args, "verify_manifest", "warn")
+    if mode == "skip":
+        return
+    from .harness.manifest import check_dataset_manifest
+
+    problems = check_dataset_manifest(dataset, args.data)
+    if not problems:
+        return
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    if mode == "strict":
+        raise SystemExit(
+            "error: dataset provenance verification failed "
+            "(--verify-manifest strict)"
+        )
 
 
 # ------------------------------------------------------------- commands
@@ -205,6 +230,7 @@ def _cmd_train(args) -> int:
         dataset = ObservationDataset.from_csv(args.data)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"error: cannot read dataset: {exc}") from None
+    _verify_dataset(args, dataset)
     try:
         kind = ModelKind(args.model)
         feature_set = FeatureSet(args.features.upper())
@@ -244,6 +270,7 @@ def _cmd_evaluate(args) -> int:
         dataset = ObservationDataset.from_csv(args.data)
     except (OSError, ValueError) as exc:
         raise SystemExit(f"error: cannot read dataset: {exc}") from None
+    _verify_dataset(args, dataset)
     fit_stats = FitStats()
     evaluations = evaluate_models(
         list(dataset),
@@ -435,17 +462,42 @@ def _cmd_registry_serve(args) -> int:
 
     from .registry.server import RegistryServer
 
-    backend = _open_registry(args.registry)
+    if args.mirror and args.registry:
+        raise SystemExit(
+            "error: pass either --registry DIR (serve local storage) or "
+            "--mirror URL (read replica of an upstream), not both"
+        )
+    if args.mirror:
+        from .registry.client import HttpBackend
+
+        if args.token:
+            raise SystemExit(
+                "error: a --mirror replica is read-only; it cannot accept "
+                "pushes, so --token does not apply"
+            )
+        cache_dir = args.cache or os.path.join(
+            os.path.expanduser("~"), ".cache", "repro-registry-mirror"
+        )
+        backend = HttpBackend(args.mirror, cache_dir)
+        source = f"upstream {args.mirror} (cache {cache_dir})"
+    elif args.registry:
+        backend = _open_registry(args.registry)
+        source = args.registry
+    else:
+        raise SystemExit("error: need --registry DIR or --mirror URL")
     server = RegistryServer(
         backend, host=args.host, port=args.port, token=args.token
     )
 
     async def _run() -> None:
         await server.start()
-        mode = "push enabled" if args.token else "read-only (no --token)"
+        if args.mirror:
+            mode = "pull-through read replica"
+        else:
+            mode = "push enabled" if args.token else "read-only (no --token)"
         print(
             f"registry server: {len(backend.names())} model(s) from "
-            f"{args.registry} on http://{args.host}:{server.port} ({mode})"
+            f"{source} on http://{args.host}:{server.port} ({mode})"
         )
         try:
             await server.serve_forever()
@@ -830,6 +882,77 @@ def _cmd_sched_status(args) -> int:
     return 0
 
 
+def _open_suite(args):
+    from .suite import ArtifactStore, SuiteSpecError, load_suite
+
+    try:
+        suite = load_suite(args.spec)
+    except SuiteSpecError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    return suite, ArtifactStore(args.store)
+
+
+def _cmd_suite_run(args) -> int:
+    from .suite import SuiteRunner
+
+    _check_workers(args)
+    suite, store = _open_suite(args)
+    runner = SuiteRunner(
+        suite,
+        store,
+        workers=args.workers,
+        force=args.force,
+        batch_solve=not args.no_batch,
+    )
+    report = runner.run()
+    print(report.summary())
+    if args.stats:
+        print(runner.stats.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_suite_status(args) -> int:
+    from .suite import SuiteRunner
+
+    suite, store = _open_suite(args)
+    rows = SuiteRunner(suite, store).plan()
+    cached = sum(1 for _, _, hit in rows if hit)
+    print(
+        f"suite {suite.name}: {len(rows)} node(s), {cached} cached, "
+        f"{len(rows) - cached} to run (store {store.describe()})"
+    )
+    for node, key, hit in rows:
+        state = "cached" if hit else ("pending" if key is None else "to run")
+        print(f"  {node.node_id}: {state}")
+    return 0
+
+
+def _cmd_suite_explain(args) -> int:
+    from .suite import SuiteRunner
+
+    suite, store = _open_suite(args)
+    try:
+        print(SuiteRunner(suite, store).explain(args.node))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    return 0
+
+
+def _cmd_suite_gc(args) -> int:
+    from .suite import SuiteRunner
+
+    suite, store = _open_suite(args)
+    keep = SuiteRunner(suite, store).keep_keys()
+    report = store.gc(keep, dry_run=args.dry_run)
+    print(report.summary())
+    verb = "would remove" if report.dry_run else "removed"
+    for key in report.removed_nodes:
+        print(f"  {verb} node {key[:16]}")
+    for blob in report.removed_blobs:
+        print(f"  {verb} blob {blob[:16]}")
+    return 0
+
+
 def _cmd_obs_summary(args) -> int:
     from .obs.summary import load_trace, render_summary
 
@@ -1065,6 +1188,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ensemble", type=int, metavar="N",
                    help="train a bootstrap ensemble of N members (for "
                         "uncertainty intervals) instead of a single model")
+    p.add_argument("--verify-manifest", dest="verify_manifest",
+                   choices=["warn", "strict", "skip"], default="warn",
+                   help="check the dataset's provenance sidecar on load: "
+                        "warn on problems (default), fail on them, or skip "
+                        "the check")
     p.add_argument("-o", "--output", required=True)
     p.add_argument("--trace", metavar="PATH",
                    help="record a Chrome trace of the fit to PATH")
@@ -1073,6 +1201,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("evaluate", help="12-model accuracy grid for a dataset")
     p.add_argument("--data", required=True)
+    p.add_argument("--verify-manifest", dest="verify_manifest",
+                   choices=["warn", "strict", "skip"], default="warn",
+                   help="check the dataset's provenance sidecar on load: "
+                        "warn on problems (default), fail on them, or skip "
+                        "the check")
     p.add_argument("--repetitions", type=int, default=25)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1,
@@ -1158,9 +1291,17 @@ def build_parser() -> argparse.ArgumentParser:
     rs.set_defaults(func=_cmd_registry_show)
 
     rv = reg_sub.add_parser(
-        "serve", help="serve a registry directory as an HTTP artifact service"
+        "serve", help="serve a registry directory as an HTTP artifact "
+                      "service, or mirror an upstream registry"
     )
-    rv.add_argument("--registry", required=True, help="registry directory")
+    rv.add_argument("--registry", help="registry directory to serve")
+    rv.add_argument("--mirror", metavar="URL",
+                    help="serve as a pull-through read replica of this "
+                         "upstream registry URL (mutually exclusive with "
+                         "--registry)")
+    rv.add_argument("--cache", help="blob/manifest cache directory for "
+                                    "--mirror (default ~/.cache/"
+                                    "repro-registry-mirror)")
     rv.add_argument("--host", default="127.0.0.1")
     rv.add_argument("--port", type=int, default=8100)
     rv.add_argument("--token", help="bearer token required for POST /v1/push "
@@ -1261,6 +1402,59 @@ def build_parser() -> argparse.ArgumentParser:
     st.add_argument("--host", default="127.0.0.1")
     st.add_argument("--port", type=int, default=8500)
     st.set_defaults(func=_cmd_sched_status)
+
+    p = sub.add_parser(
+        "suite",
+        help="declarative experiment suites with incremental recompute",
+    )
+    suite_sub = p.add_subparsers(dest="suite_command", required=True)
+
+    def _add_suite_args(sp) -> None:
+        sp.add_argument("spec", help="suite spec file (.json or .toml)")
+        sp.add_argument("--store", required=True,
+                        help="content-addressed artifact store directory")
+
+    sr = suite_sub.add_parser(
+        "run", help="execute the suite; nodes already in the store are "
+                    "skipped, so re-runs and killed runs resume"
+    )
+    _add_suite_args(sr)
+    sr.add_argument("--workers", type=int, default=1,
+                    help="processes per node for collection/evaluation; "
+                         "any count yields identical artifacts")
+    sr.add_argument("--force", action="store_true",
+                    help="re-execute every node even when the store "
+                         "resolves it")
+    sr.add_argument("--no-batch", dest="no_batch", action="store_true",
+                    help="disable the batched steady-state solver "
+                         "(bit-identical, just slower)")
+    sr.add_argument("--stats", action="store_true",
+                    help="print suite run counters afterwards")
+    sr.add_argument("--trace", metavar="PATH",
+                    help="record a Chrome trace of the run to PATH")
+    _add_export_trace_args(sr)
+    sr.set_defaults(func=_cmd_suite_run)
+
+    ss2 = suite_sub.add_parser(
+        "status", help="show what a run would execute vs resolve, read-only"
+    )
+    _add_suite_args(ss2)
+    ss2.set_defaults(func=_cmd_suite_status)
+
+    se = suite_sub.add_parser(
+        "explain", help="show each node's input key and provenance"
+    )
+    _add_suite_args(se)
+    se.add_argument("--node", help="limit to one node id, with full detail")
+    se.set_defaults(func=_cmd_suite_explain)
+
+    sg = suite_sub.add_parser(
+        "gc", help="drop store artifacts the spec no longer reaches"
+    )
+    _add_suite_args(sg)
+    sg.add_argument("--dry-run", dest="dry_run", action="store_true",
+                    help="report what would be removed without deleting")
+    sg.set_defaults(func=_cmd_suite_gc)
 
     p = sub.add_parser("table", help="regenerate a paper table (1-6)")
     p.add_argument("number", type=int)

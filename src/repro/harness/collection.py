@@ -156,6 +156,7 @@ def collect_training_data(
     targets: list[ApplicationSpec] | None = None,
     co_apps: list[ApplicationSpec] | None = None,
     counts: tuple[int, ...] | None = None,
+    frequencies_ghz: tuple[float, ...] | None = None,
     rng: np.random.Generator | None = None,
     workers: int = 1,
     batch_solve: bool = True,
@@ -174,6 +175,10 @@ def collect_training_data(
         Co-location applications; default the four training co-apps.
     counts:
         Homogeneous co-location counts; default the machine's Table V row.
+    frequencies_ghz:
+        Restrict the sweep to these P-states (default: the machine's full
+        ladder).  Each frequency must match a catalog P-state exactly;
+        experiment suites use this to declare per-case P-state subsets.
     rng:
         Root of the measurement-noise streams (seeded default).  Each
         scenario gets its own child generator spawned from this root, so
@@ -196,6 +201,18 @@ def collect_training_data(
         counts = setup_for(engine.processor).co_location_counts
     for count in counts:
         engine.processor.validate_co_location_count(count)
+    if frequencies_ghz is None:
+        pstates = list(engine.processor.pstates)
+    else:
+        try:
+            pstates = [
+                engine.processor.pstates.at_frequency(f)
+                for f in frequencies_ghz
+            ]
+        except Exception as exc:
+            raise ValueError(str(exc)) from None
+        if not pstates:
+            raise ValueError("need at least one P-state frequency")
     if rng is None:
         rng = np.random.default_rng(2015)
     if baselines is None:
@@ -208,7 +225,7 @@ def collect_training_data(
 
     scenarios = [
         (target, co_app, count, pstate)
-        for pstate in engine.processor.pstates
+        for pstate in pstates
         for target in targets
         for co_app in co_apps
         for count in counts

@@ -19,7 +19,13 @@ from pathlib import Path
 
 from .datasets import ObservationDataset
 
-__all__ = ["DatasetManifest", "manifest_path_for", "write_manifest", "read_manifest"]
+__all__ = [
+    "DatasetManifest",
+    "check_dataset_manifest",
+    "manifest_path_for",
+    "read_manifest",
+    "write_manifest",
+]
 
 
 def _digest(dataset: ObservationDataset) -> str:
@@ -138,3 +144,44 @@ def read_manifest(csv_path: str | Path) -> DatasetManifest:
     if not path.exists():
         raise FileNotFoundError(f"no manifest at {path}")
     return DatasetManifest.from_json(path.read_text())
+
+
+def check_dataset_manifest(
+    dataset: ObservationDataset, csv_path: str | Path
+) -> list[str]:
+    """Provenance problems for a loaded dataset, as human-readable strings.
+
+    Consumers (``repro train`` / ``repro evaluate``) call this after
+    loading a CSV and decide whether problems warn or fail.  An empty list
+    means the sidecar manifest exists, parses, and its ``content_sha256``
+    matches the bytes that were just loaded — the dataset is exactly what
+    its manifest claims.
+
+    Reported problems: missing sidecar, malformed sidecar, and content
+    digest mismatch (the CSV was edited, truncated, or swapped after
+    collection).
+    """
+    path = manifest_path_for(csv_path)
+    if not path.exists():
+        return [
+            f"dataset {csv_path} has no provenance manifest at {path}; "
+            f"re-collect with 'repro collect' to produce one"
+        ]
+    try:
+        manifest = DatasetManifest.from_json(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"manifest {path} is unreadable: {exc}"]
+    problems = []
+    if not manifest.matches(dataset):
+        problems.append(
+            f"dataset {csv_path} does not match its manifest: content "
+            f"sha256 is {_digest(dataset)[:12]}... but the manifest "
+            f"records {manifest.content_sha256[:12]}... — the CSV was "
+            f"modified after collection"
+        )
+    if manifest.num_observations != len(dataset):
+        problems.append(
+            f"dataset {csv_path} holds {len(dataset)} observations but "
+            f"its manifest records {manifest.num_observations}"
+        )
+    return problems

@@ -30,6 +30,7 @@ __all__ = [
     "render_engine_stats",
     "render_fit_stats",
     "render_registry_backend",
+    "suite_stats_exposition",
 ]
 
 #: Fixed-point iteration bucket bounds for the engine histogram.
@@ -48,6 +49,10 @@ def render_engine_stats(stats) -> str:
         "# HELP repro_engine_cache_misses_total Steady-state cache misses.",
         "# TYPE repro_engine_cache_misses_total counter",
         f"repro_engine_cache_misses_total {stats.cache_misses}",
+        "# HELP repro_engine_cache_evictions_total Bounded solve-cache LRU "
+        "evictions.",
+        "# TYPE repro_engine_cache_evictions_total counter",
+        f"repro_engine_cache_evictions_total {stats.cache_evictions}",
         "# HELP repro_engine_convergence_failures_total Solves that failed "
         "to converge.",
         "# TYPE repro_engine_convergence_failures_total counter",
@@ -157,6 +162,13 @@ def engine_stats_exposition() -> str:
     return render_engine_stats(GLOBAL_ENGINE_STATS)
 
 
+def suite_stats_exposition() -> str:
+    """Scrape-time render of the process-global suite-run aggregate."""
+    from ..suite.stats import GLOBAL_SUITE_STATS, render_suite_stats
+
+    return render_suite_stats(GLOBAL_SUITE_STATS)
+
+
 def fit_stats_exposition() -> str:
     """Scrape-time render of the process-global fitting aggregate."""
     from ..core.fitstats import GLOBAL_FIT_STATS
@@ -218,6 +230,7 @@ def install_default_sources(
     registry.register_source("engine", engine_stats_exposition)
     registry.register_source("fit", fit_stats_exposition)
     registry.register_source("obs", obs_stats_exposition)
+    registry.register_source("suite", suite_stats_exposition)
     if serving is not None:
         registry.register_source("serving", serving)
     if sched is not None:

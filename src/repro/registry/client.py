@@ -321,6 +321,48 @@ class HttpBackend:
         self._atomic_write(blob_path, payload)
         return artifact, manifest
 
+    def blob_path(self, content_hash: str) -> Path:
+        """Local path of a blob, pulled through from the upstream on miss.
+
+        The content-addressed read path that makes an :class:`HttpBackend`
+        servable by a :class:`~repro.registry.server.RegistryServer` as a
+        **read replica**: ``repro registry serve --mirror URL`` wraps an
+        ``HttpBackend`` and answers ``GET /v1/blobs/{sha256}`` through
+        this.  A cached blob is returned without touching the network;
+        a miss downloads from the upstream, verifies the payload hashes
+        to ``content_hash``, caches it, and returns the cached path — so
+        a fleet of suite runners hits the upstream once per artifact, not
+        once per runner.
+        """
+        import hashlib
+
+        path = self._blob_cache_path(content_hash)
+        if path.is_file():
+            return path
+        try:
+            status, payload = self._request("GET", f"/v1/blobs/{content_hash}")
+        except OSError as exc:
+            raise RegistryError(
+                f"registry at {self.base_url} is unreachable and blob "
+                f"{content_hash[:12]}... is not cached: {exc}"
+            ) from None
+        if status != 200:
+            raise RegistryError(
+                self._error_text(
+                    payload,
+                    f"registry at {self.base_url} refused blob "
+                    f"{content_hash[:12]}... ({status})",
+                )
+            )
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != content_hash:
+            raise RegistryError(
+                f"blob {content_hash[:12]}... from {self.base_url} hashes "
+                f"to {digest[:12]}...; refusing to cache the corrupt payload"
+            )
+        self._atomic_write(path, payload)
+        return path
+
     def _download_blob(self, manifest: ModelManifest) -> bytes:
         try:
             status, payload = self._request(

@@ -58,7 +58,12 @@ class RegistryServer(HttpServerBase):
     ----------
     backend:
         The store to expose — normally a local
-        :class:`~repro.registry.local.ModelRegistry`.
+        :class:`~repro.registry.local.ModelRegistry`; pass an
+        :class:`~repro.registry.client.HttpBackend` to run a **read
+        replica** that pulls manifests and blobs through from an upstream
+        registry on cache miss (``repro registry serve --mirror URL``),
+        so suite fleets fan reads across mirrors instead of hammering
+        one registry.
     host, port:
         Bind address; port ``0`` picks an ephemeral port.
     token:
@@ -162,7 +167,15 @@ class RegistryServer(HttpServerBase):
                 "models": [self._manifest_dict(m) for m in self.backend.list()]
             }
             return 200, "application/json", json.dumps(body).encode()
-        changed, cursor = self.backend.changed_models(since[0] or None)
+        feed = self.backend.changed_models(since[0] or None)
+        if feed is None:
+            # Mirror whose *upstream* predates change cursors: downgrade
+            # to the full listing, exactly as a cursor-less backend would.
+            body = {
+                "models": [self._manifest_dict(m) for m in self.backend.list()]
+            }
+            return 200, "application/json", json.dumps(body).encode()
+        changed, cursor = feed
         names = set(changed)
         manifests = (
             [

@@ -443,7 +443,9 @@ class SimulationEngine:
         self.stats.record_solve(state.iterations)
         GLOBAL_ENGINE_STATS.record_solve(state.iterations)
         if key is not None:
-            self.cache.put(key, state)
+            if self.cache.put(key, state):
+                self.stats.record_eviction()
+                GLOBAL_ENGINE_STATS.record_eviction()
         return state
 
     def _solve_fixed_point(
@@ -774,7 +776,9 @@ class SimulationEngine:
                 self.stats.record_solve(state.iterations)
                 GLOBAL_ENGINE_STATS.record_solve(state.iterations)
                 if self.cache is not None:
-                    self.cache.put(key, state)
+                    if self.cache.put(key, state):
+                        self.stats.record_eviction()
+                        GLOBAL_ENGINE_STATS.record_eviction()
                 for i in members:
                     apps, pstate, _ = entries[i]
                     results[i] = replace(state, apps=apps, pstate=pstate)

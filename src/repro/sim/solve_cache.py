@@ -24,8 +24,10 @@ caller's engine.
 
 from __future__ import annotations
 
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -89,10 +91,18 @@ class SolveCache:
 
     Keys are :func:`solve_key` tuples; values are frozen
     :class:`~repro.sim.engine.SteadyState` records.  Unbounded by default;
-    pass ``max_entries`` to evict least-recently-used solves.  A cache may
-    back several engines, but only engines whose processors genuinely
-    share a configuration should share one (keys include the processor
-    *name*, not its full geometry).
+    pass ``max_entries`` to evict least-recently-used solves (evictions
+    are counted in :attr:`evictions` and, through the engine, in
+    :attr:`EngineStats.cache_evictions` — a long suite run with a bounded
+    cache stays bounded *observably*).  A cache may back several engines,
+    but only engines whose processors genuinely share a configuration
+    should share one (keys include the processor *name*, not its full
+    geometry).
+
+    A cache survives its process: :meth:`dump` / :meth:`load` round-trip
+    the entries through pickle, which is how the suite runner
+    (:mod:`repro.suite.runner`) shares steady-state solves across
+    processes and across runs via its artifact store.
     """
 
     def __init__(self, max_entries: int | None = None) -> None:
@@ -101,6 +111,7 @@ class SolveCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._entries: OrderedDict[tuple, object] = OrderedDict()
 
     def __len__(self) -> int:
@@ -126,18 +137,63 @@ class SolveCache:
         self.hits += 1
         return state
 
-    def put(self, key: tuple, state) -> None:
-        """Store one solve, evicting the least-recently-used if bounded."""
+    def put(self, key: tuple, state) -> bool:
+        """Store one solve, evicting the least-recently-used if bounded.
+
+        Returns ``True`` when the insert pushed an older entry out, so
+        engines can tally the eviction in their :class:`EngineStats`.
+        """
         self._entries[key] = state
         self._entries.move_to_end(key)
         if self.max_entries is not None and len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+            self.evictions += 1
+            return True
+        return False
 
     def clear(self) -> None:
-        """Drop every entry and reset the hit/miss counters."""
+        """Drop every entry and reset the hit/miss/eviction counters."""
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    # -------------------------------------------------------- persistence
+    def dump_bytes(self) -> bytes:
+        """Serialize the entries (not the counters) for a later process.
+
+        Entries travel in recency order, so a bounded cache restored via
+        :meth:`load_bytes` evicts in the same order the donor would have.
+        """
+        return pickle.dumps(list(self._entries.items()), protocol=4)
+
+    def load_bytes(self, payload: bytes) -> int:
+        """Merge entries serialized by :meth:`dump_bytes`; returns count.
+
+        Existing entries win on key collisions (both sides hold the same
+        pure-function solve, so either copy is exact).  Loading respects
+        ``max_entries``: overflow evicts least-recently-used as usual.
+        """
+        try:
+            items = pickle.loads(payload)
+        except Exception as exc:
+            raise ValueError(f"solve cache payload is corrupt: {exc}") from None
+        loaded = 0
+        for key, state in items:
+            if key in self._entries:
+                continue
+            self.put(key, state)
+            loaded += 1
+        return loaded
+
+    def dump(self, path: str | Path) -> int:
+        """Write the entries to ``path``; returns how many were written."""
+        Path(path).write_bytes(self.dump_bytes())
+        return len(self._entries)
+
+    def load(self, path: str | Path) -> int:
+        """Merge entries from a file written by :meth:`dump`."""
+        return self.load_bytes(Path(path).read_bytes())
 
 
 @dataclass
@@ -151,6 +207,9 @@ class EngineStats:
     cache_hits / cache_misses:
         Lookups served from / missed by the engine's :class:`SolveCache`
         (both stay 0 on an engine without a cache).
+    cache_evictions:
+        Entries a bounded :class:`SolveCache` pushed out to stay within
+        ``max_entries`` (0 for unbounded caches).
     convergence_failures:
         Solves that raised :class:`~repro.sim.engine.ConvergenceError`.
     iteration_counts:
@@ -177,6 +236,7 @@ class EngineStats:
     solves: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     convergence_failures: int = 0
     iteration_counts: dict[int, int] = field(default_factory=dict)
     batches: int = 0
@@ -209,6 +269,10 @@ class EngineStats:
         """Count one cache lookup that fell through to a solve."""
         self.cache_misses += 1
 
+    def record_eviction(self) -> None:
+        """Count one bounded-cache LRU eviction."""
+        self.cache_evictions += 1
+
     def record_failure(self) -> None:
         """Count one solve that failed to converge."""
         self.convergence_failures += 1
@@ -227,6 +291,7 @@ class EngineStats:
         self.solves += other.solves
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
         self.convergence_failures += other.convergence_failures
         self.batches += other.batches
         self.batched_scenarios += other.batched_scenarios
@@ -242,6 +307,7 @@ class EngineStats:
         self.solves = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         self.convergence_failures = 0
         self.iteration_counts = {}
         self.batches = 0
@@ -271,6 +337,10 @@ class EngineStats:
             f"({100.0 * self.cache_hit_rate:.1f}% hit rate), "
             f"{self.convergence_failures} convergence failures"
         ]
+        if self.cache_evictions:
+            lines.append(
+                f"bounded cache: {self.cache_evictions} LRU evictions"
+            )
         if self.batches:
             lines.append(
                 f"batched solves: {self.batches} batches, "

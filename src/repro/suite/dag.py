@@ -1,0 +1,133 @@
+"""Suite DAG construction and content-addressed input keys.
+
+Each :class:`~repro.suite.spec.CaseSpec` becomes a small chain of nodes:
+
+* ``collect:<case>`` — run the simulator, produce the dataset CSV;
+* ``train:<case>:<kind>-<featureset>`` — one per (model kind, feature
+  set) pair, fit a predictor on the dataset;
+* ``eval:<case>`` — the repeated train/test-split evaluation grid.
+
+A node's **input key** is the sha256 of canonical JSON covering
+everything that can change its output: the node kind, the library
+version, the node's own parameter spec (from the case), and — for
+downstream nodes — the input key *and* content digest of every upstream
+artifact.  Upstream digests are only known once the upstream node has
+run (or resolved from the store), so keys are computed lazily during the
+topological walk, not up front.
+
+Identical keys ⇒ identical outputs, which is the entire contract the
+incremental runner (:mod:`repro.suite.runner`) relies on: edit one
+case's spec and only that case's chain gets new keys; everything else
+resolves from the store untouched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .spec import CaseSpec, SuiteSpec
+from .store import NodeManifest, canonical_json
+
+__all__ = [
+    "SuiteNode",
+    "build_nodes",
+    "key_material",
+    "node_input_key",
+]
+
+
+@dataclass(frozen=True)
+class SuiteNode:
+    """One unit of suite work, before keys are known.
+
+    ``inputs`` names upstream node ids in a fixed order; ``key_spec`` is
+    the node's own parameter material (a plain JSON-able dict).
+    """
+
+    node_id: str
+    kind: str
+    case: CaseSpec
+    inputs: tuple[str, ...]
+    key_spec: dict
+
+
+def build_nodes(suite: SuiteSpec) -> list[SuiteNode]:
+    """Expand a suite into nodes, topologically ordered.
+
+    Per-case order is collect → train* → eval, so a simple in-order walk
+    always sees a node's upstreams first.
+    """
+    nodes: list[SuiteNode] = []
+    for case in suite.cases:
+        collect_id = f"collect:{case.name}"
+        nodes.append(
+            SuiteNode(
+                node_id=collect_id,
+                kind="collect",
+                case=case,
+                inputs=(),
+                key_spec=case.collect_spec(),
+            )
+        )
+        for kind in case.model_kinds:
+            for feature_set in case.feature_sets:
+                nodes.append(
+                    SuiteNode(
+                        node_id=f"train:{case.name}:{kind}-{feature_set}",
+                        kind="train",
+                        case=case,
+                        inputs=(collect_id,),
+                        key_spec=case.train_spec(kind, feature_set),
+                    )
+                )
+        nodes.append(
+            SuiteNode(
+                node_id=f"eval:{case.name}",
+                kind="eval",
+                case=case,
+                inputs=(collect_id,),
+                key_spec=case.evaluate_spec(),
+            )
+        )
+    return nodes
+
+
+def key_material(
+    node: SuiteNode,
+    upstream: dict[str, NodeManifest],
+    library_version: str,
+) -> dict:
+    """The exact dict whose canonical JSON is hashed into the input key.
+
+    Exposed separately so ``repro suite explain`` can show users *why*
+    a node's key is what it is.
+    """
+    inputs = {}
+    for upstream_id in node.inputs:
+        manifest = upstream[upstream_id]
+        inputs[upstream_id] = {
+            "input_key": manifest.input_key,
+            "content_sha256": manifest.content_sha256,
+        }
+    return {
+        "kind": node.kind,
+        "library_version": library_version,
+        "spec": node.key_spec,
+        "inputs": inputs,
+    }
+
+
+def node_input_key(
+    node: SuiteNode,
+    upstream: dict[str, NodeManifest],
+    library_version: str,
+) -> str:
+    """sha256 over the node's canonical key material.
+
+    ``upstream`` must hold a resolved :class:`NodeManifest` for every id
+    in ``node.inputs`` — raises ``KeyError`` otherwise, which the runner
+    treats as "blocked".
+    """
+    material = key_material(node, upstream, library_version)
+    return hashlib.sha256(canonical_json(material).encode()).hexdigest()

@@ -1,0 +1,144 @@
+"""Suite-run counters and their Prometheus exposition.
+
+Mirrors the pattern set by :class:`repro.sim.engine.EngineStats` /
+``GLOBAL_ENGINE_STATS``: every :class:`~repro.suite.runner.SuiteRunner`
+carries its own :class:`SuiteStats`, and each recording call also bumps
+the process-wide :data:`GLOBAL_SUITE_STATS` aggregate, which is what the
+``/metrics`` endpoint and ``--stats`` flag read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "GLOBAL_SUITE_STATS",
+    "SuiteStats",
+    "render_suite_stats",
+    "suite_stats_exposition",
+]
+
+
+@dataclass
+class SuiteStats:
+    """Counters for suite runs.
+
+    ``nodes_skipped`` counts store hits during a run (the incremental
+    win); ``nodes_resumed`` is the subset of skips attributable to a
+    *prior* run of the same suite — i.e. manifests that already existed
+    when the run started.
+    """
+
+    runs: int = 0
+    nodes_run: int = 0
+    nodes_skipped: int = 0
+    nodes_failed: int = 0
+    nodes_resumed: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    solve_cache_entries_loaded: int = 0
+    solve_cache_entries_saved: int = 0
+
+    def record_run(self) -> None:
+        self.runs += 1
+        if self is not GLOBAL_SUITE_STATS:
+            GLOBAL_SUITE_STATS.runs += 1
+
+    def record_node_run(self) -> None:
+        self.nodes_run += 1
+        self.store_misses += 1
+        if self is not GLOBAL_SUITE_STATS:
+            GLOBAL_SUITE_STATS.nodes_run += 1
+            GLOBAL_SUITE_STATS.store_misses += 1
+
+    def record_node_skipped(self, *, resumed: bool) -> None:
+        self.nodes_skipped += 1
+        self.store_hits += 1
+        self.nodes_resumed += resumed
+        if self is not GLOBAL_SUITE_STATS:
+            GLOBAL_SUITE_STATS.nodes_skipped += 1
+            GLOBAL_SUITE_STATS.store_hits += 1
+            GLOBAL_SUITE_STATS.nodes_resumed += resumed
+
+    def record_node_failed(self) -> None:
+        self.nodes_failed += 1
+        if self is not GLOBAL_SUITE_STATS:
+            GLOBAL_SUITE_STATS.nodes_failed += 1
+
+    def record_solve_cache(self, *, loaded: int = 0, saved: int = 0) -> None:
+        self.solve_cache_entries_loaded += loaded
+        self.solve_cache_entries_saved += saved
+        if self is not GLOBAL_SUITE_STATS:
+            GLOBAL_SUITE_STATS.solve_cache_entries_loaded += loaded
+            GLOBAL_SUITE_STATS.solve_cache_entries_saved += saved
+
+    def reset(self) -> None:
+        self.runs = 0
+        self.nodes_run = 0
+        self.nodes_skipped = 0
+        self.nodes_failed = 0
+        self.nodes_resumed = 0
+        self.store_hits = 0
+        self.store_misses = 0
+        self.solve_cache_entries_loaded = 0
+        self.solve_cache_entries_saved = 0
+
+    def summary(self) -> str:
+        lines = [
+            f"suite runs: {self.runs}",
+            f"nodes executed: {self.nodes_run}",
+            f"nodes skipped (store hits): {self.nodes_skipped}",
+        ]
+        if self.nodes_resumed:
+            lines.append(f"nodes resumed from a prior run: {self.nodes_resumed}")
+        if self.nodes_failed:
+            lines.append(f"nodes failed: {self.nodes_failed}")
+        if self.solve_cache_entries_loaded or self.solve_cache_entries_saved:
+            lines.append(
+                f"solve cache: {self.solve_cache_entries_loaded} entries "
+                f"loaded, {self.solve_cache_entries_saved} saved"
+            )
+        return "\n".join(lines)
+
+
+#: Process-wide aggregate across every runner in this process.
+GLOBAL_SUITE_STATS = SuiteStats()
+
+
+def render_suite_stats(stats: SuiteStats) -> str:
+    """Prometheus text exposition for one :class:`SuiteStats`."""
+    lines = [
+        "# HELP repro_suite_runs_total Suite runs started.",
+        "# TYPE repro_suite_runs_total counter",
+        f"repro_suite_runs_total {stats.runs}",
+        "# HELP repro_suite_nodes_run_total Suite nodes executed.",
+        "# TYPE repro_suite_nodes_run_total counter",
+        f"repro_suite_nodes_run_total {stats.nodes_run}",
+        "# HELP repro_suite_nodes_skipped_total Suite nodes resolved from the store.",
+        "# TYPE repro_suite_nodes_skipped_total counter",
+        f"repro_suite_nodes_skipped_total {stats.nodes_skipped}",
+        "# HELP repro_suite_nodes_failed_total Suite nodes that raised.",
+        "# TYPE repro_suite_nodes_failed_total counter",
+        f"repro_suite_nodes_failed_total {stats.nodes_failed}",
+        "# HELP repro_suite_nodes_resumed_total Store hits left by a prior run.",
+        "# TYPE repro_suite_nodes_resumed_total counter",
+        f"repro_suite_nodes_resumed_total {stats.nodes_resumed}",
+        "# HELP repro_suite_store_hits_total Artifact-store node manifest hits.",
+        "# TYPE repro_suite_store_hits_total counter",
+        f"repro_suite_store_hits_total {stats.store_hits}",
+        "# HELP repro_suite_store_misses_total Artifact-store node manifest misses.",
+        "# TYPE repro_suite_store_misses_total counter",
+        f"repro_suite_store_misses_total {stats.store_misses}",
+        "# HELP repro_suite_solve_cache_loaded_total Solve-cache entries loaded from the store.",
+        "# TYPE repro_suite_solve_cache_loaded_total counter",
+        f"repro_suite_solve_cache_loaded_total {stats.solve_cache_entries_loaded}",
+        "# HELP repro_suite_solve_cache_saved_total Solve-cache entries persisted to the store.",
+        "# TYPE repro_suite_solve_cache_saved_total counter",
+        f"repro_suite_solve_cache_saved_total {stats.solve_cache_entries_saved}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def suite_stats_exposition() -> str:
+    """Exposition for the process-wide aggregate (metrics-source hook)."""
+    return render_suite_stats(GLOBAL_SUITE_STATS)

@@ -1,0 +1,331 @@
+"""Content-addressed artifact store with a DAG of provenance manifests.
+
+The store is the suite runner's memory.  Every produced artifact —
+dataset CSV, fitted model JSON, evaluation table — is stored twice over:
+
+* the **payload** lands under ``blobs/<sha256-of-content>`` (the same
+  content-addressed discipline as the model registry's blob store and
+  the :class:`~repro.registry.client.HttpBackend` cache), and
+* a **node manifest** lands under ``nodes/<input-key>.json``, keyed by
+  the sha256 of the node's *inputs*: its case spec, the library version,
+  and the input keys + content digests of every upstream artifact.
+
+The input key is the whole incremental-recompute mechanism: a node whose
+inputs have not changed hashes to the same key, the manifest resolves,
+and the node is skipped.  Touching one case's spec changes that case's
+keys (and, through the recorded upstream digests, its downstream keys)
+and nothing else.  Manifests link to their upstreams by key, extending
+the flat :class:`~repro.harness.manifest.DatasetManifest` sidecar into a
+DAG — ``repro suite explain`` walks it.
+
+Writes are atomic (``mkstemp`` + ``os.replace``, the discipline the
+registry cache established), so a killed run never leaves a torn blob or
+manifest: either a node completed and will be skipped on resume, or it
+left nothing behind and re-runs.
+
+The store also holds one serialized
+:class:`~repro.sim.solve_cache.SolveCache` per machine under
+``solvecache/``, which is how steady-state solves outlive a single
+process and a single run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+__all__ = ["ArtifactStore", "GCReport", "NodeManifest", "StoreError"]
+
+
+class StoreError(ValueError):
+    """The artifact store refused an operation."""
+
+
+def sha256_hex(payload: bytes) -> str:
+    """Plain sha256 hex digest (the store's only hash)."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def canonical_json(data: dict) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+def _atomic_write(path: Path, payload: bytes) -> None:
+    """Publish ``path`` all-or-nothing, safe under concurrent writers."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+@dataclass(frozen=True)
+class NodeManifest:
+    """Provenance record for one completed suite node.
+
+    ``inputs`` maps each upstream node id to its ``{"input_key": ...,
+    "content_sha256": ...}`` pair — the DAG edge.  ``meta`` carries
+    node-kind extras (a collect node embeds its dataset's
+    :class:`~repro.harness.manifest.DatasetManifest` fields here).
+    """
+
+    node_id: str
+    kind: str
+    input_key: str
+    content_sha256: str
+    library_version: str
+    spec: dict = field(default_factory=dict)
+    inputs: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+    created_at: str = ""
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "node_id": self.node_id,
+                "kind": self.kind,
+                "input_key": self.input_key,
+                "content_sha256": self.content_sha256,
+                "library_version": self.library_version,
+                "spec": self.spec,
+                "inputs": self.inputs,
+                "meta": self.meta,
+                "created_at": self.created_at,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "NodeManifest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreError(f"node manifest is not valid JSON: {exc}") from None
+        try:
+            return cls(
+                node_id=str(data["node_id"]),
+                kind=str(data["kind"]),
+                input_key=str(data["input_key"]),
+                content_sha256=str(data["content_sha256"]),
+                library_version=str(data.get("library_version", "")),
+                spec=dict(data.get("spec", {})),
+                inputs=dict(data.get("inputs", {})),
+                meta=dict(data.get("meta", {})),
+                created_at=str(data.get("created_at", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreError(f"malformed node manifest: {exc}") from None
+
+
+@dataclass(frozen=True)
+class GCReport:
+    """What :meth:`ArtifactStore.gc` removed (or would remove)."""
+
+    kept_nodes: int
+    removed_nodes: tuple[str, ...]
+    removed_blobs: tuple[str, ...]
+    dry_run: bool
+
+    def summary(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (
+            f"suite store gc: kept {self.kept_nodes} node(s), {verb} "
+            f"{len(self.removed_nodes)} node manifest(s) and "
+            f"{len(self.removed_blobs)} unreferenced blob(s)"
+        )
+
+
+class ArtifactStore:
+    """One directory of blobs, node manifests, and solve-cache snapshots."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.blob_dir = self.root / "blobs"
+        self.node_dir = self.root / "nodes"
+        self.solve_cache_dir = self.root / "solvecache"
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    # -------------------------------------------------------------- blobs
+    def blob_path(self, content_hash: str) -> Path:
+        return self.blob_dir / content_hash
+
+    def put_blob(self, payload: bytes) -> str:
+        """Store bytes by content hash; returns the hash.  Idempotent."""
+        digest = sha256_hex(payload)
+        path = self.blob_path(digest)
+        if not path.is_file():
+            _atomic_write(path, payload)
+        return digest
+
+    def read_blob(self, content_hash: str) -> bytes:
+        """Load and re-verify one blob."""
+        path = self.blob_path(content_hash)
+        try:
+            payload = path.read_bytes()
+        except OSError as exc:
+            raise StoreError(
+                f"store at {self.root} has no blob "
+                f"{content_hash[:12]}...: {exc}"
+            ) from None
+        digest = sha256_hex(payload)
+        if digest != content_hash:
+            raise StoreError(
+                f"blob {content_hash[:12]}... hashes to {digest[:12]}...; "
+                f"the stored payload was modified after it was produced"
+            )
+        return payload
+
+    # -------------------------------------------------------------- nodes
+    def _node_path(self, input_key: str) -> Path:
+        return self.node_dir / f"{input_key}.json"
+
+    def has_node(self, input_key: str) -> bool:
+        return self._node_path(input_key).is_file()
+
+    def node_manifest(self, input_key: str) -> NodeManifest | None:
+        """The manifest stored under ``input_key``, or ``None``."""
+        path = self._node_path(input_key)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        return NodeManifest.from_json(text)
+
+    def node_keys(self) -> list[str]:
+        """Every stored node input key, sorted."""
+        if not self.node_dir.is_dir():
+            return []
+        return sorted(p.stem for p in self.node_dir.glob("*.json"))
+
+    def put_node(
+        self,
+        *,
+        node_id: str,
+        kind: str,
+        input_key: str,
+        payload: bytes,
+        library_version: str,
+        spec: dict | None = None,
+        inputs: dict | None = None,
+        meta: dict | None = None,
+    ) -> NodeManifest:
+        """Store one completed node: blob first, then its manifest.
+
+        Ordering is the crash-safety contract — the manifest is the
+        commit record, written only after the payload it points at is
+        durable, so a resume never finds a manifest with a missing blob.
+        """
+        content_hash = self.put_blob(payload)
+        manifest = NodeManifest(
+            node_id=node_id,
+            kind=kind,
+            input_key=input_key,
+            content_sha256=content_hash,
+            library_version=library_version,
+            spec=spec or {},
+            inputs=inputs or {},
+            meta=meta or {},
+            created_at=datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+        )
+        _atomic_write(self._node_path(input_key), manifest.to_json().encode())
+        return manifest
+
+    def read_node_payload(self, input_key: str) -> tuple[bytes, NodeManifest]:
+        """One node's artifact bytes plus its manifest."""
+        manifest = self.node_manifest(input_key)
+        if manifest is None:
+            raise StoreError(
+                f"store at {self.root} has no node for key "
+                f"{input_key[:12]}..."
+            )
+        return self.read_blob(manifest.content_sha256), manifest
+
+    # ----------------------------------------------------------------- gc
+    def gc(self, keep_keys, *, dry_run: bool = False) -> GCReport:
+        """Drop node manifests outside ``keep_keys`` and orphaned blobs.
+
+        ``keep_keys`` is the set of input keys reachable from the current
+        suite spec(s); everything else is debris from edited specs and
+        old library versions.  Blobs still referenced by a surviving
+        manifest are kept (two nodes may share identical content).
+        """
+        keep = set(keep_keys)
+        removed_nodes = []
+        kept_manifests = []
+        for key in self.node_keys():
+            if key in keep:
+                manifest = self.node_manifest(key)
+                if manifest is not None:
+                    kept_manifests.append(manifest)
+                continue
+            removed_nodes.append(key)
+        referenced = {m.content_sha256 for m in kept_manifests}
+        removed_blobs = []
+        if self.blob_dir.is_dir():
+            for path in sorted(self.blob_dir.iterdir()):
+                if path.name in referenced or path.suffix == ".tmp":
+                    continue
+                # A blob is also kept while any *non-collected* manifest
+                # references it; only survivors count, so everything else
+                # referenced solely by removed manifests goes too.
+                removed_blobs.append(path.name)
+        if not dry_run:
+            for key in removed_nodes:
+                self._node_path(key).unlink(missing_ok=True)
+            for name in removed_blobs:
+                (self.blob_dir / name).unlink(missing_ok=True)
+        return GCReport(
+            kept_nodes=len(kept_manifests),
+            removed_nodes=tuple(removed_nodes),
+            removed_blobs=tuple(removed_blobs),
+            dry_run=dry_run,
+        )
+
+    # ------------------------------------------------------- solve caches
+    def solve_cache_path(self, machine_key: str) -> Path:
+        safe = machine_key.replace("/", "_")
+        return self.solve_cache_dir / f"{safe}.pkl"
+
+    def load_solve_cache(self, machine_key: str, cache) -> int:
+        """Merge a persisted solve cache for ``machine_key`` into ``cache``.
+
+        Returns how many entries were loaded (0 when none persisted).  A
+        corrupt snapshot is discarded rather than fatal — it is only a
+        cache.
+        """
+        path = self.solve_cache_path(machine_key)
+        if not path.is_file():
+            return 0
+        try:
+            return cache.load(path)
+        except (OSError, ValueError):
+            path.unlink(missing_ok=True)
+            return 0
+
+    def save_solve_cache(self, machine_key: str, cache) -> int:
+        """Persist ``cache`` for ``machine_key``; returns entries written."""
+        path = self.solve_cache_path(machine_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = cache.dump_bytes()
+        _atomic_write(path, payload)
+        return len(cache)

@@ -103,6 +103,35 @@ class TestCollectTrainingData:
                 engine_6core, baselines=baselines_6core, counts=(1, 6)
             )
 
+    def test_frequency_subset_restricts_sweep(
+        self, engine_6core, baselines_6core
+    ):
+        ds = collect_training_data(
+            engine_6core,
+            baselines=baselines_6core,
+            targets=[get_application("ep")],
+            co_apps=[get_application("cg")],
+            counts=(1,),
+            frequencies_ghz=(2.53, 1.6),
+        )
+        # 2 pstates x 1 target x 1 co-app x 1 count
+        assert len(ds) == 2
+        assert {o.frequency_ghz for o in ds} == {2.53, 1.6}
+
+    def test_frequency_subset_validated(self, engine_6core, baselines_6core):
+        with pytest.raises(ValueError, match="no P-state"):
+            collect_training_data(
+                engine_6core,
+                baselines=baselines_6core,
+                frequencies_ghz=(9.99,),
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            collect_training_data(
+                engine_6core,
+                baselines=baselines_6core,
+                frequencies_ghz=(),
+            )
+
     def test_deterministic_with_seed(self, engine_6core, baselines_6core):
         kwargs = dict(
             baselines=baselines_6core,

@@ -1,0 +1,125 @@
+"""Provenance verification on dataset load (check + CLI policy flag)."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.datasets import ObservationDataset
+from repro.harness.manifest import (
+    check_dataset_manifest,
+    manifest_path_for,
+    write_manifest,
+)
+
+
+@pytest.fixture
+def csv_with_manifest(tmp_path, small_dataset):
+    path = tmp_path / "data.csv"
+    small_dataset.to_csv(path)
+    write_manifest(small_dataset, path, seed=42)
+    return path
+
+
+class TestCheckDatasetManifest:
+    def test_clean_dataset_has_no_problems(self, csv_with_manifest):
+        dataset = ObservationDataset.from_csv(csv_with_manifest)
+        assert check_dataset_manifest(dataset, csv_with_manifest) == []
+
+    def test_missing_sidecar(self, tmp_path, small_dataset):
+        path = tmp_path / "bare.csv"
+        small_dataset.to_csv(path)
+        dataset = ObservationDataset.from_csv(path)
+        problems = check_dataset_manifest(dataset, path)
+        assert len(problems) == 1
+        assert "no provenance manifest" in problems[0]
+
+    def test_malformed_sidecar(self, csv_with_manifest):
+        manifest_path_for(csv_with_manifest).write_text("{broken")
+        dataset = ObservationDataset.from_csv(csv_with_manifest)
+        problems = check_dataset_manifest(dataset, csv_with_manifest)
+        assert len(problems) == 1
+        assert "unreadable" in problems[0]
+
+    def test_content_mismatch_detected(self, csv_with_manifest):
+        # Tamper with one observation's time field.
+        lines = csv_with_manifest.read_text().splitlines()
+        cols = lines[1].split(",")
+        cols[-1] = repr(float(cols[-1]) * 2)
+        lines[1] = ",".join(cols)
+        csv_with_manifest.write_text("\n".join(lines) + "\n")
+        dataset = ObservationDataset.from_csv(csv_with_manifest)
+        problems = check_dataset_manifest(dataset, csv_with_manifest)
+        assert any("does not match its manifest" in p for p in problems)
+
+    def test_truncation_detected(self, csv_with_manifest):
+        lines = csv_with_manifest.read_text().splitlines()
+        csv_with_manifest.write_text("\n".join(lines[:-1]) + "\n")
+        dataset = ObservationDataset.from_csv(csv_with_manifest)
+        problems = check_dataset_manifest(dataset, csv_with_manifest)
+        assert any("observations" in p for p in problems)
+
+
+class TestCLIVerifyPolicy:
+    def _train_args(self, csv_path, tmp_path, mode=None):
+        args = [
+            "train", "--data", str(csv_path), "--model", "linear",
+            "-o", str(tmp_path / "model.json"),
+        ]
+        if mode:
+            args += ["--verify-manifest", mode]
+        return args
+
+    def test_clean_dataset_trains_silently(
+        self, csv_with_manifest, tmp_path, capsys
+    ):
+        assert main(self._train_args(csv_with_manifest, tmp_path)) == 0
+        assert "warning" not in capsys.readouterr().err
+
+    def test_warn_is_default(self, tmp_path, small_dataset, capsys):
+        path = tmp_path / "bare.csv"
+        small_dataset.to_csv(path)
+        assert main(self._train_args(path, tmp_path)) == 0
+        err = capsys.readouterr().err
+        assert "warning" in err and "no provenance manifest" in err
+
+    def test_strict_fails_on_problems(self, tmp_path, small_dataset):
+        path = tmp_path / "bare.csv"
+        small_dataset.to_csv(path)
+        with pytest.raises(SystemExit, match="verification failed"):
+            main(self._train_args(path, tmp_path, mode="strict"))
+
+    def test_strict_passes_clean_dataset(self, csv_with_manifest, tmp_path):
+        assert main(
+            self._train_args(csv_with_manifest, tmp_path, mode="strict")
+        ) == 0
+
+    def test_skip_suppresses_warnings(self, tmp_path, small_dataset, capsys):
+        path = tmp_path / "bare.csv"
+        small_dataset.to_csv(path)
+        assert main(self._train_args(path, tmp_path, mode="skip")) == 0
+        assert "warning" not in capsys.readouterr().err
+
+    def test_evaluate_strict_fails_on_tampered_data(
+        self, csv_with_manifest, tmp_path
+    ):
+        lines = csv_with_manifest.read_text().splitlines()
+        cols = lines[1].split(",")
+        cols[-1] = repr(float(cols[-1]) * 2)
+        lines[1] = ",".join(cols)
+        csv_with_manifest.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SystemExit, match="verification failed"):
+            main([
+                "evaluate", "--data", str(csv_with_manifest),
+                "--repetitions", "1", "--verify-manifest", "strict",
+            ])
+
+    def test_evaluate_warn_still_runs(
+        self, csv_with_manifest, tmp_path, capsys
+    ):
+        manifest_path_for(csv_with_manifest).unlink()
+        assert main([
+            "evaluate", "--data", str(csv_with_manifest),
+            "--repetitions", "1",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "warning" in captured.err
+        assert "Model accuracy" in captured.out

@@ -1,0 +1,115 @@
+"""Read-replica mirroring: serving an HttpBackend as a pull-through cache.
+
+``repro registry serve --mirror URL`` wraps an :class:`HttpBackend` in a
+:class:`RegistryServer`.  The replica answers manifest reads from the
+upstream and blob reads through :meth:`HttpBackend.blob_path`, which
+caches by content hash — so the upstream is hit once per artifact, no
+matter how many clients read through the replica.
+"""
+
+import pytest
+
+from repro.registry import (
+    HttpBackend,
+    RegistryError,
+    RegistryServerThread,
+)
+
+
+@pytest.fixture
+def upstream(populated_store):
+    """The origin registry server (read-only is fine for replicas)."""
+    with RegistryServerThread(populated_store) as handle:
+        yield handle
+
+
+@pytest.fixture
+def replica_backend(upstream, tmp_path):
+    """An HttpBackend on the upstream, acting as the replica's storage."""
+    return HttpBackend(
+        f"http://127.0.0.1:{upstream.port}", tmp_path / "replica-cache"
+    )
+
+
+@pytest.fixture
+def replica(replica_backend):
+    """A live replica server whose backend is the pull-through client."""
+    with RegistryServerThread(replica_backend) as handle:
+        yield handle
+
+
+class TestBlobPullThrough:
+    def test_miss_pulls_verifies_and_caches(self, replica_backend, populated_store):
+        manifest = populated_store.resolve("point@1")
+        path = replica_backend.blob_path(manifest.content_hash)
+        assert path.is_file()
+        assert path.read_bytes() == populated_store.blob_path(
+            manifest.content_hash
+        ).read_bytes()
+
+    def test_hit_is_served_without_http(self, replica_backend, populated_store):
+        manifest = populated_store.resolve("point@1")
+        replica_backend.blob_path(manifest.content_hash)
+        before = replica_backend.http_requests
+        path = replica_backend.blob_path(manifest.content_hash)
+        assert replica_backend.http_requests == before
+        assert path.is_file()
+
+    def test_unknown_blob_refused(self, replica_backend):
+        with pytest.raises(RegistryError, match="unknown blob|refused blob"):
+            replica_backend.blob_path("0" * 64)
+
+    def test_unreachable_upstream_with_cold_cache(self, tmp_path):
+        backend = HttpBackend(
+            "http://127.0.0.1:1", tmp_path / "cache", timeout_s=0.2
+        )
+        with pytest.raises(RegistryError, match="unreachable"):
+            backend.blob_path("0" * 64)
+
+
+class TestReplicaServing:
+    def test_client_reads_through_replica(
+        self, replica, populated_store, tmp_path
+    ):
+        client = HttpBackend(
+            f"http://127.0.0.1:{replica.port}", tmp_path / "client-cache"
+        )
+        artifact, manifest = client.get("point@1")
+        want = populated_store.resolve("point@1")
+        assert manifest.content_hash == want.content_hash
+        assert artifact.is_fitted
+
+    def test_replica_lists_upstream_models(self, replica, tmp_path):
+        client = HttpBackend(
+            f"http://127.0.0.1:{replica.port}", tmp_path / "client-cache"
+        )
+        assert set(client.names()) == {"band", "point"}
+
+    def test_second_read_skips_upstream(
+        self, replica, replica_backend, populated_store, tmp_path
+    ):
+        manifest = populated_store.resolve("point@1")
+        first = HttpBackend(
+            f"http://127.0.0.1:{replica.port}", tmp_path / "c1"
+        )
+        first.get("point@1")
+        upstream_calls = replica_backend.http_requests
+        second = HttpBackend(
+            f"http://127.0.0.1:{replica.port}", tmp_path / "c2"
+        )
+        second.get("point@1")
+        # The second client's blob read is served from the replica's
+        # cache: the replica may re-resolve the manifest upstream, but
+        # never re-downloads the blob.
+        assert replica_backend.blob_path(manifest.content_hash).is_file()
+        assert replica_backend.http_requests <= upstream_calls + 2
+
+    def test_replica_is_read_only(self, replica, tmp_path, populated_store):
+        client = HttpBackend(
+            f"http://127.0.0.1:{replica.port}",
+            tmp_path / "client-cache",
+            token="any-token",
+        )
+        artifact, _ = client.get("point@1")
+        with pytest.raises(RegistryError, match="read-only|403|push"):
+            client.push("point", artifact)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the experiment-suite subsystem tests.
+
+The ``tiny_*`` spec documents keep collection small (two targets, two
+co-apps, three counts, two P-states) so whole-suite runs stay in the
+tens of milliseconds while still exercising collect, train, and eval
+executors for real.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+from repro.suite import ArtifactStore, SuiteRunner, parse_suite
+
+
+@pytest.fixture
+def tiny_spec_doc() -> dict:
+    return {
+        "suite": "tiny",
+        "defaults": {
+            "machine": "e5649",
+            "repetitions": 2,
+            "model_kinds": ["linear"],
+            "feature_sets": ["F"],
+        },
+        "cases": [
+            {
+                "name": "base",
+                "targets": ["cg", "sp"],
+                "co_apps": ["ep", "lu"],
+                "counts": [1, 2, 3],
+                "frequencies_ghz": [2.53, 1.6],
+            }
+        ],
+    }
+
+
+@pytest.fixture
+def two_case_spec_doc(tiny_spec_doc) -> dict:
+    doc = copy.deepcopy(tiny_spec_doc)
+    doc["suite"] = "pair"
+    second = copy.deepcopy(doc["cases"][0])
+    second["name"] = "other"
+    second["seed"] = 7
+    doc["cases"].append(second)
+    return doc
+
+
+@pytest.fixture
+def tiny_suite(tiny_spec_doc):
+    return parse_suite(tiny_spec_doc)
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture
+def runner(tiny_suite, store) -> SuiteRunner:
+    return SuiteRunner(tiny_suite, store)

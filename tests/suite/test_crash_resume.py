@@ -1,0 +1,158 @@
+"""Kill a suite run mid-node and prove the resume contract.
+
+The runner has no journal or recovery pass — committed node manifests
+*are* the checkpoint log.  These tests SIGKILL a real subprocess partway
+through a run (no cleanup handlers get a chance to fire, exactly like
+the OOM killer or a lost node), then re-run against the same store and
+assert that finished nodes are not re-executed and that the resumed
+store's artifacts are bit-identical to an uninterrupted run's.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.suite import ArtifactStore, SuiteRunner, parse_suite
+
+SPEC_DOC = {
+    "suite": "crashy",
+    "defaults": {
+        "machine": "e5649",
+        "repetitions": 2,
+        "model_kinds": ["linear"],
+        "feature_sets": ["F"],
+    },
+    "cases": [
+        {
+            "name": "one",
+            "targets": ["cg", "sp"],
+            "co_apps": ["ep", "lu"],
+            "counts": [1, 2, 3],
+            "frequencies_ghz": [2.53, 1.6],
+        },
+        {
+            "name": "two",
+            "targets": ["cg", "sp"],
+            "co_apps": ["ep", "lu"],
+            "counts": [1, 2, 3],
+            "frequencies_ghz": [2.53, 1.6],
+            "seed": 7,
+        },
+    ],
+}
+
+# Runs inside the subprocess: SIGKILL the interpreter the moment the
+# N-th node has committed, leaving the store exactly as a dead run would.
+KILLER_SCRIPT = textwrap.dedent(
+    """
+    import json, os, signal, sys
+    from repro.suite import ArtifactStore, SuiteRunner, parse_suite
+
+    spec_path, store_dir, kill_after = sys.argv[1], sys.argv[2], int(sys.argv[3])
+    suite = parse_suite(json.load(open(spec_path)))
+    store = ArtifactStore(store_dir)
+    committed = 0
+    original = ArtifactStore.put_node
+
+    def put_and_maybe_die(self, **kwargs):
+        global committed
+        manifest = original(self, **kwargs)
+        committed += 1
+        if committed >= kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return manifest
+
+    ArtifactStore.put_node = put_and_maybe_die
+    SuiteRunner(suite, store).run()
+    print("UNREACHABLE: run finished without dying")
+    sys.exit(3)
+    """
+)
+
+
+def _blob_map(store: ArtifactStore) -> dict[str, bytes]:
+    out = {}
+    for key in store.node_keys():
+        payload, manifest = store.read_node_payload(key)
+        out[manifest.node_id] = payload
+    return out
+
+
+def _run_killed_subprocess(spec_path: Path, store_dir: Path, kill_after: int):
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", KILLER_SCRIPT,
+         str(spec_path), str(store_dir), str(kill_after)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    return proc
+
+
+@pytest.fixture
+def spec_path(tmp_path) -> Path:
+    path = tmp_path / "suite.json"
+    path.write_text(json.dumps(SPEC_DOC))
+    return path
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("kill_after", [1, 2, 4])
+    def test_resume_skips_completed_and_is_bit_identical(
+        self, spec_path, tmp_path, kill_after
+    ):
+        store_dir = tmp_path / "store"
+        proc = _run_killed_subprocess(spec_path, store_dir, kill_after)
+        # SIGKILL, not a clean exit — the run really died mid-flight.
+        assert proc.returncode == -signal.SIGKILL, (
+            proc.returncode,
+            proc.stdout,
+            proc.stderr,
+        )
+        store = ArtifactStore(store_dir)
+        survivors = set(store.node_keys())
+        assert len(survivors) == kill_after  # exactly N nodes committed
+
+        suite = parse_suite(SPEC_DOC)
+        resumed = SuiteRunner(suite, store)
+        report = resumed.run()
+        assert report.ok
+        # Every node the dead run committed resolves; nothing re-executes.
+        assert report.skipped == kill_after
+        assert report.executed == 6 - kill_after
+        assert resumed.stats.nodes_resumed == kill_after
+        cached_ids = {r.node_id for r in report.by_status("cached")}
+        for key in survivors:
+            manifest = store.node_manifest(key)
+            assert manifest.node_id in cached_ids
+
+        # Bit-identical to a never-interrupted run in a fresh store.
+        clean = ArtifactStore(tmp_path / "clean")
+        SuiteRunner(suite, clean).run()
+        assert _blob_map(store) == _blob_map(clean)
+
+    def test_no_torn_state_in_killed_store(self, spec_path, tmp_path):
+        """Whatever survives the kill must be internally consistent."""
+        store_dir = tmp_path / "store"
+        proc = _run_killed_subprocess(spec_path, store_dir, 2)
+        assert proc.returncode == -signal.SIGKILL
+        store = ArtifactStore(store_dir)
+        for key in store.node_keys():
+            payload, manifest = store.read_node_payload(key)
+            # read_node_payload re-hashes: no torn blobs, no dangling refs.
+            assert payload
+            assert manifest.input_key == key
+        # No stray temp files from interrupted atomic writes linger as
+        # manifests or blobs the store would trust.
+        for key in store.node_keys():
+            assert not key.endswith(".tmp")

@@ -1,0 +1,150 @@
+"""Content-addressed store: blobs, node manifests, gc, solve caches."""
+
+import hashlib
+
+import pytest
+
+from repro.sim.solve_cache import SolveCache
+from repro.suite import ArtifactStore, NodeManifest, StoreError
+
+
+class TestBlobs:
+    def test_put_returns_content_hash(self, store):
+        payload = b"hello suite"
+        digest = store.put_blob(payload)
+        assert digest == hashlib.sha256(payload).hexdigest()
+        assert store.read_blob(digest) == payload
+
+    def test_put_is_idempotent(self, store):
+        a = store.put_blob(b"same")
+        b = store.put_blob(b"same")
+        assert a == b
+        assert len(list(store.blob_dir.iterdir())) == 1
+
+    def test_read_missing_blob(self, store):
+        with pytest.raises(StoreError, match="no blob"):
+            store.read_blob("0" * 64)
+
+    def test_read_detects_corruption(self, store):
+        digest = store.put_blob(b"original")
+        store.blob_path(digest).write_bytes(b"tampered")
+        with pytest.raises(StoreError, match="modified after"):
+            store.read_blob(digest)
+
+
+class TestNodes:
+    def test_roundtrip(self, store):
+        manifest = store.put_node(
+            node_id="collect:c",
+            kind="collect",
+            input_key="k" * 64,
+            payload=b"csv bytes",
+            library_version="1.0.0",
+            spec={"seed": 1},
+            inputs={},
+            meta={"rows": 3},
+        )
+        assert store.has_node("k" * 64)
+        loaded = store.node_manifest("k" * 64)
+        assert loaded == manifest
+        payload, again = store.read_node_payload("k" * 64)
+        assert payload == b"csv bytes"
+        assert again.meta == {"rows": 3}
+        assert again.created_at  # stamped
+
+    def test_missing_node(self, store):
+        assert store.node_manifest("f" * 64) is None
+        assert not store.has_node("f" * 64)
+        with pytest.raises(StoreError, match="no node"):
+            store.read_node_payload("f" * 64)
+
+    def test_node_keys_sorted(self, store):
+        for key in ("b" * 64, "a" * 64):
+            store.put_node(
+                node_id="n",
+                kind="collect",
+                input_key=key,
+                payload=key.encode(),
+                library_version="1",
+            )
+        assert store.node_keys() == ["a" * 64, "b" * 64]
+
+    def test_malformed_manifest_raises(self, store):
+        store.node_dir.mkdir(parents=True)
+        (store.node_dir / ("c" * 64 + ".json")).write_text("{broken")
+        with pytest.raises(StoreError, match="not valid JSON"):
+            store.node_manifest("c" * 64)
+
+    def test_manifest_json_roundtrip(self):
+        manifest = NodeManifest(
+            node_id="train:c:linear-F",
+            kind="train",
+            input_key="a" * 64,
+            content_sha256="b" * 64,
+            library_version="1.0.0",
+            inputs={"collect:c": {"input_key": "d" * 64,
+                                  "content_sha256": "e" * 64}},
+        )
+        assert NodeManifest.from_json(manifest.to_json()) == manifest
+
+
+class TestGC:
+    def _put(self, store, key, payload):
+        return store.put_node(
+            node_id=f"n:{key[:4]}",
+            kind="collect",
+            input_key=key,
+            payload=payload,
+            library_version="1",
+        )
+
+    def test_gc_removes_unreachable(self, store):
+        self._put(store, "a" * 64, b"keep me")
+        stale = self._put(store, "b" * 64, b"drop me")
+        report = store.gc({"a" * 64})
+        assert report.kept_nodes == 1
+        assert report.removed_nodes == ("b" * 64,)
+        assert stale.content_sha256 in report.removed_blobs
+        assert not store.has_node("b" * 64)
+        assert store.read_blob(self._put(store, "a" * 64, b"keep me").content_sha256)
+
+    def test_gc_keeps_shared_blobs(self, store):
+        kept = self._put(store, "a" * 64, b"shared")
+        self._put(store, "b" * 64, b"shared")
+        report = store.gc({"a" * 64})
+        # The blob is still referenced by the surviving manifest.
+        assert report.removed_blobs == ()
+        assert store.read_blob(kept.content_sha256) == b"shared"
+
+    def test_dry_run_removes_nothing(self, store):
+        self._put(store, "a" * 64, b"x")
+        report = store.gc(set(), dry_run=True)
+        assert report.dry_run
+        assert report.removed_nodes == ("a" * 64,)
+        assert store.has_node("a" * 64)
+        assert "would remove" in report.summary()
+
+    def test_empty_store(self, store):
+        report = store.gc(set())
+        assert report.kept_nodes == 0
+        assert report.removed_nodes == ()
+
+
+class TestSolveCachePersistence:
+    def test_roundtrip(self, store):
+        cache = SolveCache()
+        cache.put(("scenario", 1), {"state": 42})
+        assert store.save_solve_cache("e5649", cache) == 1
+        fresh = SolveCache()
+        assert store.load_solve_cache("e5649", fresh) == 1
+        assert fresh.get(("scenario", 1)) == {"state": 42}
+
+    def test_load_missing_is_empty(self, store):
+        assert store.load_solve_cache("e5649", SolveCache()) == 0
+
+    def test_corrupt_snapshot_discarded(self, store):
+        path = store.solve_cache_path("e5649")
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle")
+        assert store.load_solve_cache("e5649", SolveCache()) == 0
+        assert not path.exists()
